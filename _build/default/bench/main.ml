@@ -1,0 +1,450 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see EXPERIMENTS.md for the recorded outputs), plus Bechamel
+   micro-benchmarks of the synthesis kernels.
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- fig2 fig3 fig4 fig5 overhead leakage \
+                                  dse simcheck ablation speed   # pick some *)
+
+module Config = Noc_synthesis.Config
+module Synth = Noc_synthesis.Synth
+module DP = Noc_synthesis.Design_point
+module Topology = Noc_synthesis.Topology
+module Shutdown = Noc_synthesis.Shutdown
+module Baseline = Noc_synthesis.Baseline
+module Explore = Noc_synthesis.Explore
+module Power = Noc_models.Power
+module Vi = Noc_spec.Vi
+module Flow = Noc_spec.Flow
+module Scenario = Noc_spec.Scenario
+module Bench_case = Noc_benchmarks.Bench_case
+module D26 = Noc_benchmarks.D26
+module Partitions = Noc_benchmarks.Partitions
+module Sim = Noc_sim.Sim
+
+let config = Config.default
+let soc = D26.soc
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+(* Memoize synthesis runs: several experiments share the same design. *)
+let synth_cache : (string, Synth.result) Hashtbl.t = Hashtbl.create 16
+
+let run_cached key vi =
+  match Hashtbl.find_opt synth_cache key with
+  | Some r -> r
+  | None ->
+    let r = Synth.run config soc vi in
+    Hashtbl.replace synth_cache key r;
+    r
+
+let logical_vi k = D26.logical_partition ~islands:k
+let logical_result k = run_cached (Printf.sprintf "logical/%d" k) (logical_vi k)
+
+(* Communication-based point: explore both clustering strategies and keep
+   the better design — the per-point exploration §3.2 advocates. *)
+let comm_result k =
+  let candidates =
+    List.filter_map
+      (fun strategy ->
+        let label =
+          match strategy with
+          | Partitions.Min_cut -> "mincut"
+          | Partitions.Agglomerative -> "agglo"
+        in
+        let vi =
+          Partitions.communication_based ~strategy ~islands:k
+            ~always_on_cores:D26.shared_memory_cores soc
+        in
+        match run_cached (Printf.sprintf "comm-%s/%d" label k) vi with
+        | r -> Some r
+        | exception Synth.No_feasible_design _ -> None)
+      Partitions.strategies
+  in
+  match candidates with
+  | [] -> raise (Synth.No_feasible_design "comm: no strategy feasible")
+  | first :: rest ->
+    List.fold_left
+      (fun acc r ->
+        let dyn r = Power.dynamic_mw (Synth.best_power r).DP.power in
+        if dyn r < dyn acc then r else acc)
+      first rest
+
+(* ---------------- EXP-F2 and EXP-F3: Figures 2 and 3 ---------------- *)
+
+let fig2_fig3 () =
+  section
+    "EXP-F2 / EXP-F3: island count vs NoC dynamic power (Fig. 2) and average \
+     zero-load latency (Fig. 3), D26";
+  Printf.printf "%-8s %-22s %-22s\n" "islands" "logical: mW / cycles"
+    "comm-based: mW / cycles";
+  List.iter
+    (fun k ->
+      let describe result =
+        match result with
+        | r ->
+          let p = Synth.best_power r in
+          Printf.sprintf "%8.1f / %5.2f" (Power.dynamic_mw p.DP.power)
+            p.DP.avg_latency_cycles
+        | exception Synth.No_feasible_design _ -> "infeasible"
+      in
+      Printf.printf "%-8d %-22s %-22s\n%!" k
+        (describe (logical_result k))
+        (describe (comm_result k)))
+    D26.logical_island_counts;
+  print_endline
+    "expected shape (paper): logical rises above the 1-island reference,\n\
+     communication-based dips below it, both series meet at 26 islands;\n\
+     latency grows with island count (4 cycles per crossing)."
+
+(* ---------------- EXP-F4: Figure 4 ---------------- *)
+
+let fig4 () =
+  section
+    "EXP-F4: synthesized topology for the 6-VI logical partitioning (Fig. 4)";
+  let best = Synth.best_power (logical_result 6) in
+  Format.printf "%a@." Topology.pp_netlist best.DP.topology;
+  (match Shutdown.check_topology (logical_vi 6) best.DP.topology with
+   | Ok () -> print_endline "shutdown-safety invariant: OK"
+   | Error _ -> print_endline "shutdown-safety invariant: VIOLATED")
+
+(* ---------------- EXP-F5: Figure 5 ---------------- *)
+
+let fig5 () =
+  section "EXP-F5: floorplan of the 6-VI design (Fig. 5)";
+  let result = logical_result 6 in
+  let plan = result.Synth.plan in
+  let open Noc_floorplan in
+  Format.printf "die %a@." Geometry.pp_rect plan.Placer.die;
+  (match plan.Placer.noc_channel with
+   | Some c -> Format.printf "intermediate NoC channel %a@." Geometry.pp_rect c
+   | None -> print_endline "no intermediate NoC channel");
+  Array.iteri
+    (fun isl r ->
+      Format.printf "VI%d %a cores:" isl Geometry.pp_rect r;
+      List.iter
+        (fun core ->
+          Format.printf " %s"
+            soc.Noc_spec.Soc_spec.cores.(core).Noc_spec.Core_spec.name)
+        (Vi.cores_of_island (logical_vi 6) isl);
+      Format.printf "@.")
+    plan.Placer.island_rects;
+  Format.printf "flow-weighted wirelength: %.0f MB/s x mm@."
+    (Placer.wirelength soc plan)
+
+(* ------- EXP-T1: overhead table (paper: ~3% power, <0.5% area) ------- *)
+
+let overhead () =
+  section
+    "EXP-T1: overhead of shutdown support vs VI-oblivious baseline (paper \
+     quotes ~3% system dynamic power, <0.5% SoC area on average)";
+  Printf.printf "%-6s %-14s %-14s %-12s\n" "bench" "power ovhd %" "area ovhd %"
+    "NoC ovhd %";
+  let totals = ref (0.0, 0.0) in
+  List.iter
+    (fun case ->
+      let bsoc = case.Bench_case.soc in
+      let vi_point =
+        Synth.best_power (Synth.run config bsoc case.Bench_case.default_vi)
+      in
+      let base_point = Synth.best_power (Baseline.synthesize config bsoc) in
+      let c = Baseline.compare_designs bsoc ~vi_point ~base_point in
+      let p, a = !totals in
+      totals :=
+        ( p +. c.Baseline.system_dynamic_overhead,
+          a +. c.Baseline.system_area_overhead );
+      Printf.printf "%-6s %-14.2f %-14.2f %-12.1f\n%!" case.Bench_case.name
+        (100.0 *. c.Baseline.system_dynamic_overhead)
+        (100.0 *. c.Baseline.system_area_overhead)
+        (100.0 *. c.Baseline.noc_power_overhead))
+    Bench_case.all;
+  let n = float_of_int (List.length Bench_case.all) in
+  let p, a = !totals in
+  Printf.printf "%-6s %-14.2f %-14.2f\n" "AVG" (100.0 *. p /. n)
+    (100.0 *. a /. n)
+
+(* ---------------- EXP-T2: leakage savings ---------------- *)
+
+let leakage () =
+  section
+    "EXP-T2: island-shutdown power savings per usage scenario (paper \
+     motivates 25%+ total-power reductions)";
+  List.iter
+    (fun case ->
+      let bsoc = case.Bench_case.soc in
+      let vi = case.Bench_case.default_vi in
+      let point = Synth.best_power (Synth.run config bsoc vi) in
+      let report =
+        Shutdown.leakage_report config bsoc vi point
+          ~scenarios:case.Bench_case.scenarios
+      in
+      Printf.printf "%s: duty-weighted savings %.1f%%\n" case.Bench_case.name
+        (100.0 *. report.Shutdown.weighted_savings_fraction))
+    Bench_case.all;
+  print_endline "";
+  let point = Synth.best_power (logical_result 6) in
+  let report =
+    Shutdown.leakage_report config soc (logical_vi 6) point
+      ~scenarios:D26.scenarios
+  in
+  Format.printf "%a@." Shutdown.pp_report report
+
+(* ---------------- EXP-DSE: trade-off curves ---------------- *)
+
+let dse () =
+  section "EXP-DSE: design points and Pareto front, D26 6-VI logical (§3.2)";
+  let result = logical_result 6 in
+  Printf.printf "%d candidates tried, %d feasible design points\n"
+    result.Synth.candidates_tried result.Synth.candidates_feasible;
+  Printf.printf "%-10s %-9s %-11s %-9s %s\n" "switches" "indirect" "total mW"
+    "latency" "crossings";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10d %-9d %-11.1f %-9.2f %d\n" p.DP.switch_count
+        p.DP.indirect_count
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles p.DP.crossing_count)
+    result.Synth.points;
+  let front = Explore.pareto result.Synth.points in
+  Printf.printf "\nPareto front (%d points):\n" (List.length front);
+  List.iter
+    (fun p ->
+      Printf.printf "  %2d+%d switches  %7.1f mW  %5.2f cycles\n"
+        p.DP.switch_count p.DP.indirect_count
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles)
+    front
+
+(* ---------------- EXP-SIM: simulator validation ---------------- *)
+
+let simcheck () =
+  section
+    "EXP-SIM: executable validation of the latency model and of shutdown \
+     safety";
+  let vi = logical_vi 6 in
+  let best = Synth.best_power (logical_result 6) in
+  let topo = best.DP.topology in
+  let checks = Sim.zero_load_check soc vi topo in
+  let mismatches =
+    List.filter (fun (_, s, a) -> Float.abs (s -. float_of_int a) > 1e-6) checks
+  in
+  Printf.printf
+    "zero-load agreement: %d/%d flows match the analytic model exactly\n"
+    (List.length checks - List.length mismatches)
+    (List.length checks);
+  Printf.printf "\nlatency vs load (busiest-link utilization):\n";
+  List.iter
+    (fun load ->
+      let r = Sim.run_at_load ~load ~horizon:8_000.0 soc vi topo in
+      Printf.printf "  load %.2f: avg %.2f cycles (%d flits)\n%!" load
+        r.Noc_sim.Stats.overall_avg_latency r.Noc_sim.Stats.total_delivered)
+    [ 0.05; 0.2; 0.4; 0.6; 0.8 ];
+  Printf.printf "\nshutdown scenarios (gated islands still deliver):\n";
+  List.iter
+    (fun s ->
+      let gated = Scenario.gated_islands s vi in
+      let r = Sim.run_with_shutdown ~gated ~horizon:6_000.0 soc vi topo in
+      Printf.printf "  %-16s gated [%s]: %d/%d flits, avg %.2f cycles\n%!"
+        s.Scenario.name
+        (String.concat "," (List.map string_of_int gated))
+        r.Noc_sim.Stats.total_delivered r.Noc_sim.Stats.total_injected
+        r.Noc_sim.Stats.overall_avg_latency)
+    D26.scenarios
+
+(* ---------------- Ablations ---------------- *)
+
+let ablation () =
+  section "ablations: design choices of DESIGN.md §5";
+  Printf.printf "alpha sweep (Definition 1 weight, 6-VI logical):\n";
+  List.iter
+    (fun (alpha, p) ->
+      Printf.printf "  alpha %.2f: %7.1f mW, %5.2f cycles, slack %d\n" alpha
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles p.DP.worst_latency_slack)
+    (Explore.alpha_sweep config soc (logical_vi 6)
+       ~alphas:[ 0.0; 0.3; 0.6; 1.0 ]);
+  let no_inter =
+    Noc_spec.Soc_spec.make ~name:"D26-no-inter"
+      ~cores:soc.Noc_spec.Soc_spec.cores ~flows:soc.Noc_spec.Soc_spec.flows
+      ~allow_intermediate_island:false ()
+  in
+  let describe label run =
+    match run () with
+    | r ->
+      let p = Synth.best_power r in
+      Printf.printf "  %-28s %7.1f mW, %5.2f cycles, %d+%d switches\n" label
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles p.DP.switch_count p.DP.indirect_count
+    | exception Synth.No_feasible_design _ ->
+      Printf.printf "  %-28s infeasible\n" label
+  in
+  Printf.printf "\nintermediate NoC VI availability (26 islands, §3.2):\n";
+  describe "with intermediate rails" (fun () ->
+      Synth.run config soc (logical_vi 26));
+  describe "without intermediate rails" (fun () ->
+      Synth.run config no_inter (D26.logical_partition ~islands:26));
+  Printf.printf
+    "\ncore-to-switch assignment (step 11 ablation, 6-VI logical):\n";
+  (let describe label result =
+     match result with
+     | r ->
+       let p = Synth.best_power r in
+       Printf.printf "  %-22s %7.1f mW, %5.2f cycles\n" label
+         (Power.total_mw p.DP.power)
+         p.DP.avg_latency_cycles
+     | exception Synth.No_feasible_design _ ->
+       Printf.printf "  %-22s infeasible\n" label
+   in
+   describe "min-cut (paper)" (logical_result 6);
+   describe "round-robin"
+     (Synth.run ~assignment_strategy:Noc_synthesis.Switch_alloc.Round_robin
+        config soc (logical_vi 6)));
+  Printf.printf "\nlink width sweep (6-VI logical, paper S4):\n";
+  List.iter
+    (fun (width, p) ->
+      Printf.printf "  %2d-bit links: %7.1f mW, %5.2f cycles\n" width
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles)
+    (Explore.width_sweep config soc (logical_vi 6) ~widths:[ 16; 32; 64 ]);
+  Printf.printf
+    "\nscenario-aware design-point selection (duty-weighted system mW):\n";
+  (let result = logical_result 6 in
+   let peak = Synth.best_power result in
+   let weighted, w_mw =
+     Explore.best_scenario_weighted config soc (logical_vi 6)
+       ~scenarios:D26.scenarios result
+   in
+   Printf.printf "  peak-power pick:      %7.1f mW NoC, %d+%d switches\n"
+     (Power.total_mw peak.DP.power)
+     peak.DP.switch_count peak.DP.indirect_count;
+   Printf.printf
+     "  scenario-aware pick:  %7.1f mW NoC, %d+%d switches (%.1f mW weighted \
+      system)\n"
+     (Power.total_mw weighted.DP.power)
+     weighted.DP.switch_count weighted.DP.indirect_count w_mw);
+  Printf.printf "\npath-cost beta sweep (6-VI logical):\n";
+  List.iter
+    (fun beta ->
+      let cfg = { config with Config.beta } in
+      match Synth.run cfg soc (logical_vi 6) with
+      | r ->
+        let p = Synth.best_power r in
+        Printf.printf "  beta %.2f: %7.1f mW, %5.2f cycles\n" beta
+          (Power.total_mw p.DP.power)
+          p.DP.avg_latency_cycles
+      | exception Synth.No_feasible_design _ ->
+        Printf.printf "  beta %.2f: infeasible\n" beta)
+    [ 0.0; 0.5; 0.7; 1.0 ]
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+let speed () =
+  section "kernel micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let vcg6 = Noc_spec.Vcg.build_all ~alpha:0.6 soc (logical_vi 6) in
+  let biggest =
+    Array.fold_left
+      (fun acc v ->
+        if Noc_spec.Vcg.size v > Noc_spec.Vcg.size acc then v else acc)
+      vcg6.(0) vcg6
+  in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        Test.make ~name:"EXP-F2 kway-partition (largest VCG)"
+          (Staged.stage (fun () ->
+               ignore
+                 (Noc_partition.Kway.partition ~parts:2 ~max_block_weight:8.0
+                    biggest.Noc_spec.Vcg.graph)));
+        Test.make ~name:"EXP-F2 full-synthesis (D26, 6 VIs)"
+          (Staged.stage (fun () ->
+               ignore (Synth.run config soc (logical_vi 6))));
+        Test.make ~name:"EXP-T1 baseline-synthesis (D26)"
+          (Staged.stage (fun () -> ignore (Baseline.synthesize config soc)));
+        Test.make ~name:"EXP-F5 placement+anneal (D26)"
+          (Staged.stage (fun () ->
+               let plan = Noc_floorplan.Placer.place soc (logical_vi 6) in
+               ignore (Noc_floorplan.Anneal.improve soc (logical_vi 6) plan)));
+        Test.make ~name:"EXP-SIM simulate-2k-cycles (D26, 6 VIs)"
+          (Staged.stage
+             (let best = Synth.best_power (logical_result 6) in
+              fun () ->
+                ignore
+                  (Sim.run_at_load ~load:0.3 ~horizon:2_000.0 soc
+                     (logical_vi 6) best.DP.topology)));
+        Test.make ~name:"EXP-T2 leakage-report (D26)"
+          (Staged.stage
+             (let best = Synth.best_power (logical_result 6) in
+              fun () ->
+                ignore
+                  (Shutdown.leakage_report config soc (logical_vi 6) best
+                     ~scenarios:D26.scenarios)));
+      ]
+  in
+  let cfg_bench =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg_bench [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols_result acc ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let print_row (name, ns) =
+    if ns >= 1e6 then Printf.printf "%-50s %10.3f ms/run\n" name (ns /. 1e6)
+    else if ns >= 1e3 then Printf.printf "%-50s %10.3f us/run\n" name (ns /. 1e3)
+    else Printf.printf "%-50s %10.1f ns/run\n" name ns
+  in
+  List.iter print_row (List.sort compare rows)
+
+let all_experiments =
+  [
+    ("fig2", fig2_fig3);
+    ("fig3", fig2_fig3);
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("overhead", overhead);
+    ("leakage", leakage);
+    ("dse", dse);
+    ("simcheck", simcheck);
+    ("ablation", ablation);
+    ("speed", speed);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ ->
+      [ "fig2"; "fig4"; "fig5"; "overhead"; "leakage"; "dse"; "simcheck";
+        "ablation"; "speed" ]
+  in
+  let ran = Hashtbl.create 8 in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f ->
+        (* fig2 and fig3 share one printer; run it once *)
+        let key = if name = "fig3" then "fig2" else name in
+        if not (Hashtbl.mem ran key) then begin
+          Hashtbl.replace ran key ();
+          f ()
+        end
+      | None ->
+        Printf.eprintf "unknown experiment %s (have: %s)\n" name
+          (String.concat ", " (List.map fst all_experiments));
+        exit 2)
+    requested

@@ -1,0 +1,427 @@
+(* Command-line front end for the VI-aware NoC topology synthesis flow.
+
+   Subcommands mirror the paper's experiments: [synth] runs Algorithm 1 on a
+   benchmark, [explore] sweeps island counts (Figs. 2/3), [baseline]
+   reports the shutdown-support overhead (§5), [leakage] the scenario
+   savings, [floorplan] the placement, and [simulate] drives the
+   discrete-event model. *)
+
+open Cmdliner
+
+module Synth = Noc_synthesis.Synth
+module Config = Noc_synthesis.Config
+module DP = Noc_synthesis.Design_point
+module Power = Noc_models.Power
+module Bench_case = Noc_benchmarks.Bench_case
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+
+let bench_arg =
+  let doc =
+    Printf.sprintf "Benchmark SoC to use: one of %s."
+      (String.concat ", " Bench_case.names)
+  in
+  Arg.(value & opt string "d26" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float Config.default.Config.alpha
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:"Definition-1 weight between bandwidth and latency (0..1).")
+
+let islands_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "islands" ] ~docv:"K"
+        ~doc:
+          "Number of voltage islands; 0 keeps the benchmark's designer \
+           (logical) partitioning.")
+
+let comm_arg =
+  Arg.(
+    value & flag
+    & info [ "comm" ]
+        ~doc:
+          "Use communication-based partitioning instead of the logical one \
+           (requires $(b,--islands)).")
+
+let spec_arg =
+  let doc =
+    "Load the SoC (and optional VI assignment / scenarios) from a bundle \
+     file in the noc_synth textual format instead of a built-in benchmark."
+  in
+  Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+let lookup_bench name =
+  match Bench_case.find name with
+  | case -> case
+  | exception Not_found ->
+    Printf.eprintf "unknown benchmark %s (have: %s)\n" name
+      (String.concat ", " Bench_case.names);
+    exit 2
+
+(* A --spec file overrides the named benchmark. *)
+let resolve_case bench spec =
+  match spec with
+  | None -> lookup_bench bench
+  | Some path ->
+    (match Noc_spec.Spec_io.load path with
+     | Error message ->
+       Printf.eprintf "%s: %s\n" path message;
+       exit 2
+     | Ok bundle ->
+       let soc = bundle.Noc_spec.Spec_io.soc in
+       let default_vi =
+         match bundle.Noc_spec.Spec_io.vi with
+         | Some vi -> vi
+         | None ->
+           Noc_spec.Vi.single_island
+             ~cores:(Noc_spec.Soc_spec.core_count soc)
+       in
+       {
+         Bench_case.name = soc.Noc_spec.Soc_spec.name;
+         soc;
+         default_vi;
+         scenarios = bundle.Noc_spec.Spec_io.scenarios;
+         always_on_cores = [];
+       })
+
+let config_of alpha = { Config.default with Config.alpha }
+
+let vi_of_options case ~islands ~comm ~seed =
+  if islands = 0 then case.Bench_case.default_vi
+  else if comm then
+    Noc_benchmarks.Partitions.communication_based ~seed ~islands
+      ~always_on_cores:case.Bench_case.always_on_cores case.Bench_case.soc
+  else if case.Bench_case.name = "d26" then
+    Noc_benchmarks.D26.logical_partition ~islands
+  else begin
+    Printf.eprintf
+      "logical partitionings at custom island counts exist only for d26; \
+       use --comm\n";
+    exit 2
+  end
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun case ->
+        Printf.printf "%-6s %2d cores %3d flows  %d islands  %s\n"
+          case.Bench_case.name
+          (Noc_spec.Soc_spec.core_count case.Bench_case.soc)
+          (List.length case.Bench_case.soc.Noc_spec.Soc_spec.flows)
+          case.Bench_case.default_vi.Noc_spec.Vi.islands
+          case.Bench_case.soc.Noc_spec.Soc_spec.name)
+      Bench_case.all
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the available benchmark SoCs.")
+    Term.(const run $ const ())
+
+(* --- synth --- *)
+
+let synth_run () bench spec islands comm seed alpha netlist dot =
+  let case = resolve_case bench spec in
+  let config = config_of alpha in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let best = Synth.best_power result in
+  Format.printf "%d candidates tried, %d feasible@."
+    result.Synth.candidates_tried result.Synth.candidates_feasible;
+  Format.printf "%a@." DP.pp_summary best;
+  (match Noc_synthesis.Shutdown.check_topology vi best.DP.topology with
+   | Ok () -> Format.printf "shutdown-safety invariant: OK@."
+   | Error v ->
+     Format.printf "shutdown-safety VIOLATED at switch %d (island %d)@."
+       v.Noc_synthesis.Shutdown.v_switch v.Noc_synthesis.Shutdown.v_island);
+  if netlist then
+    Format.printf "%a@." Noc_synthesis.Topology.pp_netlist best.DP.topology;
+  if dot then
+    print_string
+      (Noc_synthesis.Topology.to_dot best.DP.topology ~core_name:(fun c ->
+           case.Bench_case.soc.Noc_spec.Soc_spec.cores.(c).Noc_spec.Core_spec.name))
+
+let synth_cmd =
+  let netlist =
+    Arg.(value & flag & info [ "netlist" ] ~doc:"Print the full netlist.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the topology as Graphviz.")
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize a VI-aware NoC topology (Algorithm 1).")
+    Term.(
+      const synth_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg $ alpha_arg $ netlist $ dot)
+
+(* --- explore --- *)
+
+let explore_run () bench seed alpha =
+  let case = lookup_bench bench in
+  let config = config_of alpha in
+  let soc = case.Bench_case.soc in
+  let counts =
+    if case.Bench_case.name = "d26" then Noc_benchmarks.D26.logical_island_counts
+    else [ 1; 2; 3; 4; case.Bench_case.default_vi.Noc_spec.Vi.islands ]
+  in
+  Printf.printf "%-4s  %-26s  %-26s\n" "VIs" "logical dyn mW / latency"
+    "comm-based dyn mW / latency";
+  List.iter
+    (fun k ->
+      let describe vi =
+        match Synth.run ~seed config soc vi with
+        | r ->
+          let p = Synth.best_power r in
+          Printf.sprintf "%7.1f / %5.2f" (Power.dynamic_mw p.DP.power)
+            p.DP.avg_latency_cycles
+        | exception Synth.No_feasible_design _ -> "  infeasible"
+      in
+      let logical =
+        if case.Bench_case.name = "d26" then
+          describe (Noc_benchmarks.D26.logical_partition ~islands:k)
+        else if k = case.Bench_case.default_vi.Noc_spec.Vi.islands then
+          describe case.Bench_case.default_vi
+        else if k = 1 then
+          describe (Noc_spec.Vi.single_island ~cores:(Noc_spec.Soc_spec.core_count soc))
+        else "      -"
+      in
+      let comm =
+        describe
+          (Noc_benchmarks.Partitions.communication_based ~seed ~islands:k
+             ~always_on_cores:case.Bench_case.always_on_cores soc)
+      in
+      Printf.printf "%-4d  %-26s  %-26s\n%!" k logical comm)
+    counts
+
+let explore_cmd =
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Sweep island counts and print the Fig. 2 / Fig. 3 series.")
+    Term.(const explore_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+
+(* --- baseline --- *)
+
+let baseline_run () bench seed alpha =
+  let case = lookup_bench bench in
+  let config = config_of alpha in
+  let soc = case.Bench_case.soc in
+  let vi_result = Synth.run ~seed config soc case.Bench_case.default_vi in
+  let base_result = Noc_synthesis.Baseline.synthesize ~seed config soc in
+  let comparison =
+    Noc_synthesis.Baseline.compare_designs soc
+      ~vi_point:(Synth.best_power vi_result)
+      ~base_point:(Synth.best_power base_result)
+  in
+  Format.printf "%a@." Noc_synthesis.Baseline.pp_comparison comparison
+
+let baseline_cmd =
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:
+         "Compare against a VI-oblivious baseline: the paper's 3%-power / \
+          0.5%-area overhead numbers.")
+    Term.(const baseline_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+
+(* --- leakage --- *)
+
+let leakage_run () bench seed alpha =
+  let case = lookup_bench bench in
+  let config = config_of alpha in
+  let result = Synth.run ~seed config case.Bench_case.soc case.Bench_case.default_vi in
+  let best = Synth.best_power result in
+  let report =
+    Noc_synthesis.Shutdown.leakage_report config case.Bench_case.soc
+      case.Bench_case.default_vi best ~scenarios:case.Bench_case.scenarios
+  in
+  Format.printf "%a@." Noc_synthesis.Shutdown.pp_report report
+
+let leakage_cmd =
+  Cmd.v
+    (Cmd.info "leakage"
+       ~doc:"Per-scenario leakage savings enabled by island shutdown.")
+    Term.(const leakage_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+
+(* --- floorplan --- *)
+
+let floorplan_run () bench seed =
+  let case = lookup_bench bench in
+  let soc = case.Bench_case.soc in
+  let vi = case.Bench_case.default_vi in
+  let plan0 = Noc_floorplan.Placer.place soc vi in
+  let plan = Noc_floorplan.Anneal.improve ~seed soc vi plan0 in
+  let open Noc_floorplan in
+  Format.printf "die: %a@." Geometry.pp_rect plan.Placer.die;
+  (match plan.Placer.noc_channel with
+   | Some channel -> Format.printf "NoC channel: %a@." Geometry.pp_rect channel
+   | None -> ());
+  Array.iteri
+    (fun isl r -> Format.printf "VI%d: %a@." isl Geometry.pp_rect r)
+    plan.Placer.island_rects;
+  Array.iteri
+    (fun core r ->
+      Format.printf "  %-12s VI%d %a@."
+        soc.Noc_spec.Soc_spec.cores.(core).Noc_spec.Core_spec.name
+        vi.Noc_spec.Vi.of_core.(core) Geometry.pp_rect r)
+    plan.Placer.core_rects;
+  Format.printf "flow-weighted wirelength: %.0f MB/s*mm@."
+    (Placer.wirelength soc plan)
+
+let floorplan_cmd =
+  Cmd.v
+    (Cmd.info "floorplan" ~doc:"Place the benchmark's cores (VI-contiguous).")
+    Term.(const floorplan_run $ logs_term $ bench_arg $ seed_arg)
+
+(* --- simulate --- *)
+
+let simulate_run () bench seed load gate poisson =
+  let case = lookup_bench bench in
+  let config = Config.default in
+  let soc = case.Bench_case.soc in
+  let vi = case.Bench_case.default_vi in
+  let result = Synth.run ~seed config soc vi in
+  let best = Synth.best_power result in
+  let report =
+    if gate = [] then
+      Noc_sim.Sim.run_at_load ~seed ~load ~poisson soc vi best.DP.topology
+    else
+      Noc_sim.Sim.run_with_shutdown ~seed ~load ~gated:gate soc vi
+        best.DP.topology
+  in
+  Format.printf "%a@." Noc_sim.Stats.pp_report report
+
+let simulate_cmd =
+  let load =
+    Arg.(
+      value & opt float 0.3
+      & info [ "load" ] ~docv:"L"
+          ~doc:"Injection load on the busiest link (0..1].")
+  in
+  let gate =
+    Arg.(
+      value & opt (list int) []
+      & info [ "gate" ] ~docv:"ISLANDS"
+          ~doc:"Comma-separated islands to power-gate during the run.")
+  in
+  let poisson =
+    Arg.(value & flag & info [ "poisson" ] ~doc:"Poisson instead of CBR arrivals.")
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Drive the synthesized NoC with the discrete-event simulator.")
+    Term.(
+      const simulate_run $ logs_term $ bench_arg $ seed_arg $ load $ gate
+      $ poisson)
+
+(* --- report --- *)
+
+let report_run () bench spec islands comm seed =
+  let case = resolve_case bench spec in
+  let config = Config.default in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let best = Synth.best_power result in
+  let report = Noc_synthesis.Report.build case.Bench_case.soc vi best in
+  Format.printf "%a@."
+    (Noc_synthesis.Report.pp config case.Bench_case.soc)
+    report
+
+let report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Synthesize and print the implementation handoff report: every \
+          switch, NI, converter and link with its parameters.")
+    Term.(
+      const report_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg)
+
+(* --- verify --- *)
+
+let verify_run () bench spec islands comm seed alpha =
+  let case = resolve_case bench spec in
+  let config = config_of alpha in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let best = Synth.best_power result in
+  let violations =
+    Noc_synthesis.Verify.check config case.Bench_case.soc vi
+      best.DP.topology
+  in
+  Format.printf "%a@." Noc_synthesis.Verify.pp_report violations;
+  if violations <> [] then exit 1
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Synthesize, then re-derive and check every design rule (routes, \
+          bandwidth accounting, ports, capacity, latency, timing, shutdown \
+          safety) from scratch.")
+    Term.(
+      const verify_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg $ alpha_arg)
+
+(* --- export --- *)
+
+let export_run () bench spec islands comm seed out =
+  let case = resolve_case bench spec in
+  let config = Config.default in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let best = Synth.best_power result in
+  let svg_path = out ^ ".svg" in
+  Noc_synthesis.Viz.save_design_svg ~path:svg_path case.Bench_case.soc vi
+    result.Synth.plan best.DP.topology;
+  let spec_path = out ^ ".spec" in
+  Noc_spec.Spec_io.save spec_path
+    {
+      Noc_spec.Spec_io.soc = case.Bench_case.soc;
+      vi = Some vi;
+      scenarios = case.Bench_case.scenarios;
+    };
+  let dot_path = out ^ ".dot" in
+  let oc = open_out dot_path in
+  output_string oc
+    (Noc_synthesis.Topology.to_dot best.DP.topology ~core_name:(fun c ->
+         case.Bench_case.soc.Noc_spec.Soc_spec.cores.(c).Noc_spec.Core_spec.name));
+  close_out oc;
+  Printf.printf "wrote %s, %s and %s\n" svg_path spec_path dot_path
+
+let export_cmd =
+  let out =
+    Arg.(
+      value & opt string "noc_design"
+      & info [ "o"; "output" ] ~docv:"BASENAME"
+          ~doc:"Basename for the .svg, .spec and .dot outputs.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Synthesize and export the design: floorplan+NoC SVG, spec bundle, \
+          Graphviz topology.")
+    Term.(
+      const export_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg $ out)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "noc_synth" ~version:"1.0.0"
+       ~doc:
+         "Application-specific NoC topology synthesis with voltage-island \
+          shutdown support (Seiculescu et al., DAC 2009).")
+    [
+      list_cmd; synth_cmd; explore_cmd; baseline_cmd; leakage_cmd;
+      floorplan_cmd; simulate_cmd; verify_cmd; export_cmd; report_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_spec.ml: Filename Format Noc_spec Noc_synthesis Printf

@@ -1,0 +1,1 @@
+examples/design_space.ml: List Noc_benchmarks Noc_models Noc_synthesis Printf

@@ -1,0 +1,1 @@
+examples/mobile_soc.ml: Array Format List Noc_benchmarks Noc_floorplan Noc_models Noc_synthesis Printf

@@ -1,0 +1,1 @@
+examples/shutdown_sim.ml: Array Float List Noc_benchmarks Noc_sim Noc_spec Noc_synthesis Printf String

@@ -1,0 +1,1 @@
+examples/shutdown_sim.mli:

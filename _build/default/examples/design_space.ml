@@ -1,0 +1,53 @@
+(* Design-space exploration (paper §3.2): the synthesis emits many feasible
+   design points with different switch counts; the designer picks from the
+   power/latency trade-off curve.  Also runs the alpha ablation (Definition
+   1's bandwidth/latency weight).
+
+   Run with: dune exec examples/design_space.exe *)
+
+module Synth = Noc_synthesis.Synth
+module Explore = Noc_synthesis.Explore
+module DP = Noc_synthesis.Design_point
+module Power = Noc_models.Power
+module D26 = Noc_benchmarks.D26
+
+let () =
+  let soc = D26.soc in
+  let vi = D26.logical_partition ~islands:6 in
+  let config = Noc_synthesis.Config.default in
+  let result = Synth.run config soc vi in
+
+  Printf.printf "all %d feasible design points (6-VI logical):\n"
+    (List.length result.Synth.points);
+  Printf.printf "%-10s %-9s %-10s %-8s %s\n" "switches" "indirect" "power mW"
+    "latency" "crossings";
+  List.iter
+    (fun p ->
+      Printf.printf "%-10d %-9d %-10.1f %-8.2f %d\n" p.DP.switch_count
+        p.DP.indirect_count
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles p.DP.crossing_count)
+    result.Synth.points;
+
+  let front = Explore.pareto result.Synth.points in
+  Printf.printf "\nPareto front (%d of %d points):\n" (List.length front)
+    (List.length result.Synth.points);
+  List.iter
+    (fun p ->
+      Printf.printf "  %2d+%d switches: %7.1f mW, %5.2f cycles\n"
+        p.DP.switch_count p.DP.indirect_count
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles)
+    front;
+
+  print_endline "\nalpha ablation (Definition 1 weight):";
+  let sweep =
+    Explore.alpha_sweep config soc vi ~alphas:[ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+  in
+  List.iter
+    (fun (alpha, p) ->
+      Printf.printf "  alpha=%.2f -> %7.1f mW, %5.2f cycles, worst slack %d\n"
+        alpha
+        (Power.total_mw p.DP.power)
+        p.DP.avg_latency_cycles p.DP.worst_latency_slack)
+    sweep

@@ -1,0 +1,65 @@
+(* The paper's case study end-to-end on the 26-core mobile SoC: island-count
+   exploration (Figs. 2/3), the 6-VI topology (Fig. 4), the floorplan
+   (Fig. 5) and the shutdown leakage analysis.
+
+   Run with: dune exec examples/mobile_soc.exe *)
+
+module Synth = Noc_synthesis.Synth
+module DP = Noc_synthesis.Design_point
+module Power = Noc_models.Power
+module D26 = Noc_benchmarks.D26
+
+let config = Noc_synthesis.Config.default
+let soc = D26.soc
+
+let sweep () =
+  print_endline "== island count vs NoC dynamic power and zero-load latency ==";
+  Printf.printf "%-4s  %-18s  %-18s\n" "VIs" "logical" "comm-based";
+  let describe vi =
+    match Synth.run config soc vi with
+    | r ->
+      let p = Synth.best_power r in
+      Printf.sprintf "%6.1f mW %5.2f cy" (Power.dynamic_mw p.DP.power)
+        p.DP.avg_latency_cycles
+    | exception Synth.No_feasible_design _ -> "infeasible"
+  in
+  List.iter
+    (fun k ->
+      let logical = describe (D26.logical_partition ~islands:k) in
+      let comm =
+        describe
+          (Noc_benchmarks.Partitions.communication_based ~islands:k
+             ~always_on_cores:D26.shared_memory_cores soc)
+      in
+      Printf.printf "%-4d  %-18s  %-18s\n%!" k logical comm)
+    D26.logical_island_counts
+
+let topology_and_floorplan () =
+  print_endline "\n== the 6-VI logical design (paper Figs. 4 and 5) ==";
+  let vi = D26.logical_partition ~islands:6 in
+  let result = Synth.run config soc vi in
+  let best = Synth.best_power result in
+  Format.printf "%a@." Noc_synthesis.Topology.pp_netlist best.DP.topology;
+  let plan = result.Synth.plan in
+  Format.printf "@.die %a, NoC channel %s@."
+    Noc_floorplan.Geometry.pp_rect plan.Noc_floorplan.Placer.die
+    (match plan.Noc_floorplan.Placer.noc_channel with
+     | Some c -> Format.asprintf "%a" Noc_floorplan.Geometry.pp_rect c
+     | None -> "none");
+  Array.iteri
+    (fun isl r ->
+      Format.printf "VI%d region %a@." isl Noc_floorplan.Geometry.pp_rect r)
+    plan.Noc_floorplan.Placer.island_rects;
+  (best, vi)
+
+let leakage (best, vi) =
+  print_endline "\n== shutdown leakage analysis over usage scenarios ==";
+  let report =
+    Noc_synthesis.Shutdown.leakage_report config soc vi best
+      ~scenarios:D26.scenarios
+  in
+  Format.printf "%a@." Noc_synthesis.Shutdown.pp_report report
+
+let () =
+  sweep ();
+  leakage (topology_and_floorplan ())

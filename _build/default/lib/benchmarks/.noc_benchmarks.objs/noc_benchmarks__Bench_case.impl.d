@@ -1,0 +1,1 @@
+lib/benchmarks/bench_case.ml: D12 D16 D20 D26 D36 D48 List Noc_spec String

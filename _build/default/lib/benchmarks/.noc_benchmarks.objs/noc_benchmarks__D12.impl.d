@@ -1,0 +1,1 @@
+lib/benchmarks/d12.ml: Array Noc_spec Recipe

@@ -1,0 +1,1 @@
+lib/benchmarks/d12.mli: Noc_spec

@@ -1,0 +1,1 @@
+lib/benchmarks/d16.ml: Array Noc_spec Recipe

@@ -1,0 +1,1 @@
+lib/benchmarks/d16.mli: Noc_spec

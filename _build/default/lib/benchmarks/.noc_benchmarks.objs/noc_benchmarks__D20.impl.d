@@ -1,0 +1,1 @@
+lib/benchmarks/d20.ml: Array Noc_spec Recipe

@@ -1,0 +1,1 @@
+lib/benchmarks/d20.mli: Noc_spec

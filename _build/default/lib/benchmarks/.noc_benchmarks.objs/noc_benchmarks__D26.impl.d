@@ -1,0 +1,1 @@
+lib/benchmarks/d26.ml: Array List Noc_spec Printf Recipe

@@ -1,0 +1,1 @@
+lib/benchmarks/d26.mli: Noc_spec

@@ -1,0 +1,1 @@
+lib/benchmarks/d48.ml: Array List Noc_spec Printf Recipe

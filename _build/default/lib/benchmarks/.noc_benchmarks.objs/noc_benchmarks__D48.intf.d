@@ -1,0 +1,1 @@
+lib/benchmarks/d48.mli: Noc_spec

@@ -1,0 +1,1 @@
+lib/benchmarks/partitions.ml: Array Float List Noc_graph Noc_partition Noc_spec Printf

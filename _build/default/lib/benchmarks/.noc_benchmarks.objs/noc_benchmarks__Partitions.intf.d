@@ -1,0 +1,1 @@
+lib/benchmarks/partitions.mli: Noc_spec

@@ -1,0 +1,1 @@
+lib/benchmarks/recipe.ml: Float Hashtbl List Noc_spec

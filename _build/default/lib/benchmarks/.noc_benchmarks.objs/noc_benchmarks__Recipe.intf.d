@@ -1,0 +1,1 @@
+lib/benchmarks/recipe.mli: Noc_spec

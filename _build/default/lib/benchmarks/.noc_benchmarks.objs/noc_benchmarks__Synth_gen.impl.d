@@ -1,0 +1,1 @@
+lib/benchmarks/synth_gen.ml: Array Float Hashtbl List Noc_spec Printf Random Recipe

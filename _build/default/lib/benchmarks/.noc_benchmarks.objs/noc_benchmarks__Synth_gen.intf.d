@@ -1,0 +1,1 @@
+lib/benchmarks/synth_gen.mli: Noc_spec

@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  soc : Noc_spec.Soc_spec.t;
+  default_vi : Noc_spec.Vi.t;
+  scenarios : Noc_spec.Scenario.t list;
+  always_on_cores : int list;
+}
+
+let all =
+  [
+    {
+      name = "d12";
+      soc = D12.soc;
+      default_vi = D12.default_vi;
+      scenarios = D12.scenarios;
+      always_on_cores = [ 0; 1; 2; 3 ];
+    };
+    {
+      name = "d16";
+      soc = D16.soc;
+      default_vi = D16.default_vi;
+      scenarios = D16.scenarios;
+      always_on_cores = [ 0; 1; 2; 3 ];
+    };
+    {
+      name = "d20";
+      soc = D20.soc;
+      default_vi = D20.default_vi;
+      scenarios = D20.scenarios;
+      always_on_cores = [ 0; 1; 2; 3; 4 ];
+    };
+    {
+      name = "d26";
+      soc = D26.soc;
+      default_vi = D26.logical_partition ~islands:6;
+      scenarios = D26.scenarios;
+      always_on_cores = D26.shared_memory_cores;
+    };
+    {
+      name = "d36";
+      soc = D36.soc;
+      default_vi = D36.default_vi;
+      scenarios = D36.scenarios;
+      always_on_cores = [ 6; 7; 8; 9; 10 ];
+    };
+    {
+      name = "d48";
+      soc = D48.soc;
+      default_vi = D48.default_vi;
+      scenarios = D48.scenarios;
+      always_on_cores = [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ];
+    };
+  ]
+
+let names = List.map (fun c -> c.name) all
+
+let find name =
+  let wanted = String.lowercase_ascii name in
+  List.find (fun c -> c.name = wanted) all

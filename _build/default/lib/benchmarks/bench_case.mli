@@ -1,0 +1,19 @@
+(** Uniform view over all benchmark SoCs — what the §5 "variety of SoC
+    benchmarks" table iterates over. *)
+
+type t = {
+  name : string;
+  soc : Noc_spec.Soc_spec.t;
+  default_vi : Noc_spec.Vi.t;      (** the designer's logical partitioning *)
+  scenarios : Noc_spec.Scenario.t list;
+  always_on_cores : int list;      (** shared-memory cores, pinned always-on *)
+}
+
+val all : t list
+(** d12, d16, d20, d26, d36, d48 — increasing size. *)
+
+val find : string -> t
+(** Lookup by name ("d26", case-insensitive).
+    @raise Not_found for unknown names. *)
+
+val names : string list

@@ -1,0 +1,70 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Flow = Noc_spec.Flow
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let cores =
+  [|
+    core 0 "host_cpu" Core_spec.Processor 2.0 500.0 110.0;
+    core 1 "l2" Core_spec.Cache 1.6 500.0 40.0;
+    core 2 "sdram_ctrl" Core_spec.Memory 1.4 400.0 55.0;
+    core 3 "sram" Core_spec.Memory 0.9 400.0 18.0;
+    core 4 "ts_demux" Core_spec.Accelerator 0.8 300.0 35.0;
+    core 5 "audio_dec" Core_spec.Dsp 0.9 250.0 30.0;
+    core 6 "video_dec" Core_spec.Accelerator 1.6 350.0 85.0;
+    core 7 "scaler" Core_spec.Accelerator 1.1 300.0 55.0;
+    core 8 "display_out" Core_spec.Io 0.8 250.0 35.0;
+    core 9 "disk_if" Core_spec.Io 0.7 250.0 25.0;
+    core 10 "eth_mac" Core_spec.Io 0.6 250.0 22.0;
+    core 11 "uart_panel" Core_spec.Peripheral 0.3 100.0 6.0;
+  |]
+
+let flows =
+  Recipe.merge
+    [
+      Recipe.pair ~src:0 ~dst:1 ~bw:1100.0 ~back:800.0 ~lat:10 ();
+      Recipe.pair ~src:1 ~dst:2 ~bw:550.0 ~back:700.0 ~lat:12 ();
+      Recipe.pair ~src:0 ~dst:3 ~bw:200.0 ~back:250.0 ~lat:14 ();
+      (* stream path: inputs -> demux -> decoders -> memory *)
+      [ Flow.make ~src:9 ~dst:4 ~bw:180.0 ~lat:24 ];
+      [ Flow.make ~src:10 ~dst:4 ~bw:120.0 ~lat:24 ];
+      [ Flow.make ~src:4 ~dst:6 ~bw:220.0 ~lat:16 ];
+      [ Flow.make ~src:4 ~dst:5 ~bw:60.0 ~lat:16 ];
+      Recipe.pair ~src:6 ~dst:2 ~bw:600.0 ~back:750.0 ~lat:14 ();
+      [ Flow.make ~src:5 ~dst:2 ~bw:90.0 ~lat:24 ];
+      (* display path: memory -> scaler -> display *)
+      Recipe.pipeline ~stages:[ 2; 7; 8 ] ~bw:700.0 ~taper:1.15 ~lat:16 ();
+      [ Flow.make ~src:7 ~dst:2 ~bw:300.0 ~lat:20 ];
+      (* disk/network against memory *)
+      Recipe.pair ~src:9 ~dst:2 ~bw:250.0 ~back:250.0 ~lat:28 ();
+      Recipe.pair ~src:10 ~dst:2 ~bw:200.0 ~back:200.0 ~lat:28 ();
+      Recipe.control_fanout ~master:0 ~slaves:[ 4; 5; 6; 7; 8; 9; 10; 11 ]
+        ~bw:20.0 ~lat:80;
+    ]
+
+let soc = Soc_spec.make ~name:"D12-settop" ~cores ~flows ()
+
+let default_vi =
+  Vi.make ~islands:4
+    ~of_core:[| 0; 0; 0; 0; 1; 1; 1; 2; 2; 3; 3; 3 |]
+    ~shutdownable:[| false; true; true; true |]
+    ()
+
+let scenarios =
+  [
+    Scenario.make ~name:"standby" ~used:[ 0; 2; 3; 11 ]
+      ~cores:(Array.length cores) ~duty:0.4;
+    Scenario.make ~name:"live_tv"
+      ~used:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 10 ]
+      ~cores:(Array.length cores) ~duty:0.3;
+    Scenario.make ~name:"recording"
+      ~used:[ 0; 1; 2; 3; 4; 9; 10 ]
+      ~cores:(Array.length cores) ~duty:0.15;
+  ]

@@ -1,0 +1,14 @@
+(** 12-core digital set-top-box SoC: transport-stream demux feeding audio
+    and video decoders, a scaler/compositor into the display path, with
+    disk and network interfaces on the memory system.
+
+    Core map: 0 host CPU, 1 L2, 2 SDRAM controller, 3 SRAM,
+    4 TS demux, 5 audio decoder, 6 video decoder, 7 scaler,
+    8 display out, 9 disk interface, 10 ethernet MAC, 11 UART/front panel. *)
+
+val soc : Noc_spec.Soc_spec.t
+val default_vi : Noc_spec.Vi.t
+(** 4 islands: host+memories (always-on), stream decode, display path,
+    I/O. *)
+
+val scenarios : Noc_spec.Scenario.t list

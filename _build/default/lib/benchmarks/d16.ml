@@ -1,0 +1,80 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Flow = Noc_spec.Flow
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let cores =
+  [|
+    core 0 "host_cpu" Core_spec.Processor 2.1 500.0 115.0;
+    core 1 "l2" Core_spec.Cache 1.7 500.0 42.0;
+    core 2 "ddr_ctrl" Core_spec.Memory 1.6 450.0 65.0;
+    core 3 "sram" Core_spec.Memory 1.0 450.0 20.0;
+    core 4 "tuner0" Core_spec.Io 0.7 200.0 28.0;
+    core 5 "tuner1" Core_spec.Io 0.7 200.0 28.0;
+    core 6 "vdec_main" Core_spec.Accelerator 1.8 350.0 90.0;
+    core 7 "vdec_pip" Core_spec.Accelerator 1.2 300.0 55.0;
+    core 8 "deinterlacer" Core_spec.Accelerator 1.3 350.0 60.0;
+    core 9 "pict_improve" Core_spec.Accelerator 1.5 350.0 75.0;
+    core 10 "osd" Core_spec.Accelerator 0.8 250.0 30.0;
+    core 11 "blender" Core_spec.Accelerator 0.9 300.0 40.0;
+    core 12 "panel_out" Core_spec.Io 0.9 300.0 45.0;
+    core 13 "audio_dsp" Core_spec.Dsp 0.9 250.0 32.0;
+    core 14 "audio_out" Core_spec.Io 0.4 150.0 10.0;
+    core 15 "service" Core_spec.Peripheral 0.4 100.0 8.0;
+  |]
+
+let flows =
+  Recipe.merge
+    [
+      Recipe.pair ~src:0 ~dst:1 ~bw:1200.0 ~back:900.0 ~lat:10 ();
+      Recipe.pair ~src:1 ~dst:2 ~bw:600.0 ~back:800.0 ~lat:12 ();
+      Recipe.pair ~src:0 ~dst:3 ~bw:180.0 ~back:220.0 ~lat:14 ();
+      (* two transport streams into the decoders *)
+      [ Flow.make ~src:4 ~dst:6 ~bw:200.0 ~lat:18 ];
+      [ Flow.make ~src:5 ~dst:7 ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:4 ~dst:13 ~bw:40.0 ~lat:24 ];
+      (* decoders work against DDR *)
+      Recipe.pair ~src:6 ~dst:2 ~bw:700.0 ~back:850.0 ~lat:14 ();
+      Recipe.pair ~src:7 ~dst:2 ~bw:350.0 ~back:420.0 ~lat:16 ();
+      (* picture path: DDR -> deinterlace -> improve -> blend -> panel *)
+      Recipe.pipeline ~stages:[ 2; 8; 9; 11; 12 ] ~bw:850.0 ~taper:1.05
+        ~lat:16 ();
+      [ Flow.make ~src:8 ~dst:2 ~bw:400.0 ~lat:20 ];
+      [ Flow.make ~src:9 ~dst:2 ~bw:350.0 ~lat:20 ];
+      [ Flow.make ~src:10 ~dst:11 ~bw:250.0 ~lat:18 ];
+      [ Flow.make ~src:2 ~dst:10 ~bw:180.0 ~lat:22 ];
+      [ Flow.make ~src:7 ~dst:11 ~bw:200.0 ~lat:18 ];
+      (* audio *)
+      Recipe.pair ~src:13 ~dst:14 ~bw:60.0 ~back:30.0 ~lat:30 ();
+      [ Flow.make ~src:2 ~dst:13 ~bw:90.0 ~lat:28 ];
+      Recipe.control_fanout ~master:0
+        ~slaves:[ 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 15 ]
+        ~bw:22.0 ~lat:80;
+    ]
+
+let soc = Soc_spec.make ~name:"D16-tv" ~cores ~flows ()
+
+let default_vi =
+  Vi.make ~islands:5
+    ~of_core:[| 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 3; 3; 3; 4; 4; 4 |]
+    ~shutdownable:[| false; true; true; true; true |]
+    ()
+
+let scenarios =
+  [
+    Scenario.make ~name:"standby" ~used:[ 0; 2; 3; 15 ]
+      ~cores:(Array.length cores) ~duty:0.45;
+    Scenario.make ~name:"single_channel"
+      ~used:[ 0; 1; 2; 3; 4; 6; 8; 9; 10; 11; 12; 13; 14 ]
+      ~cores:(Array.length cores) ~duty:0.35;
+    Scenario.make ~name:"radio_mode"
+      ~used:[ 0; 2; 3; 4; 13; 14; 15 ]
+      ~cores:(Array.length cores) ~duty:0.10;
+  ]

@@ -1,0 +1,15 @@
+(** 16-core digital-TV processor: two concurrent video pipes (main + PiP),
+    motion-compensated picture improvement, OSD blending, dual tuner
+    front-ends.
+
+    Core map: 0 host CPU, 1 L2, 2 DDR controller, 3 SRAM,
+    4–5 tuner/demod front-ends, 6 main video decoder, 7 PiP decoder,
+    8 deinterlacer, 9 picture improvement, 10 OSD engine, 11 blender,
+    12 panel output, 13 audio DSP, 14 audio out, 15 service peripheral. *)
+
+val soc : Noc_spec.Soc_spec.t
+val default_vi : Noc_spec.Vi.t
+(** 5 islands: host+memory (always-on), front-ends, decode, picture path,
+    audio+service. *)
+
+val scenarios : Noc_spec.Scenario.t list

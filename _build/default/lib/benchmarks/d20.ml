@@ -1,0 +1,90 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Flow = Noc_spec.Flow
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let cores =
+  [|
+    core 0 "ctrl_cpu" Core_spec.Processor 1.9 450.0 100.0;
+    core 1 "l2" Core_spec.Cache 1.5 450.0 38.0;
+    core 2 "ddr_ctrl" Core_spec.Memory 1.5 400.0 58.0;
+    core 3 "sram_a" Core_spec.Memory 1.0 400.0 20.0;
+    core 4 "sram_b" Core_spec.Memory 1.0 400.0 20.0;
+    core 5 "dsp0" Core_spec.Dsp 1.5 400.0 78.0;
+    core 6 "dsp0_mem" Core_spec.Memory 1.1 400.0 22.0;
+    core 7 "dsp1" Core_spec.Dsp 1.5 400.0 78.0;
+    core 8 "dsp1_mem" Core_spec.Memory 1.1 400.0 22.0;
+    core 9 "dsp2" Core_spec.Dsp 1.5 400.0 78.0;
+    core 10 "dsp2_mem" Core_spec.Memory 1.1 400.0 22.0;
+    core 11 "dsp3" Core_spec.Dsp 1.5 400.0 78.0;
+    core 12 "dsp3_mem" Core_spec.Memory 1.1 400.0 22.0;
+    core 13 "fec" Core_spec.Accelerator 1.2 350.0 60.0;
+    core 14 "framer0" Core_spec.Accelerator 0.8 300.0 35.0;
+    core 15 "framer1" Core_spec.Accelerator 0.8 300.0 35.0;
+    core 16 "line_if0" Core_spec.Io 0.6 250.0 24.0;
+    core 17 "line_if1" Core_spec.Io 0.6 250.0 24.0;
+    core 18 "timer_sync" Core_spec.Peripheral 0.3 100.0 7.0;
+    core 19 "maint_uart" Core_spec.Peripheral 0.3 100.0 6.0;
+  |]
+
+let dsp_cluster ~dsp ~mem ~sram =
+  Recipe.merge
+    [
+      Recipe.pair ~src:dsp ~dst:mem ~bw:750.0 ~back:750.0 ~lat:10 ();
+      Recipe.pair ~src:dsp ~dst:sram ~bw:220.0 ~back:220.0 ~lat:16 ();
+      Recipe.pair ~src:dsp ~dst:2 ~bw:120.0 ~back:160.0 ~lat:22 ();
+      [ Flow.make ~src:dsp ~dst:13 ~bw:180.0 ~lat:18 ];
+    ]
+
+let flows =
+  Recipe.merge
+    [
+      Recipe.pair ~src:0 ~dst:1 ~bw:1000.0 ~back:750.0 ~lat:10 ();
+      Recipe.pair ~src:1 ~dst:2 ~bw:500.0 ~back:650.0 ~lat:12 ();
+      dsp_cluster ~dsp:5 ~mem:6 ~sram:3;
+      dsp_cluster ~dsp:7 ~mem:8 ~sram:3;
+      dsp_cluster ~dsp:9 ~mem:10 ~sram:4;
+      dsp_cluster ~dsp:11 ~mem:12 ~sram:4;
+      (* FEC output feeds the framers, framers feed the line interfaces *)
+      [ Flow.make ~src:13 ~dst:14 ~bw:300.0 ~lat:16 ];
+      [ Flow.make ~src:13 ~dst:15 ~bw:300.0 ~lat:16 ];
+      Recipe.pair ~src:14 ~dst:16 ~bw:280.0 ~back:260.0 ~lat:14 ();
+      Recipe.pair ~src:15 ~dst:17 ~bw:280.0 ~back:260.0 ~lat:14 ();
+      (* receive direction back through FEC to the DSP scratchpads *)
+      [ Flow.make ~src:13 ~dst:6 ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:13 ~dst:8 ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:13 ~dst:10 ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:13 ~dst:12 ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:2 ~dst:13 ~bw:200.0 ~lat:20 ];
+      Recipe.control_fanout ~master:0
+        ~slaves:[ 5; 7; 9; 11; 13; 14; 15; 16; 17; 18; 19 ]
+        ~bw:18.0 ~lat:80;
+      [ Flow.make ~src:18 ~dst:0 ~bw:15.0 ~lat:60 ];
+    ]
+
+let soc = Soc_spec.make ~name:"D20-telecom" ~cores ~flows ()
+
+let default_vi =
+  Vi.make ~islands:6
+    ~of_core:[| 0; 0; 0; 0; 0; 1; 1; 2; 2; 3; 3; 4; 4; 5; 5; 5; 5; 5; 0; 0 |]
+    ~shutdownable:[| false; true; true; true; true; true |]
+    ()
+
+let scenarios =
+  [
+    Scenario.make ~name:"low_traffic"
+      ~used:[ 0; 1; 2; 3; 5; 6; 13; 14; 16; 18 ]
+      ~cores:(Array.length cores) ~duty:0.40;
+    Scenario.make ~name:"half_load"
+      ~used:[ 0; 1; 2; 3; 4; 5; 6; 7; 8; 13; 14; 15; 16; 17; 18 ]
+      ~cores:(Array.length cores) ~duty:0.30;
+    Scenario.make ~name:"maintenance" ~used:[ 0; 1; 2; 18; 19 ]
+      ~cores:(Array.length cores) ~duty:0.10;
+  ]

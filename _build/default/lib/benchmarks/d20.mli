@@ -1,0 +1,15 @@
+(** 20-core baseband/telecom SoC: four DSP clusters (DSP + scratchpad)
+    around a shared memory system, packet framers towards two line
+    interfaces, and a control processor.
+
+    Core map: 0 control CPU, 1 L2, 2 shared DDR, 3–4 shared SRAM banks,
+    5/6, 7/8, 9/10, 11/12 DSP+scratchpad clusters, 13 FEC engine,
+    14 framer0, 15 framer1, 16 line_if0, 17 line_if1, 18 timer/sync,
+    19 maintenance UART. *)
+
+val soc : Noc_spec.Soc_spec.t
+val default_vi : Noc_spec.Vi.t
+(** 6 islands: control+memory (always-on), the four DSP clusters (pairs),
+    and line I/O. *)
+
+val scenarios : Noc_spec.Scenario.t list

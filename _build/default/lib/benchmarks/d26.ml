@@ -1,0 +1,207 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let cores =
+  [|
+    core 0 "arm_cpu0" Core_spec.Processor 2.2 550.0 120.0;
+    core 1 "arm_cpu1" Core_spec.Processor 2.2 550.0 120.0;
+    core 2 "l2_cache0" Core_spec.Cache 1.8 550.0 45.0;
+    core 3 "l2_cache1" Core_spec.Cache 1.8 550.0 45.0;
+    core 4 "dsp0" Core_spec.Dsp 1.6 450.0 85.0;
+    core 5 "dsp1" Core_spec.Dsp 1.6 450.0 85.0;
+    core 6 "dsp_mem0" Core_spec.Memory 1.2 450.0 25.0;
+    core 7 "dsp_mem1" Core_spec.Memory 1.2 450.0 25.0;
+    core 8 "sdram_ctrl" Core_spec.Memory 1.5 400.0 60.0;
+    core 9 "sram0" Core_spec.Memory 1.0 400.0 20.0;
+    core 10 "sram1" Core_spec.Memory 1.0 400.0 20.0;
+    core 11 "dma" Core_spec.Dma 0.8 400.0 35.0;
+    core 12 "vdec_fe" Core_spec.Accelerator 1.4 300.0 70.0;
+    core 13 "vdec_be" Core_spec.Accelerator 1.4 300.0 70.0;
+    core 14 "venc" Core_spec.Accelerator 1.5 300.0 75.0;
+    core 15 "disp_ctrl" Core_spec.Accelerator 1.0 250.0 40.0;
+    core 16 "camera_if" Core_spec.Io 0.7 250.0 30.0;
+    core 17 "img_proc" Core_spec.Accelerator 1.3 300.0 65.0;
+    core 18 "modem_dsp" Core_spec.Dsp 1.7 400.0 80.0;
+    core 19 "modem_mem" Core_spec.Memory 0.9 400.0 18.0;
+    core 20 "radio_if" Core_spec.Io 0.6 250.0 25.0;
+    core 21 "audio_dsp" Core_spec.Dsp 0.9 250.0 35.0;
+    core 22 "audio_io" Core_spec.Io 0.4 150.0 12.0;
+    core 23 "usb_if" Core_spec.Io 0.5 250.0 20.0;
+    core 24 "uart_gpio" Core_spec.Peripheral 0.3 100.0 8.0;
+    core 25 "sec_acc" Core_spec.Accelerator 0.8 300.0 40.0;
+  |]
+
+let shared_memory_cores = [ 8; 9; 10; 11 ]
+
+(* Traffic: CPU/L2/SDRAM hierarchy, DSP scratchpad traffic, a video decode
+   pipeline into the display, a camera->imaging->encode chain, the modem
+   subsystem, audio, and low-rate control fan-out.  Bandwidths in MB/s,
+   latency constraints in NoC cycles (all >= 10: a single island crossing
+   costs 9 cycles zero-load, and the 26-island design point of Fig. 2 must
+   remain feasible). *)
+let flows =
+  Recipe.merge
+    [
+      (* CPU clusters against their L2s, L2 refills against SDRAM *)
+      Recipe.pair ~src:0 ~dst:2 ~bw:1400.0 ~back:1000.0 ~lat:10 ();
+      Recipe.pair ~src:1 ~dst:3 ~bw:1400.0 ~back:1000.0 ~lat:10 ();
+      Recipe.pair ~src:2 ~dst:8 ~bw:700.0 ~back:900.0 ~lat:12 ();
+      Recipe.pair ~src:3 ~dst:8 ~bw:700.0 ~back:900.0 ~lat:12 ();
+      Recipe.pair ~src:0 ~dst:9 ~bw:300.0 ~back:350.0 ~lat:12 ();
+      Recipe.pair ~src:1 ~dst:10 ~bw:300.0 ~back:350.0 ~lat:12 ();
+      (* DSPs on their scratchpads and the shared SRAMs *)
+      Recipe.pair ~src:4 ~dst:6 ~bw:800.0 ~back:800.0 ~lat:10 ();
+      Recipe.pair ~src:5 ~dst:7 ~bw:800.0 ~back:800.0 ~lat:10 ();
+      Recipe.pair ~src:4 ~dst:9 ~bw:250.0 ~back:250.0 ~lat:14 ();
+      Recipe.pair ~src:5 ~dst:10 ~bw:250.0 ~back:250.0 ~lat:14 ();
+      (* DMA moves blocks between the shared memories *)
+      Recipe.hub ~center:11 ~spokes:[ 8; 9; 10 ] ~to_hub:400.0 ~from_hub:400.0
+        ~lat:16;
+      [ Noc_spec.Flow.make ~src:11 ~dst:12 ~bw:200.0 ~lat:20 ];
+      (* video decode: SDRAM -> front end -> back end -> display *)
+      Recipe.pipeline ~stages:[ 8; 12; 13; 15 ] ~bw:600.0 ~taper:1.25 ~lat:20 ();
+      [ Noc_spec.Flow.make ~src:13 ~dst:8 ~bw:350.0 ~lat:24 ];
+      [ Noc_spec.Flow.make ~src:8 ~dst:15 ~bw:400.0 ~lat:16 ];
+      (* camera record: camera -> imaging -> SDRAM / encoder *)
+      [ Noc_spec.Flow.make ~src:16 ~dst:17 ~bw:500.0 ~lat:20 ];
+      [ Noc_spec.Flow.make ~src:17 ~dst:8 ~bw:400.0 ~lat:24 ];
+      [ Noc_spec.Flow.make ~src:17 ~dst:14 ~bw:300.0 ~lat:20 ];
+      Recipe.pair ~src:8 ~dst:14 ~bw:450.0 ~back:250.0 ~lat:24 ();
+      (* modem subsystem *)
+      Recipe.pair ~src:20 ~dst:18 ~bw:250.0 ~back:250.0 ~lat:14 ();
+      Recipe.pair ~src:18 ~dst:19 ~bw:500.0 ~back:500.0 ~lat:10 ();
+      Recipe.pair ~src:18 ~dst:8 ~bw:200.0 ~back:150.0 ~lat:20 ();
+      [ Noc_spec.Flow.make ~src:18 ~dst:0 ~bw:60.0 ~lat:30 ];
+      (* audio *)
+      Recipe.pair ~src:21 ~dst:22 ~bw:60.0 ~back:60.0 ~lat:30 ();
+      [ Noc_spec.Flow.make ~src:8 ~dst:21 ~bw:80.0 ~lat:30 ];
+      [ Noc_spec.Flow.make ~src:18 ~dst:21 ~bw:60.0 ~lat:24 ];
+      (* crypto and USB against the memory system *)
+      Recipe.pair ~src:25 ~dst:8 ~bw:150.0 ~back:150.0 ~lat:30 ();
+      Recipe.pair ~src:23 ~dst:8 ~bw:200.0 ~back:200.0 ~lat:30 ();
+      (* control plane: cpu0 programs the accelerators and peripherals *)
+      Recipe.control_fanout ~master:0
+        ~slaves:[ 4; 5; 11; 12; 13; 14; 15; 16; 17; 18; 20; 21; 23; 24; 25 ]
+        ~bw:25.0 ~lat:80;
+      [ Noc_spec.Flow.make ~src:1 ~dst:24 ~bw:30.0 ~lat:80 ];
+    ]
+
+let soc = Soc_spec.make ~name:"D26-mobile" ~cores ~flows ()
+
+(* Functional groups used by the logical partitionings.  Logical
+   partitioning clusters cores of the same *function* — the paper's example
+   is the shared memories sharing a VI because they serve the same role and
+   run at the same voltage/frequency.  Function ignores traffic, so CPUs
+   land apart from their caches and DSPs apart from their scratchpads: the
+   high-bandwidth flows that then cross islands are precisely why logical
+   partitioning pays a power overhead in Fig. 2. *)
+let group_procs = [ 0; 1 ]
+let group_dsps = [ 4; 5; 18; 21 ]
+let group_caches = [ 2; 3 ]
+let group_localmem = [ 6; 7; 19 ]
+let group_mem = shared_memory_cores
+let group_video = [ 12; 13; 14; 15 ]
+let group_accel = [ 17; 25 ]
+let group_io = [ 16; 20; 22; 23; 24 ]
+
+let vi_of_groups groups ~always_on_of_group =
+  let islands = List.length groups in
+  let of_core = Array.make (Array.length cores) (-1) in
+  List.iteri
+    (fun isl members -> List.iter (fun c -> of_core.(c) <- isl) members)
+    groups;
+  let shutdownable =
+    Array.of_list (List.map (fun g -> not (always_on_of_group g)) groups)
+  in
+  Vi.make ~islands ~of_core ~shutdownable ()
+
+let contains_shared_memory group = List.exists (fun c -> List.mem c group_mem) group
+
+let logical_groups = function
+  | 1 ->
+    [ group_procs @ group_dsps @ group_caches @ group_localmem @ group_mem
+      @ group_video @ group_accel @ group_io ]
+  | 2 ->
+    (* host subsystem vs. media-and-IO *)
+    [
+      group_procs @ group_caches @ group_localmem @ group_mem @ group_dsps;
+      group_video @ group_accel @ group_io;
+    ]
+  | 3 ->
+    (* shared memories get their own (always-on) island *)
+    [
+      group_procs @ group_caches @ group_dsps @ group_localmem;
+      group_mem;
+      group_video @ group_accel @ group_io;
+    ]
+  | 4 ->
+    [
+      group_procs @ group_caches;
+      group_dsps @ group_localmem;
+      group_mem;
+      group_video @ group_accel @ group_io;
+    ]
+  | 5 ->
+    [
+      group_procs @ group_caches;
+      group_dsps @ group_localmem;
+      group_mem;
+      group_video @ group_accel;
+      group_io;
+    ]
+  | 6 ->
+    (* caches split away from the processors: same function, same clock *)
+    [
+      group_procs;
+      group_caches;
+      group_dsps @ group_localmem;
+      group_mem;
+      group_video @ group_accel;
+      group_io;
+    ]
+  | 7 ->
+    (* local memories split away from their DSPs too *)
+    [
+      group_procs;
+      group_caches;
+      group_dsps;
+      group_localmem;
+      group_mem;
+      group_video @ group_accel;
+      group_io;
+    ]
+  | 26 -> List.init 26 (fun c -> [ c ])
+  | n ->
+    invalid_arg
+      (Printf.sprintf "D26.logical_partition: unsupported island count %d" n)
+
+let logical_partition ~islands =
+  let groups = logical_groups islands in
+  (* the 1-island reference can never shut down; otherwise the island(s)
+     holding shared memories stay on *)
+  let always_on_of_group group =
+    islands = 1 || contains_shared_memory group
+  in
+  vi_of_groups groups ~always_on_of_group
+
+let logical_island_counts = [ 1; 2; 3; 4; 5; 6; 7; 26 ]
+
+let scenario name used duty =
+  Scenario.make ~name ~used ~cores:(Array.length cores) ~duty
+
+let scenarios =
+  [
+    scenario "idle_audio" [ 8; 9; 21; 22; 24 ] 0.35;
+    scenario "phone_call" [ 8; 9; 18; 19; 20; 21; 22 ] 0.20;
+    scenario "video_playback" [ 0; 2; 8; 9; 10; 11; 12; 13; 15; 21; 22 ] 0.15;
+    scenario "camera_record" [ 0; 2; 8; 10; 11; 14; 15; 16; 17 ] 0.10;
+    scenario "full_load" (List.init 26 (fun c -> c)) 0.10;
+  ]

@@ -1,0 +1,36 @@
+(** The 26-core mobile communication / multimedia SoC case study.
+
+    The paper's benchmark is a proprietary industrial design; this is a
+    synthetic reconstruction from its §5 description — "26 cores,
+    consisting of several processors, DSPs, caches, DMA controller,
+    integrated memory, video decoder engines and a multitude of peripheral
+    I/O ports" — with memory-hub-dominated traffic typical of such MPSoCs
+    (see DESIGN.md §2 for the substitution argument).
+
+    Core map:
+    0–1 ARM CPUs, 2–3 their L2 caches, 4–5 DSPs, 6–7 DSP scratchpads,
+    8 SDRAM controller, 9–10 on-chip SRAMs, 11 DMA controller
+    (8–11 form the always-on shared-memory subsystem),
+    12–13 video decoder front/back end, 14 video encoder,
+    15 display controller, 16 camera interface, 17 imaging processor,
+    18 modem DSP, 19 modem memory, 20 radio interface,
+    21 audio DSP, 22 audio I/O, 23 USB, 24 UART/GPIO, 25 crypto engine. *)
+
+val soc : Noc_spec.Soc_spec.t
+
+val shared_memory_cores : int list
+(** Cores 8–11: the shared-memory subsystem the paper keeps always-on. *)
+
+val logical_partition : islands:int -> Noc_spec.Vi.t
+(** The designer's functional grouping at a given island count — the
+    "logical partitioning" curve of Figs. 2/3.  Supported island counts:
+    1–7 and 26.  The island containing the shared memories is marked
+    non-shutdownable (paper §5).
+    @raise Invalid_argument on an unsupported count. *)
+
+val logical_island_counts : int list
+(** [1; 2; 3; 4; 5; 6; 7; 26] — the x-axis of Figs. 2 and 3. *)
+
+val scenarios : Noc_spec.Scenario.t list
+(** Usage scenarios (mode, active cores, duty cycle) for the shutdown
+    leakage analysis; duties sum below 1, the rest is full-power. *)

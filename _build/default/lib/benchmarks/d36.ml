@@ -1,0 +1,140 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Flow = Noc_spec.Flow
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let cores =
+  [|
+    core 0 "cpu0" Core_spec.Processor 2.4 600.0 130.0;
+    core 1 "cpu1" Core_spec.Processor 2.4 600.0 130.0;
+    core 2 "cpu2" Core_spec.Processor 2.4 600.0 130.0;
+    core 3 "cpu3" Core_spec.Processor 2.4 600.0 130.0;
+    core 4 "l2_bank0" Core_spec.Cache 2.0 600.0 50.0;
+    core 5 "l2_bank1" Core_spec.Cache 2.0 600.0 50.0;
+    core 6 "coherence" Core_spec.Dma 0.9 500.0 45.0;
+    core 7 "ddr0" Core_spec.Memory 1.6 450.0 70.0;
+    core 8 "ddr1" Core_spec.Memory 1.6 450.0 70.0;
+    core 9 "sram" Core_spec.Memory 1.0 450.0 20.0;
+    core 10 "dma" Core_spec.Dma 0.8 400.0 35.0;
+    core 11 "gpu_fe" Core_spec.Accelerator 1.2 400.0 65.0;
+    core 12 "shader0" Core_spec.Accelerator 2.2 400.0 120.0;
+    core 13 "shader1" Core_spec.Accelerator 2.2 400.0 120.0;
+    core 14 "gpu_cache" Core_spec.Cache 1.4 400.0 38.0;
+    core 15 "vdec" Core_spec.Accelerator 1.6 350.0 85.0;
+    core 16 "venc" Core_spec.Accelerator 1.6 350.0 85.0;
+    core 17 "isp" Core_spec.Accelerator 1.5 350.0 75.0;
+    core 18 "camera_if" Core_spec.Io 0.7 300.0 30.0;
+    core 19 "jpeg" Core_spec.Accelerator 0.9 300.0 40.0;
+    core 20 "disp_ctrl" Core_spec.Accelerator 1.1 350.0 50.0;
+    core 21 "hdmi" Core_spec.Io 0.7 300.0 30.0;
+    core 22 "rotator" Core_spec.Accelerator 0.8 300.0 35.0;
+    core 23 "modem_dsp" Core_spec.Dsp 1.8 400.0 85.0;
+    core 24 "modem_mem" Core_spec.Memory 1.0 400.0 20.0;
+    core 25 "rf_if" Core_spec.Io 0.6 250.0 24.0;
+    core 26 "audio_dsp" Core_spec.Dsp 0.9 250.0 35.0;
+    core 27 "audio_codec" Core_spec.Io 0.4 150.0 12.0;
+    core 28 "crypto" Core_spec.Accelerator 0.8 300.0 40.0;
+    core 29 "usb" Core_spec.Io 0.5 250.0 20.0;
+    core 30 "sdio" Core_spec.Io 0.5 250.0 18.0;
+    core 31 "nand" Core_spec.Memory 0.8 250.0 25.0;
+    core 32 "gps" Core_spec.Io 0.7 250.0 28.0;
+    core 33 "sensors" Core_spec.Peripheral 0.4 100.0 9.0;
+    core 34 "uart_gpio" Core_spec.Peripheral 0.3 100.0 8.0;
+    core 35 "power_ctrl" Core_spec.Peripheral 0.3 100.0 7.0;
+  |]
+
+let flows =
+  Recipe.merge
+    [
+      (* CPU cluster: each CPU hits both L2 banks through the coherence
+         agent; banks refill from the two DDR controllers *)
+      Recipe.pair ~src:0 ~dst:4 ~bw:900.0 ~back:700.0 ~lat:10 ();
+      Recipe.pair ~src:1 ~dst:4 ~bw:900.0 ~back:700.0 ~lat:10 ();
+      Recipe.pair ~src:2 ~dst:5 ~bw:900.0 ~back:700.0 ~lat:10 ();
+      Recipe.pair ~src:3 ~dst:5 ~bw:900.0 ~back:700.0 ~lat:10 ();
+      Recipe.pair ~src:4 ~dst:6 ~bw:500.0 ~back:500.0 ~lat:12 ();
+      Recipe.pair ~src:5 ~dst:6 ~bw:500.0 ~back:500.0 ~lat:12 ();
+      Recipe.pair ~src:6 ~dst:7 ~bw:600.0 ~back:750.0 ~lat:12 ();
+      Recipe.pair ~src:6 ~dst:8 ~bw:600.0 ~back:750.0 ~lat:12 ();
+      Recipe.pair ~src:0 ~dst:9 ~bw:150.0 ~back:180.0 ~lat:16 ();
+      (* GPU: front end dispatches to shaders, shaders hit the GPU cache,
+         cache misses to DDR1 *)
+      [ Flow.make ~src:11 ~dst:12 ~bw:450.0 ~lat:14 ];
+      [ Flow.make ~src:11 ~dst:13 ~bw:450.0 ~lat:14 ];
+      Recipe.pair ~src:12 ~dst:14 ~bw:800.0 ~back:650.0 ~lat:10 ();
+      Recipe.pair ~src:13 ~dst:14 ~bw:800.0 ~back:650.0 ~lat:10 ();
+      Recipe.pair ~src:14 ~dst:8 ~bw:700.0 ~back:850.0 ~lat:14 ();
+      [ Flow.make ~src:6 ~dst:11 ~bw:120.0 ~lat:20 ];
+      (* media: camera -> ISP -> (encoder, JPEG, DDR); decode to display *)
+      [ Flow.make ~src:18 ~dst:17 ~bw:550.0 ~lat:18 ];
+      [ Flow.make ~src:17 ~dst:16 ~bw:350.0 ~lat:20 ];
+      [ Flow.make ~src:17 ~dst:19 ~bw:150.0 ~lat:26 ];
+      Recipe.pair ~src:17 ~dst:7 ~bw:400.0 ~back:200.0 ~lat:22 ();
+      Recipe.pair ~src:15 ~dst:7 ~bw:600.0 ~back:700.0 ~lat:16 ();
+      Recipe.pair ~src:16 ~dst:7 ~bw:300.0 ~back:450.0 ~lat:20 ();
+      [ Flow.make ~src:19 ~dst:7 ~bw:120.0 ~lat:30 ];
+      (* display path *)
+      Recipe.pipeline ~stages:[ 7; 22; 20; 21 ] ~bw:750.0 ~taper:1.1 ~lat:16 ();
+      [ Flow.make ~src:15 ~dst:20 ~bw:400.0 ~lat:18 ];
+      (* modem + GPS *)
+      Recipe.pair ~src:25 ~dst:23 ~bw:280.0 ~back:280.0 ~lat:14 ();
+      Recipe.pair ~src:23 ~dst:24 ~bw:550.0 ~back:550.0 ~lat:10 ();
+      Recipe.pair ~src:23 ~dst:8 ~bw:220.0 ~back:180.0 ~lat:22 ();
+      [ Flow.make ~src:32 ~dst:23 ~bw:60.0 ~lat:30 ];
+      [ Flow.make ~src:23 ~dst:26 ~bw:60.0 ~lat:24 ];
+      (* audio *)
+      Recipe.pair ~src:26 ~dst:27 ~bw:70.0 ~back:70.0 ~lat:30 ();
+      [ Flow.make ~src:7 ~dst:26 ~bw:90.0 ~lat:30 ];
+      (* storage, USB, crypto against the memory system via DMA *)
+      Recipe.hub ~center:10 ~spokes:[ 7; 9; 31 ] ~to_hub:350.0 ~from_hub:350.0
+        ~lat:20;
+      Recipe.pair ~src:29 ~dst:7 ~bw:250.0 ~back:250.0 ~lat:28 ();
+      Recipe.pair ~src:30 ~dst:7 ~bw:180.0 ~back:180.0 ~lat:28 ();
+      Recipe.pair ~src:28 ~dst:9 ~bw:160.0 ~back:160.0 ~lat:28 ();
+      (* control plane *)
+      Recipe.control_fanout ~master:0
+        ~slaves:
+          [ 6; 10; 11; 15; 16; 17; 18; 19; 20; 22; 23; 25; 26; 28; 29; 30;
+            31; 32; 33; 34; 35 ]
+        ~bw:20.0 ~lat:90;
+      [ Flow.make ~src:35 ~dst:0 ~bw:12.0 ~lat:60 ];
+      [ Flow.make ~src:33 ~dst:0 ~bw:25.0 ~lat:60 ];
+    ]
+
+let soc = Soc_spec.make ~name:"D36-tablet" ~cores ~flows ()
+
+let default_vi =
+  (* 0 CPU, 1 memory (always-on), 2 GPU, 3 media, 4 display, 5 modem+gps,
+     6 audio+peripherals *)
+  Vi.make ~islands:7
+    ~of_core:
+      [|
+        0; 0; 0; 0; 0; 0; 1; 1; 1; 1; 1; 2; 2; 2; 2; 3; 3; 3; 3; 3; 4; 4; 4;
+        5; 5; 5; 6; 6; 6; 6; 6; 1; 5; 6; 6; 6;
+      |]
+    ~shutdownable:[| true; false; true; true; true; true; true |]
+    ()
+
+let scenarios =
+  [
+    Scenario.make ~name:"screen_off_idle"
+      ~used:[ 7; 9; 23; 24; 25; 26; 27; 33; 35 ]
+      ~cores:(Array.length cores) ~duty:0.45;
+    Scenario.make ~name:"music_screen_off"
+      ~used:[ 7; 9; 10; 26; 27; 30; 31; 33; 35 ]
+      ~cores:(Array.length cores) ~duty:0.15;
+    Scenario.make ~name:"browsing"
+      ~used:[ 0; 1; 4; 6; 7; 8; 9; 11; 12; 14; 20; 21; 22; 23; 24; 25; 33; 35 ]
+      ~cores:(Array.length cores) ~duty:0.20;
+    Scenario.make ~name:"video_call"
+      ~used:
+        [ 0; 4; 6; 7; 8; 15; 16; 17; 18; 20; 21; 22; 23; 24; 25; 26; 27; 35 ]
+      ~cores:(Array.length cores) ~duty:0.10;
+  ]

@@ -1,0 +1,21 @@
+(** 36-core tablet application processor: quad CPU cluster with per-pair
+    L2 banks, GPU with two shader clusters, full camera/video/display
+    subsystem, modem, audio and a wide peripheral set.  The largest
+    benchmark — exercises multilevel partitioning and bigger sweeps.
+
+    Core map: 0–3 CPUs, 4–5 L2 banks, 6 coherence/interconnect agent,
+    7 DDR ctrl 0, 8 DDR ctrl 1, 9 SRAM, 10 DMA,
+    11 GPU front end, 12–13 shader clusters, 14 GPU cache,
+    15 video decoder, 16 video encoder, 17 ISP, 18 camera_if, 19 JPEG,
+    20 display ctrl, 21 HDMI out, 22 rotator,
+    23 modem DSP, 24 modem mem, 25 RF interface,
+    26 audio DSP, 27 audio codec I/O,
+    28 crypto, 29 USB, 30 SDIO, 31 NAND ctrl, 32 GPS, 33 sensors hub,
+    34 UART/GPIO, 35 power controller. *)
+
+val soc : Noc_spec.Soc_spec.t
+val default_vi : Noc_spec.Vi.t
+(** 7 islands: CPU, memory system (always-on), GPU, media (video/camera),
+    display, modem+GPS, audio+peripherals. *)
+
+val scenarios : Noc_spec.Scenario.t list

@@ -1,0 +1,176 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Flow = Noc_spec.Flow
+
+(* Block areas are the full placed macro footprints (logic plus private
+   L1/L0 memories and local routing overhead) at 65 nm. *)
+let core id name kind area freq dyn =
+  Core_spec.make ~id ~name ~kind ~area_mm2:(2.5 *. area) ~freq_mhz:freq
+    ~dynamic_mw:dyn ()
+
+let dsp_pair base index =
+  [
+    core base
+      (Printf.sprintf "dsp%d" index)
+      Core_spec.Dsp 1.5 400.0 78.0;
+    core (base + 1)
+      (Printf.sprintf "dsp%d_mem" index)
+      Core_spec.Memory 1.1 400.0 22.0;
+  ]
+
+let cores =
+  Array.of_list
+    ([
+       core 0 "ctrl_cpu0" Core_spec.Processor 2.0 500.0 105.0;
+       core 1 "ctrl_cpu1" Core_spec.Processor 2.0 500.0 105.0;
+       core 2 "l2_bank0" Core_spec.Cache 1.6 500.0 40.0;
+       core 3 "l2_bank1" Core_spec.Cache 1.6 500.0 40.0;
+       core 4 "ddr0" Core_spec.Memory 1.6 450.0 65.0;
+       core 5 "ddr1" Core_spec.Memory 1.6 450.0 65.0;
+       core 6 "sram_a" Core_spec.Memory 1.0 450.0 20.0;
+       core 7 "sram_b" Core_spec.Memory 1.0 450.0 20.0;
+       core 8 "dma" Core_spec.Dma 0.8 400.0 35.0;
+     ]
+    @ List.concat (List.init 8 (fun i -> dsp_pair (9 + (2 * i)) i))
+    @ [
+        core 25 "fec0" Core_spec.Accelerator 1.3 350.0 62.0;
+        core 26 "fec1" Core_spec.Accelerator 1.3 350.0 62.0;
+        core 27 "turbo" Core_spec.Accelerator 1.5 350.0 72.0;
+        core 28 "map0" Core_spec.Accelerator 1.0 350.0 48.0;
+        core 29 "map1" Core_spec.Accelerator 1.0 350.0 48.0;
+        core 30 "fft0" Core_spec.Accelerator 1.2 400.0 58.0;
+        core 31 "fft1" Core_spec.Accelerator 1.2 400.0 58.0;
+        core 32 "framer0" Core_spec.Accelerator 0.8 300.0 34.0;
+        core 33 "framer1" Core_spec.Accelerator 0.8 300.0 34.0;
+        core 34 "framer2" Core_spec.Accelerator 0.8 300.0 34.0;
+        core 35 "framer3" Core_spec.Accelerator 0.8 300.0 34.0;
+        core 36 "serdes0" Core_spec.Io 0.6 300.0 26.0;
+        core 37 "serdes1" Core_spec.Io 0.6 300.0 26.0;
+        core 38 "serdes2" Core_spec.Io 0.6 300.0 26.0;
+        core 39 "serdes3" Core_spec.Io 0.6 300.0 26.0;
+        core 40 "eth0" Core_spec.Io 0.6 250.0 24.0;
+        core 41 "eth1" Core_spec.Io 0.6 250.0 24.0;
+        core 42 "crypto" Core_spec.Accelerator 0.8 300.0 40.0;
+        core 43 "timer_sync" Core_spec.Peripheral 0.3 100.0 7.0;
+        core 44 "gpio" Core_spec.Peripheral 0.3 100.0 6.0;
+        core 45 "sensor" Core_spec.Peripheral 0.3 100.0 6.0;
+        core 46 "boot_rom" Core_spec.Memory 0.5 200.0 8.0;
+        core 47 "maint_cpu" Core_spec.Processor 0.9 250.0 35.0;
+      ])
+
+let dsp_of i = 9 + (2 * i)
+let mem_of i = dsp_of i + 1
+let fft_of i = 30 + (i mod 2)
+let fec_of i = 25 + (i mod 2)
+let sram_of i = 6 + (i mod 2)
+
+(* Uplink per cluster: FFT -> DSP (channel estimation) -> MAP -> FEC;
+   downlink: DSP -> FFT -> framer -> SerDes; every cluster leans on its
+   scratchpad and a shared SRAM bank. *)
+let cluster_flows i =
+  Recipe.merge
+    [
+      Recipe.pair ~src:(dsp_of i) ~dst:(mem_of i) ~bw:700.0 ~back:700.0
+        ~lat:10 ();
+      Recipe.pair ~src:(dsp_of i) ~dst:(sram_of i) ~bw:180.0 ~back:180.0
+        ~lat:18 ();
+      [ Flow.make ~src:(fft_of i) ~dst:(dsp_of i) ~bw:260.0 ~lat:16 ];
+      [ Flow.make ~src:(dsp_of i) ~dst:(fft_of i) ~bw:220.0 ~lat:16 ];
+      [ Flow.make ~src:(dsp_of i) ~dst:(28 + (i mod 2)) ~bw:150.0 ~lat:18 ];
+      [ Flow.make ~src:(dsp_of i) ~dst:(fec_of i) ~bw:130.0 ~lat:20 ];
+    ]
+
+let flows =
+  Recipe.merge
+    ([
+       (* control subsystem *)
+       Recipe.pair ~src:0 ~dst:2 ~bw:1000.0 ~back:750.0 ~lat:10 ();
+       Recipe.pair ~src:1 ~dst:3 ~bw:1000.0 ~back:750.0 ~lat:10 ();
+       Recipe.pair ~src:2 ~dst:4 ~bw:500.0 ~back:650.0 ~lat:12 ();
+       Recipe.pair ~src:3 ~dst:5 ~bw:500.0 ~back:650.0 ~lat:12 ();
+       Recipe.pair ~src:47 ~dst:4 ~bw:90.0 ~back:120.0 ~lat:30 ();
+       [ Flow.make ~src:46 ~dst:47 ~bw:40.0 ~lat:40 ];
+       (* DMA stages blocks between DDR and the SRAM banks *)
+       Recipe.hub ~center:8 ~spokes:[ 4; 5; 6; 7 ] ~to_hub:320.0
+         ~from_hub:320.0 ~lat:20;
+       (* decoded uplink data to DDR, then backhaul out the Ethernet MACs *)
+       Recipe.pair ~src:25 ~dst:4 ~bw:300.0 ~back:150.0 ~lat:20 ();
+       Recipe.pair ~src:26 ~dst:5 ~bw:300.0 ~back:150.0 ~lat:20 ();
+       Recipe.pair ~src:27 ~dst:4 ~bw:260.0 ~back:130.0 ~lat:20 ();
+       [ Flow.make ~src:28 ~dst:27 ~bw:200.0 ~lat:16 ];
+       [ Flow.make ~src:29 ~dst:27 ~bw:200.0 ~lat:16 ];
+       Recipe.pair ~src:40 ~dst:4 ~bw:350.0 ~back:350.0 ~lat:24 ();
+       Recipe.pair ~src:41 ~dst:5 ~bw:350.0 ~back:350.0 ~lat:24 ();
+       (* downlink: FFT outputs framed onto the four SerDes lanes *)
+       [ Flow.make ~src:30 ~dst:32 ~bw:240.0 ~lat:14 ];
+       [ Flow.make ~src:30 ~dst:33 ~bw:240.0 ~lat:14 ];
+       [ Flow.make ~src:31 ~dst:34 ~bw:240.0 ~lat:14 ];
+       [ Flow.make ~src:31 ~dst:35 ~bw:240.0 ~lat:14 ];
+       Recipe.pair ~src:32 ~dst:36 ~bw:260.0 ~back:240.0 ~lat:12 ();
+       Recipe.pair ~src:33 ~dst:37 ~bw:260.0 ~back:240.0 ~lat:12 ();
+       Recipe.pair ~src:34 ~dst:38 ~bw:260.0 ~back:240.0 ~lat:12 ();
+       Recipe.pair ~src:35 ~dst:39 ~bw:260.0 ~back:240.0 ~lat:12 ();
+       (* uplink enters through the framers towards the FFTs *)
+       [ Flow.make ~src:32 ~dst:30 ~bw:220.0 ~lat:14 ];
+       [ Flow.make ~src:33 ~dst:30 ~bw:220.0 ~lat:14 ];
+       [ Flow.make ~src:34 ~dst:31 ~bw:220.0 ~lat:14 ];
+       [ Flow.make ~src:35 ~dst:31 ~bw:220.0 ~lat:14 ];
+       (* crypto protects the backhaul *)
+       Recipe.pair ~src:42 ~dst:4 ~bw:140.0 ~back:140.0 ~lat:28 ();
+       (* control plane *)
+       Recipe.control_fanout ~master:0
+         ~slaves:
+           [ 8; 9; 11; 13; 15; 17; 19; 21; 23; 25; 26; 27; 28; 29; 30; 31;
+             32; 33; 34; 35; 40; 41; 42; 43; 44; 45 ]
+         ~bw:15.0 ~lat:90;
+       [ Flow.make ~src:43 ~dst:0 ~bw:12.0 ~lat:60 ];
+       [ Flow.make ~src:45 ~dst:47 ~bw:8.0 ~lat:80 ];
+     ]
+    @ List.init 8 cluster_flows)
+
+let soc = Soc_spec.make ~name:"D48-basestation" ~cores ~flows ()
+
+let default_vi =
+  let of_core = Array.make 48 (-1) in
+  let assign island members = List.iter (fun c -> of_core.(c) <- island) members in
+  (* 0: control + memory (always-on) *)
+  assign 0 [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 43; 46; 47 ];
+  (* 1-4: double DSP-cluster islands *)
+  List.iteri
+    (fun i island_offset ->
+      ignore island_offset;
+      let a = 2 * i and b = (2 * i) + 1 in
+      assign (1 + i) [ dsp_of a; mem_of a; dsp_of b; mem_of b ])
+    [ 0; 1; 2; 3 ];
+  (* 5: accelerators *)
+  assign 5 [ 25; 26; 27; 28; 29; 30; 31; 42 ];
+  (* 6: line I/O and low-speed peripherals *)
+  assign 6 [ 32; 33; 34; 35; 36; 37; 38; 39; 40; 41; 44; 45 ];
+  Vi.make ~islands:7 ~of_core
+    ~shutdownable:[| false; true; true; true; true; true; true |]
+    ()
+
+let scenarios =
+  let all_cores = Array.length cores in
+  let control = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 43; 46; 47 ] in
+  let cluster i = [ dsp_of i; mem_of i ] in
+  let accel = [ 25; 26; 27; 28; 29; 30; 31 ] in
+  let io = [ 32; 33; 34; 35; 36; 37; 38; 39; 40; 41 ] in
+  [
+    Scenario.make ~name:"night_low"
+      ~used:(control @ cluster 0 @ cluster 1 @ accel @ io)
+      ~cores:all_cores ~duty:0.35;
+    Scenario.make ~name:"daytime"
+      ~used:
+        (control @ cluster 0 @ cluster 1 @ cluster 2 @ cluster 3 @ cluster 4
+        @ cluster 5 @ accel @ io @ [ 42 ])
+      ~cores:all_cores ~duty:0.40;
+    Scenario.make ~name:"peak"
+      ~used:(List.init all_cores (fun c -> c))
+      ~cores:all_cores ~duty:0.15;
+    Scenario.make ~name:"maintenance"
+      ~used:(control @ [ 44; 45 ])
+      ~cores:all_cores ~duty:0.05;
+  ]

@@ -1,0 +1,22 @@
+(** 48-core LTE base-station (baseband) SoC: the largest benchmark.
+
+    Eight DSP+scratchpad clusters do per-user channel processing around a
+    shared DDR/SRAM system; two FFT engines and matched-filter/MAP
+    accelerators feed FEC/turbo decoding; four framers drive four SerDes
+    line interfaces; dual control CPUs with L2s run the stack, plus
+    Ethernet backhaul, crypto and maintenance peripherals.
+
+    Core map: 0–1 control CPUs, 2–3 L2 banks, 4–5 DDR controllers,
+    6–7 shared SRAM banks, 8 DMA; 9/10 … 23/24 DSP+scratchpad clusters;
+    25–26 FEC engines, 27 turbo decoder, 28–29 MAP accelerators,
+    30–31 FFT engines; 32–35 framers, 36–39 SerDes, 40–41 Ethernet MACs;
+    42 crypto, 43 timer/sync, 44 GPIO, 45 sensor, 46 boot ROM,
+    47 maintenance processor. *)
+
+val soc : Noc_spec.Soc_spec.t
+
+val default_vi : Noc_spec.Vi.t
+(** 7 islands: control+memory (always-on), four double-DSP-cluster
+    islands, accelerators, line I/O. *)
+
+val scenarios : Noc_spec.Scenario.t list

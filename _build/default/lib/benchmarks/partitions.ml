@@ -1,0 +1,119 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Ugraph = Noc_graph.Ugraph
+module Digraph = Noc_graph.Digraph
+module Kway = Noc_partition.Kway
+
+type strategy = Min_cut | Agglomerative
+
+(* Min-cut communication-based partitioning: a balanced min-cut of the core
+   bandwidth graph keeps heavy flows inside islands while islands keep
+   enough cores that quiet ones can clock (and power) down.  Cores that
+   must share the always-on island are contracted into a single super-node
+   before partitioning.  The agglomerative strategy instead merges the
+   heaviest-talking clusters first (one hot mega-island, cold leftovers);
+   which one wins depends on the traffic shape, so {!sweep_best} explores
+   both — the design-point exploration the paper advocates in §3.2. *)
+let rec communication_based ?(seed = 0) ?(max_island_cores = max_int)
+    ?(strategy = Min_cut) ~islands ~always_on_cores soc =
+  match strategy with
+  | Agglomerative ->
+    let n = Soc_spec.core_count soc in
+    if islands < 1 || islands > n then
+      invalid_arg "Partitions.communication_based: bad island count";
+    if islands = 1 then Vi.single_island ~cores:n
+    else begin
+      let pinned = List.sort_uniq compare always_on_cores in
+      let constraints =
+        {
+          Noc_partition.Cluster.max_cluster_size = max_island_cores;
+          pinned_together =
+            (if List.length pinned > 1 && islands < n then [ pinned ] else []);
+        }
+      in
+      let assignment =
+        Noc_partition.Cluster.communication_based ~seed ~constraints ~islands
+          (Soc_spec.bandwidth_graph soc)
+      in
+      let shutdownable = Array.make islands true in
+      List.iter (fun core -> shutdownable.(assignment.(core)) <- false) pinned;
+      Vi.make ~islands ~of_core:assignment ~shutdownable ()
+    end
+  | Min_cut -> min_cut_partition ~seed ~max_island_cores ~islands ~always_on_cores soc
+
+and min_cut_partition ~seed ~max_island_cores ~islands ~always_on_cores soc =
+  let n = Soc_spec.core_count soc in
+  if islands < 1 || islands > n then
+    invalid_arg "Partitions.communication_based: bad island count";
+  List.iter
+    (fun c ->
+      if c < 0 || c >= n then
+        invalid_arg "Partitions.communication_based: bad always-on core")
+    always_on_cores;
+  if islands = 1 then Vi.single_island ~cores:n
+  else begin
+    let pinned = List.sort_uniq compare always_on_cores in
+    let contract = List.length pinned > 1 && islands < n in
+    let node_of_core = Array.init n (fun c -> c) in
+    let m =
+      if contract then begin
+        (* pinned cores collapse onto the smallest pinned id; remaining
+           cores are renumbered densely *)
+        let rep = List.hd pinned in
+        let next = ref 0 in
+        for c = 0 to n - 1 do
+          if c = rep || not (List.mem c pinned) then begin
+            node_of_core.(c) <- !next;
+            incr next
+          end
+        done;
+        List.iter
+          (fun c -> node_of_core.(c) <- node_of_core.(rep))
+          (List.tl pinned);
+        !next
+      end
+      else n
+    in
+    let g = Ugraph.create m in
+    if contract then
+      Ugraph.set_node_weight g node_of_core.(List.hd pinned)
+        (float_of_int (List.length pinned));
+    Digraph.iter_edges
+      (fun u v w ->
+        let nu = node_of_core.(u) and nv = node_of_core.(v) in
+        if nu <> nv then Ugraph.add_edge g nu nv w)
+      (Soc_spec.bandwidth_graph soc);
+    let pinned_weight = if contract then List.length pinned else 1 in
+    let skew_cap =
+      int_of_float (Float.round (2.2 *. float_of_int n /. float_of_int islands))
+    in
+    let max_block =
+      min max_island_cores
+        (max (max skew_cap pinned_weight) ((n + islands - 1) / islands))
+    in
+    let partition =
+      Kway.partition ~seed ~balance:0.3 ~parts:islands
+        ~max_block_weight:(float_of_int max_block) g
+    in
+    let of_core =
+      Array.init n (fun c -> partition.Kway.assignment.(node_of_core.(c)))
+    in
+    let shutdownable = Array.make islands true in
+    List.iter (fun core -> shutdownable.(of_core.(core)) <- false) pinned;
+    (match Vi.make ~islands ~of_core ~shutdownable () with
+     | vi -> vi
+     | exception Invalid_argument _ ->
+       (* an empty island can only arise from a degenerate cut; fall back
+          to renumbering occupied islands and splitting the largest *)
+       invalid_arg
+         "Partitions.communication_based: partitioner produced an empty island")
+  end
+
+let sweep ?(seed = 0) ~island_counts ~always_on_cores soc =
+  List.map
+    (fun k ->
+      ( Printf.sprintf "comm/%d" k,
+        communication_based ~seed ~islands:k ~always_on_cores soc ))
+    island_counts
+
+let strategies = [ Min_cut; Agglomerative ]

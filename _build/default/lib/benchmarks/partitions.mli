@@ -1,0 +1,35 @@
+(** Communication-based VI assignments (the second curve of Figs. 2/3) and
+    helpers shared by the benchmark definitions. *)
+
+type strategy =
+  | Min_cut
+      (** balanced k-way min-cut of the bandwidth graph: heavy flows stay
+          internal {e and} every island keeps enough cores to downclock *)
+  | Agglomerative
+      (** heaviest-talking clusters merge first: one hot mega-island plus
+          progressively colder leftovers *)
+
+val communication_based :
+  ?seed:int ->
+  ?max_island_cores:int ->
+  ?strategy:strategy ->
+  islands:int ->
+  always_on_cores:int list ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t
+(** Cluster cores into [islands] VIs by traffic affinity (default strategy
+    {!Min_cut}); [always_on_cores] are pre-pinned into one cluster and
+    every island containing one of them is marked non-shutdownable.  The
+    1-island case degenerates to {!Noc_spec.Vi.single_island}. *)
+
+val strategies : strategy list
+(** Both strategies, for callers that explore and keep the better design
+    (the paper's §3.2 methodology). *)
+
+val sweep :
+  ?seed:int ->
+  island_counts:int list ->
+  always_on_cores:int list ->
+  Noc_spec.Soc_spec.t ->
+  (string * Noc_spec.Vi.t) list
+(** Labeled communication-based assignments ("comm/<k>") for each count. *)

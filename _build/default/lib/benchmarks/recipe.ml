@@ -1,0 +1,56 @@
+module Flow = Noc_spec.Flow
+
+let pair ~src ~dst ~bw ?back ~lat () =
+  let forward = Flow.make ~src ~dst ~bw ~lat in
+  match back with
+  | None -> [ forward ]
+  | Some bw_back -> [ forward; Flow.make ~src:dst ~dst:src ~bw:bw_back ~lat ]
+
+let pipeline ~stages ~bw ?(taper = 1.0) ~lat () =
+  if taper <= 0.0 then invalid_arg "Recipe.pipeline: non-positive taper";
+  let rec chain k = function
+    | a :: (b :: _ as rest) ->
+      Flow.make ~src:a ~dst:b ~bw:(bw *. Float.pow taper (float_of_int k)) ~lat
+      :: chain (k + 1) rest
+    | [ _ ] -> []
+    | [] -> invalid_arg "Recipe.pipeline: needs at least two stages"
+  in
+  if List.length stages < 2 then
+    invalid_arg "Recipe.pipeline: needs at least two stages";
+  chain 0 stages
+
+let hub ~center ~spokes ~to_hub ~from_hub ~lat =
+  List.concat_map
+    (fun spoke ->
+      let up =
+        if to_hub > 0.0 then [ Flow.make ~src:spoke ~dst:center ~bw:to_hub ~lat ]
+        else []
+      in
+      let down =
+        if from_hub > 0.0 then
+          [ Flow.make ~src:center ~dst:spoke ~bw:from_hub ~lat ]
+        else []
+      in
+      up @ down)
+    spokes
+
+let control_fanout ~master ~slaves ~bw ~lat =
+  List.map (fun slave -> Flow.make ~src:master ~dst:slave ~bw ~lat) slaves
+
+let merge pattern_lists =
+  let table : (int * int, Flow.t) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let add f =
+    let key = (f.Flow.src, f.Flow.dst) in
+    match Hashtbl.find_opt table key with
+    | None ->
+      Hashtbl.replace table key f;
+      order := key :: !order
+    | Some existing ->
+      Hashtbl.replace table key
+        (Flow.make ~src:f.Flow.src ~dst:f.Flow.dst
+           ~bw:(existing.Flow.bandwidth_mbps +. f.Flow.bandwidth_mbps)
+           ~lat:(min existing.Flow.max_latency_cycles f.Flow.max_latency_cycles))
+  in
+  List.iter (List.iter add) pattern_lists;
+  List.rev_map (fun key -> Hashtbl.find table key) !order

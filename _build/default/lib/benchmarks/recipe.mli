@@ -1,0 +1,36 @@
+(** Helpers for writing benchmark traffic specifications.
+
+    The public SoC benchmarks of the NoC synthesis literature are built
+    from a handful of recurring patterns: request/response pairs against a
+    memory hub, streaming pipelines through accelerators, and low-rate
+    control fan-out.  These combinators keep each benchmark definition
+    declarative and make the traffic statistics easy to audit. *)
+
+val pair :
+  src:int -> dst:int -> bw:float -> ?back:float -> lat:int -> unit ->
+  Noc_spec.Flow.t list
+(** Request flow [src → dst] at [bw]; when [back] is given, a response flow
+    [dst → src] at that bandwidth with the same latency constraint. *)
+
+val pipeline :
+  stages:int list -> bw:float -> ?taper:float -> lat:int -> unit ->
+  Noc_spec.Flow.t list
+(** Streaming chain through [stages] (≥ 2 cores): consecutive stages are
+    connected at [bw] scaled by [taper]^k for the k-th hop (default taper
+    1.0). *)
+
+val hub :
+  center:int -> spokes:int list -> to_hub:float -> from_hub:float -> lat:int ->
+  Noc_spec.Flow.t list
+(** Every spoke sends [to_hub] to the center and receives [from_hub] from it
+    (a DMA or memory-controller pattern).  Zero bandwidths skip the
+    direction. *)
+
+val control_fanout :
+  master:int -> slaves:int list -> bw:float -> lat:int -> Noc_spec.Flow.t list
+(** Low-rate programming traffic from one master to many peripherals. *)
+
+val merge : Noc_spec.Flow.t list list -> Noc_spec.Flow.t list
+(** Concatenate pattern outputs, {e summing} the bandwidth and tightening
+    the latency of duplicate (src, dst) pairs so the result satisfies
+    {!Noc_spec.Soc_spec.make}'s no-duplicate rule. *)

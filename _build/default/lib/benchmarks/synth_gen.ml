@@ -1,0 +1,134 @@
+module Core_spec = Noc_spec.Core_spec
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Flow = Noc_spec.Flow
+
+type profile = {
+  cores : int;
+  hub_fraction : float;
+  pipeline_count : int;
+  max_bw_mbps : float;
+  tight_latency : int;
+}
+
+let default_profile =
+  {
+    cores = 18;
+    hub_fraction = 0.2;
+    pipeline_count = 2;
+    max_bw_mbps = 1200.0;
+    tight_latency = 10;
+  }
+
+let validate p =
+  if p.cores < 4 then invalid_arg "Synth_gen: cores < 4";
+  if p.hub_fraction <= 0.0 || p.hub_fraction >= 1.0 then
+    invalid_arg "Synth_gen: hub_fraction out of (0,1)";
+  if p.pipeline_count < 0 then invalid_arg "Synth_gen: negative pipeline_count";
+  if p.max_bw_mbps <= 0.0 then invalid_arg "Synth_gen: non-positive max_bw";
+  if p.tight_latency < 10 then
+    invalid_arg "Synth_gen: tight_latency < 10 (a crossing costs 9 cycles)"
+
+let pick_kind state =
+  match Random.State.int state 6 with
+  | 0 -> Core_spec.Processor
+  | 1 -> Core_spec.Dsp
+  | 2 -> Core_spec.Accelerator
+  | 3 -> Core_spec.Io
+  | 4 -> Core_spec.Peripheral
+  | _ -> Core_spec.Accelerator
+
+let generate ~seed p =
+  validate p;
+  let state = Random.State.make [| seed; p.cores; 0xBEEF |] in
+  let hub_count =
+    max 1 (int_of_float (Float.round (p.hub_fraction *. float_of_int p.cores)))
+  in
+  (* hubs first (memories), then compute/io cores *)
+  let cores =
+    Array.init p.cores (fun id ->
+        let is_hub = id < hub_count in
+        let kind = if is_hub then Core_spec.Memory else pick_kind state in
+        let area = 0.4 +. Random.State.float state 1.8 in
+        let freq = 100.0 +. Random.State.float state 500.0 in
+        let dyn = 8.0 +. Random.State.float state 110.0 in
+        Core_spec.make ~id
+          ~name:(Printf.sprintf "%s%d" (if is_hub then "mem" else "core") id)
+          ~kind ~area_mm2:area ~freq_mhz:freq ~dynamic_mw:dyn ())
+  in
+  let loose_latency = p.tight_latency * 8 in
+  let rand_lat () =
+    p.tight_latency + Random.State.int state (loose_latency - p.tight_latency + 1)
+  in
+  let rand_bw scale = Float.max 10.0 (Random.State.float state scale) in
+  let patterns = ref [] in
+  (* every non-hub core talks to a hub (request/response) *)
+  for id = hub_count to p.cores - 1 do
+    let hub = Random.State.int state hub_count in
+    patterns :=
+      Recipe.pair ~src:id ~dst:hub
+        ~bw:(rand_bw (p.max_bw_mbps /. 2.0))
+        ~back:(rand_bw p.max_bw_mbps) ~lat:(rand_lat ()) ()
+      :: !patterns
+  done;
+  (* streaming pipelines over random distinct non-hub cores *)
+  for _ = 1 to p.pipeline_count do
+    let stage_count = 3 + Random.State.int state 3 in
+    let available = p.cores - hub_count in
+    if available >= stage_count then begin
+      let chosen = Hashtbl.create stage_count in
+      let rec draw k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let c = hub_count + Random.State.int state available in
+          if Hashtbl.mem chosen c then draw k acc
+          else begin
+            Hashtbl.replace chosen c ();
+            draw (k - 1) (c :: acc)
+          end
+        end
+      in
+      let stages = draw stage_count [] in
+      patterns :=
+        Recipe.pipeline ~stages
+          ~bw:(rand_bw (p.max_bw_mbps /. 2.0))
+          ~lat:(rand_lat ()) ()
+        :: !patterns
+    end
+  done;
+  (* a control master fans out to a few slaves *)
+  let master = hub_count in
+  let slaves =
+    List.filter
+      (fun c -> c <> master && Random.State.bool state)
+      (List.init (p.cores - hub_count) (fun i -> hub_count + i))
+  in
+  if slaves <> [] then
+    patterns :=
+      Recipe.control_fanout ~master ~slaves ~bw:15.0 ~lat:loose_latency
+      :: !patterns;
+  let flows = Recipe.merge !patterns in
+  Soc_spec.make ~name:(Printf.sprintf "rand-%d-%d" p.cores seed) ~cores ~flows
+    ()
+
+let random_vi ~seed ~islands soc =
+  let n = Soc_spec.core_count soc in
+  if islands < 1 || islands > n then
+    invalid_arg "Synth_gen.random_vi: bad island count";
+  let state = Random.State.make [| seed; islands; 0xD1CE |] in
+  let of_core = Array.make n (-1) in
+  (* guarantee non-empty islands, then distribute the rest *)
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int state (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  Array.iteri
+    (fun rank core ->
+      of_core.(core) <-
+        (if rank < islands then rank else Random.State.int state islands))
+    order;
+  let shutdownable = Array.init islands (fun isl -> isl <> 0) in
+  Vi.make ~islands ~of_core ~shutdownable ()

@@ -1,0 +1,23 @@
+(** Seeded random SoC generator.
+
+    Produces structurally realistic specs (memory hubs, pipelines, control
+    fan-out — not uniform random graphs) for property-based testing and for
+    stressing the synthesis loop at sizes the hand-written benchmarks do
+    not cover.  Deterministic for a fixed seed. *)
+
+type profile = {
+  cores : int;              (** total core count, >= 4 *)
+  hub_fraction : float;     (** fraction of cores that act as memories/hubs *)
+  pipeline_count : int;     (** number of streaming chains *)
+  max_bw_mbps : float;      (** hottest flow bandwidth *)
+  tight_latency : int;      (** tightest latency constraint (>= 10) *)
+}
+
+val default_profile : profile
+
+val generate : seed:int -> profile -> Noc_spec.Soc_spec.t
+(** @raise Invalid_argument on a malformed profile. *)
+
+val random_vi : seed:int -> islands:int -> Noc_spec.Soc_spec.t -> Noc_spec.Vi.t
+(** Random island assignment with every island non-empty; island 0 is
+    marked always-on (it plays the shared-memory role). *)

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Design_point Format Noc_models Noc_spec Synth

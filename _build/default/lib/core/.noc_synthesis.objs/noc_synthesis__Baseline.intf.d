@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Config Design_point Format Noc_spec Synth

@@ -1,0 +1,1 @@
+lib/core/design_point.ml: Array Config Float Format Freq_assign Hashtbl List Noc_models Noc_spec Printf Topology

@@ -1,0 +1,1 @@
+lib/core/design_point.mli: Config Format Freq_assign Noc_models Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Config Design_point Float Freq_assign List Noc_models Noc_spec Printf Shutdown Synth

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Config Design_point Noc_spec Synth

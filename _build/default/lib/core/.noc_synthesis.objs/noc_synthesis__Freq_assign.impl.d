@@ -1,0 +1,1 @@
+lib/core/freq_assign.ml: Array Config Float List Noc_models Noc_spec Printf

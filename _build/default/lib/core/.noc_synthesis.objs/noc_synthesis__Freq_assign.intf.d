@@ -1,0 +1,1 @@
+lib/core/freq_assign.mli: Config Noc_spec

@@ -1,0 +1,1 @@
+lib/core/path_alloc.ml: Array Config Float Format Freq_assign Lazy List Noc_floorplan Noc_graph Noc_models Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/path_alloc.mli: Config Format Freq_assign Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Config Design_point Float Format List Noc_floorplan Noc_models Noc_spec Printf Shutdown Topology

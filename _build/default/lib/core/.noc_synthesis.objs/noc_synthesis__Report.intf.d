@@ -1,0 +1,1 @@
+lib/core/report.mli: Config Design_point Format Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/shutdown.ml: Array Config Design_point Float Format List Noc_models Noc_spec Topology

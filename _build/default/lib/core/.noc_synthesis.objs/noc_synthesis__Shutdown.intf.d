@@ -1,0 +1,1 @@
+lib/core/shutdown.mli: Config Design_point Format Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/switch_alloc.ml: Array Float Freq_assign List Noc_floorplan Noc_partition Noc_spec Printf Topology

@@ -1,0 +1,1 @@
+lib/core/switch_alloc.mli: Config Freq_assign Noc_floorplan Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/synth.ml: Array Config Design_point Freq_assign List Logs Noc_floorplan Noc_models Noc_spec Path_alloc Printf Switch_alloc

@@ -1,0 +1,1 @@
+lib/core/synth.mli: Config Design_point Freq_assign Noc_floorplan Noc_spec Switch_alloc

@@ -1,0 +1,1 @@
+lib/core/topology.ml: Array Buffer Format Hashtbl List Noc_floorplan Noc_models Noc_spec Printf Seq

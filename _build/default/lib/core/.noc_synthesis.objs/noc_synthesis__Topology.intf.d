@@ -1,0 +1,1 @@
+lib/core/topology.mli: Format Hashtbl Noc_floorplan Noc_spec

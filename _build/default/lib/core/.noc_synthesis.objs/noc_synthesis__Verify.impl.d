@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Config Float Format Freq_assign Hashtbl Lazy List Noc_models Noc_spec Topology

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Config Format Noc_spec Topology

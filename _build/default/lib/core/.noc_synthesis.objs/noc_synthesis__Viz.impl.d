@@ -1,0 +1,1 @@
+lib/core/viz.ml: Array List Noc_floorplan Printf Topology

@@ -1,0 +1,1 @@
+lib/core/viz.mli: Noc_floorplan Noc_spec Topology

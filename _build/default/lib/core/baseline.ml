@@ -1,0 +1,62 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Power = Noc_models.Power
+
+let synthesize ?(seed = 0) config soc =
+  let flat =
+    Soc_spec.make ~name:(soc.Soc_spec.name ^ "-baseline")
+      ~cores:soc.Soc_spec.cores ~flows:soc.Soc_spec.flows
+      ~flit_bits:soc.Soc_spec.flit_bits ~allow_intermediate_island:false ()
+  in
+  let vi = Vi.single_island ~cores:(Soc_spec.core_count flat) in
+  Synth.run ~seed config flat vi
+
+type comparison = {
+  vi_point : Design_point.t;
+  base_point : Design_point.t;
+  system_dynamic_overhead : float;
+  system_area_overhead : float;
+  noc_power_overhead : float;
+}
+
+let compare_designs soc ~vi_point ~base_point =
+  let dyn p = Power.dynamic_mw p.Design_point.power in
+  let total p = Power.total_mw p.Design_point.power in
+  let area p = Design_point.total_area_mm2 p.Design_point.area in
+  let cores_dyn = Soc_spec.total_core_dynamic_mw soc in
+  let cores_area = Soc_spec.total_core_area_mm2 soc in
+  let system_dyn = cores_dyn +. dyn base_point in
+  let system_area = cores_area +. area base_point in
+  {
+    vi_point;
+    base_point;
+    system_dynamic_overhead =
+      (if system_dyn > 0.0 then (dyn vi_point -. dyn base_point) /. system_dyn
+       else 0.0);
+    system_area_overhead =
+      (if system_area > 0.0 then
+         (area vi_point -. area base_point) /. system_area
+       else 0.0);
+    noc_power_overhead =
+      (if total base_point > 0.0 then
+         (total vi_point -. total base_point) /. total base_point
+       else 0.0);
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf
+    "@[<v>overhead of shutdown support vs. VI-oblivious baseline:@,\
+     \  NoC dynamic: %.2f -> %.2f mW@,\
+     \  NoC total:   %.2f -> %.2f mW (%+.1f%%)@,\
+     \  NoC area:    %.3f -> %.3f mm2@,\
+     \  system dynamic power overhead: %.2f%%@,\
+     \  system area overhead:          %.2f%%@]"
+    (Power.dynamic_mw c.base_point.Design_point.power)
+    (Power.dynamic_mw c.vi_point.Design_point.power)
+    (Power.total_mw c.base_point.Design_point.power)
+    (Power.total_mw c.vi_point.Design_point.power)
+    (100.0 *. c.noc_power_overhead)
+    (Design_point.total_area_mm2 c.base_point.Design_point.area)
+    (Design_point.total_area_mm2 c.vi_point.Design_point.area)
+    (100.0 *. c.system_dynamic_overhead)
+    (100.0 *. c.system_area_overhead)

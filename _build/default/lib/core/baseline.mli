@@ -1,0 +1,33 @@
+(** VI-oblivious baseline synthesis and the overhead comparison of §5.
+
+    The baseline designs the NoC as prior application-specific synthesis
+    flows do ([12]–[15] in the paper): one clock/voltage domain, switches
+    anywhere, no converters — and consequently {e no} ability to shut any
+    island down.  Comparing the VI-aware design against it yields the
+    paper's headline overhead numbers (≈3% of system dynamic power, ≈0.5%
+    of SoC area on average). *)
+
+val synthesize :
+  ?seed:int -> Config.t -> Noc_spec.Soc_spec.t -> Synth.result
+(** Run Algorithm 1 with every core in a single non-shutdownable island and
+    no intermediate VI: no crossings exist, so no converter is ever
+    inserted and a single NoC clock is used — the conventional flow. *)
+
+type comparison = {
+  vi_point : Design_point.t;      (** best-power VI-aware design *)
+  base_point : Design_point.t;    (** best-power baseline design *)
+  system_dynamic_overhead : float;
+      (** (VI NoC dyn − base NoC dyn) / (cores dyn + base NoC dyn) *)
+  system_area_overhead : float;
+      (** (VI NoC area − base NoC area) / (cores area + base NoC area) *)
+  noc_power_overhead : float;
+      (** (VI NoC total − base NoC total) / base NoC total *)
+}
+
+val compare_designs :
+  Noc_spec.Soc_spec.t ->
+  vi_point:Design_point.t ->
+  base_point:Design_point.t ->
+  comparison
+
+val pp_comparison : Format.formatter -> comparison -> unit

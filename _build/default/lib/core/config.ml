@@ -1,0 +1,37 @@
+type t = {
+  alpha : float;
+  beta : float;
+  link_utilization_cap : float;
+  new_link_penalty_pj : float;
+  buffer_depth : int;
+  max_indirect_switches : int;
+  allow_link_pipelining : bool;
+  tech : Noc_models.Tech.t;
+}
+
+let default =
+  {
+    alpha = 0.6;
+    beta = 0.7;
+    link_utilization_cap = 0.75;
+    new_link_penalty_pj = 2.0;
+    buffer_depth = 4;
+    max_indirect_switches = 8;
+    allow_link_pipelining = false;
+    tech = Noc_models.Tech.default_65nm;
+  }
+
+let validate t =
+  let in_unit name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg (Printf.sprintf "Config: %s = %g not in [0,1]" name v)
+  in
+  in_unit "alpha" t.alpha;
+  in_unit "beta" t.beta;
+  if t.link_utilization_cap <= 0.0 || t.link_utilization_cap > 1.0 then
+    invalid_arg "Config: link_utilization_cap not in (0,1]";
+  if t.new_link_penalty_pj < 0.0 then
+    invalid_arg "Config: negative new_link_penalty_pj";
+  if t.buffer_depth < 1 then invalid_arg "Config: buffer_depth < 1";
+  if t.max_indirect_switches < 0 then
+    invalid_arg "Config: negative max_indirect_switches"

@@ -1,0 +1,37 @@
+(** Synthesis parameters.
+
+    These are the knobs the paper exposes or fixes experimentally: the
+    [alpha] weight of Definition 1, the power/latency trade-off of the path
+    cost (§4 step 15), the link data width (§4 step 1, user-fixed), and
+    engineering margins. *)
+
+type t = {
+  alpha : float;
+      (** Definition 1 weight between bandwidth and latency criticality,
+          in [0,1]; 1.0 = bandwidth only.  Default 0.6. *)
+  beta : float;
+      (** path cost = [beta]·(power increase) + (1-[beta])·(latency);
+          in [0,1].  Default 0.7. *)
+  link_utilization_cap : float;
+      (** fraction of a link's peak bandwidth the allocator may commit;
+          headroom absorbs burstiness.  Default 0.75. *)
+  new_link_penalty_pj : float;
+      (** energy-equivalent opening cost charged when a path wants a link
+          that does not exist yet; biases paths towards reuse.
+          Default 2.0 pJ/flit-equivalent. *)
+  buffer_depth : int;  (** switch input buffer depth, flits.  Default 4. *)
+  max_indirect_switches : int;
+      (** cap on the intermediate-VI switch sweep (Algorithm 1 step 14).
+          Default 8. *)
+  allow_link_pipelining : bool;
+      (** extension beyond the paper: when a link cannot be traversed in
+          one cycle of its driving clock, insert pipeline registers (one
+          extra cycle each) instead of accepting a timing violation.
+          Default [false] — the paper routes unpipelined links. *)
+  tech : Noc_models.Tech.t;
+}
+
+val default : t
+
+val validate : t -> unit
+(** @raise Invalid_argument if a field is out of its documented range. *)

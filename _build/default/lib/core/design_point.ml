@@ -1,0 +1,248 @@
+module Flow = Noc_spec.Flow
+module Soc_spec = Noc_spec.Soc_spec
+module Units = Noc_models.Units
+module Switch_model = Noc_models.Switch_model
+module Link_model = Noc_models.Link_model
+module Ni_model = Noc_models.Ni_model
+module Sync_model = Noc_models.Sync_model
+module Power = Noc_models.Power
+
+type area = {
+  switch_mm2 : float;
+  ni_mm2 : float;
+  sync_mm2 : float;
+  link_mm2 : float;
+}
+
+type t = {
+  topology : Topology.t;
+  clocks : Freq_assign.island_clock array;
+  power : Power.t;
+  area : area;
+  avg_latency_cycles : float;
+  worst_latency_slack : int;
+  switch_count : int;
+  indirect_count : int;
+  link_count : int;
+  crossing_count : int;
+  total_wire_mm : float;
+  timing_clean : bool;
+}
+
+let total_area_mm2 a = a.switch_mm2 +. a.ni_mm2 +. a.sync_mm2 +. a.link_mm2
+
+let switch_config config topo sw =
+  {
+    Switch_model.inputs = max 1 (Topology.in_ports topo sw);
+    outputs = max 1 (Topology.out_ports topo sw);
+    flit_bits = topo.Topology.flit_bits;
+    buffer_depth = config.Config.buffer_depth;
+  }
+
+let evaluate config soc topo ~clocks =
+  let tech = config.Config.tech in
+  let flit_bits = topo.Topology.flit_bits in
+  let flow_count = List.length soc.Soc_spec.flows in
+  if List.length topo.Topology.routes <> flow_count then
+    invalid_arg
+      (Printf.sprintf "Design_point.evaluate: %d of %d flows routed"
+         (List.length topo.Topology.routes)
+         flow_count);
+  let switch_cfgs =
+    Array.init (Array.length topo.Topology.switches) (fun sw ->
+        switch_config config topo sw)
+  in
+  let vdd_of sw = topo.Topology.switches.(sw).Topology.vdd in
+  (* --- dynamic power: walk every route --- *)
+  let switch_dyn = ref 0.0
+  and link_dyn = ref 0.0
+  and ni_dyn = ref 0.0
+  and sync_dyn = ref 0.0 in
+  let charge_route (flow, route) =
+    let rate =
+      Units.flits_per_second ~bw_mbps:flow.Flow.bandwidth_mbps ~flit_bits
+    in
+    let power e = Units.power_mw_of_energy ~energy_pj:e ~events_per_second:rate in
+    (* two NIs: source (packetize) and destination (depacketize), each at
+       its island's NoC supply *)
+    let src_sw = topo.Topology.core_switch.(flow.Flow.src) in
+    let dst_sw = topo.Topology.core_switch.(flow.Flow.dst) in
+    ni_dyn :=
+      !ni_dyn
+      +. power (Ni_model.energy_per_flit_pj tech ~flit_bits ~vdd:(vdd_of src_sw))
+      +. power (Ni_model.energy_per_flit_pj tech ~flit_bits ~vdd:(vdd_of dst_sw));
+    List.iter
+      (fun sw ->
+        switch_dyn :=
+          !switch_dyn
+          +. power
+               (Switch_model.energy_per_flit_pj tech switch_cfgs.(sw)
+                  ~vdd:(vdd_of sw)))
+      route;
+    let rec hops = function
+      | a :: (b :: _ as rest) ->
+        (match Topology.find_link topo ~src:a ~dst:b with
+         | None -> assert false (* commit_flow opened them *)
+         | Some link ->
+           link_dyn :=
+             !link_dyn
+             +. power
+                  (Link_model.energy_per_flit_pj tech
+                     ~length_mm:link.Topology.length_mm ~flit_bits
+                     ~vdd:(vdd_of a)
+                   +. float_of_int link.Topology.stages
+                      *. Link_model.register_energy_per_flit_pj tech
+                           ~flit_bits ~vdd:(vdd_of a));
+           if link.Topology.crossing then
+             sync_dyn :=
+               !sync_dyn
+               +. power
+                    (Sync_model.energy_per_flit_pj tech ~flit_bits
+                       ~vdd:(Float.max (vdd_of a) (vdd_of b))));
+        hops rest
+      | [ _ ] | [] -> ()
+    in
+    hops route
+  in
+  List.iter charge_route topo.Topology.routes;
+  (* --- clock/idle dynamic power: every instantiated component burns it at
+     its island's clock, flits or not --- *)
+  let freq_of sw = topo.Topology.switches.(sw).Topology.freq_mhz in
+  Array.iteri
+    (fun sw cfg ->
+      switch_dyn :=
+        !switch_dyn
+        +. Switch_model.clock_power_mw tech cfg ~vdd:(vdd_of sw)
+             ~freq_mhz:(freq_of sw))
+    switch_cfgs;
+  Array.iter
+    (fun sw ->
+      ni_dyn :=
+        !ni_dyn
+        +. Ni_model.clock_power_mw tech ~flit_bits ~vdd:(vdd_of sw)
+             ~freq_mhz:(freq_of sw))
+    topo.Topology.core_switch;
+  List.iter
+    (fun link ->
+      if link.Topology.crossing then begin
+        let a = link.Topology.link_src and b = link.Topology.link_dst in
+        sync_dyn :=
+          !sync_dyn
+          +. Sync_model.clock_power_mw tech ~flit_bits
+               ~vdd:(Float.max (vdd_of a) (vdd_of b))
+               ~freq_mhz:(Float.max (freq_of a) (freq_of b))
+      end)
+    (Topology.links_list topo);
+  (* --- leakage and area: every instantiated component --- *)
+  let switch_leak = ref 0.0 and switch_area = ref 0.0 in
+  Array.iteri
+    (fun sw cfg ->
+      switch_leak :=
+        !switch_leak +. Switch_model.leakage_mw tech cfg ~vdd:(vdd_of sw);
+      switch_area := !switch_area +. Switch_model.area_mm2 cfg)
+    switch_cfgs;
+  let ni_leak = ref 0.0 and ni_area = ref 0.0 in
+  Array.iter
+    (fun sw ->
+      ni_leak := !ni_leak +. Ni_model.leakage_mw tech ~flit_bits ~vdd:(vdd_of sw);
+      ni_area := !ni_area +. Ni_model.area_mm2 ~flit_bits)
+    topo.Topology.core_switch;
+  let sync_leak = ref 0.0 and sync_area = ref 0.0 in
+  let link_area = ref 0.0 in
+  let link_leak = ref 0.0 in
+  let crossing_count = ref 0 in
+  let timing_clean = ref true in
+  List.iter
+    (fun link ->
+      let registers = float_of_int link.Topology.stages in
+      link_area :=
+        !link_area
+        +. Link_model.area_mm2 ~length_mm:link.Topology.length_mm ~flit_bits
+        +. (registers *. Link_model.register_area_mm2 ~flit_bits);
+      link_leak :=
+        !link_leak
+        +. registers
+           *. Link_model.register_area_mm2 ~flit_bits
+           *. tech.Noc_models.Tech.leakage_mw_per_mm2;
+      let src = link.Topology.link_src in
+      (* each pipeline segment must close one-cycle timing on its own *)
+      let segment_mm =
+        link.Topology.length_mm /. float_of_int (link.Topology.stages + 1)
+      in
+      if
+        not
+          (Link_model.fits_in_cycle tech ~length_mm:segment_mm
+             ~freq_mhz:topo.Topology.switches.(src).Topology.freq_mhz)
+      then timing_clean := false;
+      if link.Topology.crossing then begin
+        incr crossing_count;
+        let vdd =
+          Float.max (vdd_of link.Topology.link_src)
+            (vdd_of link.Topology.link_dst)
+        in
+        sync_leak :=
+          !sync_leak
+          +. Sync_model.leakage_mw tech ~flit_bits
+               ~depth:Sync_model.default_depth ~vdd;
+        sync_area :=
+          !sync_area
+          +. Sync_model.area_mm2 ~flit_bits ~depth:Sync_model.default_depth
+      end)
+    (Topology.links_list topo);
+  let power =
+    {
+      Power.switch_dynamic_mw = !switch_dyn;
+      switch_leakage_mw = !switch_leak;
+      link_dynamic_mw = !link_dyn;
+      link_leakage_mw = !link_leak;
+      ni_dynamic_mw = !ni_dyn;
+      ni_leakage_mw = !ni_leak;
+      sync_dynamic_mw = !sync_dyn;
+      sync_leakage_mw = !sync_leak;
+    }
+  in
+  let area =
+    {
+      switch_mm2 = !switch_area;
+      ni_mm2 = !ni_area;
+      sync_mm2 = !sync_area;
+      link_mm2 = !link_area;
+    }
+  in
+  let worst_slack =
+    List.fold_left
+      (fun acc (flow, route) ->
+        min acc
+          (flow.Flow.max_latency_cycles - Topology.route_latency_cycles topo route))
+      max_int topo.Topology.routes
+  in
+  let direct, indirect =
+    Array.fold_left
+      (fun (d, i) sw ->
+        match sw.Topology.location with
+        | Topology.Island _ -> (d + 1, i)
+        | Topology.Intermediate -> (d, i + 1))
+      (0, 0) topo.Topology.switches
+  in
+  {
+    topology = topo;
+    clocks;
+    power;
+    area;
+    avg_latency_cycles = Topology.average_latency_cycles topo;
+    worst_latency_slack = worst_slack;
+    switch_count = direct;
+    indirect_count = indirect;
+    link_count = Hashtbl.length topo.Topology.links;
+    crossing_count = !crossing_count;
+    total_wire_mm = Topology.total_link_length_mm topo;
+    timing_clean = !timing_clean;
+  }
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>design point: %d+%d switches, %d links (%d crossings), wire %.1f mm@,\
+     %a@,avg zero-load latency %.2f cycles, worst slack %d, timing %s@]"
+    t.switch_count t.indirect_count t.link_count t.crossing_count
+    t.total_wire_mm Power.pp t.power t.avg_latency_cycles t.worst_latency_slack
+    (if t.timing_clean then "clean" else "VIOLATED")

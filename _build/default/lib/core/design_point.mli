@@ -1,0 +1,42 @@
+(** A fully evaluated design point: one entry of the trade-off curves the
+    synthesis produces (paper §3.2, and the y-axes of Figs. 2 and 3). *)
+
+type area = {
+  switch_mm2 : float;
+  ni_mm2 : float;
+  sync_mm2 : float;
+  link_mm2 : float;
+}
+
+type t = {
+  topology : Topology.t;
+  clocks : Freq_assign.island_clock array;
+  power : Noc_models.Power.t;     (** NoC power, dynamic + leakage by class *)
+  area : area;
+  avg_latency_cycles : float;     (** zero-load, Fig. 3 convention *)
+  worst_latency_slack : int;
+      (** min over flows of (constraint − route latency); ≥ 0 on any point
+          the synthesis saves *)
+  switch_count : int;             (** direct switches *)
+  indirect_count : int;
+  link_count : int;
+  crossing_count : int;           (** inter-island links (converter count) *)
+  total_wire_mm : float;
+  timing_clean : bool;
+      (** every link closes single-cycle timing at its driving clock *)
+}
+
+val total_area_mm2 : area -> float
+
+val evaluate :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Topology.t ->
+  clocks:Freq_assign.island_clock array ->
+  t
+(** Walk every committed route and charge NI, switch, link and converter
+    energy at each component's supply; add leakage and area for every
+    instantiated component.
+    @raise Invalid_argument if not all of the spec's flows are routed. *)
+
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+module Vi = Noc_spec.Vi
+module Power = Noc_models.Power
+
+type sweep_point = {
+  label : string;
+  islands : int;
+  vi : Vi.t;
+  point : Design_point.t;
+  result : Synth.result;
+}
+
+let island_sweep ?(seed = 0) config soc ~partitions =
+  List.filter_map
+    (fun (label, vi) ->
+      match Synth.run ~seed config soc vi with
+      | result ->
+        Some
+          {
+            label;
+            islands = vi.Vi.islands;
+            vi;
+            point = Synth.best_power result;
+            result;
+          }
+      | exception Synth.No_feasible_design _ -> None
+      | exception Freq_assign.Infeasible _ -> None)
+    partitions
+
+let dominates a b =
+  let pa = Power.total_mw a.Design_point.power
+  and pb = Power.total_mw b.Design_point.power in
+  let la = a.Design_point.avg_latency_cycles
+  and lb = b.Design_point.avg_latency_cycles in
+  pa <= pb && la <= lb && (pa < pb || la < lb)
+
+let pareto points =
+  let non_dominated p =
+    not (List.exists (fun q -> q != p && dominates q p) points)
+  in
+  let front = List.filter non_dominated points in
+  List.sort
+    (fun a b ->
+      compare
+        (Power.total_mw a.Design_point.power, a.Design_point.avg_latency_cycles)
+        (Power.total_mw b.Design_point.power, b.Design_point.avg_latency_cycles))
+    front
+
+let weighted_power config soc vi scenarios point =
+  let report = Shutdown.leakage_report config soc vi point ~scenarios in
+  let duty_total =
+    List.fold_left (fun a s -> a +. s.Noc_spec.Scenario.duty) 0.0 scenarios
+  in
+  let rest = Float.max 0.0 (1.0 -. duty_total) in
+  let full =
+    Noc_spec.Soc_spec.total_core_dynamic_mw soc
+    +. Noc_spec.Soc_spec.total_core_leakage_mw soc
+    +. Power.total_mw point.Design_point.power
+  in
+  List.fold_left
+    (fun acc row ->
+      acc
+      +. (row.Shutdown.scenario.Noc_spec.Scenario.duty
+          *. row.Shutdown.power_with_shutdown_mw))
+    (rest *. full) report.Shutdown.rows
+
+let best_scenario_weighted config soc vi ~scenarios result =
+  match result.Synth.points with
+  | [] -> raise (Synth.No_feasible_design "empty result")
+  | first :: rest ->
+    let score = weighted_power config soc vi scenarios in
+    List.fold_left
+      (fun ((_, best_score) as best) p ->
+        let s = score p in
+        if s < best_score then (p, s) else best)
+      (first, score first) rest
+
+let width_sweep ?(seed = 0) config soc vi ~widths =
+  List.filter_map
+    (fun flit_bits ->
+      let soc =
+        Noc_spec.Soc_spec.make
+          ~name:(Printf.sprintf "%s@%dbit" soc.Noc_spec.Soc_spec.name flit_bits)
+          ~cores:soc.Noc_spec.Soc_spec.cores
+          ~flows:soc.Noc_spec.Soc_spec.flows ~flit_bits
+          ~allow_intermediate_island:
+            soc.Noc_spec.Soc_spec.allow_intermediate_island ()
+      in
+      match Synth.run ~seed config soc vi with
+      | result -> Some (flit_bits, Synth.best_power result)
+      | exception Synth.No_feasible_design _ -> None
+      | exception Freq_assign.Infeasible _ -> None)
+    widths
+
+let alpha_sweep ?(seed = 0) config soc vi ~alphas =
+  List.filter_map
+    (fun alpha ->
+      let config = { config with Config.alpha } in
+      match Synth.run ~seed config soc vi with
+      | result -> Some (alpha, Synth.best_power result)
+      | exception Synth.No_feasible_design _ -> None
+      | exception Freq_assign.Infeasible _ -> None)
+    alphas

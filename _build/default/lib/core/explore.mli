@@ -1,0 +1,64 @@
+(** Design-space exploration drivers: the island-count sweeps behind
+    Figs. 2 and 3, Pareto filtering of design points (§3.2 "the designer
+    can then choose the best design point from the trade-off curves"), and
+    an [alpha] ablation. *)
+
+type sweep_point = {
+  label : string;          (** e.g. "logical/4" *)
+  islands : int;
+  vi : Noc_spec.Vi.t;
+  point : Design_point.t;  (** best-power feasible design for that VI map *)
+  result : Synth.result;
+}
+
+val island_sweep :
+  ?seed:int ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  partitions:(string * Noc_spec.Vi.t) list ->
+  sweep_point list
+(** Synthesize once per named VI assignment and keep each best-power point.
+    Assignments whose synthesis is infeasible are skipped (they simply do
+    not appear in the output). *)
+
+val pareto : Design_point.t list -> Design_point.t list
+(** Non-dominated subset under (total NoC power, average latency), sorted
+    by increasing power.  A point is dominated if another is at least as
+    good on both axes and strictly better on one. *)
+
+val alpha_sweep :
+  ?seed:int ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  alphas:float list ->
+  (float * Design_point.t) list
+(** Re-synthesize with different Definition-1 [alpha] weights (ablation of
+    the bandwidth/latency mix; infeasible alphas are skipped). *)
+
+val best_scenario_weighted :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  scenarios:Noc_spec.Scenario.t list ->
+  Synth.result ->
+  Design_point.t * float
+(** Scenario-aware design-point selection (extension): instead of ranking
+    feasible points by peak NoC power, rank them by the duty-weighted
+    average {e system} power over the usage scenarios — points whose
+    component placement concentrates leakage in islands that the scenarios
+    actually gate win.  Returns the best point with its weighted power (mW).
+    @raise Synth.No_feasible_design on an empty result. *)
+
+val width_sweep :
+  ?seed:int ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  widths:int list ->
+  (int * Design_point.t) list
+(** Re-synthesize with different link data widths (paper §4: the width is
+    user-fixed but "could be varied in a range and more design points could
+    be explored").  Wider links lower every island's required clock —
+    trading wire area for voltage scaling headroom.  Widths whose synthesis
+    is infeasible are skipped. *)

@@ -1,0 +1,71 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Tech = Noc_models.Tech
+module Switch_model = Noc_models.Switch_model
+module Units = Noc_models.Units
+
+type island_clock = {
+  island : int;
+  freq_mhz : float;
+  vdd : float;
+  max_arity : int;
+  min_switches : int;
+}
+
+exception Infeasible of string
+
+let floor_freq_mhz = 100.0
+
+let cores_per_switch_cap clock ~has_external =
+  if has_external then max 1 (clock.max_arity - 1) else clock.max_arity
+
+let clock_of_frequency config ~island ~freq_mhz ~cores =
+  let tech = config.Config.tech in
+  match Switch_model.max_arity_for_frequency tech ~freq_mhz with
+  | None ->
+    raise
+      (Infeasible
+         (Printf.sprintf
+            "island %d needs %.0f MHz NoC clock but no switch closes timing \
+             at that frequency (widen the links)"
+            island freq_mhz))
+  | Some max_arity ->
+    let vdd = Tech.vdd_for_frequency tech ~freq_mhz in
+    (* The reserve of one port for inter-switch links gives the pessimistic
+       (safe) minimum switch count of Algorithm 1 step 2. *)
+    let capacity = max 1 (max_arity - 1) in
+    let min_switches = (cores + capacity - 1) / capacity in
+    { island; freq_mhz; vdd; max_arity; min_switches = max 1 min_switches }
+
+let assign config soc vi =
+  Config.validate config;
+  let required_freq core =
+    let hottest = Soc_spec.max_core_bandwidth_mbps soc core in
+    if hottest <= 0.0 then floor_freq_mhz
+    else begin
+      let effective = hottest /. config.Config.link_utilization_cap in
+      Units.frequency_mhz_for_bandwidth ~bw_mbps:effective
+        ~flit_bits:soc.Soc_spec.flit_bits
+    end
+  in
+  Array.init vi.Vi.islands (fun island ->
+      let members = Vi.cores_of_island vi island in
+      let freq =
+        List.fold_left
+          (fun acc core -> Float.max acc (required_freq core))
+          floor_freq_mhz members
+      in
+      clock_of_frequency config ~island ~freq_mhz:freq
+        ~cores:(List.length members))
+
+let intermediate_clock config clocks =
+  if Array.length clocks = 0 then
+    invalid_arg "Freq_assign.intermediate_clock: no island clock";
+  let freq =
+    Array.fold_left (fun acc c -> Float.max acc c.freq_mhz) floor_freq_mhz
+      clocks
+  in
+  (* indirect switches serve no NI, so [cores] only matters for
+     min_switches, which is not meaningful here *)
+  let clock = clock_of_frequency config ~island:(-1) ~freq_mhz:freq ~cores:1 in
+  { clock with min_switches = 0 }

@@ -1,0 +1,38 @@
+(** Step 1–2 of the paper's Algorithm 1: per-island NoC clock, supply
+    voltage, maximum switch size and minimum switch count.
+
+    The NoC in island [j] must clock fast enough that the hottest single
+    NI⇄switch link of the island carries its flow at the configured
+    utilization cap; that frequency in turn caps the switch arity
+    ([max_sw_size_j], from the crossbar timing model) and thus forces a
+    minimum number of switches for the island's cores. *)
+
+type island_clock = {
+  island : int;           (** island id; [-1] for the intermediate NoC VI *)
+  freq_mhz : float;
+  vdd : float;
+  max_arity : int;        (** [max_sw_size] at this frequency *)
+  min_switches : int;     (** ceil(cores / cores-per-switch capacity) *)
+}
+
+exception Infeasible of string
+(** Raised when even the smallest (2×2) switch cannot clock fast enough for
+    some island's hottest flow at the given link width. *)
+
+val floor_freq_mhz : float
+(** Lower bound on an island's NoC clock (very quiet islands still need a
+    working network). *)
+
+val assign : Config.t -> Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> island_clock array
+(** One entry per island, indexed by island id.
+    @raise Infeasible as described above. *)
+
+val cores_per_switch_cap : island_clock -> has_external:bool -> int
+(** How many cores one switch of the island may serve: its [max_arity],
+    minus one port reserved for inter-switch connectivity when the island
+    talks to other switches ([has_external]). *)
+
+val intermediate_clock : Config.t -> island_clock array -> island_clock
+(** Clock for the always-on intermediate NoC VI: fast enough for any
+    island's traffic (the max of the island frequencies), with its own
+    arity cap. *)

@@ -1,0 +1,379 @@
+module Flow = Noc_spec.Flow
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Units = Noc_models.Units
+module Switch_model = Noc_models.Switch_model
+module Link_model = Noc_models.Link_model
+module Sync_model = Noc_models.Sync_model
+module Dijkstra = Noc_graph.Dijkstra
+module Geometry = Noc_floorplan.Geometry
+
+type error = {
+  flow : Flow.t;
+  reason : [ `No_path | `Latency of int ];
+}
+
+let pp_error ppf e =
+  match e.reason with
+  | `No_path -> Format.fprintf ppf "no path for flow %a" Flow.pp e.flow
+  | `Latency excess ->
+    Format.fprintf ppf "flow %a misses latency by %d cycles" Flow.pp e.flow
+      excess
+
+(* Mutable routing state: port counters are maintained incrementally because
+   recounting them from the link table inside Dijkstra would be
+   quadratic. *)
+type state = {
+  topo : Topology.t;
+  max_arity : int array;   (* per switch *)
+  in_ports : int array;
+  out_ports : int array;
+  capacity : float array;  (* usable MB/s of a link driven by this switch *)
+  has_indirect : bool;
+  out_to_inter : bool array;
+      (* direct switch already owns a link towards the intermediate VI *)
+  in_from_inter : bool array;
+}
+
+let make_state config topo ~clocks =
+  let n = Array.length topo.Topology.switches in
+  let inter = lazy (Freq_assign.intermediate_clock config clocks) in
+  let arity_of sw =
+    match sw.Topology.location with
+    | Topology.Island isl -> clocks.(isl).Freq_assign.max_arity
+    | Topology.Intermediate -> (Lazy.force inter).Freq_assign.max_arity
+  in
+  let capacity_of sw =
+    config.Config.link_utilization_cap
+    *. Units.bandwidth_mbps_of_frequency ~freq_mhz:sw.Topology.freq_mhz
+         ~flit_bits:topo.Topology.flit_bits
+  in
+  let has_indirect =
+    Array.exists
+      (fun sw -> sw.Topology.location = Topology.Intermediate)
+      topo.Topology.switches
+  in
+  {
+    topo;
+    max_arity = Array.map arity_of topo.Topology.switches;
+    in_ports = Array.init n (fun sw -> Topology.in_ports topo sw);
+    out_ports = Array.init n (fun sw -> Topology.out_ports topo sw);
+    capacity = Array.map capacity_of topo.Topology.switches;
+    has_indirect;
+    out_to_inter = Array.make n false;
+    in_from_inter = Array.make n false;
+  }
+
+let is_intermediate state s =
+  state.topo.Topology.switches.(s).Topology.location = Topology.Intermediate
+
+(* While a direct switch is not yet connected to the intermediate VI, one
+   port per direction is held back for that connection: otherwise the
+   highest-bandwidth flows exhaust the crossbar on direct island-to-island
+   links and leave low-rate fan-out flows with no legal path at all. *)
+let out_reserve state u =
+  if state.has_indirect && (not (is_intermediate state u))
+     && not state.out_to_inter.(u)
+  then 1
+  else 0
+
+let in_reserve state v =
+  if state.has_indirect && (not (is_intermediate state v))
+     && not state.in_from_inter.(v)
+  then 1
+  else 0
+
+(* May a *new* link u->v be opened for a flow from island [si] to [di]?
+   This encodes the paper's shutdown-safe link rules. *)
+let may_open state ~si ~di u v =
+  let loc s = state.topo.Topology.switches.(s).Topology.location in
+  match (loc u, loc v) with
+  | Topology.Island a, Topology.Island b ->
+    a = b || (a = si && b = di)
+  | Topology.Island a, Topology.Intermediate -> a = si
+  | Topology.Intermediate, Topology.Island b -> b = di
+  | Topology.Intermediate, Topology.Intermediate -> true
+
+let node_allowed state ~si ~di s =
+  match state.topo.Topology.switches.(s).Topology.location with
+  | Topology.Island a -> a = si || a = di
+  | Topology.Intermediate -> true
+
+let link_capacity state u v =
+  Float.min state.capacity.(u) state.capacity.(v)
+
+let hop_latency_cycles ~crossing ~stages =
+  Switch_model.pipeline_latency_cycles + Link_model.traversal_cycles + stages
+  + if crossing then Sync_model.crossing_latency_cycles else 0
+
+(* pipeline registers needed on a prospective link driven by [sw_u] *)
+let stages_needed config sw_u ~length_mm =
+  if config.Config.allow_link_pipelining then
+    Link_model.stages_for config.Config.tech ~length_mm
+      ~freq_mhz:sw_u.Topology.freq_mhz
+  else 0
+
+(* Power increase of pushing the flow through hop u->v (entering switch v),
+   in mW; [is_new] adds the opening bias and, for crossings, the leakage of
+   the converter that would be instantiated. *)
+let hop_power_mw config state flow ~is_new ~stages u v =
+  let topo = state.topo in
+  let tech = config.Config.tech in
+  let flit_bits = topo.Topology.flit_bits in
+  let rate =
+    Units.flits_per_second ~bw_mbps:flow.Flow.bandwidth_mbps ~flit_bits
+  in
+  let sw_v = topo.Topology.switches.(v) in
+  let sw_u = topo.Topology.switches.(u) in
+  let crossing = Topology.is_crossing topo u v in
+  let length =
+    Geometry.manhattan sw_u.Topology.position sw_v.Topology.position
+  in
+  let switch_cfg =
+    {
+      Switch_model.inputs = max 2 (state.in_ports.(v) + if is_new then 1 else 0);
+      outputs = max 2 state.out_ports.(v);
+      flit_bits;
+      buffer_depth = config.Config.buffer_depth;
+    }
+  in
+  let e_switch =
+    Switch_model.energy_per_flit_pj tech switch_cfg ~vdd:sw_v.Topology.vdd
+  in
+  let e_link =
+    Link_model.energy_per_flit_pj tech ~length_mm:length ~flit_bits
+      ~vdd:sw_u.Topology.vdd
+  in
+  let e_sync =
+    if crossing then
+      Sync_model.energy_per_flit_pj tech ~flit_bits
+        ~vdd:(Float.max sw_u.Topology.vdd sw_v.Topology.vdd)
+    else 0.0
+  in
+  let e_registers =
+    float_of_int stages
+    *. Link_model.register_energy_per_flit_pj tech ~flit_bits
+         ~vdd:sw_u.Topology.vdd
+  in
+  let e_open = if is_new then config.Config.new_link_penalty_pj else 0.0 in
+  let dynamic =
+    Units.power_mw_of_energy
+      ~energy_pj:(e_switch +. e_link +. e_sync +. e_registers +. e_open)
+      ~events_per_second:rate
+  in
+  (* Opening a link costs standing power whether or not this flow is hot:
+     one extra port's clock energy on both switches, plus — on a crossing —
+     the converter's leakage and clock.  This is what consolidates
+     inter-island traffic onto few links instead of a link per flow. *)
+  let standing =
+    if not is_new then 0.0
+    else begin
+      let port_clock sw =
+        let f = sw.Topology.freq_mhz *. 1e6 in
+        Units.power_mw_of_energy
+          ~energy_pj:
+            (1.0 *. Noc_models.Tech.energy_scale tech ~vdd:sw.Topology.vdd)
+          ~events_per_second:f
+      in
+      let converter =
+        if crossing then begin
+          let vdd = Float.max sw_u.Topology.vdd sw_v.Topology.vdd in
+          Sync_model.leakage_mw tech ~flit_bits
+            ~depth:Sync_model.default_depth ~vdd
+          +. Sync_model.clock_power_mw tech ~flit_bits ~vdd
+               ~freq_mhz:(Float.max sw_u.Topology.freq_mhz sw_v.Topology.freq_mhz)
+        end
+        else 0.0
+      in
+      port_clock sw_u +. port_clock sw_v +. converter
+    end
+  in
+  dynamic +. standing
+
+(* Normalization so the beta mix is dimensionless: a "typical" hop is a 5x5
+   switch plus 2 mm of wire at nominal supply. *)
+let reference_hop_power_mw config topo flow =
+  let tech = config.Config.tech in
+  let flit_bits = topo.Topology.flit_bits in
+  let rate =
+    Units.flits_per_second ~bw_mbps:flow.Flow.bandwidth_mbps ~flit_bits
+  in
+  let cfg =
+    {
+      Switch_model.inputs = 5;
+      outputs = 5;
+      flit_bits;
+      buffer_depth = config.Config.buffer_depth;
+    }
+  in
+  let e =
+    Switch_model.energy_per_flit_pj tech cfg ~vdd:tech.Noc_models.Tech.vdd_nominal
+    +. Link_model.energy_per_flit_pj tech ~length_mm:2.0 ~flit_bits
+         ~vdd:tech.Noc_models.Tech.vdd_nominal
+  in
+  Float.max 1e-9 (Units.power_mw_of_energy ~energy_pj:e ~events_per_second:rate)
+
+let successors config state flow ~si ~di ~beta u =
+  let topo = state.topo in
+  let n = Array.length topo.Topology.switches in
+  let p_norm = reference_hop_power_mw config topo flow in
+  let lat_norm = float_of_int flow.Flow.max_latency_cycles in
+  let result = ref [] in
+  for v = 0 to n - 1 do
+    if v <> u && node_allowed state ~si ~di v then begin
+      let candidate =
+        match Topology.find_link topo ~src:u ~dst:v with
+        | Some link ->
+          if
+            link.Topology.bw_mbps +. flow.Flow.bandwidth_mbps
+            <= link_capacity state u v +. 1e-9
+          then Some false
+          else None
+        | None ->
+          (* links touching the intermediate VI may consume the reserved
+             port — they are what it is reserved for *)
+          let out_cap =
+            state.max_arity.(u)
+            - if is_intermediate state v then 0 else out_reserve state u
+          in
+          let in_cap =
+            state.max_arity.(v)
+            - if is_intermediate state u then 0 else in_reserve state v
+          in
+          if
+            may_open state ~si ~di u v
+            && state.out_ports.(u) + 1 <= out_cap
+            && state.in_ports.(v) + 1 <= in_cap
+            && flow.Flow.bandwidth_mbps <= link_capacity state u v +. 1e-9
+          then Some true
+          else None
+      in
+      match candidate with
+      | None -> ()
+      | Some is_new ->
+        let crossing = Topology.is_crossing topo u v in
+        let stages =
+          if is_new then begin
+            let sw_u = topo.Topology.switches.(u) in
+            let sw_v = topo.Topology.switches.(v) in
+            let length =
+              Geometry.manhattan sw_u.Topology.position sw_v.Topology.position
+            in
+            stages_needed config sw_u ~length_mm:length
+          end
+          else
+            match Topology.find_link topo ~src:u ~dst:v with
+            | Some link -> link.Topology.stages
+            | None -> 0
+        in
+        let power = hop_power_mw config state flow ~is_new ~stages u v in
+        let latency = float_of_int (hop_latency_cycles ~crossing ~stages) in
+        let cost =
+          (beta *. (power /. p_norm))
+          +. ((1.0 -. beta) *. (latency /. lat_norm))
+        in
+        (* strictly positive costs keep Dijkstra's invariants honest *)
+        result := (v, Float.max 1e-9 cost) :: !result
+    end
+  done;
+  !result
+
+let commit config state flow route =
+  let topo = state.topo in
+  let rec open_missing = function
+    | a :: (b :: _ as rest) ->
+      (match Topology.find_link topo ~src:a ~dst:b with
+       | Some _ -> ()
+       | None ->
+         let length =
+           Geometry.manhattan topo.Topology.switches.(a).Topology.position
+             topo.Topology.switches.(b).Topology.position
+         in
+         let stages =
+           stages_needed config topo.Topology.switches.(a) ~length_mm:length
+         in
+         ignore (Topology.add_link ~stages topo ~src:a ~dst:b ~length_mm:length);
+         state.out_ports.(a) <- state.out_ports.(a) + 1;
+         state.in_ports.(b) <- state.in_ports.(b) + 1;
+         if is_intermediate state b then state.out_to_inter.(a) <- true;
+         if is_intermediate state a then state.in_from_inter.(b) <- true);
+      open_missing rest
+    | [ _ ] | [] -> ()
+  in
+  open_missing route;
+  Topology.commit_flow topo flow ~route
+
+let route_flow config state flow =
+  let topo = state.topo in
+  let si = ref 0 and di = ref 0 in
+  (match
+     ( topo.Topology.switches.(topo.Topology.core_switch.(flow.Flow.src))
+         .Topology.location,
+       topo.Topology.switches.(topo.Topology.core_switch.(flow.Flow.dst))
+         .Topology.location )
+   with
+   | Topology.Island a, Topology.Island b ->
+     si := a;
+     di := b
+   | _ -> assert false (* cores never attach to indirect switches *));
+  let ss = topo.Topology.core_switch.(flow.Flow.src) in
+  let ds = topo.Topology.core_switch.(flow.Flow.dst) in
+  if ss = ds then begin
+    commit config state flow [ ss ];
+    Ok ()
+  end
+  else begin
+    let attempt beta =
+      Dijkstra.run_to
+        ~n:(Array.length topo.Topology.switches)
+        ~successors:(successors config state flow ~si:!si ~di:!di ~beta)
+        ~source:ss ~target:ds
+    in
+    let try_route beta =
+      match attempt beta with
+      | None -> Error { flow; reason = `No_path }
+      | Some (_, route) ->
+        let latency = Topology.route_latency_cycles topo route in
+        if latency <= flow.Flow.max_latency_cycles then begin
+          commit config state flow route;
+          Ok ()
+        end
+        else Error { flow; reason = `Latency (latency - flow.Flow.max_latency_cycles) }
+    in
+    match try_route config.Config.beta with
+    | Ok () -> Ok ()
+    | Error { reason = `Latency _; _ } when config.Config.beta > 0.0 ->
+      (* power-cheapest path was too slow: retry latency-driven *)
+      try_route 0.0
+    | Error _ as e -> e
+  end
+
+let route_all ?(priority = []) config soc vi topo ~clocks =
+  ignore vi;
+  let state = make_state config topo ~clocks in
+  let rank f =
+    (* position in the priority list, or max_int for unlisted flows *)
+    let rec find i = function
+      | [] -> max_int
+      | (src, dst) :: rest ->
+        if src = f.Flow.src && dst = f.Flow.dst then i else find (i + 1) rest
+    in
+    find 0 priority
+  in
+  let by_priority_then_bandwidth a b =
+    match compare (rank a) (rank b) with
+    | 0 ->
+      (match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
+       | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
+       | c -> c)
+    | c -> c
+  in
+  let flows = List.sort by_priority_then_bandwidth soc.Soc_spec.flows in
+  let rec go = function
+    | [] -> Ok ()
+    | flow :: rest ->
+      (match route_flow config state flow with
+       | Ok () -> go rest
+       | Error e -> Error e)
+  in
+  go flows

@@ -1,0 +1,39 @@
+(** Step 15 of Algorithm 1: least-cost path computation for every flow, in
+    decreasing bandwidth order.
+
+    The cost of a hop is a linear combination ([Config.beta]) of the power
+    increase of opening/reusing the link and of the hop's latency relative
+    to the flow's constraint.  Opening rules enforce shutdown safety by
+    construction: a new inter-switch link is legal only inside one island,
+    directly from the flow's source island to its destination island, or
+    to/from/inside the always-on intermediate NoC VI — never through a
+    third shutdownable island.
+
+    If the cheapest path of a flow busts its latency constraint, the flow is
+    retried with a pure-latency cost; if that still fails, the whole
+    candidate is rejected (the paper only saves design points where "paths
+    found for all flows"). *)
+
+type error = {
+  flow : Noc_spec.Flow.t;
+  reason : [ `No_path | `Latency of int (** cycles over budget *) ];
+}
+
+val route_all :
+  ?priority:(int * int) list ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Topology.t ->
+  clocks:Freq_assign.island_clock array ->
+  (unit, error) result
+(** Mutates the topology: creates links and commits all routes on success.
+    On error the topology must be discarded (links of already-routed flows
+    remain).  Flows are processed in decreasing bandwidth order, ties broken
+    by (src, dst) for determinism — except that flows whose [(src, dst)]
+    appears in [priority] are routed first, in [priority] order.  The
+    synthesis sweep uses this for rip-up-style retries: a flow starved of
+    ports or capacity by earlier flows gets first pick on a fresh
+    topology. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,28 @@
+(** Implementation handoff report.
+
+    The paper plugs its synthesis into a full design flow "in order to
+    generate fully implementable NoCs" (§3.2).  This module renders the
+    part of that handoff our flow owns: a complete bill of materials with
+    per-instance parameters — every switch (ports, clock, supply, placed
+    position, area, power), every NI, every converter, every link (length,
+    width, pipeline stages, committed bandwidth and utilization) — plus
+    per-island and whole-design summaries. *)
+
+type t = {
+  design_name : string;
+  point : Design_point.t;
+  vi : Noc_spec.Vi.t;
+}
+
+val build :
+  Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> Design_point.t -> t
+
+val pp : Config.t -> Noc_spec.Soc_spec.t -> Format.formatter -> t -> unit
+(** Render the full report. *)
+
+val to_string : Config.t -> Noc_spec.Soc_spec.t -> t -> string
+
+val link_utilization :
+  Config.t -> Topology.t -> Topology.link -> float
+(** Committed bandwidth over the capped usable bandwidth of the link,
+    in [0, 1] for any design the allocator produced. *)

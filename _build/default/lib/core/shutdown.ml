@@ -1,0 +1,231 @@
+module Flow = Noc_spec.Flow
+module Vi = Noc_spec.Vi
+module Soc_spec = Noc_spec.Soc_spec
+module Scenario = Noc_spec.Scenario
+module Core_spec = Noc_spec.Core_spec
+module Power = Noc_models.Power
+module Switch_model = Noc_models.Switch_model
+module Ni_model = Noc_models.Ni_model
+module Sync_model = Noc_models.Sync_model
+
+type violation = {
+  v_flow : Flow.t;
+  v_switch : int;
+  v_island : int;
+}
+
+let route_violation vi topo (flow, route) ~island_banned =
+  let si = vi.Vi.of_core.(flow.Flow.src) in
+  let di = vi.Vi.of_core.(flow.Flow.dst) in
+  let offending sw =
+    match topo.Topology.switches.(sw).Topology.location with
+    | Topology.Intermediate -> None
+    | Topology.Island isl ->
+      if isl <> si && isl <> di && island_banned isl then
+        Some { v_flow = flow; v_switch = sw; v_island = isl }
+      else None
+  in
+  List.find_map offending route
+
+let check_topology vi topo =
+  let check acc entry =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      (match route_violation vi topo entry ~island_banned:(fun _ -> true) with
+       | Some v -> Error v
+       | None -> Ok ())
+  in
+  List.fold_left check (Ok ()) topo.Topology.routes
+
+let survives_gating vi topo ~gated =
+  let gated_set = Array.make vi.Vi.islands false in
+  List.iter
+    (fun isl ->
+      if isl < 0 || isl >= vi.Vi.islands then
+        invalid_arg "Shutdown.survives_gating: bad island id";
+      gated_set.(isl) <- true)
+    gated;
+  let check acc ((flow, _) as entry) =
+    match acc with
+    | Error _ -> acc
+    | Ok () ->
+      let si = vi.Vi.of_core.(flow.Flow.src) in
+      let di = vi.Vi.of_core.(flow.Flow.dst) in
+      if gated_set.(si) || gated_set.(di) then Ok () (* flow itself is off *)
+      else begin
+        match
+          route_violation vi topo entry ~island_banned:(fun isl ->
+              gated_set.(isl))
+        with
+        | Some v -> Error v
+        | None -> Ok ()
+      end
+  in
+  List.fold_left check (Ok ()) topo.Topology.routes
+
+let island_noc_leakage_mw config vi topo ~island =
+  if island < 0 || island >= vi.Vi.islands then
+    invalid_arg "Shutdown.island_noc_leakage_mw: bad island";
+  let tech = config.Config.tech in
+  let flit_bits = topo.Topology.flit_bits in
+  let total = ref 0.0 in
+  Array.iter
+    (fun sw ->
+      if Topology.location_equal sw.Topology.location (Topology.Island island)
+      then begin
+        let cfg =
+          {
+            Switch_model.inputs = max 1 (Topology.in_ports topo sw.Topology.sw_id);
+            outputs = max 1 (Topology.out_ports topo sw.Topology.sw_id);
+            flit_bits;
+            buffer_depth = config.Config.buffer_depth;
+          }
+        in
+        total := !total +. Switch_model.leakage_mw tech cfg ~vdd:sw.Topology.vdd
+      end)
+    topo.Topology.switches;
+  Array.iteri
+    (fun core sw ->
+      if vi.Vi.of_core.(core) = island then
+        total :=
+          !total
+          +. Ni_model.leakage_mw tech ~flit_bits
+               ~vdd:topo.Topology.switches.(sw).Topology.vdd)
+    topo.Topology.core_switch;
+  (* Converters: attributed to the source switch's island; when the source
+     sits in the intermediate VI, to the destination island. *)
+  List.iter
+    (fun link ->
+      if link.Topology.crossing then begin
+        let owner =
+          match
+            topo.Topology.switches.(link.Topology.link_src).Topology.location
+          with
+          | Topology.Island isl -> Some isl
+          | Topology.Intermediate ->
+            (match
+               topo.Topology.switches.(link.Topology.link_dst).Topology.location
+             with
+             | Topology.Island isl -> Some isl
+             | Topology.Intermediate -> None)
+        in
+        if owner = Some island then begin
+          let vdd =
+            Float.max
+              topo.Topology.switches.(link.Topology.link_src).Topology.vdd
+              topo.Topology.switches.(link.Topology.link_dst).Topology.vdd
+          in
+          total :=
+            !total
+            +. Sync_model.leakage_mw tech ~flit_bits
+                 ~depth:Sync_model.default_depth ~vdd
+        end
+      end)
+    (Topology.links_list topo);
+  !total
+
+type scenario_row = {
+  scenario : Scenario.t;
+  gated : int list;
+  power_without_shutdown_mw : float;
+  power_with_shutdown_mw : float;
+  savings_fraction : float;
+}
+
+type report = {
+  rows : scenario_row list;
+  weighted_savings_fraction : float;
+}
+
+let leakage_report config soc vi point ~scenarios =
+  Scenario.validate_duties scenarios;
+  let topo = point.Design_point.topology in
+  let noc_power = point.Design_point.power in
+  let noc_dynamic = Power.dynamic_mw noc_power in
+  let noc_leakage = Power.leakage_mw noc_power in
+  let total_flow_bw =
+    List.fold_left (fun acc f -> acc +. f.Flow.bandwidth_mbps) 0.0
+      soc.Soc_spec.flows
+  in
+  let all_core_leak = Soc_spec.total_core_leakage_mw soc in
+  let full_power =
+    Soc_spec.total_core_dynamic_mw soc +. all_core_leak +. noc_dynamic
+    +. noc_leakage
+  in
+  let row scenario =
+    let used = scenario.Scenario.used_cores in
+    let core_dynamic =
+      Array.fold_left ( +. ) 0.0
+        (Array.mapi
+           (fun core c ->
+             if used.(core) then c.Core_spec.dynamic_mw else 0.0)
+           soc.Soc_spec.cores)
+    in
+    let active_bw =
+      List.fold_left
+        (fun acc f ->
+          if used.(f.Flow.src) && used.(f.Flow.dst) then
+            acc +. f.Flow.bandwidth_mbps
+          else acc)
+        0.0 soc.Soc_spec.flows
+    in
+    let activity =
+      if total_flow_bw > 0.0 then active_bw /. total_flow_bw else 0.0
+    in
+    let noc_dyn_now = noc_dynamic *. activity in
+    let without =
+      core_dynamic +. all_core_leak +. noc_dyn_now +. noc_leakage
+    in
+    let gated = Scenario.gated_islands scenario vi in
+    let saved =
+      List.fold_left
+        (fun acc island ->
+          let core_leak =
+            List.fold_left
+              (fun a core -> a +. soc.Soc_spec.cores.(core).Core_spec.leakage_mw)
+              0.0
+              (Vi.cores_of_island vi island)
+          in
+          acc +. core_leak +. island_noc_leakage_mw config vi topo ~island)
+        0.0 gated
+    in
+    let with_shutdown = without -. saved in
+    {
+      scenario;
+      gated;
+      power_without_shutdown_mw = without;
+      power_with_shutdown_mw = with_shutdown;
+      savings_fraction = (if without > 0.0 then saved /. without else 0.0);
+    }
+  in
+  let rows = List.map row scenarios in
+  let duty_total = List.fold_left (fun a s -> a +. s.Scenario.duty) 0.0 scenarios in
+  let rest = Float.max 0.0 (1.0 -. duty_total) in
+  let weighted f =
+    List.fold_left (fun acc r -> acc +. (r.scenario.Scenario.duty *. f r)) 0.0 rows
+    +. (rest *. full_power)
+  in
+  let avg_without = weighted (fun r -> r.power_without_shutdown_mw) in
+  let avg_with = weighted (fun r -> r.power_with_shutdown_mw) in
+  let weighted_savings_fraction =
+    if avg_without > 0.0 then (avg_without -. avg_with) /. avg_without else 0.0
+  in
+  { rows; weighted_savings_fraction }
+
+let pp_report ppf report =
+  Format.fprintf ppf "@[<v>shutdown leakage analysis:";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "@,  %-16s duty %3.0f%%  gated [%a]  %.1f -> %.1f mW  (-%.1f%%)"
+        r.scenario.Scenario.name
+        (100.0 *. r.scenario.Scenario.duty)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        r.gated r.power_without_shutdown_mw r.power_with_shutdown_mw
+        (100.0 *. r.savings_fraction))
+    report.rows;
+  Format.fprintf ppf "@,  duty-weighted total power reduction: %.1f%%@]"
+    (100.0 *. report.weighted_savings_fraction)

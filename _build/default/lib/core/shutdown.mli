@@ -1,0 +1,60 @@
+(** Shutdown support: the safety invariant that makes island power-gating
+    possible, and the leakage-savings analysis that motivates it.
+
+    Safety invariant (the paper's headline property): for every flow
+    [s → d], every switch on its route lies in the island of [s], the
+    island of [d], or the always-on intermediate NoC VI.  Then gating any
+    set of islands can only kill flows that terminate in a gated island —
+    never a flow between two live ones. *)
+
+type violation = {
+  v_flow : Noc_spec.Flow.t;
+  v_switch : int;          (** the offending switch on the route *)
+  v_island : int;          (** the third island it sits in *)
+}
+
+val check_topology : Noc_spec.Vi.t -> Topology.t -> (unit, violation) result
+(** Verify the invariant on every committed route. *)
+
+val survives_gating :
+  Noc_spec.Vi.t -> Topology.t -> gated:int list -> (unit, violation) result
+(** Direct check used by tests: with the given islands gated, does every
+    flow between two live islands avoid all gated switches?  (Implied by
+    {!check_topology}, but verified independently.) *)
+
+(** Power accounting of one usage scenario. *)
+type scenario_row = {
+  scenario : Noc_spec.Scenario.t;
+  gated : int list;  (** islands gated in this scenario *)
+  power_without_shutdown_mw : float;
+      (** used cores' dynamic + all leakage + NoC power *)
+  power_with_shutdown_mw : float;
+      (** gated islands' core and NoC leakage removed *)
+  savings_fraction : float;
+}
+
+type report = {
+  rows : scenario_row list;
+  weighted_savings_fraction : float;
+      (** duty-weighted over scenarios (remaining duty = all-on operation) *)
+}
+
+val leakage_report :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Design_point.t ->
+  scenarios:Noc_spec.Scenario.t list ->
+  report
+(** @raise Invalid_argument if duties are inconsistent
+    ({!Noc_spec.Scenario.validate_duties}). *)
+
+val island_noc_leakage_mw :
+  Config.t -> Noc_spec.Vi.t -> Topology.t -> island:int -> float
+(** Leakage of the NoC components gated together with the island: its
+    switches, the NIs of its cores and the converters on crossing links
+    driven from or received in it (each converter is counted with exactly
+    one island — the source switch's — so summing over islands never
+    double-counts). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,137 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Flow = Noc_spec.Flow
+module Vcg = Noc_spec.Vcg
+module Kway = Noc_partition.Kway
+module Placer = Noc_floorplan.Placer
+module Wiring = Noc_floorplan.Wiring
+
+let island_has_external_flows soc vi island =
+  List.exists
+    (fun f ->
+      let si = vi.Vi.of_core.(f.Flow.src)
+      and di = vi.Vi.of_core.(f.Flow.dst) in
+      (si = island || di = island) && si <> di)
+    soc.Soc_spec.flows
+
+let core_traffic_weight soc core =
+  List.fold_left
+    (fun acc f ->
+      if f.Flow.src = core || f.Flow.dst = core then
+        acc +. f.Flow.bandwidth_mbps
+      else acc)
+    0.0 soc.Soc_spec.flows
+
+type strategy = Min_cut | Round_robin
+
+let build ?(seed = 0) ?(strategy = Min_cut) config soc vi ~plan ~clocks ~vcgs
+    ~switch_counts ~indirect_count =
+  if Array.length clocks <> vi.Vi.islands then
+    invalid_arg "Switch_alloc.build: clocks length mismatch";
+  if Array.length vcgs <> vi.Vi.islands then
+    invalid_arg "Switch_alloc.build: vcgs length mismatch";
+  if Array.length switch_counts <> vi.Vi.islands then
+    invalid_arg "Switch_alloc.build: switch_counts length mismatch";
+  if indirect_count < 0 then
+    invalid_arg "Switch_alloc.build: negative indirect_count";
+  let n = Soc_spec.core_count soc in
+  let core_switch = Array.make n (-1) in
+  let switches = ref [] in
+  let next_id = ref 0 in
+  for island = 0 to vi.Vi.islands - 1 do
+    let clock = clocks.(island) in
+    let vcg = vcgs.(island) in
+    let members = Vcg.size vcg in
+    let k = switch_counts.(island) in
+    if k < 1 || k > members then
+      invalid_arg
+        (Printf.sprintf
+           "Switch_alloc.build: island %d wants %d switches for %d cores"
+           island k members);
+    let has_external =
+      island_has_external_flows soc vi island || k > 1 || indirect_count > 0
+    in
+    let cap =
+      float_of_int (Freq_assign.cores_per_switch_cap clock ~has_external)
+    in
+    if float_of_int members > cap *. float_of_int k then
+      invalid_arg
+        (Printf.sprintf
+           "Switch_alloc.build: island %d cannot serve %d cores with %d \
+            switches of capacity %.0f"
+           island members k cap);
+    let assignment =
+      match strategy with
+      | Min_cut ->
+        (Kway.partition ~seed:(seed + island) ~parts:k ~max_block_weight:cap
+           vcg.Vcg.graph)
+          .Kway.assignment
+      | Round_robin ->
+        (* traffic-blind baseline for the step-11 ablation *)
+        Array.init members (fun local -> local mod k)
+    in
+    let block_switch = Array.make k (-1) in
+    Array.iteri
+      (fun local block ->
+        if block_switch.(block) = -1 then begin
+          block_switch.(block) <- !next_id;
+          incr next_id
+        end;
+        core_switch.(vcg.Vcg.cores.(local)) <- block_switch.(block))
+      assignment;
+    (* one switch record per non-empty block, positioned at the
+       traffic-weighted centroid of its cores *)
+    Array.iteri
+      (fun block sw_id ->
+        if sw_id >= 0 then begin
+          let attached =
+            List.filter_map
+              (fun local ->
+                if assignment.(local) = block then begin
+                  let core = vcg.Vcg.cores.(local) in
+                  Some (core, Float.max 1.0 (core_traffic_weight soc core))
+                end
+                else None)
+              (List.init members (fun i -> i))
+          in
+          let position =
+            Wiring.switch_position plan ~island ~attached_cores:attached
+          in
+          switches :=
+            {
+              Topology.sw_id;
+              location = Topology.Island island;
+              freq_mhz = clock.Freq_assign.freq_mhz;
+              vdd = clock.Freq_assign.vdd;
+              position;
+            }
+            :: !switches
+        end)
+      block_switch
+  done;
+  if indirect_count > 0 then begin
+    let inter = Freq_assign.intermediate_clock config clocks in
+    for index = 0 to indirect_count - 1 do
+      let position =
+        Wiring.channel_position plan ~index ~count:indirect_count
+      in
+      switches :=
+        {
+          Topology.sw_id = !next_id;
+          location = Topology.Intermediate;
+          freq_mhz = inter.Freq_assign.freq_mhz;
+          vdd = inter.Freq_assign.vdd;
+          position;
+        }
+        :: !switches;
+      incr next_id
+    done
+  end;
+  let switches =
+    Array.of_list
+      (List.sort
+         (fun a b -> compare a.Topology.sw_id b.Topology.sw_id)
+         !switches)
+  in
+  Topology.create ~islands:vi.Vi.islands ~switches ~core_switch
+    ~flit_bits:soc.Soc_spec.flit_bits

@@ -1,0 +1,35 @@
+(** Steps 4–11 of Algorithm 1 for one candidate: given a switch count per
+    island and an indirect-switch count for the intermediate NoC VI, assign
+    every core to a switch by min-cut partitioning of its island's VCG and
+    materialize the (link-less) topology with switch clocks and floorplan
+    positions. *)
+
+val island_has_external_flows : Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> int -> bool
+(** Does any flow cross this island's boundary? *)
+
+type strategy =
+  | Min_cut
+      (** the paper's step 11: heavily-communicating cores share a switch *)
+  | Round_robin
+      (** ablation baseline: cores dealt to switches in id order, ignoring
+          traffic — quantifies what min-cut grouping buys *)
+
+val build :
+  ?seed:int ->
+  ?strategy:strategy ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  plan:Noc_floorplan.Placer.plan ->
+  clocks:Freq_assign.island_clock array ->
+  vcgs:Noc_spec.Vcg.t array ->
+  switch_counts:int array ->
+  indirect_count:int ->
+  Topology.t
+(** Direct switches are numbered island by island (island 0's switches
+    first), indirect switches last.  Each direct switch sits at the
+    bandwidth-weighted centroid of its attached cores; indirect switches
+    spread along the NoC channel.
+
+    @raise Invalid_argument if a switch count is below the island's minimum
+    or above its core count, or array lengths disagree. *)

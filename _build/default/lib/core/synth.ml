@@ -1,0 +1,123 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Vcg = Noc_spec.Vcg
+module Placer = Noc_floorplan.Placer
+module Anneal = Noc_floorplan.Anneal
+module Power = Noc_models.Power
+
+type result = {
+  points : Design_point.t list;
+  plan : Placer.plan;
+  clocks : Freq_assign.island_clock array;
+  candidates_tried : int;
+  candidates_feasible : int;
+}
+
+exception No_feasible_design of string
+
+let log_src = Logs.Src.create "noc.synth" ~doc:"NoC topology synthesis"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cut)
+    config soc vi =
+  Config.validate config;
+  let clocks = Freq_assign.assign config soc vi in
+  let plan0 = Placer.place soc vi in
+  let plan = if anneal then Anneal.improve ~seed soc vi plan0 else plan0 in
+  let vcgs = Vcg.build_all ~alpha:config.Config.alpha soc vi in
+  let sizes = Vi.island_sizes vi in
+  let max_size = Array.fold_left max 1 sizes in
+  let indirect_max =
+    if soc.Soc_spec.allow_intermediate_island && vi.Vi.islands > 1 then
+      config.Config.max_indirect_switches
+    else 0
+  in
+  let points = ref [] in
+  let tried = ref 0 in
+  let feasible = ref 0 in
+  let last_counts = ref [||] in
+  let extra = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let switch_counts =
+      Array.mapi
+        (fun island size ->
+          min (clocks.(island).Freq_assign.min_switches + !extra) size)
+        sizes
+    in
+    if !extra > 0 && switch_counts = !last_counts then stop := true
+    else begin
+      last_counts := switch_counts;
+      for indirect_count = 0 to indirect_max do
+        incr tried;
+        (* Rip-up-style retries: when bandwidth-greedy ordering starves a
+           flow of ports or capacity, rebuild the candidate and route the
+           starved flows first. *)
+        let rec attempt priority retries_left =
+          let topo =
+            Switch_alloc.build ~seed ~strategy:assignment_strategy config soc
+              vi ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
+          in
+          match Path_alloc.route_all ~priority config soc vi topo ~clocks with
+          | Ok () -> Some (Design_point.evaluate config soc topo ~clocks)
+          | Error e ->
+            let key = (e.Path_alloc.flow.Noc_spec.Flow.src,
+                       e.Path_alloc.flow.Noc_spec.Flow.dst) in
+            if retries_left > 0 && not (List.mem key priority) then
+              attempt (priority @ [ key ]) (retries_left - 1)
+            else begin
+              Log.debug (fun m ->
+                  m "candidate (extra=%d, indirect=%d) infeasible: %a" !extra
+                    indirect_count Path_alloc.pp_error e);
+              None
+            end
+        in
+        match attempt [] 2 with
+        | Some point ->
+          incr feasible;
+          points := point :: !points
+        | None -> ()
+      done;
+      incr extra;
+      if !extra > max_size then stop := true
+    end
+  done;
+  if !points = [] then
+    raise
+      (No_feasible_design
+         (Printf.sprintf "%s: no candidate routed all %d flows"
+            soc.Soc_spec.name
+            (List.length soc.Soc_spec.flows)));
+  {
+    points = List.rev !points;
+    plan;
+    clocks;
+    candidates_tried = !tried;
+    candidates_feasible = !feasible;
+  }
+
+let pick better result =
+  match result.points with
+  | [] -> raise (No_feasible_design "empty result")
+  | first :: rest ->
+    List.fold_left (fun acc p -> if better p acc then p else acc) first rest
+
+let best_power result =
+  let better a b =
+    let pa = Power.total_mw a.Design_point.power
+    and pb = Power.total_mw b.Design_point.power in
+    pa < pb
+    || (pa = pb && a.Design_point.avg_latency_cycles < b.Design_point.avg_latency_cycles)
+  in
+  pick better result
+
+let best_latency result =
+  let better a b =
+    let la = a.Design_point.avg_latency_cycles
+    and lb = b.Design_point.avg_latency_cycles in
+    la < lb
+    || (la = lb
+        && Power.total_mw a.Design_point.power < Power.total_mw b.Design_point.power)
+  in
+  pick better result

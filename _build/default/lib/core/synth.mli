@@ -1,0 +1,40 @@
+(** The paper's Algorithm 1, end to end: sweep the switch count of every
+    island from its minimum to one-per-core, and the indirect switch count
+    of the intermediate NoC VI, routing all flows for each candidate and
+    saving every feasible design point. *)
+
+type result = {
+  points : Design_point.t list;
+      (** all feasible design points, in sweep order *)
+  plan : Noc_floorplan.Placer.plan;  (** the core placement used *)
+  clocks : Freq_assign.island_clock array;
+  candidates_tried : int;
+  candidates_feasible : int;
+}
+
+exception No_feasible_design of string
+
+val run :
+  ?seed:int ->
+  ?anneal:bool ->
+  ?assignment_strategy:Switch_alloc.strategy ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  result
+(** [anneal] (default [true]) runs simulated-annealing placement refinement
+    before synthesis; [assignment_strategy] (default
+    {!Switch_alloc.Min_cut}) selects how cores map to switches — the
+    {!Switch_alloc.Round_robin} ablation quantifies what the paper's
+    min-cut grouping buys.  Deterministic for a fixed [seed].
+    @raise No_feasible_design if no candidate routes all flows within
+    constraints.
+    @raise Freq_assign.Infeasible if some island cannot clock high enough. *)
+
+val best_power : result -> Design_point.t
+(** Feasible point with the lowest total NoC power (the paper's headline
+    metric); ties broken towards lower average latency. *)
+
+val best_latency : result -> Design_point.t
+(** Feasible point with the lowest average zero-load latency; ties broken
+    towards lower power. *)

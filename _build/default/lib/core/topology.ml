@@ -1,0 +1,315 @@
+module Flow = Noc_spec.Flow
+module Geometry = Noc_floorplan.Geometry
+
+type location = Island of int | Intermediate
+
+type switch = {
+  sw_id : int;
+  location : location;
+  freq_mhz : float;
+  vdd : float;
+  position : Geometry.point;
+}
+
+type link = {
+  link_src : int;
+  link_dst : int;
+  mutable bw_mbps : float;
+  length_mm : float;
+  crossing : bool;
+  stages : int;
+}
+
+type t = {
+  islands : int;
+  switches : switch array;
+  core_switch : int array;
+  links : (int * int, link) Hashtbl.t;
+  mutable routes : (Flow.t * int list) list;
+  flit_bits : int;
+}
+
+let location_equal a b =
+  match (a, b) with
+  | Island i, Island j -> i = j
+  | Intermediate, Intermediate -> true
+  | Island _, Intermediate | Intermediate, Island _ -> false
+
+let create ~islands ~switches ~core_switch ~flit_bits =
+  if Array.length switches = 0 then invalid_arg "Topology.create: no switch";
+  if islands < 1 then invalid_arg "Topology.create: islands < 1";
+  if flit_bits <= 0 then invalid_arg "Topology.create: flit_bits <= 0";
+  Array.iteri
+    (fun i sw ->
+      if sw.sw_id <> i then invalid_arg "Topology.create: switch id mismatch";
+      match sw.location with
+      | Island isl when isl < 0 || isl >= islands ->
+        invalid_arg "Topology.create: switch on unknown island"
+      | Island _ | Intermediate -> ())
+    switches;
+  Array.iteri
+    (fun core sw ->
+      if sw < 0 || sw >= Array.length switches then
+        invalid_arg
+          (Printf.sprintf "Topology.create: core %d on unknown switch %d" core
+             sw);
+      match switches.(sw).location with
+      | Intermediate ->
+        invalid_arg "Topology.create: core attached to an indirect switch"
+      | Island _ -> ())
+    core_switch;
+  {
+    islands;
+    switches;
+    core_switch = Array.copy core_switch;
+    links = Hashtbl.create 64;
+    routes = [];
+    flit_bits;
+  }
+
+let check_switch t s name =
+  if s < 0 || s >= Array.length t.switches then
+    invalid_arg (Printf.sprintf "Topology.%s: bad switch id %d" name s)
+
+let is_crossing t a b =
+  check_switch t a "is_crossing";
+  check_switch t b "is_crossing";
+  not (location_equal t.switches.(a).location t.switches.(b).location)
+
+let add_link ?(stages = 0) t ~src ~dst ~length_mm =
+  check_switch t src "add_link";
+  check_switch t dst "add_link";
+  if src = dst then invalid_arg "Topology.add_link: self link";
+  if length_mm < 0.0 then invalid_arg "Topology.add_link: negative length";
+  if stages < 0 then invalid_arg "Topology.add_link: negative stages";
+  if Hashtbl.mem t.links (src, dst) then
+    invalid_arg "Topology.add_link: link exists";
+  let link =
+    {
+      link_src = src;
+      link_dst = dst;
+      bw_mbps = 0.0;
+      length_mm;
+      crossing = is_crossing t src dst;
+      stages;
+    }
+  in
+  Hashtbl.replace t.links (src, dst) link;
+  link
+
+let find_link t ~src ~dst =
+  check_switch t src "find_link";
+  check_switch t dst "find_link";
+  Hashtbl.find_opt t.links (src, dst)
+
+let links_list t =
+  let all = Hashtbl.fold (fun _ l acc -> l :: acc) t.links [] in
+  List.sort
+    (fun a b -> compare (a.link_src, a.link_dst) (b.link_src, b.link_dst))
+    all
+
+let commit_flow t flow ~route =
+  (match route with
+   | [] -> invalid_arg "Topology.commit_flow: empty route"
+   | first :: _ ->
+     if t.core_switch.(flow.Flow.src) <> first then
+       invalid_arg "Topology.commit_flow: route does not start at source switch");
+  let rec last = function
+    | [] -> assert false
+    | [ x ] -> x
+    | _ :: rest -> last rest
+  in
+  if t.core_switch.(flow.Flow.dst) <> last route then
+    invalid_arg "Topology.commit_flow: route does not end at destination switch";
+  let rec charge = function
+    | a :: (b :: _ as rest) ->
+      (match find_link t ~src:a ~dst:b with
+       | Some link -> link.bw_mbps <- link.bw_mbps +. flow.Flow.bandwidth_mbps
+       | None ->
+         invalid_arg
+           (Printf.sprintf "Topology.commit_flow: missing link %d->%d" a b));
+      charge rest
+    | [ _ ] | [] -> ()
+  in
+  charge route;
+  t.routes <- (flow, route) :: t.routes
+
+let attached_cores t sw =
+  check_switch t sw "attached_cores";
+  let members = ref [] in
+  for core = Array.length t.core_switch - 1 downto 0 do
+    if t.core_switch.(core) = sw then members := core :: !members
+  done;
+  !members
+
+let ni_ports t sw = List.length (attached_cores t sw)
+
+let in_ports t sw =
+  check_switch t sw "in_ports";
+  let incoming =
+    Hashtbl.fold
+      (fun (_, dst) _ acc -> if dst = sw then acc + 1 else acc)
+      t.links 0
+  in
+  ni_ports t sw + incoming
+
+let out_ports t sw =
+  check_switch t sw "out_ports";
+  let outgoing =
+    Hashtbl.fold
+      (fun (src, _) _ acc -> if src = sw then acc + 1 else acc)
+      t.links 0
+  in
+  ni_ports t sw + outgoing
+
+let arity t sw = max (in_ports t sw) (out_ports t sw)
+
+let switches_of_location t location =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter
+          (fun sw -> location_equal sw.location location)
+          (Array.to_seq t.switches)))
+
+let crossings_of_route t route =
+  let rec count = function
+    | a :: (b :: _ as rest) ->
+      (if is_crossing t a b then 1 else 0) + count rest
+    | [ _ ] | [] -> 0
+  in
+  count route
+
+let route_latency_cycles t route =
+  match route with
+  | [] -> invalid_arg "Topology.route_latency_cycles: empty route"
+  | _ ->
+    let switches = List.length route in
+    let links = switches - 1 in
+    let crossings = crossings_of_route t route in
+    (* pipeline stages on existing links; a hypothetical hop with no link
+       yet counts as unpipelined *)
+    let rec stage_sum = function
+      | a :: (b :: _ as rest) ->
+        (match Hashtbl.find_opt t.links (a, b) with
+         | Some link -> link.stages
+         | None -> 0)
+        + stage_sum rest
+      | [ _ ] | [] -> 0
+    in
+    (Noc_models.Switch_model.pipeline_latency_cycles * switches)
+    + (Noc_models.Link_model.traversal_cycles * links)
+    + (Noc_models.Sync_model.crossing_latency_cycles * crossings)
+    + stage_sum route
+
+let average_latency_cycles t =
+  match t.routes with
+  | [] -> invalid_arg "Topology.average_latency_cycles: no route"
+  | routes ->
+    let total =
+      List.fold_left
+        (fun acc (_, route) -> acc + route_latency_cycles t route)
+        0 routes
+    in
+    float_of_int total /. float_of_int (List.length routes)
+
+let max_latency_violation t =
+  List.fold_left
+    (fun worst (flow, route) ->
+      let excess =
+        route_latency_cycles t route - flow.Flow.max_latency_cycles
+      in
+      if excess <= 0 then worst
+      else
+        match worst with
+        | Some (_, w) when w >= excess -> worst
+        | _ -> Some (flow, excess))
+    None t.routes
+
+let total_link_length_mm t =
+  Hashtbl.fold (fun _ l acc -> acc +. l.length_mm) t.links 0.0
+
+let location_name = function
+  | Island i -> Printf.sprintf "VI%d" i
+  | Intermediate -> "NoC-VI"
+
+let pp_netlist ppf t =
+  Format.fprintf ppf "@[<v>topology: %d switches, %d links, %d routed flows"
+    (Array.length t.switches)
+    (Hashtbl.length t.links)
+    (List.length t.routes);
+  let locations =
+    List.init t.islands (fun i -> Island i)
+    @ if List.exists (fun s -> s.location = Intermediate)
+           (Array.to_list t.switches)
+      then [ Intermediate ]
+      else []
+  in
+  let describe location =
+    let members = switches_of_location t location in
+    if members <> [] then begin
+      Format.fprintf ppf "@,%s (%.0f MHz, %.2f V):" (location_name location)
+        (List.hd members).freq_mhz (List.hd members).vdd;
+      List.iter
+        (fun sw ->
+          let cores = attached_cores t sw.sw_id in
+          Format.fprintf ppf "@,  sw%d %dx%d cores[%a]" sw.sw_id
+            (in_ports t sw.sw_id) (out_ports t sw.sw_id)
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+               Format.pp_print_int)
+            cores)
+        members
+    end
+  in
+  List.iter describe locations;
+  Format.fprintf ppf "@,links:";
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "@,  sw%d -> sw%d%s%s %.0f MB/s %.2f mm" l.link_src
+        l.link_dst
+        (if l.crossing then " [bisync]" else "")
+        (if l.stages > 0 then Printf.sprintf " [%d-stage]" l.stages else "")
+        l.bw_mbps l.length_mm)
+    (links_list t);
+  Format.fprintf ppf "@]"
+
+let to_dot t ~core_name =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "digraph noc {\n  rankdir=LR;\n";
+  let cluster location =
+    let members = switches_of_location t location in
+    if members <> [] then begin
+      let id =
+        match location with Island i -> string_of_int i | Intermediate -> "noc"
+      in
+      Buffer.add_string buffer
+        (Printf.sprintf "  subgraph cluster_%s {\n    label=\"%s\";\n" id
+           (location_name location));
+      List.iter
+        (fun sw ->
+          Buffer.add_string buffer
+            (Printf.sprintf "    sw%d [shape=box label=\"sw%d\"];\n" sw.sw_id
+               sw.sw_id);
+          List.iter
+            (fun core ->
+              Buffer.add_string buffer
+                (Printf.sprintf
+                   "    core%d [shape=ellipse label=\"%s\"];\n    core%d -> \
+                    sw%d [dir=both style=dashed];\n"
+                   core (core_name core) core sw.sw_id))
+            (attached_cores t sw.sw_id))
+        members;
+      Buffer.add_string buffer "  }\n"
+    end
+  in
+  List.iter cluster (List.init t.islands (fun i -> Island i));
+  cluster Intermediate;
+  List.iter
+    (fun l ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  sw%d -> sw%d [label=\"%.0f\"%s];\n" l.link_src
+           l.link_dst l.bw_mbps
+           (if l.crossing then " color=red" else "")))
+    (links_list t);
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer

@@ -1,0 +1,44 @@
+(** Design-rule verification of a synthesized topology.
+
+    The synthesis pipeline maintains these invariants by construction; this
+    module re-derives every one of them from scratch against the spec, so a
+    bug anywhere in the pipeline (or a hand-edited topology) surfaces as a
+    structured violation instead of a silently wrong design.  Used by the
+    CLI ([noc_synth verify]), the test suite and the property tests. *)
+
+type violation =
+  | Unrouted_flow of Noc_spec.Flow.t
+      (** a spec flow with no committed route *)
+  | Duplicate_route of Noc_spec.Flow.t
+  | Broken_route of { flow : Noc_spec.Flow.t; from_sw : int; to_sw : int }
+      (** consecutive route switches with no link between them *)
+  | Wrong_endpoints of Noc_spec.Flow.t
+      (** route does not start/end at the flow's NI switches *)
+  | Bandwidth_mismatch of { src : int; dst : int; committed : float; recomputed : float }
+      (** link accounting out of sync with the routed flows *)
+  | Port_overflow of { switch : int; arity : int; cap : int }
+      (** switch needs more ports than its island's [max_sw_size] *)
+  | Capacity_overflow of { src : int; dst : int; bw_mbps : float; cap_mbps : float }
+      (** link carries more than the utilization-capped peak bandwidth *)
+  | Latency_violation of { flow : Noc_spec.Flow.t; excess_cycles : int }
+  | Timing_violation of { src : int; dst : int; length_mm : float; budget_mm : float }
+      (** unpipelined link too long for one cycle of the driving clock *)
+  | Clock_mismatch of { switch : int; expected_mhz : float; actual_mhz : float }
+      (** switch not running at its island's derived clock *)
+  | Shutdown_violation of { flow : Noc_spec.Flow.t; switch : int; island : int }
+      (** a route transits a third shutdownable island *)
+
+val check :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Topology.t ->
+  violation list
+(** All violations, deterministically ordered.  An empty list means the
+    design is clean.  Island clocks are re-derived from the spec via
+    {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val pp_report : Format.formatter -> violation list -> unit
+(** "clean" or one line per violation. *)

@@ -1,0 +1,38 @@
+module Svg = Noc_floorplan.Svg
+module Wiring = Noc_floorplan.Wiring
+
+let design_svg soc vi plan topo =
+  let c = Svg.plan_canvas soc vi plan in
+  (* links first so switches draw on top of them *)
+  List.iter
+    (fun link ->
+      let a = topo.Topology.switches.(link.Topology.link_src).Topology.position in
+      let b = topo.Topology.switches.(link.Topology.link_dst).Topology.position in
+      if link.Topology.crossing then
+        Svg.line c a b ~stroke:"#c62828" ~width:2.0 ~dashed:true ()
+      else Svg.line c a b ~stroke:"#1565c0" ~width:2.0 ())
+    (Topology.links_list topo);
+  (* NI attachment stubs *)
+  Array.iteri
+    (fun core sw ->
+      let ni = Wiring.ni_position plan ~core in
+      Svg.line c ni topo.Topology.switches.(sw).Topology.position
+        ~stroke:"#9e9e9e" ~width:0.8 ~dashed:true ())
+    topo.Topology.core_switch;
+  Array.iter
+    (fun sw ->
+      let fill =
+        match sw.Topology.location with
+        | Topology.Intermediate -> "#616161"
+        | Topology.Island isl -> Svg.island_color isl
+      in
+      Svg.circle c sw.Topology.position ~r_mm:0.16 ~fill;
+      Svg.text c sw.Topology.position ~size_mm:0.18
+        (Printf.sprintf "s%d" sw.Topology.sw_id))
+    topo.Topology.switches;
+  Svg.render c
+
+let save_design_svg ~path soc vi plan topo =
+  let oc = open_out path in
+  output_string oc (design_svg soc vi plan topo);
+  close_out oc

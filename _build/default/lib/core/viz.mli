@@ -1,0 +1,22 @@
+(** Visualization of synthesized designs: the floorplan with the NoC
+    overlaid — switches at their placed positions, NI attachments, and
+    inter-switch links (converter-carrying crossings dashed red).  The
+    graphical counterpart of the paper's Figs. 4 and 5 in one picture. *)
+
+val design_svg :
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_floorplan.Placer.plan ->
+  Topology.t ->
+  string
+(** Complete SVG document. *)
+
+val save_design_svg :
+  path:string ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_floorplan.Placer.plan ->
+  Topology.t ->
+  unit
+(** Write {!design_svg} to a file.
+    @raise Sys_error on I/O failure. *)

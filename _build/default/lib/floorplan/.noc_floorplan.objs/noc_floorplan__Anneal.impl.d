@@ -1,0 +1,1 @@
+lib/floorplan/anneal.ml: Array Float Geometry List Noc_spec Placer Random

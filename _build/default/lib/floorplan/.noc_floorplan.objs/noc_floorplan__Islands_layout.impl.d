@@ -1,0 +1,1 @@
+lib/floorplan/islands_layout.ml: Array Float Geometry List

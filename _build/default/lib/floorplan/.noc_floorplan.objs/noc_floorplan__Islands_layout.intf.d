@@ -1,0 +1,1 @@
+lib/floorplan/islands_layout.mli: Geometry

@@ -1,0 +1,1 @@
+lib/floorplan/placer.ml: Array Geometry Islands_layout List Noc_spec Printf Shelf

@@ -1,0 +1,1 @@
+lib/floorplan/placer.mli: Geometry Noc_spec

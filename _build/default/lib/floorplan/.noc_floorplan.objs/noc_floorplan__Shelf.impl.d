@@ -1,0 +1,1 @@
+lib/floorplan/shelf.ml: Geometry Hashtbl List

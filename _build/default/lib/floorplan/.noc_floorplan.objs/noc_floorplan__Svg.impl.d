@@ -1,0 +1,1 @@
+lib/floorplan/svg.ml: Array Buffer Geometry Noc_spec Placer Printf String

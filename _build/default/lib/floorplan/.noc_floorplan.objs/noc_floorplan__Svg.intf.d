@@ -1,0 +1,1 @@
+lib/floorplan/svg.mli: Geometry Noc_spec Placer

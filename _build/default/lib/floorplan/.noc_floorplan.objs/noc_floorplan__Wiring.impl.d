@@ -1,0 +1,1 @@
+lib/floorplan/wiring.ml: Array Geometry List Placer

@@ -1,0 +1,1 @@
+lib/floorplan/wiring.mli: Geometry Placer

@@ -1,0 +1,134 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Flow = Noc_spec.Flow
+
+type schedule = {
+  iterations : int;
+  start_temperature : float;
+  cooling : float;
+}
+
+let default_schedule =
+  { iterations = 4000; start_temperature = 0.08; cooling = 0.9988 }
+
+(* Rect with the same dimensions re-centered at [c], pushed back inside
+   [region] if the new position sticks out. *)
+let recenter region r c =
+  let open Geometry in
+  let x = c.x -. (r.rw /. 2.0) and y = c.y -. (r.rh /. 2.0) in
+  let x = Float.min (Float.max x region.rx) (region.rx +. region.rw -. r.rw) in
+  let y = Float.min (Float.max y region.ry) (region.ry +. region.rh -. r.rh) in
+  rect ~x ~y ~w:r.rw ~h:r.rh
+
+let flows_touching soc =
+  let n = Soc_spec.core_count soc in
+  let per_core = Array.make n [] in
+  List.iter
+    (fun f ->
+      per_core.(f.Flow.src) <- f :: per_core.(f.Flow.src);
+      per_core.(f.Flow.dst) <- f :: per_core.(f.Flow.dst))
+    soc.Soc_spec.flows;
+  per_core
+
+let cost_of_core rects per_core core =
+  List.fold_left
+    (fun acc f ->
+      let a = Geometry.center rects.(f.Flow.src) in
+      let b = Geometry.center rects.(f.Flow.dst) in
+      acc +. (f.Flow.bandwidth_mbps *. Geometry.manhattan a b))
+    0.0 per_core.(core)
+
+let shared_flow_cost rects per_core a b =
+  (* flows between a and b are counted by both cost_of_core calls *)
+  List.fold_left
+    (fun acc f ->
+      if (f.Flow.src = a && f.Flow.dst = b) || (f.Flow.src = b && f.Flow.dst = a)
+      then begin
+        let pa = Geometry.center rects.(f.Flow.src) in
+        let pb = Geometry.center rects.(f.Flow.dst) in
+        acc +. (f.Flow.bandwidth_mbps *. Geometry.manhattan pa pb)
+      end
+      else acc)
+    0.0 per_core.(a)
+
+let pair_cost rects per_core a b =
+  cost_of_core rects per_core a
+  +. cost_of_core rects per_core b
+  -. shared_flow_cost rects per_core a b
+
+let legal_in_island rects members region a b =
+  let ok r =
+    Geometry.contains_rect region r
+  in
+  ok rects.(a) && ok rects.(b)
+  && Geometry.overlap_area rects.(a) rects.(b) <= 1e-9
+  && List.for_all
+       (fun other ->
+         other = a || other = b
+         || (Geometry.overlap_area rects.(other) rects.(a) <= 1e-9
+             && Geometry.overlap_area rects.(other) rects.(b) <= 1e-9))
+       members
+
+let improve ?(seed = 0) ?(schedule = default_schedule) soc vi plan =
+  let state = Random.State.make [| seed; 0xF100; schedule.iterations |] in
+  let rects = Array.copy plan.Placer.core_rects in
+  let per_core = flows_touching soc in
+  let islands_with_pairs =
+    List.filter
+      (fun isl -> List.length (Vi.cores_of_island vi isl) >= 2)
+      (List.init vi.Vi.islands (fun i -> i))
+  in
+  if islands_with_pairs = [] then plan
+  else begin
+    let island_members =
+      Array.init vi.Vi.islands (fun isl ->
+          Array.of_list (Vi.cores_of_island vi isl))
+    in
+    let islands = Array.of_list islands_with_pairs in
+    let total0 = Placer.wirelength soc plan in
+    let scale = if total0 > 0.0 then total0 else 1.0 in
+    let best = ref (Array.copy rects) in
+    let best_cost = ref total0 in
+    let current_cost = ref total0 in
+    let temperature = ref schedule.start_temperature in
+    for _ = 1 to schedule.iterations do
+      let isl = islands.(Random.State.int state (Array.length islands)) in
+      let members = island_members.(isl) in
+      let m = Array.length members in
+      let a = members.(Random.State.int state m) in
+      let b = members.(Random.State.int state m) in
+      if a <> b then begin
+        let region = plan.Placer.island_rects.(isl) in
+        let old_a = rects.(a) and old_b = rects.(b) in
+        let before = pair_cost rects per_core a b in
+        rects.(a) <- recenter region old_a (Geometry.center old_b);
+        rects.(b) <- recenter region old_b (Geometry.center old_a);
+        let members_list = Array.to_list members in
+        if not (legal_in_island rects members_list region a b) then begin
+          rects.(a) <- old_a;
+          rects.(b) <- old_b
+        end
+        else begin
+          let after = pair_cost rects per_core a b in
+          let delta = (after -. before) /. scale in
+          let accept =
+            delta <= 0.0
+            || Random.State.float state 1.0 < exp (-.delta /. !temperature)
+          in
+          if accept then begin
+            current_cost := !current_cost +. (after -. before);
+            if !current_cost < !best_cost then begin
+              best_cost := !current_cost;
+              best := Array.copy rects
+            end
+          end
+          else begin
+            rects.(a) <- old_a;
+            rects.(b) <- old_b
+          end
+        end
+      end;
+      temperature := Float.max 1e-6 (!temperature *. schedule.cooling)
+    done;
+    { plan with Placer.core_rects = !best }
+  end

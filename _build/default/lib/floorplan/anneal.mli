@@ -1,0 +1,26 @@
+(** Simulated-annealing refinement of a core placement.
+
+    Moves swap the rectangles of two cores of the {e same} island (so VI
+    contiguity and legality are preserved by construction; unequal core
+    sizes are handled by re-centering each core's rectangle on the other's
+    slot center and re-clamping into the island).  The objective is the
+    flow-weighted Manhattan wirelength of {!Placer.wirelength}. *)
+
+type schedule = {
+  iterations : int;
+  start_temperature : float;  (** in units of relative cost increase *)
+  cooling : float;            (** geometric factor per iteration *)
+}
+
+val default_schedule : schedule
+
+val improve :
+  ?seed:int ->
+  ?schedule:schedule ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Placer.plan ->
+  Placer.plan
+(** Deterministic for a fixed [seed].  Never returns a worse placement than
+    the input (keeps the best seen).  Placement legality
+    ({!Placer.check_plan}) is preserved. *)

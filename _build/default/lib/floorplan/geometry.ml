@@ -1,0 +1,48 @@
+type point = { x : float; y : float }
+type rect = { rx : float; ry : float; rw : float; rh : float }
+
+let point x y = { x; y }
+
+let rect ~x ~y ~w ~h =
+  if w < 0.0 || h < 0.0 then invalid_arg "Geometry.rect: negative dimension";
+  { rx = x; ry = y; rw = w; rh = h }
+
+let center r = { x = r.rx +. (r.rw /. 2.0); y = r.ry +. (r.rh /. 2.0) }
+let area r = r.rw *. r.rh
+
+let manhattan a b = Float.abs (a.x -. b.x) +. Float.abs (a.y -. b.y)
+
+let contains r p =
+  p.x >= r.rx && p.x <= r.rx +. r.rw && p.y >= r.ry && p.y <= r.ry +. r.rh
+
+let contains_rect outer inner =
+  inner.rx >= outer.rx -. 1e-9
+  && inner.ry >= outer.ry -. 1e-9
+  && inner.rx +. inner.rw <= outer.rx +. outer.rw +. 1e-9
+  && inner.ry +. inner.rh <= outer.ry +. outer.rh +. 1e-9
+
+let overlap_area a b =
+  let ox =
+    Float.min (a.rx +. a.rw) (b.rx +. b.rw) -. Float.max a.rx b.rx
+  in
+  let oy =
+    Float.min (a.ry +. a.rh) (b.ry +. b.rh) -. Float.max a.ry b.ry
+  in
+  if ox > 0.0 && oy > 0.0 then ox *. oy else 0.0
+
+let clamp_point r p =
+  {
+    x = Float.min (Float.max p.x r.rx) (r.rx +. r.rw);
+    y = Float.min (Float.max p.y r.ry) (r.ry +. r.rh);
+  }
+
+let inset r margin =
+  let w = Float.max 0.0 (r.rw -. (2.0 *. margin)) in
+  let h = Float.max 0.0 (r.rh -. (2.0 *. margin)) in
+  let c = center r in
+  { rx = c.x -. (w /. 2.0); ry = c.y -. (h /. 2.0); rw = w; rh = h }
+
+let pp_point ppf p = Format.fprintf ppf "(%.2f,%.2f)" p.x p.y
+
+let pp_rect ppf r =
+  Format.fprintf ppf "[%.2f,%.2f %.2fx%.2f]" r.rx r.ry r.rw r.rh

@@ -1,0 +1,31 @@
+(** Plain 2-D geometry for the floorplanner (units: mm). *)
+
+type point = { x : float; y : float }
+
+type rect = { rx : float; ry : float; rw : float; rh : float }
+(** Axis-aligned rectangle anchored at its lower-left corner. *)
+
+val point : float -> float -> point
+val rect : x:float -> y:float -> w:float -> h:float -> rect
+(** @raise Invalid_argument on negative width/height. *)
+
+val center : rect -> point
+val area : rect -> float
+val manhattan : point -> point -> float
+val contains : rect -> point -> bool
+(** Closed on all sides. *)
+
+val contains_rect : rect -> rect -> bool
+val overlap_area : rect -> rect -> float
+(** Area of the intersection, [0.] for disjoint rectangles; rectangles that
+    merely share an edge do not overlap. *)
+
+val clamp_point : rect -> point -> point
+(** Nearest point of the rectangle. *)
+
+val inset : rect -> float -> rect
+(** Shrink by a margin on every side (clamped to a degenerate
+    center rectangle when the margin is too large). *)
+
+val pp_point : Format.formatter -> point -> unit
+val pp_rect : Format.formatter -> rect -> unit

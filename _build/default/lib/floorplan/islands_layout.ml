@@ -1,0 +1,103 @@
+type t = {
+  die : Geometry.rect;
+  island_rects : Geometry.rect array;
+  noc_channel : Geometry.rect option;
+}
+
+(* Split items into two groups of roughly equal area demand (greedy,
+   heaviest first), both non-empty. *)
+let balanced_halves items =
+  match items with
+  | [] | [ _ ] -> invalid_arg "Islands_layout: halving fewer than two items"
+  | _ ->
+    let sorted = List.sort (fun (_, a) (_, b) -> compare b a) items in
+    let g1 = ref [] and g2 = ref [] in
+    let w1 = ref 0.0 and w2 = ref 0.0 in
+    let assign ((_, area) as item) =
+      if !w1 <= !w2 then begin
+        g1 := item :: !g1;
+        w1 := !w1 +. area
+      end
+      else begin
+        g2 := item :: !g2;
+        w2 := !w2 +. area
+      end
+    in
+    List.iter assign sorted;
+    (match (!g1, !g2) with
+     | [], item :: rest ->
+       g1 := [ item ];
+       g2 := rest
+     | item :: rest, [] ->
+       g2 := [ item ];
+       g1 := rest
+     | _ -> ());
+    (List.rev !g1, List.rev !g2)
+
+let rec slice region items acc =
+  let open Geometry in
+  match items with
+  | [] -> acc
+  | [ (id, _) ] -> (id, region) :: acc
+  | _ ->
+    let g1, g2 = balanced_halves items in
+    let a1 = List.fold_left (fun s (_, a) -> s +. a) 0.0 g1 in
+    let a2 = List.fold_left (fun s (_, a) -> s +. a) 0.0 g2 in
+    let fraction = if a1 +. a2 <= 0.0 then 0.5 else a1 /. (a1 +. a2) in
+    (* keep both sides non-degenerate even for zero-demand islands *)
+    let fraction = Float.min 0.9 (Float.max 0.1 fraction) in
+    let r1, r2 =
+      if region.rw >= region.rh then begin
+        let w1 = region.rw *. fraction in
+        ( rect ~x:region.rx ~y:region.ry ~w:w1 ~h:region.rh,
+          rect ~x:(region.rx +. w1) ~y:region.ry ~w:(region.rw -. w1)
+            ~h:region.rh )
+      end
+      else begin
+        let h1 = region.rh *. fraction in
+        ( rect ~x:region.rx ~y:region.ry ~w:region.rw ~h:h1,
+          rect ~x:region.rx ~y:(region.ry +. h1) ~w:region.rw
+            ~h:(region.rh -. h1) )
+      end
+    in
+    slice r2 g2 (slice r1 g1 acc)
+
+let layout ~die_area_mm2 ?(die_aspect = 1.0) ?(channel_fraction = 0.06)
+    ~island_areas ~with_channel () =
+  let open Geometry in
+  let islands = Array.length island_areas in
+  if islands = 0 then invalid_arg "Islands_layout.layout: no island";
+  if die_area_mm2 <= 0.0 then invalid_arg "Islands_layout.layout: bad die area";
+  if die_aspect <= 0.0 then invalid_arg "Islands_layout.layout: bad aspect";
+  if channel_fraction <= 0.0 || channel_fraction >= 0.5 then
+    invalid_arg "Islands_layout.layout: channel_fraction out of (0,0.5)";
+  Array.iter
+    (fun a ->
+      if a < 0.0 then invalid_arg "Islands_layout.layout: negative island area")
+    island_areas;
+  let total_demand = Array.fold_left ( +. ) 0.0 island_areas in
+  if total_demand > die_area_mm2 +. 1e-9 then
+    invalid_arg "Islands_layout.layout: island demand exceeds die area";
+  let die_w = sqrt (die_area_mm2 *. die_aspect) in
+  let die_h = die_area_mm2 /. die_w in
+  let die = rect ~x:0.0 ~y:0.0 ~w:die_w ~h:die_h in
+  let items =
+    Array.to_list (Array.mapi (fun i a -> (i, a)) island_areas)
+  in
+  let noc_channel, regions =
+    if with_channel && islands > 1 then begin
+      let cw = die_w *. channel_fraction in
+      let cx = (die_w -. cw) /. 2.0 in
+      let channel = rect ~x:cx ~y:0.0 ~w:cw ~h:die_h in
+      let left = rect ~x:0.0 ~y:0.0 ~w:cx ~h:die_h in
+      let right =
+        rect ~x:(cx +. cw) ~y:0.0 ~w:(die_w -. cx -. cw) ~h:die_h
+      in
+      let g1, g2 = balanced_halves items in
+      (Some channel, slice right g2 (slice left g1 []))
+    end
+    else (None, slice die items [])
+  in
+  let island_rects = Array.make islands die in
+  List.iter (fun (id, r) -> island_rects.(id) <- r) regions;
+  { die; island_rects; noc_channel }

@@ -1,0 +1,30 @@
+(** Partition of the die outline into one contiguous rectangle per voltage
+    island.
+
+    VIs must be contiguous so a single pair of power/ground rails feeds each
+    island (paper §1); the layout slices the die with alternating
+    vertical/horizontal guillotine cuts, giving each island area
+    proportional to its demand.  When an always-on intermediate NoC VI is
+    requested, a thin central channel is reserved for it before slicing. *)
+
+type t = {
+  die : Geometry.rect;
+  island_rects : Geometry.rect array;  (** indexed by island id *)
+  noc_channel : Geometry.rect option;
+      (** region of the intermediate NoC VI, if reserved *)
+}
+
+val layout :
+  die_area_mm2:float ->
+  ?die_aspect:float ->
+  ?channel_fraction:float ->
+  island_areas:float array ->
+  with_channel:bool ->
+  unit ->
+  t
+(** [die_aspect] defaults to 1.0 (square die), [channel_fraction] (die width
+    devoted to the NoC channel) to 0.06.  Island rectangles tile the die
+    minus the channel; every island with positive area demand gets a
+    non-degenerate rectangle.
+    @raise Invalid_argument if areas are negative, their sum exceeds the die
+    area, or no island is given. *)

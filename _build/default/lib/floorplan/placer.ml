@@ -1,0 +1,103 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Flow = Noc_spec.Flow
+module Core_spec = Noc_spec.Core_spec
+
+type plan = {
+  die : Geometry.rect;
+  island_rects : Geometry.rect array;
+  noc_channel : Geometry.rect option;
+  core_rects : Geometry.rect array;
+}
+
+let aspect_for_kind = function
+  | Core_spec.Memory | Core_spec.Cache -> 1.6 (* macros tend to be oblong *)
+  | Core_spec.Io | Core_spec.Peripheral -> 1.3
+  | Core_spec.Processor | Core_spec.Dsp | Core_spec.Dma
+  | Core_spec.Accelerator -> 1.0
+
+let place ?(die_utilization = 0.72) ?(die_aspect = 1.0) soc vi =
+  if die_utilization <= 0.0 || die_utilization > 1.0 then
+    invalid_arg "Placer.place: die_utilization out of (0,1]";
+  let n = Soc_spec.core_count soc in
+  if Array.length vi.Vi.of_core <> n then
+    invalid_arg "Placer.place: VI assignment does not match core count";
+  let total_core_area = Soc_spec.total_core_area_mm2 soc in
+  let die_area = total_core_area /. die_utilization in
+  let island_areas = Array.make vi.Vi.islands 0.0 in
+  Array.iteri
+    (fun core isl ->
+      island_areas.(isl) <-
+        island_areas.(isl) +. soc.Soc_spec.cores.(core).Core_spec.area_mm2)
+    vi.Vi.of_core;
+  (* islands share the die slack proportionally to their demand *)
+  let with_channel = soc.Soc_spec.allow_intermediate_island && vi.Vi.islands > 1 in
+  let layout =
+    Islands_layout.layout ~die_area_mm2:die_area ~die_aspect ~island_areas
+      ~with_channel ()
+  in
+  let core_rects = Array.make n layout.Islands_layout.die in
+  for isl = 0 to vi.Vi.islands - 1 do
+    let members = Vi.cores_of_island vi isl in
+    let blocks =
+      List.map
+        (fun core ->
+          let c = soc.Soc_spec.cores.(core) in
+          {
+            Shelf.block_id = core;
+            area_mm2 = c.Core_spec.area_mm2;
+            aspect = aspect_for_kind c.Core_spec.kind;
+          })
+        members
+    in
+    let region =
+      Geometry.inset layout.Islands_layout.island_rects.(isl) 0.02
+    in
+    let placed = Shelf.pack ~region blocks in
+    List.iter (fun (core, r) -> core_rects.(core) <- r) placed
+  done;
+  {
+    die = layout.Islands_layout.die;
+    island_rects = layout.Islands_layout.island_rects;
+    noc_channel = layout.Islands_layout.noc_channel;
+    core_rects;
+  }
+
+let wirelength soc plan =
+  List.fold_left
+    (fun acc f ->
+      let a = Geometry.center plan.core_rects.(f.Flow.src) in
+      let b = Geometry.center plan.core_rects.(f.Flow.dst) in
+      acc +. (f.Flow.bandwidth_mbps *. Geometry.manhattan a b))
+    0.0 soc.Soc_spec.flows
+
+let check_plan soc vi plan =
+  let n = Soc_spec.core_count soc in
+  if Array.length plan.core_rects <> n then
+    failwith "Placer.check_plan: core_rects length mismatch";
+  Array.iteri
+    (fun isl r ->
+      if not (Geometry.contains_rect plan.die r) then
+        failwith (Printf.sprintf "Placer.check_plan: island %d outside die" isl))
+    plan.island_rects;
+  Array.iteri
+    (fun core r ->
+      let isl = vi.Vi.of_core.(core) in
+      if not (Geometry.contains_rect plan.island_rects.(isl) r) then
+        failwith
+          (Printf.sprintf "Placer.check_plan: core %d outside island %d" core
+             isl))
+    plan.core_rects;
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if vi.Vi.of_core.(a) = vi.Vi.of_core.(b) then begin
+        let overlap =
+          Geometry.overlap_area plan.core_rects.(a) plan.core_rects.(b)
+        in
+        if overlap > 1e-6 then
+          failwith
+            (Printf.sprintf "Placer.check_plan: cores %d and %d overlap (%g)"
+               a b overlap)
+      end
+    done
+  done

@@ -1,0 +1,31 @@
+(** Core placement: islands first ({!Islands_layout}), then shelf packing of
+    each island's cores inside its rectangle, then optional simulated
+    annealing ({!Anneal}) to shorten flow-weighted wirelength. *)
+
+type plan = {
+  die : Geometry.rect;
+  island_rects : Geometry.rect array;   (** per island id *)
+  noc_channel : Geometry.rect option;
+  core_rects : Geometry.rect array;     (** per core id *)
+}
+
+val place :
+  ?die_utilization:float ->
+  ?die_aspect:float ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  plan
+(** Deterministic initial placement.  [die_utilization] (default [0.72]) is
+    the fraction of the die covered by core area — the rest is routing/NoC
+    slack; the die is sized as [total core area / utilization].  The NoC
+    channel is reserved iff the spec allows an intermediate island and
+    there are at least two VIs. *)
+
+val wirelength : Noc_spec.Soc_spec.t -> plan -> float
+(** Flow-bandwidth-weighted sum of Manhattan distances between communicating
+    core centers (MB/s × mm) — the annealing objective. *)
+
+val check_plan : Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> plan -> unit
+(** Assert placement legality: every core inside its island's rectangle,
+    cores of one island pairwise non-overlapping, islands inside the die.
+    @raise Failure on the first violation. *)

@@ -1,0 +1,72 @@
+type block = {
+  block_id : int;
+  area_mm2 : float;
+  aspect : float;
+}
+
+let natural_size b =
+  let w = sqrt (b.area_mm2 *. b.aspect) in
+  let h = b.area_mm2 /. w in
+  (w, h)
+
+(* Next-fit decreasing-height at a given uniform shrink factor.  Returns the
+   placements or [None] when the region overflows. *)
+let try_pack ~region blocks scale =
+  let open Geometry in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let _, ha = natural_size a and _, hb = natural_size b in
+        compare (hb, b.block_id) (ha, a.block_id))
+      blocks
+  in
+  let placements = Hashtbl.create (List.length blocks) in
+  let shelf_y = ref region.ry in
+  let shelf_h = ref 0.0 in
+  let cursor_x = ref region.rx in
+  let ok = ref true in
+  let place b =
+    if !ok then begin
+      let w, h = natural_size b in
+      let w = w *. scale and h = h *. scale in
+      if w > region.rw || h > region.rh then ok := false
+      else begin
+        if !cursor_x +. w > region.rx +. region.rw +. 1e-9 then begin
+          (* open a new shelf *)
+          shelf_y := !shelf_y +. !shelf_h;
+          shelf_h := 0.0;
+          cursor_x := region.rx
+        end;
+        if !shelf_y +. h > region.ry +. region.rh +. 1e-9 then ok := false
+        else begin
+          Hashtbl.replace placements b.block_id
+            (rect ~x:!cursor_x ~y:!shelf_y ~w ~h);
+          cursor_x := !cursor_x +. w;
+          if h > !shelf_h then shelf_h := h
+        end
+      end
+    end
+  in
+  List.iter place sorted;
+  if !ok then Some placements else None
+
+let pack ~region blocks =
+  let open Geometry in
+  if blocks = [] then invalid_arg "Shelf.pack: no blocks";
+  if region.rw <= 0.0 || region.rh <= 0.0 then
+    invalid_arg "Shelf.pack: degenerate region";
+  List.iter
+    (fun b ->
+      if b.area_mm2 <= 0.0 then invalid_arg "Shelf.pack: non-positive area";
+      if b.aspect <= 0.0 then invalid_arg "Shelf.pack: non-positive aspect")
+    blocks;
+  let rec attempt scale tries =
+    if tries = 0 then
+      invalid_arg "Shelf.pack: blocks cannot fit the region even when shrunk"
+    else
+      match try_pack ~region blocks scale with
+      | Some placements -> placements
+      | None -> attempt (scale *. 0.9) (tries - 1)
+  in
+  let placements = attempt 1.0 80 in
+  List.map (fun b -> (b.block_id, Hashtbl.find placements b.block_id)) blocks

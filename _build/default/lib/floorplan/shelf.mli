@@ -1,0 +1,21 @@
+(** Shelf (row) packing of blocks into a rectangular region.
+
+    Blocks are placed left-to-right in rows of decreasing height — the
+    classic next-fit decreasing-height heuristic.  Good enough for core
+    placement inside a voltage island: what downstream consumers need is a
+    legal, overlap-free placement with sane wire lengths, not an optimal
+    one. *)
+
+type block = {
+  block_id : int;
+  area_mm2 : float;
+  aspect : float;  (** width/height ratio, 1.0 = square *)
+}
+
+val pack : region:Geometry.rect -> block list -> (int * Geometry.rect) list
+(** Place every block inside [region] (blocks shrink uniformly if they do
+    not fit at natural size — the island region was sized with slack, so
+    this is a safety net).  Returns [(block_id, rect)] in input order.
+    Guarantees: rects are pairwise non-overlapping and inside [region].
+    @raise Invalid_argument on empty block list, non-positive areas or a
+    degenerate region. *)

@@ -1,0 +1,118 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Core_spec = Noc_spec.Core_spec
+
+type canvas = {
+  buffer : Buffer.t;
+  px_per_mm : float;
+  height_mm : float;
+  width_mm : float;
+}
+
+let canvas ~width_mm ~height_mm ?(px_per_mm = 60.0) () =
+  if width_mm <= 0.0 || height_mm <= 0.0 then
+    invalid_arg "Svg.canvas: degenerate dimensions";
+  { buffer = Buffer.create 4096; px_per_mm; height_mm; width_mm }
+
+let px c v = v *. c.px_per_mm
+let x_of c x = px c x
+let y_of c y = px c (c.height_mm -. y) (* flip: SVG origin is top-left *)
+
+let rect c r ~fill ?(stroke = "#333333") ?(opacity = 1.0) () =
+  let open Geometry in
+  Buffer.add_string c.buffer
+    (Printf.sprintf
+       "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" \
+        fill=\"%s\" stroke=\"%s\" fill-opacity=\"%.2f\"/>\n"
+       (x_of c r.rx)
+       (y_of c (r.ry +. r.rh))
+       (px c r.rw) (px c r.rh) fill stroke opacity)
+
+let line c a b ~stroke ?(width = 1.5) ?(dashed = false) () =
+  let open Geometry in
+  Buffer.add_string c.buffer
+    (Printf.sprintf
+       "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" stroke=\"%s\" \
+        stroke-width=\"%.1f\"%s/>\n"
+       (x_of c a.x) (y_of c a.y) (x_of c b.x) (y_of c b.y) stroke width
+       (if dashed then " stroke-dasharray=\"6,4\"" else ""))
+
+let circle c p ~r_mm ~fill =
+  let open Geometry in
+  Buffer.add_string c.buffer
+    (Printf.sprintf
+       "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"%.1f\" fill=\"%s\" \
+        stroke=\"#222222\"/>\n"
+       (x_of c p.x) (y_of c p.y) (px c r_mm) fill)
+
+let text c p ?(size_mm = 0.22) ?(fill = "#111111") s =
+  let open Geometry in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '&' -> Buffer.add_string b "&amp;"
+        | ch -> Buffer.add_char b ch)
+      s;
+    Buffer.contents b
+  in
+  Buffer.add_string c.buffer
+    (Printf.sprintf
+       "<text x=\"%.1f\" y=\"%.1f\" font-size=\"%.1f\" fill=\"%s\" \
+        font-family=\"monospace\" text-anchor=\"middle\">%s</text>\n"
+       (x_of c p.x) (y_of c p.y) (px c size_mm) fill (escape s))
+
+let render c =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" \
+     height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\">\n\
+     <rect width=\"100%%\" height=\"100%%\" fill=\"#fafafa\"/>\n\
+     %s</svg>\n"
+    (px c c.width_mm) (px c c.height_mm) (px c c.width_mm) (px c c.height_mm)
+    (Buffer.contents c.buffer)
+
+let palette =
+  [|
+    "#aed9e0"; "#ffe0ac"; "#c8e6c9"; "#f3c1d9"; "#d7ccc8"; "#ffd54f";
+    "#b3e5fc"; "#e1bee7"; "#dcedc8"; "#ffccbc";
+  |]
+
+let island_color isl = palette.(abs isl mod Array.length palette)
+let channel_color = "#9e9e9e"
+
+let plan_canvas soc vi plan =
+  let die = plan.Placer.die in
+  let c = canvas ~width_mm:die.Geometry.rw ~height_mm:die.Geometry.rh () in
+  rect c die ~fill:"#ffffff" ();
+  Array.iteri
+    (fun isl r ->
+      let fill = island_color isl in
+      let opacity = if vi.Vi.shutdownable.(isl) then 0.55 else 0.85 in
+      rect c r ~fill ~opacity ())
+    plan.Placer.island_rects;
+  (match plan.Placer.noc_channel with
+   | Some channel -> rect c channel ~fill:channel_color ~opacity:0.5 ()
+   | None -> ());
+  Array.iteri
+    (fun core r ->
+      rect c r ~fill:"#ffffff" ~opacity:0.9 ();
+      let name = soc.Soc_spec.cores.(core).Core_spec.name in
+      text c (Geometry.center r) name)
+    plan.Placer.core_rects;
+  Array.iteri
+    (fun isl r ->
+      let label =
+        Printf.sprintf "VI%d%s" isl
+          (if vi.Vi.shutdownable.(isl) then "" else " (on)")
+      in
+      text c
+        (Geometry.point
+           (r.Geometry.rx +. (r.Geometry.rw /. 2.0))
+           (r.Geometry.ry +. r.Geometry.rh -. 0.25))
+        ~size_mm:0.3 ~fill:"#444444" label)
+    plan.Placer.island_rects;
+  c
+
+let of_plan soc vi plan = render (plan_canvas soc vi plan)

@@ -1,0 +1,55 @@
+(** SVG rendering of floorplans (the visual counterpart of the paper's
+    Fig. 5), plus the drawing primitives {!Noc_synthesis}'s topology
+    overlay builds on.
+
+    Geometry coordinates (mm) are scaled by a pixels-per-mm factor; the
+    y-axis is flipped so the floorplan's origin is bottom-left as usual in
+    physical design. *)
+
+type canvas
+(** An SVG drawing surface with a fixed mm→px transform. *)
+
+val canvas : width_mm:float -> height_mm:float -> ?px_per_mm:float -> unit -> canvas
+
+val rect :
+  canvas ->
+  Geometry.rect ->
+  fill:string ->
+  ?stroke:string ->
+  ?opacity:float ->
+  unit ->
+  unit
+
+val line :
+  canvas ->
+  Geometry.point ->
+  Geometry.point ->
+  stroke:string ->
+  ?width:float ->
+  ?dashed:bool ->
+  unit ->
+  unit
+
+val circle : canvas -> Geometry.point -> r_mm:float -> fill:string -> unit
+
+val text :
+  canvas -> Geometry.point -> ?size_mm:float -> ?fill:string -> string -> unit
+
+val render : canvas -> string
+(** The complete SVG document. *)
+
+val island_color : int -> string
+(** Stable pastel fill per island id (the intermediate island uses
+    {!channel_color}). *)
+
+val channel_color : string
+
+val plan_canvas :
+  Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> Placer.plan -> canvas
+(** A canvas pre-drawn with the die outline, island regions (colored,
+    always-on islands hatched darker), the intermediate NoC channel and
+    every core rectangle with its name.  Callers may keep drawing on it
+    (e.g. the NoC overlay) before {!render}. *)
+
+val of_plan : Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> Placer.plan -> string
+(** [render (plan_canvas ...)]: floorplan-only SVG document. *)

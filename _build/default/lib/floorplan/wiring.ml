@@ -1,0 +1,40 @@
+let switch_position plan ~island ~attached_cores =
+  let region = plan.Placer.island_rects.(island) in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 attached_cores in
+  if attached_cores = [] || total <= 0.0 then Geometry.center region
+  else begin
+    let sx = ref 0.0 and sy = ref 0.0 in
+    List.iter
+      (fun (core, w) ->
+        let c = Geometry.center plan.Placer.core_rects.(core) in
+        sx := !sx +. (w *. c.Geometry.x);
+        sy := !sy +. (w *. c.Geometry.y))
+      attached_cores;
+    Geometry.clamp_point region
+      (Geometry.point (!sx /. total) (!sy /. total))
+  end
+
+let channel_position plan ~index ~count =
+  if count < 1 then invalid_arg "Wiring.channel_position: count < 1";
+  if index < 0 || index >= count then
+    invalid_arg "Wiring.channel_position: index out of range";
+  let region =
+    match plan.Placer.noc_channel with
+    | Some channel -> channel
+    | None ->
+      (* fall back to a virtual center column of the die *)
+      let die = plan.Placer.die in
+      Geometry.rect
+        ~x:(die.Geometry.rx +. (die.Geometry.rw *. 0.47))
+        ~y:die.Geometry.ry
+        ~w:(die.Geometry.rw *. 0.06)
+        ~h:die.Geometry.rh
+  in
+  let c = Geometry.center region in
+  let step = region.Geometry.rh /. float_of_int (count + 1) in
+  Geometry.point c.Geometry.x
+    (region.Geometry.ry +. (step *. float_of_int (index + 1)))
+
+let ni_position plan ~core = Geometry.center plan.Placer.core_rects.(core)
+
+let link_length_mm = Geometry.manhattan

@@ -1,0 +1,30 @@
+(** NoC component placement on a finished core placement, and wire-length
+    extraction for links.
+
+    Switches carry no floorplan area of their own in the evaluation (they
+    are orders of magnitude smaller than cores and sit in the routing
+    slack); what matters is {e where} they are, because link power and delay
+    are proportional to wire length (paper §4, last step: "the NoC
+    components are inserted on the floorplan and the wire lengths, wire
+    power and delay are calculated"). *)
+
+val switch_position :
+  Placer.plan ->
+  island:int ->
+  attached_cores:(int * float) list ->
+  Geometry.point
+(** Bandwidth-weighted centroid of the switch's attached cores, clamped
+    into the island rectangle.  [attached_cores] pairs core ids with a
+    positive weight (their NI bandwidth); an empty or zero-weight list
+    falls back to the island center. *)
+
+val channel_position : Placer.plan -> index:int -> count:int -> Geometry.point
+(** Position of the [index]-th of [count] intermediate-island switches,
+    spread evenly along the NoC channel (or the die center column if no
+    channel was reserved). *)
+
+val ni_position : Placer.plan -> core:int -> Geometry.point
+(** The NI sits at its core's boundary — modeled as the core center. *)
+
+val link_length_mm : Geometry.point -> Geometry.point -> float
+(** Manhattan wire length between two NoC component positions. *)

@@ -1,0 +1,102 @@
+type t = {
+  n : int;
+  fwd : (int, float) Hashtbl.t array; (* fwd.(u) maps v -> weight of u->v *)
+  bwd : (int, float) Hashtbl.t array;
+  mutable edge_count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  {
+    n;
+    fwd = Array.init n (fun _ -> Hashtbl.create 4);
+    bwd = Array.init n (fun _ -> Hashtbl.create 4);
+    edge_count = 0;
+  }
+
+let node_count g = g.n
+let edge_count g = g.edge_count
+
+let check g u name =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Digraph.%s: node %d out of range [0,%d)" name u g.n)
+
+let add_edge g u v w =
+  check g u "add_edge";
+  check g v "add_edge";
+  if not (Hashtbl.mem g.fwd.(u) v) then g.edge_count <- g.edge_count + 1;
+  Hashtbl.replace g.fwd.(u) v w;
+  Hashtbl.replace g.bwd.(v) u w
+
+let edge_weight g u v =
+  check g u "edge_weight";
+  check g v "edge_weight";
+  Hashtbl.find_opt g.fwd.(u) v
+
+let add_to_edge g u v w =
+  let current = match edge_weight g u v with Some x -> x | None -> 0.0 in
+  add_edge g u v (current +. w)
+
+let remove_edge g u v =
+  check g u "remove_edge";
+  check g v "remove_edge";
+  if Hashtbl.mem g.fwd.(u) v then begin
+    Hashtbl.remove g.fwd.(u) v;
+    Hashtbl.remove g.bwd.(v) u;
+    g.edge_count <- g.edge_count - 1
+  end
+
+let mem_edge g u v =
+  check g u "mem_edge";
+  check g v "mem_edge";
+  Hashtbl.mem g.fwd.(u) v
+
+let succ g u =
+  check g u "succ";
+  Hashtbl.fold (fun v w acc -> (v, w) :: acc) g.fwd.(u) []
+
+let pred g v =
+  check g v "pred";
+  Hashtbl.fold (fun u w acc -> (u, w) :: acc) g.bwd.(v) []
+
+let out_degree g u =
+  check g u "out_degree";
+  Hashtbl.length g.fwd.(u)
+
+let in_degree g v =
+  check g v "in_degree";
+  Hashtbl.length g.bwd.(v)
+
+let iter_edges f g =
+  Array.iteri (fun u tbl -> Hashtbl.iter (fun v w -> f u v w) tbl) g.fwd
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v w -> acc := f u v w !acc) g;
+  !acc
+
+let edges g =
+  let all = fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] in
+  List.sort (fun (u1, v1, _) (u2, v2, _) -> compare (u1, v1) (u2, v2)) all
+
+let has_self_loop g =
+  fold_edges (fun u v _ acc -> acc || u = v) g false
+
+let transpose g =
+  let t = create g.n in
+  iter_edges (fun u v w -> add_edge t v u w) g;
+  t
+
+let copy g =
+  let c = create g.n in
+  iter_edges (fun u v w -> add_edge c u v w) g;
+  c
+
+let total_weight g = fold_edges (fun _ _ w acc -> acc +. w) g 0.0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph(%d nodes, %d edges)" g.n g.edge_count;
+  List.iter
+    (fun (u, v, w) -> Format.fprintf ppf "@,  %d -> %d [%g]" u v w)
+    (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** Directed graphs with [float]-weighted edges over a fixed node range
+    [0 .. n-1].
+
+    Nodes are plain integers so that callers can keep their own side arrays
+    (core attributes, switch attributes, ...) indexed by node id.  Parallel
+    edges are not stored: adding an existing edge replaces (or combines) its
+    weight. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph over nodes [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+(** Number of directed edges. *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] sets the weight of edge [u -> v] to [w], replacing any
+    previous weight.  Self loops are allowed but flagged by {!has_self_loop}.
+    @raise Invalid_argument if [u] or [v] is out of range. *)
+
+val add_to_edge : t -> int -> int -> float -> unit
+(** [add_to_edge g u v w] increments the weight of [u -> v] by [w], creating
+    the edge if absent.  Used to accumulate bandwidth over shared links. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Remove edge [u -> v] if present; no-op otherwise. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val edge_weight : t -> int -> int -> float option
+
+val succ : t -> int -> (int * float) list
+(** Successors of a node with edge weights, in unspecified order. *)
+
+val pred : t -> int -> (int * float) list
+(** Predecessors of a node with edge weights, in unspecified order. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val edges : t -> (int * int * float) list
+(** All edges sorted by [(u, v)]; deterministic, for printing and tests. *)
+
+val has_self_loop : t -> bool
+
+val transpose : t -> t
+
+val copy : t -> t
+
+val total_weight : t -> float
+(** Sum of all edge weights. *)
+
+val pp : Format.formatter -> t -> unit

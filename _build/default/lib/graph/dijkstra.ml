@@ -1,0 +1,66 @@
+type result = { dist : float array; pred : int array }
+
+let check n source =
+  if source < 0 || source >= n then
+    invalid_arg
+      (Printf.sprintf "Dijkstra: source %d out of range [0,%d)" source n)
+
+(* Core loop shared by [run] and [run_to].  [stop] lets [run_to] bail out as
+   soon as the target is settled. *)
+let search ~n ~successors ~source ~stop =
+  check n source;
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create ~capacity:(max 16 n) () in
+  dist.(source) <- 0.0;
+  Heap.push heap 0.0 source;
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (d, u) ->
+      if settled.(u) then loop ()
+      else begin
+        settled.(u) <- true;
+        if not (stop u) then begin
+          let relax (v, w) =
+            if v >= 0 && v < n && Float.is_finite w && w >= 0.0 then begin
+              let candidate = d +. w in
+              if candidate < dist.(v) then begin
+                dist.(v) <- candidate;
+                pred.(v) <- u;
+                Heap.push heap candidate v
+              end
+            end
+          in
+          List.iter relax (successors u);
+          loop ()
+        end
+      end
+  in
+  loop ();
+  { dist; pred }
+
+let run ~n ~successors ~source =
+  search ~n ~successors ~source ~stop:(fun _ -> false)
+
+let path_to result target =
+  let n = Array.length result.dist in
+  if target < 0 || target >= n then
+    invalid_arg "Dijkstra.path_to: target out of range";
+  if not (Float.is_finite result.dist.(target)) then None
+  else begin
+    let rec build node acc =
+      if result.pred.(node) = -1 then node :: acc
+      else build result.pred.(node) (node :: acc)
+    in
+    Some (build target [])
+  end
+
+let run_to ~n ~successors ~source ~target =
+  if target < 0 || target >= n then
+    invalid_arg "Dijkstra.run_to: target out of range";
+  let result = search ~n ~successors ~source ~stop:(fun u -> u = target) in
+  match path_to result target with
+  | None -> None
+  | Some path -> Some (result.dist.(target), path)

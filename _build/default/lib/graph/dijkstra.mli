@@ -1,0 +1,31 @@
+(** Single-source shortest paths over an {e implicit} graph.
+
+    The synthesis path allocator re-costs edges on every flow (opening a new
+    link is dearer than reusing one, forbidden hops cost infinity), so the
+    graph is presented as a successor function rather than a materialized
+    structure. *)
+
+type result = {
+  dist : float array;  (** [dist.(v)] = cost of the cheapest path, [infinity] if unreachable *)
+  pred : int array;    (** [pred.(v)] = predecessor on that path, [-1] for source / unreachable *)
+}
+
+val run :
+  n:int -> successors:(int -> (int * float) list) -> source:int -> result
+(** Full Dijkstra from [source].  Edges with non-finite or negative cost are
+    ignored (treated as absent).
+    @raise Invalid_argument if [source] is out of range. *)
+
+val run_to :
+  n:int ->
+  successors:(int -> (int * float) list) ->
+  source:int ->
+  target:int ->
+  (float * int list) option
+(** [run_to ~n ~successors ~source ~target] is the cheapest path
+    [source .. target] as [(cost, node list)] including both endpoints, or
+    [None] if unreachable.  Stops as soon as [target] is settled. *)
+
+val path_to : result -> int -> int list option
+(** Reconstruct the path from the source to a node from a {!result};
+    [None] if unreachable. *)

@@ -1,0 +1,27 @@
+(** Binary min-heap keyed by [float] priorities.
+
+    Used as the priority queue behind {!Dijkstra} and the event queue of the
+    NoC simulator.  Decrease-key is handled by lazy deletion: push the same
+    payload again with a smaller key and have the caller skip entries whose
+    recorded distance is already better when they pop. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty heap.  [capacity] pre-sizes the backing array. *)
+
+val length : 'a t -> int
+(** Number of live entries (stale entries from lazy decrease-key included). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h key v] inserts payload [v] with priority [key]. *)
+
+val pop_min : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key, or [None] if empty. *)
+
+val peek_min : 'a t -> (float * 'a) option
+(** Smallest entry without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,61 @@
+let bfs_digraph g s =
+  let n = Digraph.node_count g in
+  if s < 0 || s >= n then invalid_arg "Traversal.bfs_digraph: out of range";
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  seen.(s) <- true;
+  Queue.push s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let visit (v, _) =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.push v queue
+      end
+    in
+    List.iter visit (Digraph.succ g u)
+  done;
+  seen
+
+let reachable g s t =
+  let seen = bfs_digraph g s in
+  if t < 0 || t >= Array.length seen then
+    invalid_arg "Traversal.reachable: out of range";
+  seen.(t)
+
+let components g =
+  let n = Ugraph.node_count g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let queue = Queue.create () in
+  for s = 0 to n - 1 do
+    if label.(s) = -1 then begin
+      let id = !next in
+      incr next;
+      label.(s) <- id;
+      Queue.push s queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        let visit (v, _) =
+          if label.(v) = -1 then begin
+            label.(v) <- id;
+            Queue.push v queue
+          end
+        in
+        List.iter visit (Ugraph.neighbors g u)
+      done
+    end
+  done;
+  (label, !next)
+
+let is_connected g =
+  let _, k = components g in
+  k <= 1
+
+let component_members g =
+  let label, k = components g in
+  let buckets = Array.make k [] in
+  for v = Ugraph.node_count g - 1 downto 0 do
+    buckets.(label.(v)) <- v :: buckets.(label.(v))
+  done;
+  Array.to_list (Array.map Array.of_list buckets)

@@ -1,0 +1,19 @@
+(** Reachability and connectivity utilities used by the shutdown-safety
+    checker (is every live flow still routable?) and by partitioning. *)
+
+val bfs_digraph : Digraph.t -> int -> bool array
+(** [bfs_digraph g s] marks every node reachable from [s] along directed
+    edges. *)
+
+val reachable : Digraph.t -> int -> int -> bool
+
+val components : Ugraph.t -> int array * int
+(** [components g] labels every node with its connected-component id
+    (ids are [0 .. k-1] in order of discovery) and returns [k]. *)
+
+val is_connected : Ugraph.t -> bool
+(** True for the empty graph and any graph with a single component. *)
+
+val component_members : Ugraph.t -> int array list
+(** Node arrays of each connected component, ordered by component id; node
+    ids inside each array are increasing. *)

@@ -1,0 +1,119 @@
+type t = {
+  n : int;
+  adj : (int, float) Hashtbl.t array;
+  weights : float array;
+  mutable edge_count : int;
+}
+
+let create ?(node_weight = 1.0) n =
+  if n < 0 then invalid_arg "Ugraph.create: negative node count";
+  {
+    n;
+    adj = Array.init n (fun _ -> Hashtbl.create 4);
+    weights = Array.make n node_weight;
+    edge_count = 0;
+  }
+
+let node_count g = g.n
+let edge_count g = g.edge_count
+
+let check g u name =
+  if u < 0 || u >= g.n then
+    invalid_arg (Printf.sprintf "Ugraph.%s: node %d out of range [0,%d)" name u g.n)
+
+let node_weight g u =
+  check g u "node_weight";
+  g.weights.(u)
+
+let set_node_weight g u w =
+  check g u "set_node_weight";
+  g.weights.(u) <- w
+
+let total_node_weight g = Array.fold_left ( +. ) 0.0 g.weights
+
+let add_edge g u v w =
+  check g u "add_edge";
+  check g v "add_edge";
+  if w < 0.0 then invalid_arg "Ugraph.add_edge: negative weight";
+  if u <> v then begin
+    if not (Hashtbl.mem g.adj.(u) v) then g.edge_count <- g.edge_count + 1;
+    let current = match Hashtbl.find_opt g.adj.(u) v with Some x -> x | None -> 0.0 in
+    Hashtbl.replace g.adj.(u) v (current +. w);
+    Hashtbl.replace g.adj.(v) u (current +. w)
+  end
+
+let edge_weight g u v =
+  check g u "edge_weight";
+  check g v "edge_weight";
+  match Hashtbl.find_opt g.adj.(u) v with Some w -> w | None -> 0.0
+
+let mem_edge g u v =
+  check g u "mem_edge";
+  check g v "mem_edge";
+  Hashtbl.mem g.adj.(u) v
+
+let neighbors g u =
+  check g u "neighbors";
+  Hashtbl.fold (fun v w acc -> (v, w) :: acc) g.adj.(u) []
+
+let degree g u =
+  check g u "degree";
+  Hashtbl.length g.adj.(u)
+
+let weighted_degree g u =
+  check g u "weighted_degree";
+  Hashtbl.fold (fun _ w acc -> acc +. w) g.adj.(u) 0.0
+
+let iter_edges f g =
+  Array.iteri
+    (fun u tbl -> Hashtbl.iter (fun v w -> if u < v then f u v w) tbl)
+    g.adj
+
+let fold_edges f g init =
+  let acc = ref init in
+  iter_edges (fun u v w -> acc := f u v w !acc) g;
+  !acc
+
+let edges g =
+  let all = fold_edges (fun u v w acc -> (u, v, w) :: acc) g [] in
+  List.sort (fun (u1, v1, _) (u2, v2, _) -> compare (u1, v1) (u2, v2)) all
+
+let total_edge_weight g = fold_edges (fun _ _ w acc -> acc +. w) g 0.0
+
+let of_digraph dg =
+  let g = create (Digraph.node_count dg) in
+  Digraph.iter_edges (fun u v w -> if u <> v then add_edge g u v w) dg;
+  g
+
+let subgraph g nodes =
+  let k = Array.length nodes in
+  let index = Hashtbl.create k in
+  Array.iteri
+    (fun i v ->
+      check g v "subgraph";
+      if Hashtbl.mem index v then invalid_arg "Ugraph.subgraph: duplicate node";
+      Hashtbl.replace index v i)
+    nodes;
+  let sub = create k in
+  Array.iteri (fun i v -> set_node_weight sub i (node_weight g v)) nodes;
+  iter_edges
+    (fun u v w ->
+      match (Hashtbl.find_opt index u, Hashtbl.find_opt index v) with
+      | Some iu, Some iv -> add_edge sub iu iv w
+      | _ -> ())
+    g;
+  (sub, Array.copy nodes)
+
+let cut_weight g part =
+  if Array.length part <> g.n then
+    invalid_arg "Ugraph.cut_weight: partition size mismatch";
+  fold_edges
+    (fun u v w acc -> if part.(u) <> part.(v) then acc +. w else acc)
+    g 0.0
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>ugraph(%d nodes, %d edges)" g.n g.edge_count;
+  List.iter
+    (fun (u, v, w) -> Format.fprintf ppf "@,  %d -- %d [%g]" u v w)
+    (edges g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,64 @@
+(** Undirected graphs with [float]-weighted edges over nodes [0 .. n-1] and
+    [float] node weights.
+
+    This is the substrate for min-cut partitioning: edge weights are the
+    communication affinities [h_ij] of the paper's VI communication graph and
+    node weights carry partition-balance mass (1.0 per core by default).
+    Adding an edge that already exists {e accumulates} its weight, which is
+    the natural semantics when folding a directed communication graph (flows
+    in both directions) into an undirected affinity graph. *)
+
+type t
+
+val create : ?node_weight:float -> int -> t
+(** [create n] is the edgeless graph on [n] nodes, each of weight
+    [node_weight] (default [1.0]). *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val node_weight : t -> int -> float
+val set_node_weight : t -> int -> float -> unit
+val total_node_weight : t -> float
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] accumulates [w] onto the undirected edge [{u,v}].
+    Self loops are ignored (they never cross a cut).
+    @raise Invalid_argument on out-of-range nodes or negative weight. *)
+
+val edge_weight : t -> int -> int -> float
+(** Weight of [{u,v}], [0.] if absent. *)
+
+val mem_edge : t -> int -> int -> bool
+
+val neighbors : t -> int -> (int * float) list
+
+val degree : t -> int -> int
+
+val weighted_degree : t -> int -> float
+(** Sum of incident edge weights. *)
+
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+(** Each undirected edge is visited once, with [u < v]. *)
+
+val fold_edges : (int -> int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val edges : t -> (int * int * float) list
+(** Sorted by [(u, v)] with [u < v]; deterministic. *)
+
+val total_edge_weight : t -> float
+
+val of_digraph : Digraph.t -> t
+(** Collapse a directed graph into its undirected affinity graph, summing the
+    weights of antiparallel edge pairs. *)
+
+val subgraph : t -> int array -> t * int array
+(** [subgraph g nodes] is the induced subgraph on [nodes] (which must be
+    distinct).  Returns the new graph whose node [i] corresponds to
+    [nodes.(i)], together with a copy of the mapping array. *)
+
+val cut_weight : t -> int array -> float
+(** [cut_weight g part] where [part.(v)] is the block of node [v]: total
+    weight of edges whose endpoints lie in different blocks. *)
+
+val pp : Format.formatter -> t -> unit

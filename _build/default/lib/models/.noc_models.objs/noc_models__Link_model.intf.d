@@ -1,0 +1,1 @@
+lib/models/link_model.mli: Tech

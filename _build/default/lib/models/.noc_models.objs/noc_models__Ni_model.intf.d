@@ -1,0 +1,1 @@
+lib/models/ni_model.mli: Tech

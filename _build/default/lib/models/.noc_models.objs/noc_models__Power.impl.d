@@ -1,0 +1,1 @@
+lib/models/power.ml: Format List

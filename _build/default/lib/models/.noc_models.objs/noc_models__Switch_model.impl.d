@@ -1,0 +1,1 @@
+lib/models/switch_model.ml: Format Tech Units

@@ -1,0 +1,1 @@
+lib/models/sync_model.mli: Tech

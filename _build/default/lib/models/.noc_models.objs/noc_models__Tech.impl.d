@@ -1,0 +1,1 @@
+lib/models/tech.ml: Float Format

@@ -1,0 +1,48 @@
+let check ~length_mm ~flit_bits =
+  if length_mm < 0.0 then invalid_arg "Link_model: negative length";
+  if flit_bits <= 0 then invalid_arg "Link_model: flit_bits <= 0"
+
+let energy_per_flit_pj tech ~length_mm ~flit_bits ~vdd =
+  check ~length_mm ~flit_bits;
+  (* Half the wires toggle on a random payload. *)
+  let toggling_bits = 0.5 *. float_of_int flit_bits in
+  tech.Tech.wire_energy_pj_per_mm_bit *. length_mm *. toggling_bits
+  *. Tech.energy_scale tech ~vdd
+
+let dynamic_power_mw tech ~length_mm ~flit_bits ~vdd ~flits_per_second =
+  if flits_per_second < 0.0 then
+    invalid_arg "Link_model.dynamic_power_mw: negative rate";
+  Units.power_mw_of_energy
+    ~energy_pj:(energy_per_flit_pj tech ~length_mm ~flit_bits ~vdd)
+    ~events_per_second:flits_per_second
+
+let delay_ns tech ~length_mm =
+  if length_mm < 0.0 then invalid_arg "Link_model.delay_ns: negative length";
+  tech.Tech.wire_delay_ns_per_mm *. length_mm
+
+let fits_in_cycle tech ~length_mm ~freq_mhz =
+  if freq_mhz <= 0.0 then invalid_arg "Link_model.fits_in_cycle: freq <= 0";
+  length_mm <= Tech.max_unpipelined_mm tech ~freq_mhz
+
+let traversal_cycles = 1
+
+let area_mm2 ~length_mm ~flit_bits =
+  check ~length_mm ~flit_bits;
+  (* repeater every ~1 mm per wire, tiny driver cells *)
+  0.00002 *. length_mm *. float_of_int flit_bits
+
+let stages_for tech ~length_mm ~freq_mhz =
+  check ~length_mm ~flit_bits:1;
+  if freq_mhz <= 0.0 then invalid_arg "Link_model.stages_for: freq <= 0";
+  let budget = Tech.max_unpipelined_mm tech ~freq_mhz in
+  if budget <= 0.0 then invalid_arg "Link_model.stages_for: no timing budget";
+  if length_mm <= budget then 0
+  else int_of_float (Float.ceil (length_mm /. budget)) - 1
+
+let register_energy_per_flit_pj tech ~flit_bits ~vdd =
+  check ~length_mm:0.0 ~flit_bits;
+  0.9 *. (float_of_int flit_bits /. 32.0) *. Tech.energy_scale tech ~vdd
+
+let register_area_mm2 ~flit_bits =
+  check ~length_mm:0.0 ~flit_bits;
+  0.00035 *. (float_of_int flit_bits /. 32.0)

@@ -1,0 +1,41 @@
+(** Point-to-point NoC link (wire bundle) model.
+
+    Links between switches in different voltage islands are routed
+    unpipelined over the cells (paper §3.1), so a link is feasible only if
+    its length closes timing in one cycle at the clock of the driving
+    island. *)
+
+val energy_per_flit_pj :
+  Tech.t -> length_mm:float -> flit_bits:int -> vdd:float -> float
+(** Switching energy for one flit over the full wire length. *)
+
+val dynamic_power_mw :
+  Tech.t ->
+  length_mm:float ->
+  flit_bits:int ->
+  vdd:float ->
+  flits_per_second:float ->
+  float
+
+val delay_ns : Tech.t -> length_mm:float -> float
+
+val fits_in_cycle : Tech.t -> length_mm:float -> freq_mhz:float -> bool
+(** Can the link be traversed (unpipelined) within one clock period, skew
+    margin included? *)
+
+val traversal_cycles : int
+(** Cycles a flit spends on a (single-cycle) link under zero load. *)
+
+val area_mm2 : length_mm:float -> flit_bits:int -> float
+(** Repeater/driver area footprint attributed to the link (the wires
+    themselves ride over the cells). *)
+
+val stages_for : Tech.t -> length_mm:float -> freq_mhz:float -> int
+(** Pipeline registers needed so every wire segment closes one-cycle
+    timing at [freq_mhz]: [0] when the link already {!fits_in_cycle}. *)
+
+val register_energy_per_flit_pj : Tech.t -> flit_bits:int -> vdd:float -> float
+(** Energy one pipeline register bank charges per flit. *)
+
+val register_area_mm2 : flit_bits:int -> float
+(** Area of one pipeline register bank. *)

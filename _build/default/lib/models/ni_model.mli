@@ -1,0 +1,21 @@
+(** Network Interface model.
+
+    An NI converts the core's protocol to the network's and crosses the
+    core clock into the island's NoC clock (paper §3.1).  Every core owns
+    exactly one NI attached to exactly one switch of its own island. *)
+
+val area_mm2 : flit_bits:int -> float
+
+val energy_per_flit_pj : Tech.t -> flit_bits:int -> vdd:float -> float
+
+val leakage_mw : Tech.t -> flit_bits:int -> vdd:float -> float
+
+val dynamic_power_mw :
+  Tech.t -> flit_bits:int -> vdd:float -> flits_per_second:float -> float
+
+val clock_power_mw :
+  Tech.t -> flit_bits:int -> vdd:float -> freq_mhz:float -> float
+(** Clock/idle power of the NI at its island's NoC clock. *)
+
+val latency_cycles : int
+(** Zero-load cycles through one NI (packetization or de-packetization). *)

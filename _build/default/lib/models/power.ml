@@ -1,0 +1,74 @@
+type t = {
+  switch_dynamic_mw : float;
+  switch_leakage_mw : float;
+  link_dynamic_mw : float;
+  link_leakage_mw : float;
+  ni_dynamic_mw : float;
+  ni_leakage_mw : float;
+  sync_dynamic_mw : float;
+  sync_leakage_mw : float;
+}
+
+let zero =
+  {
+    switch_dynamic_mw = 0.0;
+    switch_leakage_mw = 0.0;
+    link_dynamic_mw = 0.0;
+    link_leakage_mw = 0.0;
+    ni_dynamic_mw = 0.0;
+    ni_leakage_mw = 0.0;
+    sync_dynamic_mw = 0.0;
+    sync_leakage_mw = 0.0;
+  }
+
+let add a b =
+  {
+    switch_dynamic_mw = a.switch_dynamic_mw +. b.switch_dynamic_mw;
+    switch_leakage_mw = a.switch_leakage_mw +. b.switch_leakage_mw;
+    link_dynamic_mw = a.link_dynamic_mw +. b.link_dynamic_mw;
+    link_leakage_mw = a.link_leakage_mw +. b.link_leakage_mw;
+    ni_dynamic_mw = a.ni_dynamic_mw +. b.ni_dynamic_mw;
+    ni_leakage_mw = a.ni_leakage_mw +. b.ni_leakage_mw;
+    sync_dynamic_mw = a.sync_dynamic_mw +. b.sync_dynamic_mw;
+    sync_leakage_mw = a.sync_leakage_mw +. b.sync_leakage_mw;
+  }
+
+let sum reports = List.fold_left add zero reports
+
+let scale k a =
+  {
+    switch_dynamic_mw = k *. a.switch_dynamic_mw;
+    switch_leakage_mw = k *. a.switch_leakage_mw;
+    link_dynamic_mw = k *. a.link_dynamic_mw;
+    link_leakage_mw = k *. a.link_leakage_mw;
+    ni_dynamic_mw = k *. a.ni_dynamic_mw;
+    ni_leakage_mw = k *. a.ni_leakage_mw;
+    sync_dynamic_mw = k *. a.sync_dynamic_mw;
+    sync_leakage_mw = k *. a.sync_leakage_mw;
+  }
+
+let dynamic_mw t =
+  t.switch_dynamic_mw +. t.link_dynamic_mw +. t.ni_dynamic_mw
+  +. t.sync_dynamic_mw
+
+let leakage_mw t =
+  t.switch_leakage_mw +. t.link_leakage_mw +. t.ni_leakage_mw
+  +. t.sync_leakage_mw
+
+let total_mw t = dynamic_mw t +. leakage_mw t
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>power (mW): total %.2f = dynamic %.2f + leakage %.2f@,\
+     \  switches  dyn %.2f leak %.2f@,\
+     \  links     dyn %.2f leak %.2f@,\
+     \  NIs       dyn %.2f leak %.2f@,\
+     \  syncs     dyn %.2f leak %.2f@]"
+    (total_mw t) (dynamic_mw t) (leakage_mw t) t.switch_dynamic_mw
+    t.switch_leakage_mw t.link_dynamic_mw t.link_leakage_mw t.ni_dynamic_mw
+    t.ni_leakage_mw
+    t.sync_dynamic_mw t.sync_leakage_mw
+
+let pp_brief ppf t =
+  Format.fprintf ppf "%.2f mW (dyn %.2f, leak %.2f)" (total_mw t)
+    (dynamic_mw t) (leakage_mw t)

@@ -1,0 +1,32 @@
+(** Power report algebra.
+
+    A report splits NoC power by component class, mirroring how the paper
+    quotes Fig. 2 ("switches, links and the synchronizers"), and keeps
+    dynamic and leakage contributions separate so the shutdown analysis can
+    gate leakage per island. *)
+
+type t = {
+  switch_dynamic_mw : float;
+  switch_leakage_mw : float;
+  link_dynamic_mw : float;
+  link_leakage_mw : float;
+      (** pipeline register banks on pipelined links (0 when unpipelined) *)
+  ni_dynamic_mw : float;
+  ni_leakage_mw : float;
+  sync_dynamic_mw : float;
+  sync_leakage_mw : float;
+}
+
+val zero : t
+val add : t -> t -> t
+val sum : t list -> t
+val scale : float -> t -> t
+
+val dynamic_mw : t -> float
+(** Total dynamic power (what Fig. 2 plots). *)
+
+val leakage_mw : t -> float
+val total_mw : t -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_brief : Format.formatter -> t -> unit

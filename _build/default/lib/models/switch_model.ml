@@ -1,0 +1,91 @@
+type config = {
+  inputs : int;
+  outputs : int;
+  flit_bits : int;
+  buffer_depth : int;
+}
+
+let arity c = max c.inputs c.outputs
+
+let check_config c =
+  if c.inputs < 1 || c.outputs < 1 then
+    invalid_arg "Switch_model: switch needs at least one input and output";
+  if c.flit_bits <= 0 then invalid_arg "Switch_model: flit_bits <= 0";
+  if c.buffer_depth < 1 then invalid_arg "Switch_model: buffer_depth < 1"
+
+(* Crossbar critical path grows with the log of the arity (mux tree depth)
+   plus a linear arbitration term; calibrated so that a 5x5 switch closes
+   around 900 MHz and a 16x16 below 500 MHz at 65 nm, in line with
+   published xpipesLite figures (a 5x5 xpipes switch runs ~885 MHz). *)
+let f_max_mhz tech ~arity =
+  if arity < 2 then invalid_arg "Switch_model.f_max_mhz: arity < 2";
+  let a = float_of_int arity in
+  let path_ns =
+    0.45 +. (0.06 *. log a /. log 2.0) +. (0.075 *. a)
+    +. tech.Tech.clock_skew_margin_ns
+  in
+  1000.0 /. path_ns
+
+let max_arity_for_frequency tech ~freq_mhz =
+  if freq_mhz <= 0.0 then
+    invalid_arg "Switch_model.max_arity_for_frequency: freq <= 0";
+  if f_max_mhz tech ~arity:2 < freq_mhz then None
+  else begin
+    (* f_max is strictly decreasing, so walk up from 2; the cap keeps very
+       slow islands from requesting absurd crossbars. *)
+    let hard_cap = 64 in
+    let rec climb arity =
+      if arity >= hard_cap then hard_cap
+      else if f_max_mhz tech ~arity:(arity + 1) >= freq_mhz then
+        climb (arity + 1)
+      else arity
+    in
+    Some (climb 2)
+  end
+
+let area_mm2 c =
+  check_config c;
+  let i = float_of_int c.inputs and o = float_of_int c.outputs in
+  let width_scale = float_of_int c.flit_bits /. 32.0 in
+  let depth_scale = float_of_int c.buffer_depth /. 4.0 in
+  let crossbar = 0.00065 *. i *. o *. width_scale in
+  let buffers = 0.0022 *. i *. width_scale *. depth_scale in
+  let control = 0.0011 *. (i +. o) in
+  crossbar +. buffers +. control
+
+let energy_per_flit_pj tech c ~vdd =
+  check_config c;
+  let a = float_of_int (arity c) in
+  let width_scale = float_of_int c.flit_bits /. 32.0 in
+  let base = (4.2 +. (1.15 *. a)) *. width_scale in
+  base *. Tech.energy_scale tech ~vdd
+
+let leakage_mw tech c ~vdd =
+  check_config c;
+  area_mm2 c *. tech.Tech.leakage_mw_per_mm2 *. Tech.leakage_scale tech ~vdd
+
+let clock_energy_pj_per_cycle c =
+  check_config c;
+  let a = float_of_int (arity c) in
+  let width_scale = float_of_int c.flit_bits /. 32.0 in
+  let depth_scale = float_of_int c.buffer_depth /. 4.0 in
+  (3.5 +. (1.0 *. a *. depth_scale)) *. width_scale
+
+let clock_power_mw tech c ~vdd ~freq_mhz =
+  if freq_mhz < 0.0 then invalid_arg "Switch_model.clock_power_mw: freq < 0";
+  Units.power_mw_of_energy
+    ~energy_pj:(clock_energy_pj_per_cycle c *. Tech.energy_scale tech ~vdd)
+    ~events_per_second:(freq_mhz *. 1e6)
+
+let dynamic_power_mw tech c ~vdd ~flits_per_second =
+  if flits_per_second < 0.0 then
+    invalid_arg "Switch_model.dynamic_power_mw: negative rate";
+  Units.power_mw_of_energy
+    ~energy_pj:(energy_per_flit_pj tech c ~vdd)
+    ~events_per_second:flits_per_second
+
+let pipeline_latency_cycles = 2
+
+let pp_config ppf c =
+  Format.fprintf ppf "%dx%d@%dbit(buf %d)" c.inputs c.outputs c.flit_bits
+    c.buffer_depth

@@ -1,0 +1,56 @@
+(** Power/area/timing model of a wormhole NoC switch (×pipesLite-style).
+
+    A switch with [inputs] input ports and [outputs] output ports contains an
+    [inputs × outputs] crossbar, per-input buffering and arbitration.  Its
+    {e arity} is [max inputs outputs]: the crossbar critical path — and hence
+    the maximum clock — degrades with arity, which is exactly the
+    [max_sw_size] constraint of the paper's Algorithm 1 (step 1). *)
+
+type config = {
+  inputs : int;
+  outputs : int;
+  flit_bits : int;
+  buffer_depth : int;  (** flits per input port *)
+}
+
+val arity : config -> int
+
+val f_max_mhz : Tech.t -> arity:int -> float
+(** Highest clock a switch of that arity closes timing at, nominal VDD.
+    Strictly decreasing in arity.
+    @raise Invalid_argument if [arity < 2]. *)
+
+val max_arity_for_frequency : Tech.t -> freq_mhz:float -> int option
+(** Largest arity whose [f_max] still reaches [freq_mhz] — the paper's
+    [max_sw_size] per island.  [None] if even a 2×2 switch cannot run that
+    fast.  Inverse of {!f_max_mhz}. *)
+
+val area_mm2 : config -> float
+(** Silicon area: crossbar term quadratic in arity, buffer/arbiter term
+    linear, both proportional to flit width. *)
+
+val energy_per_flit_pj : Tech.t -> config -> vdd:float -> float
+(** Energy to move one flit in one input and out one output at supply
+    [vdd]. *)
+
+val leakage_mw : Tech.t -> config -> vdd:float -> float
+(** Static power of the (non-gated) switch at supply [vdd]. *)
+
+val dynamic_power_mw :
+  Tech.t -> config -> vdd:float -> flits_per_second:float -> float
+(** Average switching power for an aggregate traversal rate. *)
+
+val clock_power_mw : Tech.t -> config -> vdd:float -> freq_mhz:float -> float
+(** Clock-tree and sequential idle power: burned every cycle whether or not
+    flits move, so it scales with the island's clock and V² — the term that
+    makes islands clocked below the reference design {e cheaper} (Fig. 2's
+    communication-based curve) and is the reason slow islands save dynamic
+    power at all. *)
+
+val clock_energy_pj_per_cycle : config -> float
+(** Energy the clock tree, FFs and arbiters burn per cycle (nominal VDD). *)
+
+val pipeline_latency_cycles : int
+(** Cycles a flit spends in the switch under zero load. *)
+
+val pp_config : Format.formatter -> config -> unit

@@ -1,0 +1,35 @@
+let crossing_latency_cycles = 4
+let default_depth = 6
+
+let check ~flit_bits =
+  if flit_bits <= 0 then invalid_arg "Sync_model: flit_bits <= 0"
+
+let area_mm2 ~flit_bits ~depth =
+  check ~flit_bits;
+  if depth < 2 then invalid_arg "Sync_model.area_mm2: depth < 2";
+  0.0008 *. float_of_int depth *. (float_of_int flit_bits /. 32.0)
+
+let energy_per_flit_pj tech ~flit_bits ~vdd =
+  check ~flit_bits;
+  (* FIFO write + read + gray-coded pointer synchronization + level
+     shifting: comparable to a small switch traversal *)
+  6.5 *. (float_of_int flit_bits /. 32.0) *. Tech.energy_scale tech ~vdd
+
+let clock_power_mw tech ~flit_bits ~vdd ~freq_mhz =
+  check ~flit_bits;
+  if freq_mhz < 0.0 then invalid_arg "Sync_model.clock_power_mw: freq < 0";
+  let energy_pj =
+    1.2 *. (float_of_int flit_bits /. 32.0) *. Tech.energy_scale tech ~vdd
+  in
+  Units.power_mw_of_energy ~energy_pj ~events_per_second:(freq_mhz *. 1e6)
+
+let leakage_mw tech ~flit_bits ~depth ~vdd =
+  area_mm2 ~flit_bits ~depth *. tech.Tech.leakage_mw_per_mm2
+  *. Tech.leakage_scale tech ~vdd
+
+let dynamic_power_mw tech ~flit_bits ~vdd ~flits_per_second =
+  if flits_per_second < 0.0 then
+    invalid_arg "Sync_model.dynamic_power_mw: negative rate";
+  Units.power_mw_of_energy
+    ~energy_pj:(energy_per_flit_pj tech ~flit_bits ~vdd)
+    ~events_per_second:flits_per_second

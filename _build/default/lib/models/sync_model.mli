@@ -1,0 +1,29 @@
+(** Bi-synchronous FIFO voltage/frequency converter.
+
+    Every link between switches in two different voltage islands goes
+    through one of these (paper §3.1): it absorbs both the voltage
+    difference (level shifters) and the frequency/skew difference between
+    the two island clock trees.  The paper charges a 4-cycle zero-load
+    penalty per island crossing (§5); this module is the "extended library
+    model" the authors mention adding for these converters. *)
+
+val crossing_latency_cycles : int
+(** Zero-load cycles added per island crossing (paper: 4). *)
+
+val area_mm2 : flit_bits:int -> depth:int -> float
+
+val energy_per_flit_pj : Tech.t -> flit_bits:int -> vdd:float -> float
+(** Energy to push one flit through the FIFO and its level shifters; [vdd]
+    is the higher of the two island supplies. *)
+
+val leakage_mw : Tech.t -> flit_bits:int -> depth:int -> vdd:float -> float
+
+val dynamic_power_mw :
+  Tech.t -> flit_bits:int -> vdd:float -> flits_per_second:float -> float
+
+val clock_power_mw :
+  Tech.t -> flit_bits:int -> vdd:float -> freq_mhz:float -> float
+(** Clock/idle power of the converter, at the faster of its two clocks. *)
+
+val default_depth : int
+(** FIFO slots needed to sustain full throughput across the clock domains. *)

@@ -1,0 +1,50 @@
+type t = {
+  node_nm : int;
+  vdd_nominal : float;
+  vdd_min : float;
+  f_nominal_mhz : float;
+  wire_delay_ns_per_mm : float;
+  wire_energy_pj_per_mm_bit : float;
+  leakage_mw_per_mm2 : float;
+  clock_skew_margin_ns : float;
+}
+
+let default_65nm =
+  {
+    node_nm = 65;
+    vdd_nominal = 1.0;
+    vdd_min = 0.65;
+    f_nominal_mhz = 1000.0;
+    wire_delay_ns_per_mm = 0.17;
+    wire_energy_pj_per_mm_bit = 0.12;
+    leakage_mw_per_mm2 = 15.0;
+    clock_skew_margin_ns = 0.15;
+  }
+
+let vdd_for_frequency t ~freq_mhz =
+  let knee = 0.15 *. t.f_nominal_mhz in
+  if freq_mhz <= knee then t.vdd_min
+  else if freq_mhz >= t.f_nominal_mhz then t.vdd_nominal
+  else begin
+    let fraction = (freq_mhz -. knee) /. (t.f_nominal_mhz -. knee) in
+    t.vdd_min +. (fraction *. (t.vdd_nominal -. t.vdd_min))
+  end
+
+let energy_scale t ~vdd =
+  let r = vdd /. t.vdd_nominal in
+  r *. r
+
+let leakage_scale t ~vdd = vdd /. t.vdd_nominal
+
+let max_unpipelined_mm t ~freq_mhz =
+  if freq_mhz <= 0.0 then invalid_arg "Tech.max_unpipelined_mm: freq <= 0";
+  let period_ns = 1000.0 /. freq_mhz in
+  let usable = period_ns -. t.clock_skew_margin_ns in
+  Float.max 0.0 (usable /. t.wire_delay_ns_per_mm)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>tech %dnm: vdd %g..%gV, f_nom %g MHz,@ wire %g ns/mm %g pJ/mm/bit, \
+     leak %g mW/mm2@]"
+    t.node_nm t.vdd_min t.vdd_nominal t.f_nominal_mhz t.wire_delay_ns_per_mm
+    t.wire_energy_pj_per_mm_bit t.leakage_mw_per_mm2

@@ -1,0 +1,46 @@
+(** Technology parameters for the NoC component models.
+
+    The paper evaluates with 65 nm power/area/latency models for the
+    ×pipesLite architecture, extended with bi-synchronous voltage/frequency
+    converters.  We replace that proprietary library with analytic models
+    calibrated to published 65 nm NoC figures; the synthesis algorithm only
+    consumes relative costs, so orderings and crossovers are preserved
+    (see DESIGN.md §2).
+
+    Unit conventions used throughout the code base:
+    bandwidth MB/s, frequency MHz, energy pJ, power mW, area mm²,
+    length mm, time ns (or cycles where stated). *)
+
+type t = {
+  node_nm : int;                 (** feature size, e.g. 65 *)
+  vdd_nominal : float;           (** nominal supply, V *)
+  vdd_min : float;               (** lowest usable supply, V *)
+  f_nominal_mhz : float;         (** frequency reachable at nominal VDD *)
+  wire_delay_ns_per_mm : float;  (** repeatered global wire delay *)
+  wire_energy_pj_per_mm_bit : float;
+      (** switching energy of one wire bit over 1 mm at nominal VDD *)
+  leakage_mw_per_mm2 : float;    (** logic leakage power density at nominal VDD *)
+  clock_skew_margin_ns : float;  (** timing margin reserved per cycle *)
+}
+
+val default_65nm : t
+
+val vdd_for_frequency : t -> freq_mhz:float -> float
+(** Supply voltage needed to run logic at [freq_mhz]: scales linearly from
+    [vdd_min] (at or below 15% of [f_nominal_mhz]) to [vdd_nominal] (at
+    [f_nominal_mhz] and beyond).  This voltage–frequency scaling is what
+    lets slow islands save dynamic energy — the effect behind Fig. 2's
+    communication-based curve dipping below the single-island reference. *)
+
+val energy_scale : t -> vdd:float -> float
+(** Dynamic-energy multiplier [(vdd / vdd_nominal)²]. *)
+
+val leakage_scale : t -> vdd:float -> float
+(** First-order leakage multiplier, linear in VDD. *)
+
+val max_unpipelined_mm : t -> freq_mhz:float -> float
+(** Longest single-cycle (unpipelined) link at the given clock, after the
+    skew margin.  The paper routes inter-island links unpipelined over the
+    cells, so this bounds usable link lengths. *)
+
+val pp : Format.formatter -> t -> unit

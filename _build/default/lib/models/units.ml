@@ -1,0 +1,19 @@
+let flits_per_second ~bw_mbps ~flit_bits =
+  if flit_bits <= 0 then invalid_arg "Units.flits_per_second: flit_bits <= 0";
+  if bw_mbps < 0.0 then invalid_arg "Units.flits_per_second: negative bandwidth";
+  let bytes_per_flit = float_of_int flit_bits /. 8.0 in
+  bw_mbps *. 1e6 /. bytes_per_flit
+
+let power_mw_of_energy ~energy_pj ~events_per_second =
+  (* pJ * events/s = 1e-12 J * events/s W = 1e-9 mW units *)
+  energy_pj *. events_per_second *. 1e-9
+
+let bandwidth_mbps_of_frequency ~freq_mhz ~flit_bits =
+  if flit_bits <= 0 then
+    invalid_arg "Units.bandwidth_mbps_of_frequency: flit_bits <= 0";
+  freq_mhz *. float_of_int flit_bits /. 8.0
+
+let frequency_mhz_for_bandwidth ~bw_mbps ~flit_bits =
+  if flit_bits <= 0 then
+    invalid_arg "Units.frequency_mhz_for_bandwidth: flit_bits <= 0";
+  bw_mbps *. 8.0 /. float_of_int flit_bits

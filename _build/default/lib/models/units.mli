@@ -1,0 +1,20 @@
+(** Unit conversions shared by all component models.
+
+    Keeping the conversion in one place avoids the classic power-model bug
+    of mixing MB/s, bits and pJ inconsistently. *)
+
+val flits_per_second : bw_mbps:float -> flit_bits:int -> float
+(** Flit rate needed to carry [bw_mbps] megabytes/second on a [flit_bits]
+    wide channel (one flit per cycle).
+    @raise Invalid_argument if [flit_bits <= 0] or [bw_mbps < 0]. *)
+
+val power_mw_of_energy : energy_pj:float -> events_per_second:float -> float
+(** Average power of [events_per_second] events costing [energy_pj] each. *)
+
+val bandwidth_mbps_of_frequency : freq_mhz:float -> flit_bits:int -> float
+(** Peak bandwidth of a link clocked at [freq_mhz] with [flit_bits] wires:
+    one flit per cycle. *)
+
+val frequency_mhz_for_bandwidth : bw_mbps:float -> flit_bits:int -> float
+(** Minimum clock for a link that must carry [bw_mbps]
+    (inverse of {!bandwidth_mbps_of_frequency}). *)

@@ -1,0 +1,1 @@
+lib/partition/cluster.ml: Array Hashtbl List Noc_graph

@@ -1,0 +1,1 @@
+lib/partition/cluster.mli: Noc_graph

@@ -1,0 +1,1 @@
+lib/partition/coarsen.ml: Array List Noc_graph Random

@@ -1,0 +1,1 @@
+lib/partition/coarsen.mli: Noc_graph

@@ -1,0 +1,1 @@
+lib/partition/fm.ml: Array List Noc_graph Queue Random

@@ -1,0 +1,1 @@
+lib/partition/fm.mli: Noc_graph

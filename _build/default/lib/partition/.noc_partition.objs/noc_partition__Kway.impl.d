@@ -1,0 +1,1 @@
+lib/partition/kway.ml: Array Coarsen Float Fm List Noc_graph Printf

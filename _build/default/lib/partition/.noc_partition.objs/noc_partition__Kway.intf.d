@@ -1,0 +1,1 @@
+lib/partition/kway.mli: Noc_graph

@@ -1,0 +1,139 @@
+module Digraph = Noc_graph.Digraph
+module Ugraph = Noc_graph.Ugraph
+
+type constraints = {
+  max_cluster_size : int;
+  pinned_together : int list list;
+}
+
+let no_constraints = { max_cluster_size = max_int; pinned_together = [] }
+
+(* Union-find over core ids, tracking cluster sizes. *)
+module Uf = struct
+  type t = { parent : int array; size : int array }
+
+  let create n = { parent = Array.init n (fun i -> i); size = Array.make n 1 }
+
+  let rec find t x =
+    if t.parent.(x) = x then x
+    else begin
+      let root = find t t.parent.(x) in
+      t.parent.(x) <- root;
+      root
+    end
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra = rb then ra
+    else begin
+      let big, small = if t.size.(ra) >= t.size.(rb) then (ra, rb) else (rb, ra) in
+      t.parent.(small) <- big;
+      t.size.(big) <- t.size.(big) + t.size.(small);
+      big
+    end
+
+  let size t x = t.size.(find t x)
+end
+
+let communication_based ?(seed = 0) ?(constraints = no_constraints) ~islands g =
+  ignore seed;
+  let n = Digraph.node_count g in
+  if islands < 1 then invalid_arg "Cluster.communication_based: islands < 1";
+  if islands > n then
+    invalid_arg "Cluster.communication_based: more islands than cores";
+  let uf = Uf.create n in
+  let clusters = ref n in
+  let merge a b =
+    if Uf.find uf a <> Uf.find uf b then begin
+      ignore (Uf.union uf a b);
+      decr clusters
+    end
+  in
+  (* Apply pinning groups first. *)
+  let seen_pinned = Hashtbl.create 16 in
+  let apply_group group =
+    List.iter
+      (fun c ->
+        if c < 0 || c >= n then
+          invalid_arg "Cluster.communication_based: pinned core out of range";
+        if Hashtbl.mem seen_pinned c then
+          invalid_arg "Cluster.communication_based: core pinned twice";
+        Hashtbl.replace seen_pinned c ())
+      group;
+    match group with
+    | [] -> ()
+    | first :: rest ->
+      List.iter (fun c -> merge first c) rest;
+      if Uf.size uf first > constraints.max_cluster_size then
+        invalid_arg "Cluster.communication_based: pinned group too large"
+  in
+  List.iter apply_group constraints.pinned_together;
+  if !clusters < islands then
+    invalid_arg "Cluster.communication_based: pinning leaves too few clusters";
+  (* Symmetric bandwidth between cores. *)
+  let affinity = Ugraph.of_digraph g in
+  let edge_list =
+    List.sort
+      (fun (_, _, w1) (_, _, w2) -> compare w2 w1)
+      (Ugraph.edges affinity)
+  in
+  let can_merge a b =
+    Uf.find uf a <> Uf.find uf b
+    && Uf.size uf a + Uf.size uf b <= constraints.max_cluster_size
+  in
+  (* Kruskal-style: heaviest bandwidth edges first. *)
+  List.iter
+    (fun (u, v, _) -> if !clusters > islands && can_merge u v then merge u v)
+    edge_list;
+  (* Fallback for disconnected traffic graphs: join the lightest clusters. *)
+  while !clusters > islands do
+    let roots = Hashtbl.create 16 in
+    for v = 0 to n - 1 do
+      let r = Uf.find uf v in
+      if not (Hashtbl.mem roots r) then Hashtbl.replace roots r (Uf.size uf r)
+    done;
+    let sorted =
+      List.sort
+        (fun (r1, s1) (r2, s2) -> compare (s1, r1) (s2, r2))
+        (Hashtbl.fold (fun r s acc -> (r, s) :: acc) roots [])
+    in
+    match sorted with
+    | (a, sa) :: rest ->
+      let mergeable =
+        List.find_opt
+          (fun (_, sb) -> sa + sb <= constraints.max_cluster_size)
+          rest
+      in
+      (match mergeable with
+       | Some (b, _) -> merge a b
+       | None ->
+         invalid_arg
+           "Cluster.communication_based: max_cluster_size forbids reaching \
+            the requested island count")
+    | [] -> assert false
+  done;
+  (* Renumber islands by smallest member id. *)
+  let root_to_min = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    Hashtbl.replace root_to_min (Uf.find uf v) v
+  done;
+  let mins =
+    List.sort compare
+      (Hashtbl.fold (fun _ min_id acc -> min_id :: acc) root_to_min [])
+  in
+  let min_to_island = Hashtbl.create 16 in
+  List.iteri (fun i m -> Hashtbl.replace min_to_island m i) mins;
+  Array.init n (fun v ->
+      Hashtbl.find min_to_island (Hashtbl.find root_to_min (Uf.find uf v)))
+
+let quality g assignment =
+  let n = Digraph.node_count g in
+  if Array.length assignment <> n then
+    invalid_arg "Cluster.quality: assignment size mismatch";
+  let total = ref 0.0 and internal = ref 0.0 in
+  Digraph.iter_edges
+    (fun u v w ->
+      total := !total +. w;
+      if assignment.(u) = assignment.(v) then internal := !internal +. w)
+    g;
+  if !total = 0.0 then 1.0 else !internal /. !total

@@ -1,0 +1,42 @@
+(** Communication-based clustering of cores into voltage islands.
+
+    The paper's evaluation compares two ways of assigning cores to VIs:
+    {e logical partitioning} (by designer intent, an input) and
+    {e communication-based partitioning}, where cores exchanging high
+    bandwidth land in the same island so that hot flows never pay the
+    island-crossing penalty.  This module implements the latter as
+    agglomerative clustering on the core-to-core bandwidth graph, with an
+    optional pinning constraint (e.g. shared memories that must share an
+    always-on island). *)
+
+type constraints = {
+  max_cluster_size : int;
+  (** hard ceiling on cores per island; [max_int] to disable *)
+  pinned_together : int list list;
+  (** each group is pre-merged before clustering starts *)
+}
+
+val no_constraints : constraints
+
+val communication_based :
+  ?seed:int ->
+  ?constraints:constraints ->
+  islands:int ->
+  Noc_graph.Digraph.t ->
+  int array
+(** [communication_based ~islands bw_graph] assigns every core (node of the
+    directed bandwidth graph) to an island id in [0 .. islands-1], greedily
+    merging the cluster pair with the highest inter-cluster bandwidth until
+    [islands] clusters remain.  Ties and zero-bandwidth merges fall back to
+    joining the two lightest clusters, so the requested island count is
+    always reached.  Island ids are renumbered by lowest member core id, so
+    the result is deterministic.
+
+    @raise Invalid_argument if [islands < 1] or [islands] exceeds the node
+    count, or a pinned group repeats a core or would overflow
+    [max_cluster_size]. *)
+
+val quality : Noc_graph.Digraph.t -> int array -> float
+(** Fraction of total bandwidth that stays inside islands (1.0 = all
+    communication island-internal).  Used by tests and the exploration
+    reports. *)

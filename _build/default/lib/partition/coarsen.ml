@@ -1,0 +1,68 @@
+module Ugraph = Noc_graph.Ugraph
+
+type level = { coarse : Ugraph.t; node_map : int array }
+
+let shuffled_order n seed =
+  let order = Array.init n (fun i -> i) in
+  let state = Random.State.make [| seed; n; 0x9e3779b9 |] in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int state (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  order
+
+let coarsen_once ?(seed = 0) g =
+  let n = Ugraph.node_count g in
+  let mate = Array.make n (-1) in
+  let order = shuffled_order n seed in
+  (* Heavy-edge matching: each unmatched node grabs its heaviest unmatched
+     neighbor.  Ties broken by smaller node id for determinism at a fixed
+     seed. *)
+  Array.iter
+    (fun u ->
+      if mate.(u) = -1 then begin
+        let best = ref (-1) and best_w = ref neg_infinity in
+        let consider (v, w) =
+          if mate.(v) = -1 && v <> u then
+            if w > !best_w || (w = !best_w && (!best = -1 || v < !best)) then begin
+              best := v;
+              best_w := w
+            end
+        in
+        List.iter consider (Ugraph.neighbors g u);
+        if !best >= 0 then begin
+          mate.(u) <- !best;
+          mate.(!best) <- u
+        end
+      end)
+    order;
+  let node_map = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if node_map.(v) = -1 then begin
+      node_map.(v) <- !next;
+      if mate.(v) >= 0 then node_map.(mate.(v)) <- !next;
+      incr next
+    end
+  done;
+  let coarse = Ugraph.create !next in
+  let acc = Array.make !next 0.0 in
+  for v = 0 to n - 1 do
+    acc.(node_map.(v)) <- acc.(node_map.(v)) +. Ugraph.node_weight g v
+  done;
+  for c = 0 to !next - 1 do
+    Ugraph.set_node_weight coarse c acc.(c)
+  done;
+  Ugraph.iter_edges
+    (fun u v w ->
+      let cu = node_map.(u) and cv = node_map.(v) in
+      if cu <> cv then Ugraph.add_edge coarse cu cv w)
+    g;
+  { coarse; node_map }
+
+let project level coarse_part =
+  if Array.length coarse_part <> Ugraph.node_count level.coarse then
+    invalid_arg "Coarsen.project: partition size mismatch";
+  Array.map (fun c -> coarse_part.(c)) level.node_map

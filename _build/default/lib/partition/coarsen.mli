@@ -1,0 +1,21 @@
+(** Heavy-edge-matching coarsening for multilevel min-cut partitioning.
+
+    Pairs of nodes joined by heavy edges are merged into super-nodes whose
+    node weight is the sum of the pair's weights; parallel edges between
+    super-nodes accumulate.  One level roughly halves the node count on
+    well-connected graphs. *)
+
+type level = {
+  coarse : Noc_graph.Ugraph.t;
+  (** the coarsened graph *)
+  node_map : int array;
+  (** [node_map.(v)] = coarse node holding fine node [v] *)
+}
+
+val coarsen_once : ?seed:int -> Noc_graph.Ugraph.t -> level
+(** One level of heavy-edge matching.  [seed] randomizes the visit order so
+    repeated partitioning attempts explore different matchings. *)
+
+val project : level -> int array -> int array
+(** [project level coarse_part] lifts a partition vector of the coarse graph
+    back to the fine graph. *)

@@ -1,0 +1,232 @@
+module Ugraph = Noc_graph.Ugraph
+
+type bisection = {
+  side : int array;
+  cut : float;
+  side_weight : float * float;
+}
+
+let epsilon = 1e-9
+
+(* Visit order for the initial partition: BFS growth from [start] keeps the
+   first side connected, which gives FM a much better starting cut than a
+   random fill; stragglers from other components are appended shuffled. *)
+let growth_order g start state =
+  let n = Ugraph.node_count g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let queue = Queue.create () in
+  seen.(start) <- true;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    let nbrs =
+      List.sort (fun (_, w1) (_, w2) -> compare w2 w1) (Ugraph.neighbors g u)
+    in
+    let visit (v, _) =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.push v queue
+      end
+    in
+    List.iter visit nbrs
+  done;
+  let rest = ref [] in
+  for v = n - 1 downto 0 do
+    if not seen.(v) then rest := v :: !rest
+  done;
+  let rest = Array.of_list !rest in
+  for i = Array.length rest - 1 downto 1 do
+    let j = Random.State.int state (i + 1) in
+    let t = rest.(i) in
+    rest.(i) <- rest.(j);
+    rest.(j) <- t
+  done;
+  List.rev_append !order (Array.to_list rest)
+
+let initial_partition g ~target:(w0, w1) ~slack state =
+  let n = Ugraph.node_count g in
+  let side = Array.make n 1 in
+  let start = Random.State.int state n in
+  let order = growth_order g start state in
+  let weight0 = ref 0.0 in
+  let assign v =
+    let wv = Ugraph.node_weight g v in
+    if !weight0 +. wv <= w0 +. epsilon then begin
+      side.(v) <- 0;
+      weight0 := !weight0 +. wv
+    end
+  in
+  List.iter assign order;
+  (* Repair: if side 1 overflows its ceiling, pull light nodes over. *)
+  let weight1 = ref 0.0 in
+  Array.iteri
+    (fun v s -> if s = 1 then weight1 := !weight1 +. Ugraph.node_weight g v)
+    side;
+  if !weight1 > w1 +. slack +. epsilon then begin
+    let movable =
+      List.filter (fun v -> side.(v) = 1) (List.init n (fun i -> i))
+    in
+    let movable =
+      List.sort
+        (fun a b -> compare (Ugraph.node_weight g a) (Ugraph.node_weight g b))
+        movable
+    in
+    let try_move v =
+      let wv = Ugraph.node_weight g v in
+      if
+        !weight1 > w1 +. slack +. epsilon
+        && !weight0 +. wv <= w0 +. slack +. epsilon
+      then begin
+        side.(v) <- 0;
+        weight0 := !weight0 +. wv;
+        weight1 := !weight1 -. wv
+      end
+    in
+    List.iter try_move movable
+  end;
+  if !weight1 > w1 +. slack +. epsilon || !weight0 > w0 +. slack +. epsilon
+  then None
+  else Some side
+
+let side_weights g side =
+  let w = [| 0.0; 0.0 |] in
+  Array.iteri
+    (fun v s -> w.(s) <- w.(s) +. Ugraph.node_weight g v)
+    side;
+  (w.(0), w.(1))
+
+(* gain of moving v to the other side: external minus internal affinity *)
+let gain g side v =
+  List.fold_left
+    (fun acc (u, w) -> if side.(u) <> side.(v) then acc +. w else acc -. w)
+    0.0 (Ugraph.neighbors g v)
+
+let fm_pass g side ~ceil0 ~ceil1 =
+  let n = Ugraph.node_count g in
+  let locked = Array.make n false in
+  let w0, w1 = side_weights g side in
+  let weight = [| w0; w1 |] in
+  let ceils = [| ceil0; ceil1 |] in
+  let moves = ref [] in
+  let cumulative = ref 0.0 in
+  let best_gain = ref 0.0 in
+  let best_len = ref 0 in
+  let len = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (* best feasible unlocked move *)
+    let best_v = ref (-1) and best_g = ref neg_infinity in
+    for v = 0 to n - 1 do
+      if not locked.(v) then begin
+        let other = 1 - side.(v) in
+        let wv = Ugraph.node_weight g v in
+        if weight.(other) +. wv <= ceils.(other) +. epsilon then begin
+          let gv = gain g side v in
+          if gv > !best_g then begin
+            best_g := gv;
+            best_v := v
+          end
+        end
+      end
+    done;
+    if !best_v < 0 then continue := false
+    else begin
+      let v = !best_v in
+      let wv = Ugraph.node_weight g v in
+      weight.(side.(v)) <- weight.(side.(v)) -. wv;
+      side.(v) <- 1 - side.(v);
+      weight.(side.(v)) <- weight.(side.(v)) +. wv;
+      locked.(v) <- true;
+      moves := v :: !moves;
+      incr len;
+      cumulative := !cumulative +. !best_g;
+      if !cumulative > !best_gain +. epsilon then begin
+        best_gain := !cumulative;
+        best_len := !len
+      end
+    end
+  done;
+  (* Roll back the suffix of moves past the best prefix. *)
+  let all_moves = Array.of_list (List.rev !moves) in
+  for i = Array.length all_moves - 1 downto !best_len do
+    let v = all_moves.(i) in
+    side.(v) <- 1 - side.(v)
+  done;
+  !best_gain
+
+let bisect ?(seed = 0) ?(starts = 4) ?(max_passes = 8) ~target ~slack g =
+  let n = Ugraph.node_count g in
+  if n = 0 then invalid_arg "Fm.bisect: empty graph";
+  let w0, w1 = target in
+  if w0 < 0.0 || w1 < 0.0 || slack < 0.0 then
+    invalid_arg "Fm.bisect: negative target or slack";
+  let total = Ugraph.total_node_weight g in
+  if total > w0 +. w1 +. (2.0 *. slack) +. epsilon then
+    invalid_arg "Fm.bisect: targets cannot hold total node weight";
+  let ceil0 = w0 +. slack and ceil1 = w1 +. slack in
+  let best = ref None in
+  for attempt = 0 to starts - 1 do
+    let state = Random.State.make [| seed; attempt; n; 0x5151 |] in
+    match initial_partition g ~target ~slack state with
+    | None -> ()
+    | Some side ->
+      let improved = ref true in
+      let passes = ref 0 in
+      while !improved && !passes < max_passes do
+        incr passes;
+        let gained = fm_pass g side ~ceil0 ~ceil1 in
+        improved := gained > epsilon
+      done;
+      let cut = Ugraph.cut_weight g side in
+      let better =
+        match !best with None -> true | Some (c, _) -> cut < c -. epsilon
+      in
+      if better then best := Some (cut, Array.copy side)
+  done;
+  (match !best with
+   | Some _ -> ()
+   | None ->
+     (* deterministic fallback: largest-first into the side with more
+        remaining capacity — succeeds whenever any split fits the
+        ceilings *)
+     let order =
+       List.sort
+         (fun a b -> compare (Ugraph.node_weight g b) (Ugraph.node_weight g a))
+         (List.init n (fun i -> i))
+     in
+     let side = Array.make n 0 in
+     let weight = [| 0.0; 0.0 |] in
+     let ceils = [| ceil0; ceil1 |] in
+     let feasible = ref true in
+     let place v =
+       let wv = Ugraph.node_weight g v in
+       let room s = ceils.(s) -. weight.(s) in
+       let s = if room 0 >= room 1 then 0 else 1 in
+       if wv <= room s +. epsilon then begin
+         side.(v) <- s;
+         weight.(s) <- weight.(s) +. wv
+       end
+       else begin
+         let other = 1 - s in
+         if wv <= room other +. epsilon then begin
+           side.(v) <- other;
+           weight.(other) <- weight.(other) +. wv
+         end
+         else feasible := false
+       end
+     in
+     List.iter place order;
+     if !feasible then begin
+       let improved = ref true in
+       let passes = ref 0 in
+       while !improved && !passes < max_passes do
+         incr passes;
+         improved := fm_pass g side ~ceil0 ~ceil1 > epsilon
+       done;
+       best := Some (Ugraph.cut_weight g side, side)
+     end);
+  match !best with
+  | None -> invalid_arg "Fm.bisect: no feasible bisection found"
+  | Some (cut, side) -> { side; cut; side_weight = side_weights g side }

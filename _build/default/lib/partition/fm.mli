@@ -1,0 +1,28 @@
+(** Fiduccia–Mattheyses-style bisection of a weighted undirected graph.
+
+    Produces a two-way partition minimizing the cut weight subject to a
+    per-side node-weight ceiling.  Several randomized starts are tried and
+    the best kept, so results are deterministic for a fixed [seed]. *)
+
+type bisection = {
+  side : int array;       (** 0 or 1 per node *)
+  cut : float;            (** weight of edges across the bisection *)
+  side_weight : float * float;
+}
+
+val bisect :
+  ?seed:int ->
+  ?starts:int ->
+  ?max_passes:int ->
+  target:float * float ->
+  slack:float ->
+  Noc_graph.Ugraph.t ->
+  bisection
+(** [bisect ~target:(w0, w1) ~slack g] splits [g] in two sides whose node
+    weights aim at [w0] and [w1]; a side may exceed its target by at most
+    [slack] (absolute node weight).  [starts] independent randomized initial
+    partitions are each refined with at most [max_passes] FM passes.
+
+    @raise Invalid_argument if [g] is empty, or the targets (with slack)
+    cannot accommodate the total node weight, or some single node outweighs
+    [max w0 w1 + slack]. *)

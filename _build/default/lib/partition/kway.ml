@@ -1,0 +1,239 @@
+module Ugraph = Noc_graph.Ugraph
+
+type t = {
+  assignment : int array;
+  parts : int;
+  cut : float;
+  block_weight : float array;
+}
+
+let epsilon = 1e-9
+
+let block_weights g assignment parts =
+  let w = Array.make parts 0.0 in
+  Array.iteri
+    (fun v b -> w.(b) <- w.(b) +. Ugraph.node_weight g v)
+    assignment;
+  w
+
+let block_counts assignment parts =
+  let c = Array.make parts 0 in
+  Array.iter (fun b -> c.(b) <- c.(b) + 1) assignment;
+  c
+
+(* Move nodes across a bisection until each side holds at least its quota of
+   nodes, so deeper recursion can give every block a member.  Light,
+   loosely-connected nodes move first. *)
+let repair_counts g side ~need0 ~need1 =
+  let n = Array.length side in
+  let count = [| 0; 0 |] in
+  Array.iter (fun s -> count.(s) <- count.(s) + 1) side;
+  let needs = [| need0; need1 |] in
+  let deficit s = needs.(s) - count.(s) in
+  let move_candidates from_side =
+    let all = ref [] in
+    for v = n - 1 downto 0 do
+      if side.(v) = from_side then all := v :: !all
+    done;
+    List.sort
+      (fun a b -> compare (Ugraph.weighted_degree g a) (Ugraph.weighted_degree g b))
+      !all
+  in
+  let fix short =
+    let long = 1 - short in
+    let candidates = ref (move_candidates long) in
+    while deficit short > 0 do
+      match !candidates with
+      | [] -> failwith "Kway: cannot satisfy block count quota"
+      | v :: rest ->
+        candidates := rest;
+        side.(v) <- short;
+        count.(short) <- count.(short) + 1;
+        count.(long) <- count.(long) - 1
+    done
+  in
+  if deficit 0 > 0 then fix 0;
+  if deficit 1 > 0 then fix 1
+
+let rec split g nodes parts base assignment ~max_block_weight ~balance ~seed =
+  let m = Array.length nodes in
+  if parts = 1 then
+    Array.iter (fun v -> assignment.(v) <- base) nodes
+  else if m <= parts then begin
+    (* one node per block; remaining blocks stay empty *)
+    Array.iteri (fun i v -> assignment.(v) <- base + i) nodes
+  end
+  else begin
+    let sub, mapping = Ugraph.subgraph g nodes in
+    let total = Ugraph.total_node_weight sub in
+    let k0 = parts / 2 in
+    let k1 = parts - k0 in
+    let t0 = total *. float_of_int k0 /. float_of_int parts in
+    let t1 = total -. t0 in
+    let headroom0 = (float_of_int k0 *. max_block_weight) -. t0 in
+    let headroom1 = (float_of_int k1 *. max_block_weight) -. t1 in
+    (* fractional targets need room for at least one whole node to tip over
+       to either side, or no integral split can hit them *)
+    let rounding =
+      let heaviest = ref 0.0 in
+      for i = 0 to Ugraph.node_count sub - 1 do
+        heaviest := Float.max !heaviest (Ugraph.node_weight sub i)
+      done;
+      !heaviest
+    in
+    let slack =
+      Float.max 0.0
+        (Float.min
+           (Float.max (balance *. Float.max t0 t1) rounding)
+           (Float.min headroom0 headroom1))
+    in
+    let bisection = Fm.bisect ~seed ~target:(t0, t1) ~slack sub in
+    let side = bisection.Fm.side in
+    repair_counts sub side ~need0:k0 ~need1:k1;
+    let nodes0 = ref [] and nodes1 = ref [] in
+    for i = m - 1 downto 0 do
+      if side.(i) = 0 then nodes0 := mapping.(i) :: !nodes0
+      else nodes1 := mapping.(i) :: !nodes1
+    done;
+    split g (Array.of_list !nodes0) k0 base assignment ~max_block_weight
+      ~balance ~seed:(seed + 1);
+    split g (Array.of_list !nodes1) k1 (base + k0) assignment ~max_block_weight
+      ~balance ~seed:(seed + 2)
+  end
+
+(* Greedy k-way refinement: best-gain single-node moves under the weight
+   ceiling, keeping every block non-empty. *)
+let refine g assignment parts ~max_block_weight =
+  let n = Ugraph.node_count g in
+  let weights = block_weights g assignment parts in
+  let counts = block_counts assignment parts in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < 16 do
+    incr rounds;
+    improved := false;
+    for v = 0 to n - 1 do
+      let a = assignment.(v) in
+      if counts.(a) > 1 then begin
+        let affinity = Array.make parts 0.0 in
+        List.iter
+          (fun (u, w) ->
+            affinity.(assignment.(u)) <- affinity.(assignment.(u)) +. w)
+          (Ugraph.neighbors g v);
+        let wv = Ugraph.node_weight g v in
+        let best_b = ref a and best_gain = ref 0.0 in
+        for b = 0 to parts - 1 do
+          if b <> a && weights.(b) +. wv <= max_block_weight +. epsilon then begin
+            let gain = affinity.(b) -. affinity.(a) in
+            if gain > !best_gain +. epsilon then begin
+              best_gain := gain;
+              best_b := b
+            end
+          end
+        done;
+        if !best_b <> a then begin
+          assignment.(v) <- !best_b;
+          weights.(a) <- weights.(a) -. wv;
+          weights.(!best_b) <- weights.(!best_b) +. wv;
+          counts.(a) <- counts.(a) - 1;
+          counts.(!best_b) <- counts.(!best_b) + 1;
+          improved := true
+        end
+      end
+    done
+  done
+
+let coarsen_threshold = 120
+
+let partition ?(seed = 0) ?(balance = 0.15) ~parts ~max_block_weight g =
+  if parts < 1 then invalid_arg "Kway.partition: parts < 1";
+  if max_block_weight <= 0.0 then
+    invalid_arg "Kway.partition: non-positive max_block_weight";
+  let n = Ugraph.node_count g in
+  if n = 0 then invalid_arg "Kway.partition: empty graph";
+  let total = Ugraph.total_node_weight g in
+  if float_of_int parts *. max_block_weight < total -. epsilon then
+    invalid_arg "Kway.partition: parts * max_block_weight < total node weight";
+  for v = 0 to n - 1 do
+    if Ugraph.node_weight g v > max_block_weight +. epsilon then
+      invalid_arg "Kway.partition: a node exceeds max_block_weight"
+  done;
+  let assignment = Array.make n (-1) in
+  if n > coarsen_threshold && parts < n then begin
+    let level = Coarsen.coarsen_once ~seed g in
+    let coarse = level.Coarsen.coarse in
+    if Ugraph.node_count coarse < n then begin
+      let coarse_result =
+        (* recursive multilevel via self-call; coarse graph keeps summed
+           node weights so the ceiling still applies *)
+        let rec go g' depth =
+          let n' = Ugraph.node_count g' in
+          if n' > coarsen_threshold && depth < 10 && parts < n' then begin
+            let lvl = Coarsen.coarsen_once ~seed:(seed + depth) g' in
+            if Ugraph.node_count lvl.Coarsen.coarse < n' then begin
+              let sub = go lvl.Coarsen.coarse (depth + 1) in
+              let projected = Coarsen.project lvl sub in
+              refine g' projected parts ~max_block_weight;
+              projected
+            end
+            else begin
+              let a = Array.make n' (-1) in
+              split g' (Array.init n' (fun i -> i)) parts 0 a ~max_block_weight
+                ~balance ~seed;
+              a
+            end
+          end
+          else begin
+            let a = Array.make n' (-1) in
+            split g' (Array.init n' (fun i -> i)) parts 0 a ~max_block_weight
+              ~balance ~seed;
+            a
+          end
+        in
+        go coarse 1
+      in
+      let projected = Coarsen.project level coarse_result in
+      Array.blit projected 0 assignment 0 n
+    end
+    else
+      split g (Array.init n (fun i -> i)) parts 0 assignment ~max_block_weight
+        ~balance ~seed
+  end
+  else
+    split g (Array.init n (fun i -> i)) parts 0 assignment ~max_block_weight
+      ~balance ~seed;
+  refine g assignment parts ~max_block_weight;
+  let cut = Ugraph.cut_weight g assignment in
+  { assignment; parts; cut; block_weight = block_weights g assignment parts }
+
+let blocks t =
+  let buckets = Array.make t.parts [] in
+  let n = Array.length t.assignment in
+  for v = n - 1 downto 0 do
+    let b = t.assignment.(v) in
+    buckets.(b) <- v :: buckets.(b)
+  done;
+  Array.map Array.of_list buckets
+
+let check_valid ~max_block_weight g t =
+  let n = Ugraph.node_count g in
+  if Array.length t.assignment <> n then
+    failwith "Kway.check_valid: assignment length mismatch";
+  Array.iteri
+    (fun v b ->
+      if b < 0 || b >= t.parts then
+        failwith (Printf.sprintf "Kway.check_valid: node %d in block %d" v b))
+    t.assignment;
+  let weights = block_weights g t.assignment t.parts in
+  Array.iteri
+    (fun b w ->
+      if w > max_block_weight +. 1e-6 then
+        failwith
+          (Printf.sprintf "Kway.check_valid: block %d weight %g over ceiling %g"
+             b w max_block_weight))
+    weights;
+  let cut = Ugraph.cut_weight g t.assignment in
+  if Float.abs (cut -. t.cut) > 1e-6 then
+    failwith
+      (Printf.sprintf "Kway.check_valid: recorded cut %g <> recomputed %g"
+         t.cut cut)

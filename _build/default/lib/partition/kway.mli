@@ -1,0 +1,42 @@
+(** k-way min-cut partitioning by multilevel recursive bisection.
+
+    This is the "min-cut partitions of the VCG" primitive of the paper's
+    Algorithm 1 (step 11): cores that exchange heavy / latency-critical
+    traffic end up in the same block, i.e. attached to the same switch.  A
+    hard per-block node-weight ceiling models the maximum switch size. *)
+
+type t = {
+  assignment : int array;  (** block id in [0 .. parts-1] per node *)
+  parts : int;
+  cut : float;             (** total weight of edges across blocks *)
+  block_weight : float array;
+}
+
+val partition :
+  ?seed:int ->
+  ?balance:float ->
+  parts:int ->
+  max_block_weight:float ->
+  Noc_graph.Ugraph.t ->
+  t
+(** [partition ~parts ~max_block_weight g] splits [g] into [parts] blocks,
+    each of node weight at most [max_block_weight].  [balance] (default
+    [0.15]) is the tolerated relative deviation from perfectly even block
+    weights, as long as the hard ceiling holds.  Graphs larger than a small
+    threshold are coarsened first and refined after projection.
+
+    Every block is non-empty when [parts <= node count]; blocks may be empty
+    only if [parts > node count].
+
+    @raise Invalid_argument if [parts < 1], or
+    [parts * max_block_weight < total node weight] (infeasible), or some
+    node alone exceeds [max_block_weight]. *)
+
+val blocks : t -> int array array
+(** Members of each block, node ids increasing; deterministic. *)
+
+val check_valid : max_block_weight:float -> Noc_graph.Ugraph.t -> t -> unit
+(** Assert the partition invariants (used by tests and property checks):
+    every node assigned to a block in range, block weights within the
+    ceiling, recomputed cut equal to the recorded cut.
+    @raise Failure describing the first violated invariant. *)

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Float Format List Network Noc_graph Noc_spec Noc_synthesis Random Stats Traffic

@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Hashtbl List Noc_models Noc_spec Noc_synthesis

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Engine List Network Noc_spec Noc_synthesis Stats Traffic

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Noc_spec Noc_synthesis Stats

@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Float List Noc_spec Noc_synthesis Random

@@ -1,0 +1,167 @@
+module Flow = Noc_spec.Flow
+module Vi = Noc_spec.Vi
+module Topology = Noc_synthesis.Topology
+module Heap = Noc_graph.Heap
+
+exception Gated_switch_traversal of { flow : Flow.t; switch : int }
+
+type config = {
+  horizon : float;
+  warmup : float;
+  seed : int;
+  gated_islands : int list;
+}
+
+let default_config =
+  { horizon = 20_000.0; warmup = 2_000.0; seed = 0; gated_islands = [] }
+
+type flow_state = {
+  flow : Flow.t;
+  pattern : Traffic.pattern;
+  packet_flits : int;
+  program : Network.hop array;
+  acc : Stats.accumulator;
+  mutable injected : int;
+  suppressed : bool;  (* terminates in a gated island: never injects *)
+}
+
+(* one in-flight packet: latency recorded when its last flit ejects *)
+type packet = {
+  t0 : float;
+  mutable remaining : int;
+  measured : bool;
+}
+
+type event =
+  | Inject of int                               (* flow-state index *)
+  | Arrive of { fs : int; hop : int; pkt : packet }
+
+let run ?(config = default_config) net ~vi ~injections =
+  if config.horizon <= 0.0 || config.warmup < 0.0 then
+    invalid_arg "Engine.run: bad horizon/warmup";
+  if config.warmup >= config.horizon then
+    invalid_arg "Engine.run: warmup >= horizon";
+  let gated = Array.make vi.Vi.islands false in
+  List.iter
+    (fun isl ->
+      if isl < 0 || isl >= vi.Vi.islands then
+        invalid_arg "Engine.run: bad gated island";
+      if not vi.Vi.shutdownable.(isl) then
+        invalid_arg "Engine.run: island is not shutdownable";
+      gated.(isl) <- true)
+    config.gated_islands;
+  let switch_gated sw =
+    match net.Network.topo.Topology.switches.(sw).Topology.location with
+    | Topology.Island isl -> gated.(isl)
+    | Topology.Intermediate -> false
+  in
+  let states =
+    Array.of_list
+      (List.map
+         (fun { Traffic.flow; pattern; packet_flits } ->
+           let program =
+             try Network.program_of_flow net flow
+             with Not_found ->
+               invalid_arg
+                 (Format.asprintf "Engine.run: flow %a is not routed" Flow.pp
+                    flow)
+           in
+           let suppressed =
+             gated.(vi.Vi.of_core.(flow.Flow.src))
+             || gated.(vi.Vi.of_core.(flow.Flow.dst))
+           in
+           {
+             flow;
+             pattern;
+             packet_flits = max 1 packet_flits;
+             program;
+             acc = Stats.create ();
+             injected = 0;
+             suppressed;
+           })
+         injections)
+  in
+  let state = Random.State.make [| config.seed; 0x51AB |] in
+  let heap : event Heap.t = Heap.create ~capacity:1024 () in
+  let port_busy = Array.make (max 1 net.Network.port_count) neg_infinity in
+  Array.iteri
+    (fun i fs ->
+      if (not fs.suppressed) && Traffic.rate_of fs.pattern > 0.0 then begin
+        let t = Traffic.next_arrival fs.pattern ~state ~now:0.0 in
+        Heap.push heap t (Inject i)
+      end)
+    states;
+  let delivered_after_warmup = ref 0 in
+  let injected_after_warmup = ref 0 in
+  let latency_sum = ref 0.0 in
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (t, _) when t > config.horizon -> ()
+    | Some (t, Inject i) ->
+      let fs = states.(i) in
+      fs.injected <- fs.injected + fs.packet_flits;
+      if t >= config.warmup then
+        injected_after_warmup := !injected_after_warmup + fs.packet_flits;
+      let pkt =
+        { t0 = t; remaining = fs.packet_flits; measured = t >= config.warmup }
+      in
+      (* flits of one packet enter the source switch back to back *)
+      for flit = 0 to fs.packet_flits - 1 do
+        Heap.push heap (t +. float_of_int flit) (Arrive { fs = i; hop = 0; pkt })
+      done;
+      (* pattern rate is per flit; packets arrive packet_flits times slower *)
+      let next = ref t in
+      for _ = 1 to fs.packet_flits do
+        next := Traffic.next_arrival fs.pattern ~state ~now:!next
+      done;
+      Heap.push heap !next (Inject i);
+      loop ()
+    | Some (t, Arrive { fs = i; hop; pkt }) ->
+      let fs = states.(i) in
+      let h = fs.program.(hop) in
+      if switch_gated h.Network.hop_switch then
+        raise
+          (Gated_switch_traversal
+             { flow = fs.flow; switch = h.Network.hop_switch });
+      let ready = t +. h.Network.service_cycles in
+      let depart = Float.max ready (port_busy.(h.Network.port) +. 1.0) in
+      port_busy.(h.Network.port) <- depart;
+      let next_time = depart +. h.Network.wire_cycles in
+      if hop + 1 < Array.length fs.program then
+        Heap.push heap next_time (Arrive { fs = i; hop = hop + 1; pkt })
+      else begin
+        pkt.remaining <- pkt.remaining - 1;
+        if pkt.remaining = 0 && pkt.measured then begin
+          (* packet latency: injection of the head flit to ejection of the
+             tail flit *)
+          let latency = next_time -. pkt.t0 in
+          Stats.record fs.acc ~latency;
+          incr delivered_after_warmup;
+          latency_sum := !latency_sum +. latency
+        end
+      end;
+      loop ()
+  in
+  loop ();
+  let flow_report fs =
+    let delivered = Stats.count fs.acc in
+    {
+      Stats.flow = fs.flow;
+      injected = fs.injected;
+      delivered;
+      avg_latency = (if delivered > 0 then Stats.mean fs.acc else nan);
+      worst_latency =
+        (if delivered > 0 then Stats.max_latency fs.acc else nan);
+    }
+  in
+  {
+    Stats.flows = Array.to_list (Array.map flow_report states);
+    total_injected = !injected_after_warmup;
+    total_delivered = !delivered_after_warmup;
+    overall_avg_latency =
+      (if !delivered_after_warmup > 0 then
+         !latency_sum /. float_of_int !delivered_after_warmup
+       else nan);
+    horizon = config.horizon;
+  }

@@ -1,0 +1,32 @@
+(** The discrete-event simulation core.
+
+    Events carry flits between hops of their flow program.  Every switch
+    output port serves one flit per cycle (FCFS by event time, ties by
+    arrival order); links and converters are pure delays.  Gated islands
+    are enforced, not assumed: a flit touching a switch of a gated island
+    aborts the simulation with {!Gated_switch_traversal} — the shutdown
+    experiments assert this never fires on topologies our synthesizer
+    produced, and does fire on deliberately broken ones. *)
+
+exception Gated_switch_traversal of { flow : Noc_spec.Flow.t; switch : int }
+
+type config = {
+  horizon : float;        (** cycles to simulate *)
+  warmup : float;         (** cycles before statistics collection starts *)
+  seed : int;
+  gated_islands : int list;
+      (** islands whose switches are off; injections of flows that
+          terminate in a gated island are suppressed *)
+}
+
+val default_config : config
+
+val run :
+  ?config:config ->
+  Network.t ->
+  vi:Noc_spec.Vi.t ->
+  injections:Traffic.injection list ->
+  Stats.report
+(** Simulate flit traffic.  Flows not present in the network's programs are
+    rejected with [Invalid_argument]; flows with both endpoints live but a
+    route through a gated switch raise {!Gated_switch_traversal}. *)

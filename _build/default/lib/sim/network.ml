@@ -1,0 +1,86 @@
+module Flow = Noc_spec.Flow
+module Topology = Noc_synthesis.Topology
+
+type hop = {
+  port : int;
+  service_cycles : float;
+  wire_cycles : float;
+  hop_switch : int;
+}
+
+type t = {
+  topo : Topology.t;
+  port_count : int;
+  programs : (Flow.t * hop array) list;
+}
+
+type port_key =
+  | Link_port of int * int  (* switch -> switch *)
+  | Eject_port of int * int (* switch -> core NI *)
+
+let compile topo =
+  if topo.Topology.routes = [] then
+    invalid_arg "Network.compile: topology has no committed route";
+  let port_ids : (port_key, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_port = ref 0 in
+  let port_of key =
+    match Hashtbl.find_opt port_ids key with
+    | Some id -> id
+    | None ->
+      let id = !next_port in
+      incr next_port;
+      Hashtbl.replace port_ids key id;
+      id
+  in
+  let service = float_of_int Noc_models.Switch_model.pipeline_latency_cycles in
+  let link_delay = float_of_int Noc_models.Link_model.traversal_cycles in
+  let sync_delay =
+    float_of_int Noc_models.Sync_model.crossing_latency_cycles
+  in
+  let program_of (flow, route) =
+    let rec hops = function
+      | [ last ] ->
+        [
+          {
+            port = port_of (Eject_port (last, flow.Flow.dst));
+            service_cycles = service;
+            wire_cycles = 0.0;
+            hop_switch = last;
+          };
+        ]
+      | a :: (b :: _ as rest) ->
+        let crossing = Topology.is_crossing topo a b in
+        let stages =
+          match Topology.find_link topo ~src:a ~dst:b with
+          | Some link -> float_of_int link.Topology.stages
+          | None -> 0.0
+        in
+        {
+          port = port_of (Link_port (a, b));
+          service_cycles = service;
+          wire_cycles =
+            (link_delay +. stages
+             +. if crossing then sync_delay else 0.0);
+          hop_switch = a;
+        }
+        :: hops rest
+      | [] -> assert false (* commit_flow rejects empty routes *)
+    in
+    (flow, Array.of_list (hops route))
+  in
+  let programs = List.rev_map program_of topo.Topology.routes in
+  { topo; port_count = !next_port; programs }
+
+let zero_load_latency program =
+  Array.fold_left
+    (fun acc hop -> acc +. hop.service_cycles +. hop.wire_cycles)
+    0.0 program
+
+let program_of_flow t flow =
+  let rec find = function
+    | [] -> raise Not_found
+    | (f, program) :: rest ->
+      if f.Flow.src = flow.Flow.src && f.Flow.dst = flow.Flow.dst then program
+      else find rest
+  in
+  find t.programs

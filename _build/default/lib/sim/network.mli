@@ -1,0 +1,34 @@
+(** Compiled simulation network: per-flow hop programs with contention
+    points.
+
+    The simulator models each switch {e output port} as a single-flit-per-
+    cycle server (that is where wormhole contention happens) and each link
+    or converter as a pure delay.  Flits of one flow follow the committed
+    route of the synthesized topology; flits never block each other across
+    different ports, so the model is deadlock-free by construction
+    (virtual-cut-through-style, documented in DESIGN.md). *)
+
+type hop = {
+  port : int;           (** global output-port server id *)
+  service_cycles : float;  (** switch pipeline before the port *)
+  wire_cycles : float;  (** link + converter delay after the port *)
+  hop_switch : int;     (** switch this hop leaves from (for gating checks) *)
+}
+
+type t = {
+  topo : Noc_synthesis.Topology.t;
+  port_count : int;
+  programs : (Noc_spec.Flow.t * hop array) list;
+      (** same order as the topology's route list *)
+}
+
+val compile : Noc_synthesis.Topology.t -> t
+(** @raise Invalid_argument if the topology has no committed route. *)
+
+val zero_load_latency : hop array -> float
+(** Sum of service and wire delays: what a flit experiences alone in the
+    network.  Matches {!Noc_synthesis.Topology.route_latency_cycles} on the
+    corresponding route — property-tested. *)
+
+val program_of_flow : t -> Noc_spec.Flow.t -> hop array
+(** @raise Not_found if the flow is not routed. *)

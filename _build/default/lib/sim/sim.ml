@@ -1,0 +1,63 @@
+module Flow = Noc_spec.Flow
+module Soc_spec = Noc_spec.Soc_spec
+module Topology = Noc_synthesis.Topology
+
+let zero_load_check ?(seed = 0) soc vi topo =
+  let net = Network.compile topo in
+  List.map
+    (fun flow ->
+      (* the flow alone in the network, sparse enough that consecutive
+         flits never interact *)
+      let injections =
+        [ { Traffic.flow; pattern = Traffic.Constant 0.002; packet_flits = 1 } ]
+      in
+      let report =
+        Engine.run
+          ~config:
+            { Engine.horizon = 5_000.0; warmup = 0.0; seed; gated_islands = [] }
+          net ~vi ~injections
+      in
+      let analytic =
+        let route =
+          let rec find = function
+            | [] -> assert false (* every spec flow is routed *)
+            | (f, r) :: rest ->
+              if f.Flow.src = flow.Flow.src && f.Flow.dst = flow.Flow.dst then r
+              else find rest
+          in
+          find topo.Topology.routes
+        in
+        Topology.route_latency_cycles topo route
+      in
+      (flow, report.Stats.overall_avg_latency, analytic))
+    soc.Soc_spec.flows
+
+let run_at_load ?(seed = 0) ?(horizon = 20_000.0) ?(poisson = false)
+    ?(packet_flits = 1) ~load soc vi topo =
+  let net = Network.compile topo in
+  let injections =
+    Traffic.injections_for_load ~packet_flits ~load soc topo ~poisson
+  in
+  Engine.run
+    ~config:
+      {
+        Engine.horizon;
+        warmup = horizon /. 10.0;
+        seed;
+        gated_islands = [];
+      }
+    net ~vi ~injections
+
+let run_with_shutdown ?(seed = 0) ?(horizon = 20_000.0) ?(load = 0.3) ~gated
+    soc vi topo =
+  let net = Network.compile topo in
+  let injections = Traffic.injections_for_load ~load soc topo ~poisson:false in
+  Engine.run
+    ~config:
+      {
+        Engine.horizon;
+        warmup = horizon /. 10.0;
+        seed;
+        gated_islands = gated;
+      }
+    net ~vi ~injections

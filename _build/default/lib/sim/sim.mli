@@ -1,0 +1,44 @@
+(** Facade over the simulator: the three experiments the test-suite and
+    bench harness run against synthesized topologies. *)
+
+val zero_load_check :
+  ?seed:int ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_synthesis.Topology.t ->
+  (Noc_spec.Flow.t * float * int) list
+(** Simulate each flow alone at a very low rate and return
+    [(flow, simulated_latency, analytic_latency)] — the two latencies agree
+    exactly for every flow (property-tested); this validates the Fig. 3
+    numbers against an executable model. *)
+
+val run_at_load :
+  ?seed:int ->
+  ?horizon:float ->
+  ?poisson:bool ->
+  ?packet_flits:int ->
+  load:float ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_synthesis.Topology.t ->
+  Stats.report
+(** Scale the spec's flow mix so the busiest link runs at [load] and
+    simulate; used for the latency-vs-load curves and congestion sanity
+    checks.  With [packet_flits > 1], flits travel in packets and the
+    reported latency is head-injection to tail-ejection (zero-load packet
+    latency = route latency + packet_flits - 1 serialization cycles). *)
+
+val run_with_shutdown :
+  ?seed:int ->
+  ?horizon:float ->
+  ?load:float ->
+  gated:int list ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_synthesis.Topology.t ->
+  Stats.report
+(** Gate the given islands and simulate the surviving traffic.  Raises
+    {!Engine.Gated_switch_traversal} if any surviving flow's route touches
+    a gated switch — i.e. if the topology was not shutdown-safe.  On
+    topologies from {!Noc_synthesis.Synth}, every surviving flow is
+    delivered (asserted by the tests). *)

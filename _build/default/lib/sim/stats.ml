@@ -1,0 +1,52 @@
+type accumulator = {
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () = { n = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let record acc ~latency =
+  acc.n <- acc.n + 1;
+  acc.sum <- acc.sum +. latency;
+  if latency < acc.min_v then acc.min_v <- latency;
+  if latency > acc.max_v then acc.max_v <- latency
+
+let count acc = acc.n
+
+let mean acc =
+  if acc.n = 0 then invalid_arg "Stats.mean: empty accumulator";
+  acc.sum /. float_of_int acc.n
+
+let min_latency acc = acc.min_v
+let max_latency acc = acc.max_v
+
+type flow_report = {
+  flow : Noc_spec.Flow.t;
+  injected : int;
+  delivered : int;
+  avg_latency : float;
+  worst_latency : float;
+}
+
+type report = {
+  flows : flow_report list;
+  total_injected : int;
+  total_delivered : int;
+  overall_avg_latency : float;
+  horizon : float;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>simulation over %.0f cycles: %d/%d flits delivered, avg latency \
+     %.2f cycles"
+    r.horizon r.total_delivered r.total_injected r.overall_avg_latency;
+  List.iter
+    (fun fr ->
+      Format.fprintf ppf "@,  %a: %d/%d avg %.2f worst %.0f"
+        Noc_spec.Flow.pp fr.flow fr.delivered fr.injected fr.avg_latency
+        fr.worst_latency)
+    r.flows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Per-flow and aggregate latency/throughput statistics. *)
+
+type accumulator
+
+val create : unit -> accumulator
+
+val record : accumulator -> latency:float -> unit
+
+val count : accumulator -> int
+val mean : accumulator -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val min_latency : accumulator -> float
+val max_latency : accumulator -> float
+
+type flow_report = {
+  flow : Noc_spec.Flow.t;
+  injected : int;
+  delivered : int;
+  avg_latency : float;   (** cycles; NaN if nothing delivered *)
+  worst_latency : float;
+}
+
+type report = {
+  flows : flow_report list;
+  total_injected : int;
+  total_delivered : int;
+  overall_avg_latency : float;
+  horizon : float;  (** simulated cycles *)
+}
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,58 @@
+module Flow = Noc_spec.Flow
+module Soc_spec = Noc_spec.Soc_spec
+module Topology = Noc_synthesis.Topology
+
+type pattern =
+  | Constant of float
+  | Poisson of float
+
+type injection = {
+  flow : Flow.t;
+  pattern : pattern;
+  packet_flits : int;
+}
+
+let rate_of = function Constant r | Poisson r -> r
+
+let injections_for_load ?(packet_flits = 1) ~load soc topo ~poisson =
+  if load <= 0.0 || load > 1.0 then
+    invalid_arg "Traffic.injections_for_load: load outside (0,1]";
+  if packet_flits < 1 then
+    invalid_arg "Traffic.injections_for_load: packet_flits < 1";
+  if topo.Topology.routes = [] then
+    invalid_arg "Traffic.injections_for_load: no routed flow";
+  (* Busiest link in MB/s committed by the path allocator. *)
+  let hottest =
+    List.fold_left
+      (fun acc link -> Float.max acc link.Topology.bw_mbps)
+      0.0
+      (Topology.links_list topo)
+  in
+  (* Hottest single flow bounds the rate when the topology has no
+     inter-switch link at all (every flow core-to-core on one switch). *)
+  let hottest =
+    List.fold_left
+      (fun acc f -> Float.max acc f.Flow.bandwidth_mbps)
+      hottest soc.Soc_spec.flows
+  in
+  let scale = load /. hottest in
+  List.map
+    (fun f ->
+      let rate = f.Flow.bandwidth_mbps *. scale in
+      {
+        flow = f;
+        pattern = (if poisson then Poisson rate else Constant rate);
+        packet_flits;
+      })
+    soc.Soc_spec.flows
+
+let next_arrival pattern ~state ~now =
+  match pattern with
+  | Constant rate ->
+    if rate <= 0.0 then invalid_arg "Traffic.next_arrival: non-positive rate";
+    now +. (1.0 /. rate)
+  | Poisson rate ->
+    if rate <= 0.0 then invalid_arg "Traffic.next_arrival: non-positive rate";
+    let u = Random.State.float state 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    now +. (-.log u /. rate)

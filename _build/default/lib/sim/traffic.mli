@@ -1,0 +1,38 @@
+(** Traffic generation for the NoC simulator.
+
+    Rates are in flits per simulator cycle; the simulator cycle is the
+    clock of the fastest switch, so a rate of 1.0 saturates one link of
+    that island.  Flow rates derive from the spec bandwidths, globally
+    scaled so the busiest physical link of the topology runs at the
+    requested load. *)
+
+type pattern =
+  | Constant of float  (** deterministic inter-arrival, rate in flits/cycle *)
+  | Poisson of float   (** memoryless arrivals at the given mean rate *)
+
+type injection = {
+  flow : Noc_spec.Flow.t;
+  pattern : pattern;       (** flit rate; packets arrive at rate/packet_flits *)
+  packet_flits : int;      (** flits per packet (1 = the paper's zero-load unit) *)
+}
+
+val rate_of : pattern -> float
+
+val injections_for_load :
+  ?packet_flits:int ->
+  load:float ->
+  Noc_spec.Soc_spec.t ->
+  Noc_synthesis.Topology.t ->
+  poisson:bool ->
+  injection list
+(** Scale all flow bandwidths by one factor such that the most-committed
+    inter-switch link of [topology] carries [load] flits/cycle (0 < load
+    <= 1).  Flows keep their relative bandwidths.
+    [packet_flits] (default 1) groups flits into packets whose flits enter
+    the network back to back.
+    @raise Invalid_argument if [load] is outside (0, 1], [packet_flits < 1],
+    or the topology has no routed flow. *)
+
+val next_arrival :
+  pattern -> state:Random.State.t -> now:float -> float
+(** Time of the next flit injection strictly after [now]. *)

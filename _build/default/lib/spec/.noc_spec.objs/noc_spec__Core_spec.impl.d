@@ -1,0 +1,1 @@
+lib/spec/core_spec.ml: Format List Noc_models

@@ -1,0 +1,1 @@
+lib/spec/core_spec.mli: Format

@@ -1,0 +1,1 @@
+lib/spec/flow.ml: Float Format List

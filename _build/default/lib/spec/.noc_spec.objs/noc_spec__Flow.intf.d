@@ -1,0 +1,1 @@
+lib/spec/flow.mli: Format

@@ -1,0 +1,1 @@
+lib/spec/scenario.ml: Array Format List Printf Vi

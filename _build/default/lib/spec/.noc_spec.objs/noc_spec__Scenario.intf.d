@@ -1,0 +1,1 @@
+lib/spec/scenario.mli: Format Vi

@@ -1,0 +1,1 @@
+lib/spec/soc_spec.ml: Array Core_spec Float Flow Format Hashtbl List Noc_graph Printf Vi

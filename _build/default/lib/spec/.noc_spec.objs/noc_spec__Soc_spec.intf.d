@@ -1,0 +1,1 @@
+lib/spec/soc_spec.mli: Core_spec Flow Format Noc_graph Vi

@@ -1,0 +1,1 @@
+lib/spec/spec_io.ml: Array Buffer Core_spec Float Flow List Printf Scenario Soc_spec String Vi

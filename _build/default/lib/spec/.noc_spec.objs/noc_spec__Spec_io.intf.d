@@ -1,0 +1,1 @@
+lib/spec/spec_io.mli: Scenario Soc_spec Vi

@@ -1,0 +1,1 @@
+lib/spec/traffic_stats.ml: Array Flow Format Hashtbl List Noc_graph Soc_spec Vi

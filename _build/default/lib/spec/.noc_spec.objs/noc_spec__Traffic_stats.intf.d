@@ -1,0 +1,1 @@
+lib/spec/traffic_stats.mli: Format Soc_spec Vi

@@ -1,0 +1,1 @@
+lib/spec/vcg.ml: Array Flow Hashtbl List Noc_graph Soc_spec Vi

@@ -1,0 +1,1 @@
+lib/spec/vcg.mli: Hashtbl Noc_graph Soc_spec Vi

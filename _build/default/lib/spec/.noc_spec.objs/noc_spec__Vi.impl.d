@@ -1,0 +1,1 @@
+lib/spec/vi.ml: Array Flow Format List Printf

@@ -1,0 +1,1 @@
+lib/spec/vi.mli: Flow Format

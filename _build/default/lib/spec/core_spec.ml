@@ -1,0 +1,55 @@
+type kind =
+  | Processor
+  | Dsp
+  | Cache
+  | Memory
+  | Dma
+  | Accelerator
+  | Io
+  | Peripheral
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  area_mm2 : float;
+  freq_mhz : float;
+  dynamic_mw : float;
+  leakage_mw : float;
+}
+
+let make ~id ~name ~kind ~area_mm2 ~freq_mhz ~dynamic_mw ?leakage_mw () =
+  if id < 0 then invalid_arg "Core_spec.make: negative id";
+  if area_mm2 <= 0.0 then invalid_arg "Core_spec.make: non-positive area";
+  if freq_mhz <= 0.0 then invalid_arg "Core_spec.make: non-positive frequency";
+  if dynamic_mw < 0.0 then invalid_arg "Core_spec.make: negative dynamic power";
+  let leakage_mw =
+    match leakage_mw with
+    | Some l ->
+      if l < 0.0 then invalid_arg "Core_spec.make: negative leakage";
+      l
+    | None ->
+      area_mm2 *. Noc_models.Tech.default_65nm.Noc_models.Tech.leakage_mw_per_mm2
+  in
+  { id; name; kind; area_mm2; freq_mhz; dynamic_mw; leakage_mw }
+
+let kind_to_string = function
+  | Processor -> "processor"
+  | Dsp -> "dsp"
+  | Cache -> "cache"
+  | Memory -> "memory"
+  | Dma -> "dma"
+  | Accelerator -> "accelerator"
+  | Io -> "io"
+  | Peripheral -> "peripheral"
+
+let all_kinds =
+  [ Processor; Dsp; Cache; Memory; Dma; Accelerator; Io; Peripheral ]
+
+let kind_of_string s =
+  List.find_opt (fun k -> kind_to_string k = s) all_kinds
+
+let pp ppf c =
+  Format.fprintf ppf "#%d %s (%s, %.2f mm2, %g MHz, %g/%g mW dyn/leak)" c.id
+    c.name (kind_to_string c.kind) c.area_mm2 c.freq_mhz c.dynamic_mw
+    c.leakage_mw

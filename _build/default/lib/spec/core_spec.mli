@@ -1,0 +1,46 @@
+(** Description of one SoC core (IP block) as consumed by the synthesis
+    flow: identity, geometry and its own power figures.  Core power enters
+    the evaluation only to express the NoC overhead as a fraction of
+    {e system} power/area, the statistic the paper reports (§5). *)
+
+type kind =
+  | Processor
+  | Dsp
+  | Cache
+  | Memory
+  | Dma
+  | Accelerator   (** video/imaging engines and similar *)
+  | Io
+  | Peripheral
+
+type t = {
+  id : int;              (** dense index in the SoC core table *)
+  name : string;
+  kind : kind;
+  area_mm2 : float;
+  freq_mhz : float;      (** the core's own clock *)
+  dynamic_mw : float;    (** core dynamic power when active *)
+  leakage_mw : float;    (** core leakage when its island is powered *)
+}
+
+val make :
+  id:int ->
+  name:string ->
+  kind:kind ->
+  area_mm2:float ->
+  freq_mhz:float ->
+  dynamic_mw:float ->
+  ?leakage_mw:float ->
+  unit ->
+  t
+(** [leakage_mw] defaults to the 65 nm leakage density times the core area.
+    @raise Invalid_argument on negative area/frequency/power or id. *)
+
+val kind_to_string : kind -> string
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; [None] on unknown names. *)
+
+val all_kinds : kind list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = {
+  src : int;
+  dst : int;
+  bandwidth_mbps : float;
+  max_latency_cycles : int;
+}
+
+let make ~src ~dst ~bw ~lat =
+  if src < 0 || dst < 0 then invalid_arg "Flow.make: negative core id";
+  if src = dst then invalid_arg "Flow.make: self flow";
+  if bw <= 0.0 then invalid_arg "Flow.make: non-positive bandwidth";
+  if lat <= 0 then invalid_arg "Flow.make: non-positive latency constraint";
+  { src; dst; bandwidth_mbps = bw; max_latency_cycles = lat }
+
+let max_bandwidth flows =
+  List.fold_left (fun acc f -> Float.max acc f.bandwidth_mbps) 0.0 flows
+
+let min_latency flows =
+  match flows with
+  | [] -> invalid_arg "Flow.min_latency: empty flow list"
+  | first :: rest ->
+    List.fold_left
+      (fun acc f -> min acc f.max_latency_cycles)
+      first.max_latency_cycles rest
+
+let weight ~alpha ~max_bw ~min_lat f =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Flow.weight: alpha not in [0,1]";
+  if max_bw <= 0.0 then invalid_arg "Flow.weight: max_bw <= 0";
+  let bw_term = f.bandwidth_mbps /. max_bw in
+  let lat_term = float_of_int min_lat /. float_of_int f.max_latency_cycles in
+  (alpha *. bw_term) +. ((1.0 -. alpha) *. lat_term)
+
+let pp ppf f =
+  Format.fprintf ppf "%d->%d %.0fMB/s lat<=%d" f.src f.dst f.bandwidth_mbps
+    f.max_latency_cycles

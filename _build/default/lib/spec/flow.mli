@@ -1,0 +1,31 @@
+(** One traffic flow of the application communication graph: a directed
+    core-to-core stream with a bandwidth requirement and a zero-load latency
+    constraint (Definition 1 of the paper). *)
+
+type t = {
+  src : int;               (** source core id *)
+  dst : int;               (** destination core id *)
+  bandwidth_mbps : float;  (** sustained requirement, MB/s *)
+  max_latency_cycles : int;
+      (** tightest acceptable zero-load latency, in cycles of the flow's
+          reference NoC clock *)
+}
+
+val make : src:int -> dst:int -> bw:float -> lat:int -> t
+(** @raise Invalid_argument on self-flow, negative ids, non-positive
+    bandwidth or latency. *)
+
+val max_bandwidth : t list -> float
+(** Largest bandwidth over the flows ([max_bw] in Definition 1);
+    [0.] for an empty list. *)
+
+val min_latency : t list -> int
+(** Tightest latency constraint over the flows ([min_lat] in Definition 1).
+    @raise Invalid_argument on an empty list. *)
+
+val weight : alpha:float -> max_bw:float -> min_lat:int -> t -> float
+(** The paper's edge weight
+    [h = alpha * bw/max_bw + (1-alpha) * min_lat/lat].
+    @raise Invalid_argument if [alpha] is outside [0, 1] or [max_bw <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

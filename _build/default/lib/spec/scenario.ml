@@ -1,0 +1,59 @@
+type t = {
+  name : string;
+  used_cores : bool array;
+  duty : float;
+}
+
+let make ~name ~used ~cores ~duty =
+  if cores < 1 then invalid_arg "Scenario.make: cores < 1";
+  if duty < 0.0 || duty > 1.0 then invalid_arg "Scenario.make: duty not in [0,1]";
+  if used = [] then invalid_arg "Scenario.make: no used core";
+  let used_cores = Array.make cores false in
+  List.iter
+    (fun c ->
+      if c < 0 || c >= cores then
+        invalid_arg (Printf.sprintf "Scenario.make: core %d out of range" c);
+      if used_cores.(c) then
+        invalid_arg (Printf.sprintf "Scenario.make: core %d listed twice" c);
+      used_cores.(c) <- true)
+    used;
+  { name; used_cores; duty }
+
+let island_active t vi isl =
+  if isl < 0 || isl >= vi.Vi.islands then
+    invalid_arg "Scenario.island_active: bad island";
+  if Array.length t.used_cores <> Array.length vi.Vi.of_core then
+    invalid_arg "Scenario.island_active: core count mismatch";
+  let active = ref false in
+  Array.iteri
+    (fun core used -> if used && vi.Vi.of_core.(core) = isl then active := true)
+    t.used_cores;
+  !active
+
+let gated_islands t vi =
+  let rec collect isl acc =
+    if isl < 0 then acc
+    else begin
+      let gated =
+        vi.Vi.shutdownable.(isl) && not (island_active t vi isl)
+      in
+      collect (isl - 1) (if gated then isl :: acc else acc)
+    end
+  in
+  collect (vi.Vi.islands - 1) []
+
+let validate_duties scenarios =
+  let total = List.fold_left (fun acc s -> acc +. s.duty) 0.0 scenarios in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Scenario.validate_duties: duties sum to %g > 1" total)
+
+let pp ppf t =
+  let used = ref [] in
+  Array.iteri (fun c u -> if u then used := c :: !used) t.used_cores;
+  Format.fprintf ppf "scenario %s (duty %.0f%%): cores %a" t.name
+    (100.0 *. t.duty)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (List.rev !used)

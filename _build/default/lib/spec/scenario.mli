@@ -1,0 +1,31 @@
+(** Usage scenarios for the shutdown analysis.
+
+    A scenario names the set of cores an application mode actually uses and
+    the fraction of time the SoC spends in that mode.  An island can be
+    gated in a scenario iff it is marked shutdownable and none of its cores
+    is used — this is where the leakage savings the paper motivates (§1, §5:
+    "even 25% or more reduction in overall system power") come from. *)
+
+type t = {
+  name : string;
+  used_cores : bool array;  (** length = core count *)
+  duty : float;             (** fraction of time in this mode, [0..1] *)
+}
+
+val make : name:string -> used:int list -> cores:int -> duty:float -> t
+(** [used] lists the core ids active in this mode.
+    @raise Invalid_argument on out-of-range ids, duplicates, empty [used]
+    or duty outside [0,1]. *)
+
+val island_active : t -> Vi.t -> int -> bool
+(** Is some used core inside the island? *)
+
+val gated_islands : t -> Vi.t -> int list
+(** Islands that can be shut down in this scenario: shutdownable and with no
+    used core. *)
+
+val validate_duties : t list -> unit
+(** @raise Invalid_argument if duties sum to more than 1 (+ small epsilon).
+    A slack below 1 is allowed: the remainder is full-power operation. *)
+
+val pp : Format.formatter -> t -> unit

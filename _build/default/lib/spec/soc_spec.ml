@@ -1,0 +1,80 @@
+type t = {
+  name : string;
+  cores : Core_spec.t array;
+  flows : Flow.t list;
+  flit_bits : int;
+  allow_intermediate_island : bool;
+}
+
+let make ~name ~cores ~flows ?(flit_bits = 32) ?(allow_intermediate_island = true)
+    () =
+  if Array.length cores = 0 then invalid_arg "Soc_spec.make: no cores";
+  if flit_bits <= 0 then invalid_arg "Soc_spec.make: flit_bits <= 0";
+  Array.iteri
+    (fun i c ->
+      if c.Core_spec.id <> i then
+        invalid_arg
+          (Printf.sprintf "Soc_spec.make: core at index %d has id %d" i
+             c.Core_spec.id))
+    cores;
+  let n = Array.length cores in
+  let seen = Hashtbl.create (List.length flows) in
+  List.iter
+    (fun f ->
+      if f.Flow.src >= n || f.Flow.dst >= n then
+        invalid_arg
+          (Printf.sprintf "Soc_spec.make: flow %d->%d references unknown core"
+             f.Flow.src f.Flow.dst);
+      let key = (f.Flow.src, f.Flow.dst) in
+      if Hashtbl.mem seen key then
+        invalid_arg
+          (Printf.sprintf "Soc_spec.make: duplicate flow %d->%d" f.Flow.src
+             f.Flow.dst);
+      Hashtbl.replace seen key ())
+    flows;
+  { name; cores; flows; flit_bits; allow_intermediate_island }
+
+let core_count t = Array.length t.cores
+
+let bandwidth_graph t =
+  let g = Noc_graph.Digraph.create (core_count t) in
+  List.iter
+    (fun f ->
+      Noc_graph.Digraph.add_to_edge g f.Flow.src f.Flow.dst
+        f.Flow.bandwidth_mbps)
+    t.flows;
+  g
+
+let flows_between t ~src_island ~dst_island ~vi =
+  List.filter
+    (fun f ->
+      vi.Vi.of_core.(f.Flow.src) = src_island
+      && vi.Vi.of_core.(f.Flow.dst) = dst_island)
+    t.flows
+
+let total_core_area_mm2 t =
+  Array.fold_left (fun acc c -> acc +. c.Core_spec.area_mm2) 0.0 t.cores
+
+let total_core_dynamic_mw t =
+  Array.fold_left (fun acc c -> acc +. c.Core_spec.dynamic_mw) 0.0 t.cores
+
+let total_core_leakage_mw t =
+  Array.fold_left (fun acc c -> acc +. c.Core_spec.leakage_mw) 0.0 t.cores
+
+let max_core_bandwidth_mbps t core =
+  if core < 0 || core >= core_count t then
+    invalid_arg "Soc_spec.max_core_bandwidth_mbps: bad core id";
+  List.fold_left
+    (fun acc f ->
+      if f.Flow.src = core || f.Flow.dst = core then
+        Float.max acc f.Flow.bandwidth_mbps
+      else acc)
+    0.0 t.flows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>SoC %s: %d cores, %d flows, %d-bit links%s@,"
+    t.name (core_count t) (List.length t.flows) t.flit_bits
+    (if t.allow_intermediate_island then "" else " (no intermediate VI rails)");
+  Array.iter (fun c -> Format.fprintf ppf "  %a@," Core_spec.pp c) t.cores;
+  List.iter (fun f -> Format.fprintf ppf "  %a@," Flow.pp f) t.flows;
+  Format.fprintf ppf "@]"

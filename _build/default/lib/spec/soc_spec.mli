@@ -1,0 +1,47 @@
+(** Full SoC input specification: the core table plus the application's
+    communication graph, together with the knobs the paper takes as input
+    (link data width, availability of rails for an intermediate NoC VI). *)
+
+type t = {
+  name : string;
+  cores : Core_spec.t array;       (** indexed by core id *)
+  flows : Flow.t list;
+  flit_bits : int;                 (** user-fixed link data width (paper §4) *)
+  allow_intermediate_island : bool;
+      (** are power/ground rails available for a separate always-on NoC VI?
+          (paper §3.2 treats this as an input) *)
+}
+
+val make :
+  name:string ->
+  cores:Core_spec.t array ->
+  flows:Flow.t list ->
+  ?flit_bits:int ->
+  ?allow_intermediate_island:bool ->
+  unit ->
+  t
+(** Validates: core ids are exactly [0 .. n-1] in order, flow endpoints are
+    valid core ids, no duplicate directed flow between the same pair (merge
+    them upstream instead).  [flit_bits] defaults to 32,
+    [allow_intermediate_island] to [true].
+    @raise Invalid_argument on any violation. *)
+
+val core_count : t -> int
+
+val bandwidth_graph : t -> Noc_graph.Digraph.t
+(** Directed graph over cores whose edge weights are flow bandwidths
+    (MB/s). *)
+
+val flows_between : t -> src_island:int -> dst_island:int -> vi:Vi.t -> Flow.t list
+(** Flows going from a core of [src_island] to a core of [dst_island]. *)
+
+val total_core_area_mm2 : t -> float
+val total_core_dynamic_mw : t -> float
+val total_core_leakage_mw : t -> float
+
+val max_core_bandwidth_mbps : t -> int -> float
+(** Largest single-flow bandwidth entering or leaving the given core: the
+    hottest NI link of that core, which drives its island's NoC frequency
+    (Algorithm 1 step 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Textual interchange format for SoC specifications, voltage-island
+    assignments and usage scenarios.
+
+    A bundle file is line-oriented; [#] starts a comment.  Example:
+
+    {v
+    soc my-design
+    flit_bits 32
+    intermediate_island true
+    core 0 cpu processor area 5.0 freq 500 dyn 110 leak 60
+    core 1 mem memory area 3.0 freq 400 dyn 55
+    flow 0 1 bw 800 lat 12
+    flow 1 0 bw 650 lat 12
+    islands 2
+    assign 0 0
+    assign 1 1
+    always_on 1
+    scenario idle 0.5 1
+    v}
+
+    Parsing is strict: unknown directives, bad arities and inconsistent
+    ids are reported with their line number.  Printing followed by parsing
+    reproduces the bundle exactly (round-trip property-tested). *)
+
+type bundle = {
+  soc : Soc_spec.t;
+  vi : Vi.t option;            (** present iff the file has an [islands] section *)
+  scenarios : Scenario.t list;
+}
+
+val parse : string -> (bundle, string) result
+(** Parse a bundle from file contents. *)
+
+val to_string : bundle -> string
+(** Render a bundle in the format above. *)
+
+val load : string -> (bundle, string) result
+(** Read and parse a file; I/O errors are reported in the [Error] case. *)
+
+val save : string -> bundle -> unit
+(** Write [to_string] to the given path.
+    @raise Sys_error on I/O failure. *)
+
+val equal_bundle : bundle -> bundle -> bool
+(** Structural equality up to float printing precision — what the
+    round-trip test checks. *)

@@ -1,0 +1,99 @@
+type t = {
+  flow_count : int;
+  total_bandwidth_mbps : float;
+  max_bandwidth_mbps : float;
+  median_bandwidth_mbps : float;
+  hub_core : int;
+  hub_fraction : float;
+  gini : float;
+  avg_fanout : float;
+  tightest_latency_cycles : int;
+  connected : bool;
+}
+
+let gini_of sorted_ascending =
+  (* standard formula on a sorted sample: G = (2 sum(i*x_i)/(n*sum) ) -
+     (n+1)/n with 1-based i *)
+  let n = Array.length sorted_ascending in
+  let total = Array.fold_left ( +. ) 0.0 sorted_ascending in
+  if n = 0 || total <= 0.0 then 0.0
+  else begin
+    let weighted = ref 0.0 in
+    Array.iteri
+      (fun i x -> weighted := !weighted +. (float_of_int (i + 1) *. x))
+      sorted_ascending;
+    (2.0 *. !weighted /. (float_of_int n *. total))
+    -. ((float_of_int n +. 1.0) /. float_of_int n)
+  end
+
+let analyze soc =
+  let flows = soc.Soc_spec.flows in
+  if flows = [] then invalid_arg "Traffic_stats.analyze: no flows";
+  let n = Soc_spec.core_count soc in
+  let bandwidths =
+    Array.of_list (List.map (fun f -> f.Flow.bandwidth_mbps) flows)
+  in
+  Array.sort compare bandwidths;
+  let flow_count = Array.length bandwidths in
+  let total = Array.fold_left ( +. ) 0.0 bandwidths in
+  let median =
+    if flow_count mod 2 = 1 then bandwidths.(flow_count / 2)
+    else
+      (bandwidths.((flow_count / 2) - 1) +. bandwidths.(flow_count / 2)) /. 2.0
+  in
+  let touching = Array.make n 0.0 in
+  let fanout = Array.make n 0 in
+  let seen_dst = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      touching.(f.Flow.src) <- touching.(f.Flow.src) +. f.Flow.bandwidth_mbps;
+      touching.(f.Flow.dst) <- touching.(f.Flow.dst) +. f.Flow.bandwidth_mbps;
+      if not (Hashtbl.mem seen_dst (f.Flow.src, f.Flow.dst)) then begin
+        Hashtbl.replace seen_dst (f.Flow.src, f.Flow.dst) ();
+        fanout.(f.Flow.src) <- fanout.(f.Flow.src) + 1
+      end)
+    flows;
+  let hub_core = ref 0 in
+  Array.iteri
+    (fun core bw -> if bw > touching.(!hub_core) then hub_core := core)
+    touching;
+  let sources = Array.fold_left (fun acc k -> if k > 0 then acc + 1 else acc) 0 fanout in
+  let avg_fanout =
+    if sources = 0 then 0.0
+    else
+      float_of_int (Array.fold_left ( + ) 0 fanout) /. float_of_int sources
+  in
+  let undirected = Noc_graph.Ugraph.of_digraph (Soc_spec.bandwidth_graph soc) in
+  {
+    flow_count;
+    total_bandwidth_mbps = total;
+    max_bandwidth_mbps = bandwidths.(flow_count - 1);
+    median_bandwidth_mbps = median;
+    hub_core = !hub_core;
+    hub_fraction = (if total > 0.0 then touching.(!hub_core) /. total else 0.0);
+    gini = gini_of bandwidths;
+    avg_fanout;
+    tightest_latency_cycles = Flow.min_latency flows;
+    connected = Noc_graph.Traversal.is_connected undirected;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>traffic: %d flows, %.1f GB/s total (max %.0f, median %.0f MB/s)@,\
+     hub: core %d touches %.0f%% of all bandwidth; avg fan-out %.1f@,\
+     bandwidth Gini %.2f; tightest latency %d cycles; graph %s@]"
+    s.flow_count
+    (s.total_bandwidth_mbps /. 1000.0)
+    s.max_bandwidth_mbps s.median_bandwidth_mbps s.hub_core
+    (100.0 *. s.hub_fraction)
+    s.avg_fanout s.gini s.tightest_latency_cycles
+    (if s.connected then "connected" else "DISCONNECTED")
+
+let intra_island_fraction soc vi =
+  let total =
+    List.fold_left
+      (fun acc f -> acc +. f.Flow.bandwidth_mbps)
+      0.0 soc.Soc_spec.flows
+  in
+  if total <= 0.0 then 1.0
+  else 1.0 -. (Vi.crossing_bandwidth vi soc.Soc_spec.flows /. total)

@@ -1,0 +1,33 @@
+(** Descriptive statistics of a SoC's communication graph.
+
+    Used to audit that synthetic benchmarks look like real MPSoC traffic
+    (hub-dominated, heavy-tailed bandwidths, latency-stratified) and by the
+    documentation/examples to characterize inputs before synthesis. *)
+
+type t = {
+  flow_count : int;
+  total_bandwidth_mbps : float;
+  max_bandwidth_mbps : float;
+  median_bandwidth_mbps : float;
+  hub_core : int;            (** core touching the most flow bandwidth *)
+  hub_fraction : float;      (** share of total bandwidth touching the hub *)
+  gini : float;
+      (** Gini coefficient of the flow bandwidth distribution: 0 = all
+          flows equal, →1 = one flow dominates.  Real SoC traffic is
+          heavy-tailed (≳0.5). *)
+  avg_fanout : float;        (** mean distinct destinations per active source *)
+  tightest_latency_cycles : int;
+  connected : bool;
+      (** is the communication graph (undirected) one component?  A
+          disconnected spec usually means a forgotten control flow. *)
+}
+
+val analyze : Soc_spec.t -> t
+(** @raise Invalid_argument if the spec has no flows. *)
+
+val pp : Format.formatter -> t -> unit
+
+val intra_island_fraction : Soc_spec.t -> Vi.t -> float
+(** Share of total bandwidth whose endpoints share an island — the quantity
+    communication-based partitioning maximizes (1 − the normalized crossing
+    bandwidth of Fig. 2's discussion). *)

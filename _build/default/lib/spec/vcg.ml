@@ -1,0 +1,38 @@
+module Ugraph = Noc_graph.Ugraph
+
+type t = {
+  island : int;
+  graph : Ugraph.t;
+  cores : int array;
+  local_of_core : (int, int) Hashtbl.t;
+}
+
+let build ~alpha soc vi ~island =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Vcg.build: alpha not in [0,1]";
+  if island < 0 || island >= vi.Vi.islands then
+    invalid_arg "Vcg.build: bad island id";
+  let cores = Array.of_list (Vi.cores_of_island vi island) in
+  let local_of_core = Hashtbl.create (Array.length cores) in
+  Array.iteri (fun local core -> Hashtbl.replace local_of_core core local) cores;
+  let graph = Ugraph.create (Array.length cores) in
+  let flows = soc.Soc_spec.flows in
+  if flows <> [] then begin
+    let max_bw = Flow.max_bandwidth flows in
+    let min_lat = Flow.min_latency flows in
+    let add_flow f =
+      match
+        ( Hashtbl.find_opt local_of_core f.Flow.src,
+          Hashtbl.find_opt local_of_core f.Flow.dst )
+      with
+      | Some u, Some v ->
+        Ugraph.add_edge graph u v (Flow.weight ~alpha ~max_bw ~min_lat f)
+      | _ -> ()
+    in
+    List.iter add_flow flows
+  end;
+  { island; graph; cores; local_of_core }
+
+let build_all ~alpha soc vi =
+  Array.init vi.Vi.islands (fun island -> build ~alpha soc vi ~island)
+
+let size t = Array.length t.cores

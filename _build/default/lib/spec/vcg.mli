@@ -1,0 +1,29 @@
+(** The VI Communication Graph of the paper's Definition 1.
+
+    For an island [isl], [VCG(V, E, isl)] has one vertex per core of the
+    island and an edge per traffic flow between two of its cores, weighted
+    [h_ij = alpha * bw_ij / max_bw + (1 - alpha) * min_lat / lat_ij] where
+    [max_bw] is the largest bandwidth over {e all} flows of the SoC and
+    [min_lat] the tightest latency constraint over all flows.  Min-cut
+    partitioning this graph groups heavily-communicating / latency-critical
+    cores on the same switch (Algorithm 1 step 11). *)
+
+type t = {
+  island : int;
+  graph : Noc_graph.Ugraph.t;
+      (** undirected affinity graph over local indices; antiparallel flow
+          pairs accumulate *)
+  cores : int array;  (** [cores.(local)] = global core id *)
+  local_of_core : (int, int) Hashtbl.t;
+}
+
+val build : alpha:float -> Soc_spec.t -> Vi.t -> island:int -> t
+(** @raise Invalid_argument if [alpha] is outside [0,1] or the island id is
+    bad.  An island whose cores never talk to each other yields an edgeless
+    graph (still partitionable). *)
+
+val build_all : alpha:float -> Soc_spec.t -> Vi.t -> t array
+(** One VCG per island, indexed by island id. *)
+
+val size : t -> int
+(** Number of cores in the island ([|VCG|] in Algorithm 1 step 2). *)

@@ -1,0 +1,80 @@
+type t = {
+  islands : int;
+  of_core : int array;
+  shutdownable : bool array;
+}
+
+let make ~islands ~of_core ?shutdownable () =
+  if islands < 1 then invalid_arg "Vi.make: islands < 1";
+  let shutdownable =
+    match shutdownable with
+    | Some s ->
+      if Array.length s <> islands then
+        invalid_arg "Vi.make: shutdownable length mismatch";
+      Array.copy s
+    | None -> Array.make islands true
+  in
+  let populated = Array.make islands false in
+  Array.iteri
+    (fun core isl ->
+      if isl < 0 || isl >= islands then
+        invalid_arg
+          (Printf.sprintf "Vi.make: core %d assigned to island %d (of %d)"
+             core isl islands);
+      populated.(isl) <- true)
+    of_core;
+  Array.iteri
+    (fun isl p ->
+      if not p then
+        invalid_arg (Printf.sprintf "Vi.make: island %d has no core" isl))
+    populated;
+  { islands; of_core = Array.copy of_core; shutdownable }
+
+let single_island ~cores =
+  if cores < 1 then invalid_arg "Vi.single_island: cores < 1";
+  make ~islands:1 ~of_core:(Array.make cores 0)
+    ~shutdownable:[| false |] ()
+
+let per_core_islands ~cores =
+  if cores < 1 then invalid_arg "Vi.per_core_islands: cores < 1";
+  make ~islands:cores ~of_core:(Array.init cores (fun i -> i)) ()
+
+let cores_of_island t isl =
+  if isl < 0 || isl >= t.islands then
+    invalid_arg "Vi.cores_of_island: bad island id";
+  let members = ref [] in
+  for core = Array.length t.of_core - 1 downto 0 do
+    if t.of_core.(core) = isl then members := core :: !members
+  done;
+  !members
+
+let island_sizes t =
+  let sizes = Array.make t.islands 0 in
+  Array.iter (fun isl -> sizes.(isl) <- sizes.(isl) + 1) t.of_core;
+  sizes
+
+let crossings t flows =
+  List.length
+    (List.filter
+       (fun f -> t.of_core.(f.Flow.src) <> t.of_core.(f.Flow.dst))
+       flows)
+
+let crossing_bandwidth t flows =
+  List.fold_left
+    (fun acc f ->
+      if t.of_core.(f.Flow.src) <> t.of_core.(f.Flow.dst) then
+        acc +. f.Flow.bandwidth_mbps
+      else acc)
+    0.0 flows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d islands:" t.islands;
+  for isl = 0 to t.islands - 1 do
+    Format.fprintf ppf "@,  VI%d%s: cores %a" isl
+      (if t.shutdownable.(isl) then "" else " (always-on)")
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      (cores_of_island t isl)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Voltage-island assignment of cores.
+
+    The assignment of cores to VIs is an {e input} to the synthesis
+    algorithm (paper §3.1): logical partitioning comes from the designer,
+    communication-based partitioning from {!Noc_partition.Cluster}.  Islands
+    may individually be marked non-shutdownable (e.g. the shared-memory
+    island that must stay reachable at all times, §5). *)
+
+type t = {
+  islands : int;               (** number of islands, ids [0 .. islands-1] *)
+  of_core : int array;         (** island of each core *)
+  shutdownable : bool array;   (** per island; length [islands] *)
+}
+
+val make : islands:int -> of_core:int array -> ?shutdownable:bool array -> unit -> t
+(** [shutdownable] defaults to all-[true].
+    @raise Invalid_argument if a core maps outside [0 .. islands-1], if some
+    island has no core, or if array lengths disagree. *)
+
+val single_island : cores:int -> t
+(** Everything in one island — the paper's 1-island reference design point
+    (the island is marked non-shutdownable: it holds the whole system). *)
+
+val per_core_islands : cores:int -> t
+(** One island per core (the paper's 26-island extreme in Fig. 2/3). *)
+
+val cores_of_island : t -> int -> int list
+(** Core ids of an island, increasing.
+    @raise Invalid_argument on a bad island id. *)
+
+val island_sizes : t -> int array
+
+val crossings : t -> Flow.t list -> int
+(** Number of flows whose endpoints sit in different islands. *)
+
+val crossing_bandwidth : t -> Flow.t list -> float
+(** Total bandwidth (MB/s) of island-crossing flows — the quantity logical
+    partitioning pays for in Fig. 2. *)
+
+val pp : Format.formatter -> t -> unit

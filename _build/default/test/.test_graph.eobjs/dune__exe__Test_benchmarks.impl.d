@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array List Noc_benchmarks Noc_spec QCheck QCheck_alcotest

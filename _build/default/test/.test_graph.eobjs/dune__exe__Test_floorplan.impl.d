@@ -1,0 +1,1 @@
+test/test_floorplan.ml: Alcotest Array List Noc_benchmarks Noc_floorplan Noc_spec QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Noc_graph QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Float Lazy List Noc_benchmarks Noc_models Noc_sim Noc_spec Noc_synthesis Printf

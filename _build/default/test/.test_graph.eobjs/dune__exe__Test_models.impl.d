@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Float Noc_models QCheck QCheck_alcotest

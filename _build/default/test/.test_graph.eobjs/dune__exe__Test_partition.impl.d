@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Float List Noc_graph Noc_partition QCheck QCheck_alcotest Random

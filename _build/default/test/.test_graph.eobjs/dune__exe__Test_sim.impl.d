@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float Lazy List Noc_benchmarks Noc_floorplan Noc_sim Noc_spec Noc_synthesis Printf Random

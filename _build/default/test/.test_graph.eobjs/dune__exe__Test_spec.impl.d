@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array List Noc_graph Noc_models Noc_spec

@@ -1,0 +1,1 @@
+test/test_synthesis.ml: Alcotest Array Float Format List Noc_benchmarks Noc_floorplan Noc_models Noc_sim Noc_spec Noc_synthesis Printf QCheck QCheck_alcotest String

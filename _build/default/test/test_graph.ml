@@ -1,0 +1,327 @@
+(* Unit and property tests for the noc_graph substrate. *)
+
+module Heap = Noc_graph.Heap
+module Digraph = Noc_graph.Digraph
+module Ugraph = Noc_graph.Ugraph
+module Dijkstra = Noc_graph.Dijkstra
+module Traversal = Noc_graph.Traversal
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* ---------- Heap ---------- *)
+
+let heap_pop_all h =
+  let rec go acc =
+    match Heap.pop_min h with
+    | None -> List.rev acc
+    | Some (k, v) -> go ((k, v) :: acc)
+  in
+  go []
+
+let test_heap_basic () =
+  let h = Heap.create () in
+  checkb "fresh heap empty" true (Heap.is_empty h);
+  Heap.push h 3.0 "c";
+  Heap.push h 1.0 "a";
+  Heap.push h 2.0 "b";
+  checki "length" 3 (Heap.length h);
+  check Alcotest.(option (pair (float 0.0) string)) "peek" (Some (1.0, "a"))
+    (Heap.peek_min h);
+  check
+    Alcotest.(list (pair (float 0.0) string))
+    "sorted pops"
+    [ (1.0, "a"); (2.0, "b"); (3.0, "c") ]
+    (heap_pop_all h);
+  checkb "drained" true (Heap.is_empty h)
+
+let test_heap_clear () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 0 to 40 do
+    Heap.push h (float_of_int (40 - i)) i
+  done;
+  checki "grown" 41 (Heap.length h);
+  Heap.clear h;
+  checkb "cleared" true (Heap.is_empty h);
+  check Alcotest.(option (pair (float 0.0) int)) "pop empty" None (Heap.pop_min h)
+
+let test_heap_duplicate_keys () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3 ];
+  Heap.push h 0.5 0;
+  let keys = List.map fst (heap_pop_all h) in
+  check Alcotest.(list (float 0.0)) "keys sorted" [ 0.5; 1.0; 1.0; 1.0 ] keys
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in key order" ~count:200
+    QCheck.(list float)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h k i) keys;
+      let popped = List.map fst (heap_pop_all h) in
+      List.sort compare keys = popped)
+
+(* ---------- Digraph ---------- *)
+
+let test_digraph_basic () =
+  let g = Digraph.create 4 in
+  checki "nodes" 4 (Digraph.node_count g);
+  Digraph.add_edge g 0 1 2.0;
+  Digraph.add_edge g 1 2 3.0;
+  Digraph.add_edge g 0 1 5.0;
+  checki "replace keeps count" 2 (Digraph.edge_count g);
+  check Alcotest.(option (float 0.0)) "weight replaced" (Some 5.0)
+    (Digraph.edge_weight g 0 1);
+  Digraph.add_to_edge g 0 1 1.5;
+  check Alcotest.(option (float 0.0)) "accumulated" (Some 6.5)
+    (Digraph.edge_weight g 0 1);
+  checkb "mem" true (Digraph.mem_edge g 1 2);
+  checkb "directed" false (Digraph.mem_edge g 2 1);
+  checki "out degree" 1 (Digraph.out_degree g 0);
+  checki "in degree" 1 (Digraph.in_degree g 1);
+  Digraph.remove_edge g 0 1;
+  checki "removed" 1 (Digraph.edge_count g);
+  Digraph.remove_edge g 0 1 (* no-op *);
+  checki "still one" 1 (Digraph.edge_count g)
+
+let test_digraph_edges_sorted () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 2 0 1.0;
+  Digraph.add_edge g 0 2 1.0;
+  Digraph.add_edge g 0 1 1.0;
+  check
+    Alcotest.(list (triple int int (float 0.0)))
+    "sorted" [ (0, 1, 1.0); (0, 2, 1.0); (2, 0, 1.0) ]
+    (Digraph.edges g)
+
+let test_digraph_bounds () =
+  let g = Digraph.create 2 in
+  Alcotest.check_raises "negative create" (Invalid_argument
+    "Digraph.create: negative node count") (fun () ->
+      ignore (Digraph.create (-1)));
+  let expect_oob f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected out-of-range failure"
+  in
+  expect_oob (fun () -> Digraph.add_edge g 0 2 1.0);
+  expect_oob (fun () -> Digraph.succ g 5)
+
+let random_digraph seed n density =
+  let state = Random.State.make [| seed |] in
+  let g = Digraph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Random.State.float state 1.0 < density then
+        Digraph.add_edge g u v (Random.State.float state 10.0 +. 0.1)
+    done
+  done;
+  g
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"digraph transpose is an involution" ~count:50
+    QCheck.(pair small_nat (int_bound 1000))
+    (fun (n, seed) ->
+      let n = max 1 (min n 20) in
+      let g = random_digraph seed n 0.3 in
+      let t2 = Digraph.transpose (Digraph.transpose g) in
+      Digraph.edges g = Digraph.edges t2)
+
+let prop_copy_independent =
+  QCheck.Test.make ~name:"digraph copy does not alias" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g = random_digraph seed 8 0.4 in
+      let c = Digraph.copy g in
+      Digraph.add_edge c 0 1 99.0;
+      Digraph.edge_weight g 0 1 <> Some 99.0 || Digraph.edge_weight c 0 1 = Some 99.0)
+
+(* ---------- Ugraph ---------- *)
+
+let test_ugraph_accumulate () =
+  let g = Ugraph.create 3 in
+  Ugraph.add_edge g 0 1 2.0;
+  Ugraph.add_edge g 1 0 3.0;
+  checkf "accumulated" 5.0 (Ugraph.edge_weight g 0 1);
+  checki "one edge" 1 (Ugraph.edge_count g);
+  Ugraph.add_edge g 1 1 7.0 (* self loop ignored *);
+  checki "self loop dropped" 1 (Ugraph.edge_count g);
+  checkf "weighted degree" 5.0 (Ugraph.weighted_degree g 0)
+
+let test_ugraph_node_weights () =
+  let g = Ugraph.create ~node_weight:2.0 3 in
+  checkf "default" 2.0 (Ugraph.node_weight g 1);
+  Ugraph.set_node_weight g 1 5.0;
+  checkf "total" 9.0 (Ugraph.total_node_weight g)
+
+let test_ugraph_subgraph () =
+  let g = Ugraph.create 5 in
+  Ugraph.add_edge g 0 1 1.0;
+  Ugraph.add_edge g 1 2 2.0;
+  Ugraph.add_edge g 2 3 3.0;
+  Ugraph.add_edge g 3 4 4.0;
+  Ugraph.set_node_weight g 2 7.0;
+  let sub, mapping = Ugraph.subgraph g [| 1; 2; 3 |] in
+  checki "sub nodes" 3 (Ugraph.node_count sub);
+  checki "sub edges" 2 (Ugraph.edge_count sub);
+  checkf "sub weight kept" 7.0 (Ugraph.node_weight sub 1);
+  checkf "induced edge" 2.0 (Ugraph.edge_weight sub 0 1);
+  checkf "outside edge dropped" 0.0 (Ugraph.edge_weight sub 0 2);
+  check Alcotest.(array int) "mapping" [| 1; 2; 3 |] mapping
+
+let test_ugraph_cut_weight () =
+  let g = Ugraph.create 4 in
+  Ugraph.add_edge g 0 1 1.0;
+  Ugraph.add_edge g 2 3 2.0;
+  Ugraph.add_edge g 1 2 5.0;
+  checkf "cut" 5.0 (Ugraph.cut_weight g [| 0; 0; 1; 1 |]);
+  checkf "no cut" 0.0 (Ugraph.cut_weight g [| 0; 0; 0; 0 |])
+
+let prop_of_digraph_total =
+  QCheck.Test.make ~name:"of_digraph preserves total weight (no self loops)"
+    ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g = random_digraph seed 10 0.3 in
+      let u = Ugraph.of_digraph g in
+      Float.abs (Ugraph.total_edge_weight u -. Digraph.total_weight g) < 1e-6)
+
+(* ---------- Dijkstra ---------- *)
+
+let diamond () =
+  (* 0 -> 1 -> 3 and 0 -> 2 -> 3, cheaper through 2 *)
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1 1.0;
+  Digraph.add_edge g 1 3 5.0;
+  Digraph.add_edge g 0 2 2.0;
+  Digraph.add_edge g 2 3 1.0;
+  g
+
+let successors_of g u = Digraph.succ g u
+
+let test_dijkstra_diamond () =
+  let g = diamond () in
+  let r = Dijkstra.run ~n:4 ~successors:(successors_of g) ~source:0 in
+  checkf "dist 3" 3.0 r.Dijkstra.dist.(3);
+  check Alcotest.(option (list int)) "path" (Some [ 0; 2; 3 ])
+    (Dijkstra.path_to r 3)
+
+let test_dijkstra_unreachable () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1 1.0;
+  let r = Dijkstra.run ~n:3 ~successors:(successors_of g) ~source:0 in
+  checkb "unreachable infinite" true (r.Dijkstra.dist.(2) = infinity);
+  check Alcotest.(option (list int)) "no path" None (Dijkstra.path_to r 2);
+  check
+    Alcotest.(option (pair (float 0.0) (list int)))
+    "run_to none" None
+    (Dijkstra.run_to ~n:3 ~successors:(successors_of g) ~source:0 ~target:2)
+
+let test_dijkstra_ignores_bad_edges () =
+  let successors = function
+    | 0 -> [ (1, -5.0); (1, nan); (2, 1.0) ]
+    | 2 -> [ (1, 1.0) ]
+    | _ -> []
+  in
+  match Dijkstra.run_to ~n:3 ~successors ~source:0 ~target:1 with
+  | Some (cost, path) ->
+    checkf "bad edges skipped" 2.0 cost;
+    check Alcotest.(list int) "path avoids bad edge" [ 0; 2; 1 ] path
+  | None -> Alcotest.fail "expected path"
+
+let prop_dijkstra_relaxed =
+  QCheck.Test.make
+    ~name:"dijkstra distances satisfy edge relaxation and run_to agrees"
+    ~count:50
+    QCheck.(pair (int_bound 1000) (int_range 2 15))
+    (fun (seed, n) ->
+      let g = random_digraph seed n 0.35 in
+      let r = Dijkstra.run ~n ~successors:(successors_of g) ~source:0 in
+      let relaxed = ref true in
+      Digraph.iter_edges
+        (fun u v w ->
+          if r.Dijkstra.dist.(v) > r.Dijkstra.dist.(u) +. w +. 1e-9 then
+            relaxed := false)
+        g;
+      let agreement = ref true in
+      for t = 0 to n - 1 do
+        match Dijkstra.run_to ~n ~successors:(successors_of g) ~source:0 ~target:t with
+        | Some (cost, path) ->
+          if Float.abs (cost -. r.Dijkstra.dist.(t)) > 1e-9 then
+            agreement := false;
+          (match path with
+           | first :: _ ->
+             if first <> 0 then agreement := false
+           | [] -> agreement := false)
+        | None -> if Float.is_finite r.Dijkstra.dist.(t) then agreement := false
+      done;
+      !relaxed && !agreement)
+
+(* ---------- Traversal ---------- *)
+
+let test_components () =
+  let g = Ugraph.create 6 in
+  Ugraph.add_edge g 0 1 1.0;
+  Ugraph.add_edge g 1 2 1.0;
+  Ugraph.add_edge g 3 4 1.0;
+  let label, k = Traversal.components g in
+  checki "three components" 3 k;
+  checki "same comp" label.(0) label.(2);
+  checkb "distinct" true (label.(0) <> label.(3));
+  checkb "not connected" false (Traversal.is_connected g);
+  let members = Traversal.component_members g in
+  checki "member lists" 3 (List.length members);
+  check Alcotest.(array int) "first component" [| 0; 1; 2 |] (List.nth members 0)
+
+let test_reachable () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1 1.0;
+  Digraph.add_edge g 1 2 1.0;
+  checkb "reach" true (Traversal.reachable g 0 2);
+  checkb "no back" false (Traversal.reachable g 2 0);
+  checkb "not to isolated" false (Traversal.reachable g 0 3)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "noc_graph"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_heap_basic;
+          Alcotest.test_case "growth and clear" `Quick test_heap_clear;
+          Alcotest.test_case "duplicate keys" `Quick test_heap_duplicate_keys;
+          qt prop_heap_sorted;
+        ] );
+      ( "digraph",
+        [
+          Alcotest.test_case "edges and degrees" `Quick test_digraph_basic;
+          Alcotest.test_case "deterministic edge list" `Quick
+            test_digraph_edges_sorted;
+          Alcotest.test_case "bounds checking" `Quick test_digraph_bounds;
+          qt prop_transpose_involution;
+          qt prop_copy_independent;
+        ] );
+      ( "ugraph",
+        [
+          Alcotest.test_case "weight accumulation" `Quick test_ugraph_accumulate;
+          Alcotest.test_case "node weights" `Quick test_ugraph_node_weights;
+          Alcotest.test_case "induced subgraph" `Quick test_ugraph_subgraph;
+          Alcotest.test_case "cut weight" `Quick test_ugraph_cut_weight;
+          qt prop_of_digraph_total;
+        ] );
+      ( "dijkstra",
+        [
+          Alcotest.test_case "diamond" `Quick test_dijkstra_diamond;
+          Alcotest.test_case "unreachable" `Quick test_dijkstra_unreachable;
+          Alcotest.test_case "invalid edges ignored" `Quick
+            test_dijkstra_ignores_bad_edges;
+          qt prop_dijkstra_relaxed;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "reachability" `Quick test_reachable;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* End-to-end integration tests: the full pipeline per benchmark, and the
+   qualitative claims of the paper's evaluation as executable assertions
+   (see EXPERIMENTS.md for the quantitative record). *)
+
+module Config = Noc_synthesis.Config
+module Synth = Noc_synthesis.Synth
+module DP = Noc_synthesis.Design_point
+module Topology = Noc_synthesis.Topology
+module Shutdown = Noc_synthesis.Shutdown
+module Baseline = Noc_synthesis.Baseline
+module Flow = Noc_spec.Flow
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+module Power = Noc_models.Power
+module Bench_case = Noc_benchmarks.Bench_case
+module D26 = Noc_benchmarks.D26
+module Partitions = Noc_benchmarks.Partitions
+module Sim = Noc_sim.Sim
+
+let config = Config.default
+let checkb = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let best soc vi = Synth.best_power (Synth.run config soc vi)
+
+(* One full pipeline run per benchmark: synthesize, verify the invariant,
+   check timing/latency cleanliness, simulate, analyze leakage. *)
+let full_pipeline (case : Bench_case.t) () =
+  let soc = case.Bench_case.soc in
+  let vi = case.Bench_case.default_vi in
+  let point = best soc vi in
+  let topo = point.DP.topology in
+  (* invariant *)
+  (match Shutdown.check_topology vi topo with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "shutdown invariant violated");
+  (* constraints *)
+  (match Topology.max_latency_violation topo with
+   | None -> ()
+   | Some (f, e) ->
+     Alcotest.failf "flow %d->%d misses latency by %d" f.Flow.src f.Flow.dst e);
+  checkb "links close timing" true point.DP.timing_clean;
+  checkb "positive power" true (Power.total_mw point.DP.power > 0.0);
+  (* simulated zero-load equals analytic for every flow *)
+  List.iter
+    (fun (flow, sim, analytic) ->
+      if Float.abs (sim -. float_of_int analytic) > 1e-6 then
+        Alcotest.failf "flow %d->%d sim/analytic mismatch" flow.Flow.src
+          flow.Flow.dst)
+    (Sim.zero_load_check soc vi topo);
+  (* every scenario's gating keeps surviving traffic deliverable *)
+  List.iter
+    (fun s ->
+      let gated = Scenario.gated_islands s vi in
+      match Shutdown.survives_gating vi topo ~gated with
+      | Ok () -> ()
+      | Error _ -> Alcotest.failf "scenario %s breaks traffic" s.Scenario.name)
+    case.Bench_case.scenarios;
+  (* leakage analysis runs and saves power in at least one scenario *)
+  let report =
+    Shutdown.leakage_report config soc vi point
+      ~scenarios:case.Bench_case.scenarios
+  in
+  checkb "some scenario saves power" true
+    (List.exists (fun r -> r.Shutdown.savings_fraction > 0.01) report.Shutdown.rows)
+
+(* --- the qualitative shapes of the paper's evaluation --- *)
+
+let d26_point vi = best D26.soc vi
+
+let reference = lazy (d26_point (Vi.single_island ~cores:26))
+
+let test_fig2_logical_pays () =
+  (* Fig. 2: logical partitioning at many islands costs more NoC dynamic
+     power than the 1-island reference; the 26-island point is the most
+     expensive of the logical series *)
+  let ref_dyn = Power.dynamic_mw (Lazy.force reference).DP.power in
+  let logical k = Power.dynamic_mw (d26_point (D26.logical_partition ~islands:k)).DP.power in
+  checkb "6-VI logical above reference" true (logical 6 > ref_dyn);
+  checkb "7-VI logical above reference" true (logical 7 > ref_dyn);
+  checkb "26-VI is the worst" true
+    (logical 26 > logical 6 && logical 26 > logical 2)
+
+let test_fig2_comm_cheap () =
+  (* Fig. 2: communication-based partitioning stays at or below the
+     logical curve, and its cheap points dip below the reference *)
+  let ref_dyn = Power.dynamic_mw (Lazy.force reference).DP.power in
+  let comm k =
+    Power.dynamic_mw
+      (d26_point
+         (Partitions.communication_based ~islands:k
+            ~always_on_cores:D26.shared_memory_cores D26.soc))
+      .DP.power
+  in
+  let logical k =
+    Power.dynamic_mw (d26_point (D26.logical_partition ~islands:k)).DP.power
+  in
+  List.iter
+    (fun k ->
+      checkb
+        (Printf.sprintf "comm <= logical at %d islands" k)
+        true
+        (comm k <= logical k +. 1e-6))
+    [ 3; 5; 6; 7 ];
+  checkb "some comm point dips below the reference" true
+    (List.exists (fun k -> comm k < ref_dyn) [ 2; 3; 4; 5 ])
+
+let test_fig3_latency_monotone () =
+  (* Fig. 3: average zero-load latency grows with island count (the 4-cycle
+     converter penalty), from ~3 cycles to ~7+ *)
+  let lat vi = (d26_point vi).DP.avg_latency_cycles in
+  let l1 = lat (Vi.single_island ~cores:26) in
+  let l6 = lat (D26.logical_partition ~islands:6) in
+  let l26 = lat (D26.logical_partition ~islands:26) in
+  checkb "1 < 6 islands" true (l1 < l6);
+  checkb "6 < 26 islands" true (l6 < l26);
+  checkb "reference in the paper's band" true (l1 >= 2.0 && l1 <= 5.0);
+  checkb "26-island in the paper's band" true (l26 >= 6.0 && l26 <= 12.0)
+
+let test_fig23_converge_at_per_core () =
+  (* at one island per core both partitionings are the same map *)
+  let logical = d26_point (D26.logical_partition ~islands:26) in
+  let comm =
+    d26_point
+      (Partitions.communication_based ~islands:26
+         ~always_on_cores:D26.shared_memory_cores D26.soc)
+  in
+  checkf 1e-6 "same power"
+    (Power.dynamic_mw logical.DP.power)
+    (Power.dynamic_mw comm.DP.power);
+  checkf 1e-6 "same latency" logical.DP.avg_latency_cycles
+    comm.DP.avg_latency_cycles
+
+let test_overhead_small_on_all_benchmarks () =
+  (* §5: shutdown support costs a few percent of system dynamic power and
+     well under a few percent of SoC area, on average across benchmarks *)
+  let overheads =
+    List.map
+      (fun case ->
+        let soc = case.Bench_case.soc in
+        let vi_point = best soc case.Bench_case.default_vi in
+        let base_point = Synth.best_power (Baseline.synthesize config soc) in
+        Baseline.compare_designs soc ~vi_point ~base_point)
+      Bench_case.all
+  in
+  let mean f =
+    List.fold_left (fun acc c -> acc +. f c) 0.0 overheads
+    /. float_of_int (List.length overheads)
+  in
+  let avg_power = mean (fun c -> c.Baseline.system_dynamic_overhead) in
+  let avg_area = mean (fun c -> c.Baseline.system_area_overhead) in
+  checkb "average power overhead in the paper's band (< 6%)" true
+    (avg_power > 0.0 && avg_power < 0.06);
+  checkb "average area overhead negligible (< 1.5%)" true
+    (Float.abs avg_area < 0.015)
+
+let test_shutdown_saves_substantially () =
+  let point = d26_point (D26.logical_partition ~islands:6) in
+  let report =
+    Shutdown.leakage_report config D26.soc
+      (D26.logical_partition ~islands:6)
+      point ~scenarios:D26.scenarios
+  in
+  (* the idle scenario saves tens of percent; duty-weighted total in the
+     "significant" band the paper motivates *)
+  let idle = List.hd report.Shutdown.rows in
+  checkb "idle scenario saves > 30%" true (idle.Shutdown.savings_fraction > 0.30);
+  checkb "weighted savings > 15%" true
+    (report.Shutdown.weighted_savings_fraction > 0.15)
+
+let () =
+  let pipeline_cases =
+    List.map
+      (fun case ->
+        Alcotest.test_case case.Bench_case.name `Slow (full_pipeline case))
+      Bench_case.all
+  in
+  Alcotest.run "integration"
+    [
+      ("full pipeline", pipeline_cases);
+      ( "paper shapes",
+        [
+          Alcotest.test_case "fig2: logical pays overhead" `Slow
+            test_fig2_logical_pays;
+          Alcotest.test_case "fig2: comm-based is cheap" `Slow
+            test_fig2_comm_cheap;
+          Alcotest.test_case "fig3: latency monotone" `Slow
+            test_fig3_latency_monotone;
+          Alcotest.test_case "figs 2/3 converge at 26" `Slow
+            test_fig23_converge_at_per_core;
+          Alcotest.test_case "overheads small on all benchmarks" `Slow
+            test_overhead_small_on_all_benchmarks;
+          Alcotest.test_case "shutdown saves substantially" `Slow
+            test_shutdown_saves_substantially;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the discrete-event NoC simulator: traffic generation, network
+   compilation, the event engine and the gating semantics. *)
+
+module Flow = Noc_spec.Flow
+module Vi = Noc_spec.Vi
+module Topology = Noc_synthesis.Topology
+module Synth = Noc_synthesis.Synth
+module DP = Noc_synthesis.Design_point
+module Traffic = Noc_sim.Traffic
+module Network = Noc_sim.Network
+module Engine = Noc_sim.Engine
+module Stats = Noc_sim.Stats
+module Sim = Noc_sim.Sim
+
+let config = Noc_synthesis.Config.default
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let d26 = Noc_benchmarks.D26.soc
+let d26_vi = Noc_benchmarks.D26.logical_partition ~islands:6
+
+let best_topology =
+  lazy (Synth.best_power (Synth.run config d26 d26_vi)).DP.topology
+
+(* ---------- Traffic ---------- *)
+
+let test_traffic_scaling () =
+  let topo = Lazy.force best_topology in
+  let injections = Traffic.injections_for_load ~load:0.5 d26 topo ~poisson:false in
+  checki "one injection per flow"
+    (List.length d26.Noc_spec.Soc_spec.flows)
+    (List.length injections);
+  let max_rate =
+    List.fold_left
+      (fun acc i -> Float.max acc (Traffic.rate_of i.Traffic.pattern))
+      0.0 injections
+  in
+  checkb "no single flow exceeds the load target" true (max_rate <= 0.5 +. 1e-9);
+  (* relative bandwidths preserved *)
+  let find src dst =
+    List.find
+      (fun i -> i.Traffic.flow.Flow.src = src && i.Traffic.flow.Flow.dst = dst)
+      injections
+  in
+  let hot = find 0 2 (* 1400 MB/s *) and cold = find 1 24 (* 30 MB/s *) in
+  checkf 1e-6 "ratios preserved" (1400.0 /. 30.0)
+    (Traffic.rate_of hot.Traffic.pattern /. Traffic.rate_of cold.Traffic.pattern)
+
+let test_traffic_bad_load () =
+  let topo = Lazy.force best_topology in
+  match Traffic.injections_for_load ~load:1.5 d26 topo ~poisson:false with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "load > 1 must raise"
+
+let test_next_arrival () =
+  let state = Random.State.make [| 1 |] in
+  checkf 1e-9 "constant period" 14.0
+    (Traffic.next_arrival (Traffic.Constant 0.1) ~state ~now:4.0);
+  let t = Traffic.next_arrival (Traffic.Poisson 0.5) ~state ~now:10.0 in
+  checkb "poisson strictly after now" true (t > 10.0)
+
+let test_poisson_mean_rate () =
+  let state = Random.State.make [| 42 |] in
+  let pattern = Traffic.Poisson 0.25 in
+  let n = 20_000 in
+  let t = ref 0.0 in
+  for _ = 1 to n do
+    t := Traffic.next_arrival pattern ~state ~now:!t
+  done;
+  let mean_gap = !t /. float_of_int n in
+  checkb "mean inter-arrival near 1/rate" true
+    (Float.abs (mean_gap -. 4.0) < 0.2)
+
+(* ---------- Network compilation ---------- *)
+
+let test_network_zero_load_matches_analytic () =
+  let topo = Lazy.force best_topology in
+  let net = Network.compile topo in
+  List.iter
+    (fun (flow, route) ->
+      let program = Network.program_of_flow net flow in
+      checkf 1e-9
+        (Printf.sprintf "flow %d->%d" flow.Flow.src flow.Flow.dst)
+        (float_of_int (Topology.route_latency_cycles topo route))
+        (Network.zero_load_latency program))
+    topo.Topology.routes
+
+let test_network_requires_routes () =
+  let position = Noc_floorplan.Geometry.point 0.0 0.0 in
+  let t =
+    Topology.create ~islands:1
+      ~switches:
+        [|
+          {
+            Topology.sw_id = 0;
+            location = Topology.Island 0;
+            freq_mhz = 100.0;
+            vdd = 0.7;
+            position;
+          };
+        |]
+      ~core_switch:[| 0; 0 |] ~flit_bits:32
+  in
+  match Network.compile t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty route list must raise"
+
+(* ---------- Engine ---------- *)
+
+let run_sim ?(gated = []) ?(load = 0.2) ?(seed = 0) () =
+  let topo = Lazy.force best_topology in
+  let net = Network.compile topo in
+  let injections = Traffic.injections_for_load ~load d26 topo ~poisson:false in
+  Engine.run
+    ~config:{ Engine.horizon = 4_000.0; warmup = 400.0; seed; gated_islands = gated }
+    net ~vi:d26_vi ~injections
+
+let test_engine_delivers () =
+  let report = run_sim () in
+  checkb "flits injected" true (report.Stats.total_injected > 0);
+  (* in-flight flits at the horizon are the only loss *)
+  checkb "nearly everything delivered" true
+    (report.Stats.total_delivered >= report.Stats.total_injected - 200);
+  checkb "average latency sane" true
+    (report.Stats.overall_avg_latency >= 2.0
+     && report.Stats.overall_avg_latency < 100.0)
+
+let test_engine_deterministic () =
+  let a = run_sim ~seed:3 () and b = run_sim ~seed:3 () in
+  checki "same delivery" a.Stats.total_delivered b.Stats.total_delivered;
+  checkf 1e-12 "same latency" a.Stats.overall_avg_latency
+    b.Stats.overall_avg_latency
+
+let test_congestion_raises_latency () =
+  let low = run_sim ~load:0.05 () and high = run_sim ~load:0.9 () in
+  checkb "congestion visible" true
+    (high.Stats.overall_avg_latency > low.Stats.overall_avg_latency)
+
+let test_gated_flows_suppressed () =
+  let gated =
+    List.filter (fun i -> d26_vi.Vi.shutdownable.(i)) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  (* gate everything shutdownable: only flows among always-on islands stay *)
+  let report = run_sim ~gated () in
+  List.iter
+    (fun fr ->
+      let f = fr.Stats.flow in
+      let live isl = not (List.mem isl gated) in
+      if live d26_vi.Vi.of_core.(f.Flow.src)
+         && live d26_vi.Vi.of_core.(f.Flow.dst)
+      then checkb "live flow ran" true (fr.Stats.injected > 0)
+      else checki "gated flow silent" 0 fr.Stats.injected)
+    report.Stats.flows
+
+let test_engine_rejects_bad_config () =
+  let topo = Lazy.force best_topology in
+  let net = Network.compile topo in
+  (match
+     Engine.run
+       ~config:{ Engine.default_config with Engine.gated_islands = [ 99 ] }
+       net ~vi:d26_vi ~injections:[]
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "bad island id must raise");
+  (* gating a non-shutdownable island is a caller bug *)
+  let pinned =
+    List.filter (fun i -> not d26_vi.Vi.shutdownable.(i))
+      (List.init d26_vi.Vi.islands (fun i -> i))
+  in
+  match
+    Engine.run
+      ~config:{ Engine.default_config with Engine.gated_islands = pinned }
+      net ~vi:d26_vi ~injections:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gating a pinned island must raise"
+
+(* ---------- Sim facade ---------- *)
+
+let test_zero_load_check () =
+  let topo = Lazy.force best_topology in
+  let checks = Sim.zero_load_check d26 d26_vi topo in
+  List.iter
+    (fun (flow, sim, analytic) ->
+      if Float.abs (sim -. float_of_int analytic) > 1e-6 then
+        Alcotest.failf "flow %d->%d: sim %.3f vs analytic %d" flow.Flow.src
+          flow.Flow.dst sim analytic)
+    checks
+
+let test_shutdown_simulation_all_scenarios () =
+  let topo = Lazy.force best_topology in
+  List.iter
+    (fun s ->
+      let gated = Noc_spec.Scenario.gated_islands s d26_vi in
+      let report =
+        Sim.run_with_shutdown ~gated ~horizon:3_000.0 d26 d26_vi topo
+      in
+      checkb "no loss beyond in-flight" true
+        (report.Stats.total_delivered >= report.Stats.total_injected - 200))
+    Noc_benchmarks.D26.scenarios
+
+let test_simulator_catches_sabotage () =
+  (* fresh synthesis so we can mutate the topology safely *)
+  let topo = (Synth.best_power (Synth.run config d26 d26_vi)).DP.topology in
+  let gated =
+    match
+      List.filter (fun i -> d26_vi.Vi.shutdownable.(i)) [ 0; 1; 2; 3; 4; 5 ]
+    with
+    | g :: _ -> g
+    | [] -> Alcotest.fail "no shutdownable island"
+  in
+  let victim_flow =
+    List.find
+      (fun f ->
+        let si = d26_vi.Vi.of_core.(f.Flow.src)
+        and di = d26_vi.Vi.of_core.(f.Flow.dst) in
+        si <> gated && di <> gated && si <> di)
+      d26.Noc_spec.Soc_spec.flows
+  in
+  let foreign =
+    (List.hd (Topology.switches_of_location topo (Topology.Island gated)))
+      .Topology.sw_id
+  in
+  let ss = topo.Topology.core_switch.(victim_flow.Flow.src) in
+  let ds = topo.Topology.core_switch.(victim_flow.Flow.dst) in
+  let rec ensure = function
+    | a :: (b :: _ as rest) ->
+      (match Topology.find_link topo ~src:a ~dst:b with
+       | Some _ -> ()
+       | None -> ignore (Topology.add_link topo ~src:a ~dst:b ~length_mm:1.0));
+      ensure rest
+    | [ _ ] | [] -> ()
+  in
+  let bad_route = [ ss; foreign; ds ] in
+  ensure bad_route;
+  topo.Topology.routes <-
+    List.map
+      (fun (f, r) -> if f == victim_flow then (f, bad_route) else (f, r))
+      topo.Topology.routes;
+  match Sim.run_with_shutdown ~gated:[ gated ] d26 d26_vi topo with
+  | _ -> Alcotest.fail "simulator must catch the gated-switch traversal"
+  | exception Engine.Gated_switch_traversal { flow; _ } ->
+    checki "right flow blamed" victim_flow.Flow.src flow.Flow.src
+
+let test_packet_latency_zero_load () =
+  (* a single flow, multi-flit packets, sparse arrivals: packet latency is
+     the route latency plus (packet_flits - 1) serialization cycles *)
+  let topo = Lazy.force best_topology in
+  let net = Network.compile topo in
+  let flow = List.hd d26.Noc_spec.Soc_spec.flows in
+  let analytic =
+    let _, route =
+      List.find
+        (fun (f, _) -> f.Flow.src = flow.Flow.src && f.Flow.dst = flow.Flow.dst)
+        topo.Topology.routes
+    in
+    Topology.route_latency_cycles topo route
+  in
+  List.iter
+    (fun k ->
+      let injections =
+        [ { Traffic.flow; pattern = Traffic.Constant 0.002; packet_flits = k } ]
+      in
+      let report =
+        Engine.run
+          ~config:
+            { Engine.horizon = 30_000.0; warmup = 0.0; seed = 0;
+              gated_islands = [] }
+          net ~vi:d26_vi ~injections
+      in
+      checkf 1e-6
+        (Printf.sprintf "packet of %d flits" k)
+        (float_of_int (analytic + k - 1))
+        report.Stats.overall_avg_latency)
+    [ 1; 2; 4; 8 ]
+
+let test_packets_under_load () =
+  (* packets keep conservation and raise latency vs single flits *)
+  let topo = Lazy.force best_topology in
+  let net = Network.compile topo in
+  let run k =
+    let injections =
+      Traffic.injections_for_load ~packet_flits:k ~load:0.4 d26 topo
+        ~poisson:false
+    in
+    Engine.run
+      ~config:
+        { Engine.horizon = 6_000.0; warmup = 600.0; seed = 1;
+          gated_islands = [] }
+      net ~vi:d26_vi ~injections
+  in
+  let single = run 1 and packets = run 4 in
+  checkb "packets delivered" true (packets.Stats.total_delivered > 0);
+  checkb "packet latency above flit latency" true
+    (packets.Stats.overall_avg_latency > single.Stats.overall_avg_latency)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_accumulator () =
+  let acc = Stats.create () in
+  Stats.record acc ~latency:4.0;
+  Stats.record acc ~latency:8.0;
+  Stats.record acc ~latency:6.0;
+  checki "count" 3 (Stats.count acc);
+  checkf 1e-9 "mean" 6.0 (Stats.mean acc);
+  checkf 1e-9 "min" 4.0 (Stats.min_latency acc);
+  checkf 1e-9 "max" 8.0 (Stats.max_latency acc);
+  match Stats.mean (Stats.create ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty mean must raise"
+
+let () =
+  Alcotest.run "noc_sim"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "load scaling" `Quick test_traffic_scaling;
+          Alcotest.test_case "bad load" `Quick test_traffic_bad_load;
+          Alcotest.test_case "next arrival" `Quick test_next_arrival;
+          Alcotest.test_case "poisson mean" `Quick test_poisson_mean_rate;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "zero-load equals analytic" `Quick
+            test_network_zero_load_matches_analytic;
+          Alcotest.test_case "requires routes" `Quick test_network_requires_routes;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivers" `Quick test_engine_delivers;
+          Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
+          Alcotest.test_case "congestion" `Quick test_congestion_raises_latency;
+          Alcotest.test_case "gated flows suppressed" `Quick
+            test_gated_flows_suppressed;
+          Alcotest.test_case "config validation" `Quick
+            test_engine_rejects_bad_config;
+        ] );
+      ( "sim facade",
+        [
+          Alcotest.test_case "zero-load check" `Slow test_zero_load_check;
+          Alcotest.test_case "shutdown across scenarios" `Quick
+            test_shutdown_simulation_all_scenarios;
+          Alcotest.test_case "simulator catches sabotage" `Quick
+            test_simulator_catches_sabotage;
+        ] );
+      ( "packets",
+        [
+          Alcotest.test_case "zero-load serialization" `Quick
+            test_packet_latency_zero_load;
+          Alcotest.test_case "under load" `Quick test_packets_under_load;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "accumulator" `Quick test_stats_accumulator ] );
+    ]

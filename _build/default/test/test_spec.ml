@@ -1,0 +1,388 @@
+(* Tests for the SoC specification layer: cores, flows, VI assignments, the
+   VCG of Definition 1 and shutdown scenarios. *)
+
+module Core_spec = Noc_spec.Core_spec
+module Flow = Noc_spec.Flow
+module Vi = Noc_spec.Vi
+module Soc_spec = Noc_spec.Soc_spec
+module Vcg = Noc_spec.Vcg
+module Scenario = Noc_spec.Scenario
+module Ugraph = Noc_graph.Ugraph
+module Digraph = Noc_graph.Digraph
+
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let mk_core ?(id = 0) ?(area = 1.0) () =
+  Core_spec.make ~id ~name:"c" ~kind:Core_spec.Processor ~area_mm2:area
+    ~freq_mhz:200.0 ~dynamic_mw:10.0 ()
+
+(* ---------- Core_spec ---------- *)
+
+let test_core_default_leakage () =
+  let c = mk_core ~area:2.0 () in
+  checkf "leakage = area x default density"
+    (2.0 *. Noc_models.Tech.default_65nm.Noc_models.Tech.leakage_mw_per_mm2)
+    c.Core_spec.leakage_mw;
+  let c2 =
+    Core_spec.make ~id:1 ~name:"m" ~kind:Core_spec.Memory ~area_mm2:1.0
+      ~freq_mhz:100.0 ~dynamic_mw:5.0 ~leakage_mw:3.5 ()
+  in
+  checkf "explicit leakage wins" 3.5 c2.Core_spec.leakage_mw
+
+let test_core_validation () =
+  expect_invalid "negative id" (fun () ->
+      Core_spec.make ~id:(-1) ~name:"x" ~kind:Core_spec.Io ~area_mm2:1.0
+        ~freq_mhz:100.0 ~dynamic_mw:1.0 ());
+  expect_invalid "zero area" (fun () ->
+      Core_spec.make ~id:0 ~name:"x" ~kind:Core_spec.Io ~area_mm2:0.0
+        ~freq_mhz:100.0 ~dynamic_mw:1.0 ())
+
+(* ---------- Flow ---------- *)
+
+let test_flow_weight_formula () =
+  (* h = alpha * bw/max_bw + (1-alpha) * min_lat/lat *)
+  let f = Flow.make ~src:0 ~dst:1 ~bw:500.0 ~lat:20 in
+  checkf "alpha=1 keeps only bandwidth" 0.5
+    (Flow.weight ~alpha:1.0 ~max_bw:1000.0 ~min_lat:10 f);
+  checkf "alpha=0 keeps only latency" 0.5
+    (Flow.weight ~alpha:0.0 ~max_bw:1000.0 ~min_lat:10 f);
+  checkf "mixed" 0.5 (Flow.weight ~alpha:0.3 ~max_bw:1000.0 ~min_lat:10 f);
+  let tight = Flow.make ~src:0 ~dst:1 ~bw:1000.0 ~lat:10 in
+  checkf "hot and tight flow has weight 1" 1.0
+    (Flow.weight ~alpha:0.6 ~max_bw:1000.0 ~min_lat:10 tight)
+
+let test_flow_extrema () =
+  let flows =
+    [
+      Flow.make ~src:0 ~dst:1 ~bw:100.0 ~lat:30;
+      Flow.make ~src:1 ~dst:2 ~bw:700.0 ~lat:12;
+      Flow.make ~src:2 ~dst:0 ~bw:50.0 ~lat:90;
+    ]
+  in
+  checkf "max bandwidth" 700.0 (Flow.max_bandwidth flows);
+  checki "min latency" 12 (Flow.min_latency flows);
+  checkf "empty max is 0" 0.0 (Flow.max_bandwidth []);
+  expect_invalid "empty min latency" (fun () -> Flow.min_latency [])
+
+let test_flow_validation () =
+  expect_invalid "self flow" (fun () -> Flow.make ~src:3 ~dst:3 ~bw:1.0 ~lat:5);
+  expect_invalid "zero bandwidth" (fun () ->
+      Flow.make ~src:0 ~dst:1 ~bw:0.0 ~lat:5);
+  expect_invalid "alpha out of range" (fun () ->
+      Flow.weight ~alpha:1.5 ~max_bw:1.0 ~min_lat:1
+        (Flow.make ~src:0 ~dst:1 ~bw:1.0 ~lat:5))
+
+(* ---------- Vi ---------- *)
+
+let test_vi_make_and_queries () =
+  let vi =
+    Vi.make ~islands:3 ~of_core:[| 0; 1; 1; 2; 0 |]
+      ~shutdownable:[| false; true; true |] ()
+  in
+  Alcotest.(check (list int)) "island 1 members" [ 1; 2 ] (Vi.cores_of_island vi 1);
+  Alcotest.(check (array int)) "sizes" [| 2; 2; 1 |] (Vi.island_sizes vi);
+  checkb "island 0 pinned on" false vi.Vi.shutdownable.(0)
+
+let test_vi_validation () =
+  expect_invalid "core outside island range" (fun () ->
+      Vi.make ~islands:2 ~of_core:[| 0; 2 |] ());
+  expect_invalid "empty island" (fun () ->
+      Vi.make ~islands:3 ~of_core:[| 0; 0; 1 |] ());
+  expect_invalid "shutdownable length" (fun () ->
+      Vi.make ~islands:2 ~of_core:[| 0; 1 |] ~shutdownable:[| true |] ())
+
+let test_vi_crossings () =
+  let vi = Vi.make ~islands:2 ~of_core:[| 0; 0; 1; 1 |] () in
+  let flows =
+    [
+      Flow.make ~src:0 ~dst:1 ~bw:100.0 ~lat:10;  (* internal *)
+      Flow.make ~src:1 ~dst:2 ~bw:200.0 ~lat:10;  (* crossing *)
+      Flow.make ~src:3 ~dst:0 ~bw:300.0 ~lat:10;  (* crossing *)
+    ]
+  in
+  checki "crossings" 2 (Vi.crossings vi flows);
+  checkf "crossing bandwidth" 500.0 (Vi.crossing_bandwidth vi flows)
+
+let test_vi_canned () =
+  let one = Vi.single_island ~cores:5 in
+  checki "one island" 1 one.Vi.islands;
+  checkb "reference island cannot shut down" false one.Vi.shutdownable.(0);
+  let per = Vi.per_core_islands ~cores:4 in
+  checki "four islands" 4 per.Vi.islands;
+  checki "identity" 2 per.Vi.of_core.(2)
+
+(* ---------- Soc_spec ---------- *)
+
+let four_cores = Array.init 4 (fun id -> mk_core ~id ())
+
+let test_soc_validation () =
+  expect_invalid "misnumbered cores" (fun () ->
+      Soc_spec.make ~name:"bad"
+        ~cores:[| mk_core ~id:1 () |]
+        ~flows:[] ());
+  expect_invalid "duplicate flow" (fun () ->
+      Soc_spec.make ~name:"bad" ~cores:four_cores
+        ~flows:
+          [
+            Flow.make ~src:0 ~dst:1 ~bw:1.0 ~lat:10;
+            Flow.make ~src:0 ~dst:1 ~bw:2.0 ~lat:20;
+          ]
+        ());
+  expect_invalid "unknown endpoint" (fun () ->
+      Soc_spec.make ~name:"bad" ~cores:four_cores
+        ~flows:[ Flow.make ~src:0 ~dst:9 ~bw:1.0 ~lat:10 ]
+        ())
+
+let test_soc_queries () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:100.0 ~lat:10;
+          Flow.make ~src:1 ~dst:0 ~bw:300.0 ~lat:10;
+          Flow.make ~src:2 ~dst:3 ~bw:50.0 ~lat:10;
+        ]
+      ()
+  in
+  checki "core count" 4 (Soc_spec.core_count soc);
+  checkf "hottest at core 0" 300.0 (Soc_spec.max_core_bandwidth_mbps soc 0);
+  checkf "hottest at core 3" 50.0 (Soc_spec.max_core_bandwidth_mbps soc 3);
+  let g = Soc_spec.bandwidth_graph soc in
+  checkf "graph weight" 100.0
+    (match Digraph.edge_weight g 0 1 with Some w -> w | None -> nan);
+  checkf "total core area" 4.0 (Soc_spec.total_core_area_mm2 soc);
+  checkf "total dyn" 40.0 (Soc_spec.total_core_dynamic_mw soc)
+
+let test_flows_between () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:2 ~bw:10.0 ~lat:10;
+          Flow.make ~src:2 ~dst:0 ~bw:20.0 ~lat:10;
+          Flow.make ~src:0 ~dst:1 ~bw:30.0 ~lat:10;
+        ]
+      ()
+  in
+  let vi = Vi.make ~islands:2 ~of_core:[| 0; 0; 1; 1 |] () in
+  checki "0 -> 1 flows" 1
+    (List.length (Soc_spec.flows_between soc ~src_island:0 ~dst_island:1 ~vi));
+  checki "intra 0 flows" 1
+    (List.length (Soc_spec.flows_between soc ~src_island:0 ~dst_island:0 ~vi))
+
+(* ---------- Vcg ---------- *)
+
+let test_vcg_definition_1 () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:1000.0 ~lat:10;  (* island 0, hottest *)
+          Flow.make ~src:1 ~dst:0 ~bw:500.0 ~lat:20;   (* island 0 *)
+          Flow.make ~src:0 ~dst:2 ~bw:250.0 ~lat:40;   (* crossing: excluded *)
+          Flow.make ~src:2 ~dst:3 ~bw:100.0 ~lat:80;   (* island 1 *)
+        ]
+      ()
+  in
+  let vi = Vi.make ~islands:2 ~of_core:[| 0; 0; 1; 1 |] () in
+  let alpha = 0.6 in
+  let vcg0 = Vcg.build ~alpha soc vi ~island:0 in
+  checki "island 0 size" 2 (Vcg.size vcg0);
+  (* the 0<->1 pair accumulates both directed weights *)
+  let expected =
+    Flow.weight ~alpha ~max_bw:1000.0 ~min_lat:10
+      (Flow.make ~src:0 ~dst:1 ~bw:1000.0 ~lat:10)
+    +. Flow.weight ~alpha ~max_bw:1000.0 ~min_lat:10
+         (Flow.make ~src:1 ~dst:0 ~bw:500.0 ~lat:20)
+  in
+  checkf "h weights accumulate per Definition 1" expected
+    (Ugraph.edge_weight vcg0.Vcg.graph 0 1);
+  let vcg1 = Vcg.build ~alpha soc vi ~island:1 in
+  checki "island 1 has the 2->3 edge only" 1
+    (Ugraph.edge_count vcg1.Vcg.graph);
+  (* crossing flow 0->2 appears in neither VCG *)
+  checkb "no cross edge in island 0" false
+    (Ugraph.edge_count vcg0.Vcg.graph > 1)
+
+let test_vcg_build_all_cover () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:[ Flow.make ~src:0 ~dst:1 ~bw:10.0 ~lat:10 ]
+      ()
+  in
+  let vi = Vi.make ~islands:2 ~of_core:[| 0; 1; 1; 0 |] () in
+  let vcgs = Vcg.build_all ~alpha:0.5 soc vi in
+  checki "one vcg per island" 2 (Array.length vcgs);
+  let covered = Array.fold_left (fun acc v -> acc + Vcg.size v) 0 vcgs in
+  checki "all cores covered" 4 covered
+
+(* ---------- Traffic_stats ---------- *)
+
+let test_traffic_stats_known_values () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:100.0 ~lat:10;
+          Flow.make ~src:0 ~dst:2 ~bw:300.0 ~lat:20;
+          Flow.make ~src:3 ~dst:0 ~bw:200.0 ~lat:30;
+        ]
+      ()
+  in
+  let s = Noc_spec.Traffic_stats.analyze soc in
+  checki "flow count" 3 s.Noc_spec.Traffic_stats.flow_count;
+  checkf "total" 600.0 s.Noc_spec.Traffic_stats.total_bandwidth_mbps;
+  checkf "max" 300.0 s.Noc_spec.Traffic_stats.max_bandwidth_mbps;
+  checkf "median" 200.0 s.Noc_spec.Traffic_stats.median_bandwidth_mbps;
+  (* core 0 touches all three flows, so all bandwidth passes the hub *)
+  checki "hub" 0 s.Noc_spec.Traffic_stats.hub_core;
+  checkf "hub fraction" 1.0 s.Noc_spec.Traffic_stats.hub_fraction;
+  checki "tightest latency" 10 s.Noc_spec.Traffic_stats.tightest_latency_cycles;
+  checkb "connected" true s.Noc_spec.Traffic_stats.connected;
+  (* fan-out: sources 0 (2 dsts) and 3 (1 dst) *)
+  checkf "fanout" 1.5 s.Noc_spec.Traffic_stats.avg_fanout
+
+let test_traffic_stats_gini () =
+  let equal =
+    Soc_spec.make ~name:"eq" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:100.0 ~lat:10;
+          Flow.make ~src:1 ~dst:2 ~bw:100.0 ~lat:10;
+          Flow.make ~src:2 ~dst:3 ~bw:100.0 ~lat:10;
+        ]
+      ()
+  in
+  checkf "equal flows have zero gini" 0.0
+    (Noc_spec.Traffic_stats.analyze equal).Noc_spec.Traffic_stats.gini;
+  let skewed =
+    Soc_spec.make ~name:"sk" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:1000.0 ~lat:10;
+          Flow.make ~src:1 ~dst:2 ~bw:1.0 ~lat:10;
+          Flow.make ~src:2 ~dst:3 ~bw:1.0 ~lat:10;
+        ]
+      ()
+  in
+  checkb "skewed flows have high gini" true
+    ((Noc_spec.Traffic_stats.analyze skewed).Noc_spec.Traffic_stats.gini > 0.5)
+
+let test_traffic_stats_disconnected () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:[ Flow.make ~src:0 ~dst:1 ~bw:10.0 ~lat:10 ]
+      ()
+  in
+  checkb "cores 2,3 isolated" false
+    (Noc_spec.Traffic_stats.analyze soc).Noc_spec.Traffic_stats.connected
+
+let test_intra_island_fraction () =
+  let soc =
+    Soc_spec.make ~name:"t" ~cores:four_cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:1 ~bw:300.0 ~lat:10;
+          Flow.make ~src:2 ~dst:3 ~bw:100.0 ~lat:10;
+          Flow.make ~src:1 ~dst:2 ~bw:100.0 ~lat:10;
+        ]
+      ()
+  in
+  let vi = Vi.make ~islands:2 ~of_core:[| 0; 0; 1; 1 |] () in
+  checkf "80% internal" 0.8
+    (Noc_spec.Traffic_stats.intra_island_fraction soc vi)
+
+(* ---------- Scenario ---------- *)
+
+let test_scenario_gating () =
+  let vi =
+    Vi.make ~islands:3 ~of_core:[| 0; 0; 1; 2 |]
+      ~shutdownable:[| false; true; true |] ()
+  in
+  let s = Scenario.make ~name:"idle" ~used:[ 0; 3 ] ~cores:4 ~duty:0.5 in
+  checkb "island 0 active" true (Scenario.island_active s vi 0);
+  checkb "island 1 idle" false (Scenario.island_active s vi 1);
+  (* island 0 is active AND pinned; island 1 idle+shutdownable; island 2
+     active *)
+  Alcotest.(check (list int)) "gated" [ 1 ] (Scenario.gated_islands s vi)
+
+let test_scenario_always_on_never_gated () =
+  let vi =
+    Vi.make ~islands:2 ~of_core:[| 0; 1 |] ~shutdownable:[| false; true |] ()
+  in
+  (* island 0 unused but pinned always-on *)
+  let s = Scenario.make ~name:"x" ~used:[ 1 ] ~cores:2 ~duty:0.1 in
+  Alcotest.(check (list int)) "pinned island stays" [] (Scenario.gated_islands s vi)
+
+let test_scenario_validation () =
+  expect_invalid "bad duty" (fun () ->
+      Scenario.make ~name:"x" ~used:[ 0 ] ~cores:2 ~duty:1.5);
+  expect_invalid "duplicate core" (fun () ->
+      Scenario.make ~name:"x" ~used:[ 0; 0 ] ~cores:2 ~duty:0.5);
+  expect_invalid "duties over 1" (fun () ->
+      Scenario.validate_duties
+        [
+          Scenario.make ~name:"a" ~used:[ 0 ] ~cores:2 ~duty:0.6;
+          Scenario.make ~name:"b" ~used:[ 1 ] ~cores:2 ~duty:0.6;
+        ]);
+  Scenario.validate_duties
+    [ Scenario.make ~name:"a" ~used:[ 0 ] ~cores:2 ~duty:0.6 ]
+
+let () =
+  Alcotest.run "noc_spec"
+    [
+      ( "core_spec",
+        [
+          Alcotest.test_case "default leakage" `Quick test_core_default_leakage;
+          Alcotest.test_case "validation" `Quick test_core_validation;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "Definition 1 weight" `Quick
+            test_flow_weight_formula;
+          Alcotest.test_case "extrema" `Quick test_flow_extrema;
+          Alcotest.test_case "validation" `Quick test_flow_validation;
+        ] );
+      ( "vi",
+        [
+          Alcotest.test_case "make and queries" `Quick test_vi_make_and_queries;
+          Alcotest.test_case "validation" `Quick test_vi_validation;
+          Alcotest.test_case "crossings" `Quick test_vi_crossings;
+          Alcotest.test_case "canned assignments" `Quick test_vi_canned;
+        ] );
+      ( "soc_spec",
+        [
+          Alcotest.test_case "validation" `Quick test_soc_validation;
+          Alcotest.test_case "queries" `Quick test_soc_queries;
+          Alcotest.test_case "flows_between" `Quick test_flows_between;
+        ] );
+      ( "vcg",
+        [
+          Alcotest.test_case "Definition 1 graph" `Quick test_vcg_definition_1;
+          Alcotest.test_case "build_all coverage" `Quick test_vcg_build_all_cover;
+        ] );
+      ( "traffic_stats",
+        [
+          Alcotest.test_case "known values" `Quick
+            test_traffic_stats_known_values;
+          Alcotest.test_case "gini" `Quick test_traffic_stats_gini;
+          Alcotest.test_case "disconnected" `Quick
+            test_traffic_stats_disconnected;
+          Alcotest.test_case "intra-island fraction" `Quick
+            test_intra_island_fraction;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "gating" `Quick test_scenario_gating;
+          Alcotest.test_case "always-on never gated" `Quick
+            test_scenario_always_on_never_gated;
+          Alcotest.test_case "validation" `Quick test_scenario_validation;
+        ] );
+    ]
