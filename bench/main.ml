@@ -5,7 +5,9 @@
    Usage:
      dune exec bench/main.exe            # run everything
      dune exec bench/main.exe -- fig2 fig3 fig4 fig5 overhead leakage \
-                                  dse simcheck ablation speed   # pick some *)
+                                  dse simcheck ablation speed   # pick some
+     dune exec bench/main.exe -- speedup   # 1-domain vs N-domain DSE wall
+                                           # time on d26/d36/d48 (NOC_JOBS) *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -338,6 +340,76 @@ let ablation () =
         Printf.printf "  beta %.2f: infeasible\n" beta)
     [ 0.0; 0.5; 0.7; 1.0 ]
 
+(* ---------------- EXP-PAR: multicore DSE speedup ---------------- *)
+
+let wall f =
+  let t0 = Noc_exec.Metrics.now_ns () in
+  let r = f () in
+  (Int64.to_float (Int64.sub (Noc_exec.Metrics.now_ns ()) t0) /. 1e9, r)
+
+let front_signature result =
+  List.map
+    (fun p ->
+      ( Power.total_mw p.DP.power,
+        p.DP.avg_latency_cycles,
+        p.DP.switch_count,
+        p.DP.indirect_count ))
+    (Explore.pareto result.Synth.points)
+
+let speedup () =
+  let jobs =
+    let d = Noc_exec.Pool.default_domains () in
+    if d > 1 then d else 4
+  in
+  section
+    (Printf.sprintf
+       "EXP-PAR: candidate evaluation on 1 vs %d domains (NOC_JOBS to \
+        override; %d recommended on this machine)"
+       jobs
+       (Noc_exec.Pool.available_domains ()));
+  Printf.printf "%-6s %12s %12s %9s  %s\n" "bench" "1-domain s"
+    (Printf.sprintf "%d-domain s" jobs)
+    "speedup" "fronts";
+  List.iter
+    (fun name ->
+      let case = Bench_case.find name in
+      let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
+      (* one warm-up run so allocation effects hit neither timing *)
+      ignore (Synth.run ~domains:1 config bsoc vi);
+      let t1, r1 = wall (fun () -> Synth.run ~domains:1 config bsoc vi) in
+      let tn, rn = wall (fun () -> Synth.run ~domains:jobs config bsoc vi) in
+      Printf.printf "%-6s %12.2f %12.2f %8.2fx  %s\n%!" name t1 tn (t1 /. tn)
+        (if front_signature r1 = front_signature rn then "identical"
+         else "MISMATCH");
+      assert (front_signature r1 = front_signature rn))
+    [ "d26"; "d36"; "d48" ];
+  let partitions =
+    List.map
+      (fun k -> (Printf.sprintf "logical/%d" k, D26.logical_partition ~islands:k))
+      D26.logical_island_counts
+  in
+  let sweep_signature points =
+    List.map
+      (fun sp ->
+        ( sp.Explore.label,
+          Power.total_mw sp.Explore.point.DP.power,
+          sp.Explore.point.DP.avg_latency_cycles ))
+      points
+  in
+  let t1, s1 =
+    wall (fun () -> Explore.island_sweep ~domains:1 config soc ~partitions)
+  in
+  let tn, sn =
+    wall (fun () -> Explore.island_sweep ~domains:jobs config soc ~partitions)
+  in
+  Printf.printf
+    "island_sweep (d26, %d partitions): %.2f s -> %.2f s (%.2fx), results %s\n"
+    (List.length partitions) t1 tn (t1 /. tn)
+    (if sweep_signature s1 = sweep_signature sn then "identical"
+     else "MISMATCH");
+  assert (sweep_signature s1 = sweep_signature sn);
+  Printf.printf "\nmetrics: %s\n" (Noc_exec.Metrics.to_json ())
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let speed () =
@@ -422,6 +494,7 @@ let all_experiments =
     ("simcheck", simcheck);
     ("ablation", ablation);
     ("speed", speed);
+    ("speedup", speedup);
   ]
 
 let () =

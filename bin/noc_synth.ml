@@ -14,11 +14,23 @@ module DP = Noc_synthesis.Design_point
 module Power = Noc_models.Power
 module Bench_case = Noc_benchmarks.Bench_case
 
-let setup_logs level =
+let setup_logs level jobs =
   Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level level
+  Logs.set_level level;
+  if jobs > 0 then Noc_exec.Pool.set_default_domains jobs
 
-let logs_term = Term.(const setup_logs $ Logs_cli.level ())
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ]
+        ~env:(Cmd.Env.info "NOC_JOBS")
+        ~docv:"N"
+        ~doc:
+          "Evaluate candidate design points on $(docv) domains.  Results \
+           are byte-identical for any $(docv); 0 (the default) means 1 \
+           domain unless $(b,NOC_JOBS) is set.")
+
+let logs_term = Term.(const setup_logs $ Logs_cli.level () $ jobs_arg)
 
 let bench_arg =
   let doc =

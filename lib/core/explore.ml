@@ -1,5 +1,6 @@
 module Vi = Noc_spec.Vi
 module Power = Noc_models.Power
+module Pool = Noc_exec.Pool
 
 type sweep_point = {
   label : string;
@@ -9,8 +10,8 @@ type sweep_point = {
   result : Synth.result;
 }
 
-let island_sweep ?(seed = 0) config soc ~partitions =
-  List.filter_map
+let island_sweep ?(seed = 0) ?domains config soc ~partitions =
+  Pool.parallel_filter_map ?domains
     (fun (label, vi) ->
       match Synth.run ~seed config soc vi with
       | result ->
@@ -33,17 +34,37 @@ let dominates a b =
   and lb = b.Design_point.avg_latency_cycles in
   pa <= pb && la <= lb && (pa < pb || la < lb)
 
-let pareto points =
-  let non_dominated p =
-    not (List.exists (fun q -> q != p && dominates q p) points)
+(* Skyline scan instead of the former all-pairs test with its physical
+   ([!=]) identity check: after a stable sort by (power, latency), a
+   point survives iff its latency beats the lowest latency kept so far
+   (its power is >= every kept point's), or it duplicates the last kept
+   (power, latency) pair exactly.  Positions, not identities, decide —
+   structurally equal duplicates are all retained, in input order. *)
+let pareto_by ~key points =
+  let keyed = List.map (fun p -> (key p, p)) points in
+  let sorted =
+    List.stable_sort
+      (fun ((a : float * float), _) ((b : float * float), _) -> compare a b)
+      keyed
   in
-  let front = List.filter non_dominated points in
-  List.sort
-    (fun a b ->
-      compare
-        (Power.total_mw a.Design_point.power, a.Design_point.avg_latency_cycles)
-        (Power.total_mw b.Design_point.power, b.Design_point.avg_latency_cycles))
-    front
+  let rec scan last acc = function
+    | [] -> List.rev_map snd acc
+    | (((p, l), _) as entry) :: rest ->
+      let keep =
+        match last with
+        | None -> true
+        | Some (bp, bl) -> l < bl || (l = bl && p = bp)
+      in
+      if keep then scan (Some (p, l)) (entry :: acc) rest
+      else scan last acc rest
+  in
+  scan None [] sorted
+
+let pareto points =
+  pareto_by
+    ~key:(fun p ->
+      (Power.total_mw p.Design_point.power, p.Design_point.avg_latency_cycles))
+    points
 
 let weighted_power config soc vi scenarios point =
   let report = Shutdown.leakage_report config soc vi point ~scenarios in

@@ -13,18 +13,34 @@ type sweep_point = {
 
 val island_sweep :
   ?seed:int ->
+  ?domains:int ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   partitions:(string * Noc_spec.Vi.t) list ->
   sweep_point list
 (** Synthesize once per named VI assignment and keep each best-power point.
     Assignments whose synthesis is infeasible are skipped (they simply do
-    not appear in the output). *)
+    not appear in the output).  [domains] (default
+    {!Noc_exec.Pool.default_domains}) synthesizes the partitions on that
+    many domains; the output list is in [partitions] order regardless of
+    the domain count. *)
+
+val dominates : Design_point.t -> Design_point.t -> bool
+(** [dominates a b]: [a] is at least as good as [b] on both (total NoC
+    power, average latency) axes and strictly better on one. *)
+
+val pareto_by : key:('a -> float * float) -> 'a list -> 'a list
+(** Generic non-dominated filter (minimising both components of [key]),
+    O(n log n).  The result is sorted by [key], ascending.  Dominance is
+    positional, never physical identity: points with structurally equal
+    keys never dominate one another, so duplicates are all retained (in
+    input order within a tied key). *)
 
 val pareto : Design_point.t list -> Design_point.t list
 (** Non-dominated subset under (total NoC power, average latency), sorted
-    by increasing power.  A point is dominated if another is at least as
-    good on both axes and strictly better on one. *)
+    by increasing power: {!pareto_by} with that key.  A point is dominated
+    if another is at least as good on both axes and strictly better on
+    one. *)
 
 val alpha_sweep :
   ?seed:int ->

@@ -4,6 +4,8 @@ module Vcg = Noc_spec.Vcg
 module Placer = Noc_floorplan.Placer
 module Anneal = Noc_floorplan.Anneal
 module Power = Noc_models.Power
+module Pool = Noc_exec.Pool
+module Metrics = Noc_exec.Metrics
 
 type result = {
   points : Design_point.t list;
@@ -20,11 +22,15 @@ let log_src = Logs.Src.create "noc.synth" ~doc:"NoC topology synthesis"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cut)
-    config soc vi =
+    ?domains config soc vi =
+  Metrics.time "synth.run" @@ fun () ->
   Config.validate config;
   let clocks = Freq_assign.assign config soc vi in
   let plan0 = Placer.place soc vi in
-  let plan = if anneal then Anneal.improve ~seed soc vi plan0 else plan0 in
+  let plan =
+    if anneal then Metrics.time "synth.anneal" (fun () -> Anneal.improve ~seed soc vi plan0)
+    else plan0
+  in
   let vcgs = Vcg.build_all ~alpha:config.Config.alpha soc vi in
   let sizes = Vi.island_sizes vi in
   let max_size = Array.fold_left max 1 sizes in
@@ -33,68 +39,81 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
       config.Config.max_indirect_switches
     else 0
   in
-  let points = ref [] in
-  let tried = ref 0 in
-  let feasible = ref 0 in
-  let last_counts = ref [||] in
-  let extra = ref 0 in
-  let stop = ref false in
-  while not !stop do
-    let switch_counts =
-      Array.mapi
-        (fun island size ->
-          min (clocks.(island).Freq_assign.min_switches + !extra) size)
-        sizes
-    in
-    if !extra > 0 && switch_counts = !last_counts then stop := true
-    else begin
-      last_counts := switch_counts;
-      for indirect_count = 0 to indirect_max do
-        incr tried;
-        (* Rip-up-style retries: when bandwidth-greedy ordering starves a
-           flow of ports or capacity, rebuild the candidate and route the
-           starved flows first. *)
-        let rec attempt priority retries_left =
-          let topo =
-            Switch_alloc.build ~seed ~strategy:assignment_strategy config soc
-              vi ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
-          in
-          match Path_alloc.route_all ~priority config soc vi topo ~clocks with
-          | Ok () -> Some (Design_point.evaluate config soc topo ~clocks)
-          | Error e ->
-            let key = (e.Path_alloc.flow.Noc_spec.Flow.src,
-                       e.Path_alloc.flow.Noc_spec.Flow.dst) in
-            if retries_left > 0 && not (List.mem key priority) then
-              attempt (priority @ [ key ]) (retries_left - 1)
-            else begin
-              Log.debug (fun m ->
-                  m "candidate (extra=%d, indirect=%d) infeasible: %a" !extra
-                    indirect_count Path_alloc.pp_error e);
-              None
-            end
+  (* The candidate design space is enumerable up front: per-island switch
+     counts grow together from each island's minimum until every island
+     saturates at one switch per core, crossed with every indirect switch
+     count.  Listing candidates first (in sweep order) makes the
+     evaluation a pure, order-preserving map — safe to run on several
+     domains with output identical to the sequential walk. *)
+  let schedules =
+    let rec collect extra last acc =
+      if extra > max_size then List.rev acc
+      else
+        let switch_counts =
+          Array.mapi
+            (fun island size ->
+              min (clocks.(island).Freq_assign.min_switches + extra) size)
+            sizes
         in
-        match attempt [] 2 with
-        | Some point ->
-          incr feasible;
-          points := point :: !points
-        | None -> ()
-      done;
-      incr extra;
-      if !extra > max_size then stop := true
-    end
-  done;
-  if !points = [] then
+        if extra > 0 && switch_counts = last then List.rev acc
+        else collect (extra + 1) switch_counts (switch_counts :: acc)
+    in
+    collect 0 [||] []
+  in
+  let candidates =
+    List.concat_map
+      (fun switch_counts ->
+        List.init (indirect_max + 1) (fun indirect_count ->
+            (switch_counts, indirect_count)))
+      schedules
+  in
+  let evaluate (switch_counts, indirect_count) =
+    (* Rip-up-style retries: when bandwidth-greedy ordering starves a
+       flow of ports or capacity, rebuild the candidate and route the
+       starved flows first. *)
+    let rec attempt priority retries_left =
+      let topo =
+        Switch_alloc.build ~seed ~strategy:assignment_strategy config soc vi
+          ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
+      in
+      match Path_alloc.route_all ~priority config soc vi topo ~clocks with
+      | Ok () -> Some (Design_point.evaluate config soc topo ~clocks)
+      | Error e ->
+        let key = (e.Path_alloc.flow.Noc_spec.Flow.src,
+                   e.Path_alloc.flow.Noc_spec.Flow.dst) in
+        if retries_left > 0 && not (List.mem key priority) then
+          attempt (priority @ [ key ]) (retries_left - 1)
+        else begin
+          Log.debug (fun m ->
+              m "candidate (switches=%a, indirect=%d) infeasible: %a"
+                Fmt.(array ~sep:comma int) switch_counts indirect_count
+                Path_alloc.pp_error e);
+          None
+        end
+    in
+    attempt [] 2
+  in
+  let points =
+    Metrics.time "synth.candidates" (fun () ->
+        Pool.parallel_map ?domains evaluate candidates)
+    |> List.filter_map Fun.id
+  in
+  let tried = List.length candidates in
+  let feasible = List.length points in
+  Metrics.incr ~by:tried "synth.candidates_tried";
+  Metrics.incr ~by:feasible "synth.candidates_feasible";
+  if points = [] then
     raise
       (No_feasible_design
          (Printf.sprintf "%s: no candidate routed all %d flows"
             soc.Soc_spec.name
             (List.length soc.Soc_spec.flows)));
   {
-    points = List.rev !points;
+    points;
     plan;
     clocks;
-    candidates_tried = !tried;
-    candidates_feasible = !feasible;
+    candidates_tried = tried;
+    candidates_feasible = feasible;
   }
 
 let pick better result =

@@ -18,6 +18,7 @@ val run :
   ?seed:int ->
   ?anneal:bool ->
   ?assignment_strategy:Switch_alloc.strategy ->
+  ?domains:int ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
@@ -26,7 +27,12 @@ val run :
     before synthesis; [assignment_strategy] (default
     {!Switch_alloc.Min_cut}) selects how cores map to switches — the
     {!Switch_alloc.Round_robin} ablation quantifies what the paper's
-    min-cut grouping buys.  Deterministic for a fixed [seed].
+    min-cut grouping buys.  [domains] (default
+    {!Noc_exec.Pool.default_domains}, i.e. [--jobs] / [NOC_JOBS])
+    evaluates the candidate design points on that many domains; every
+    candidate is a pure function of the inputs and results are merged in
+    sweep order, so the output is identical for any domain count.
+    Deterministic for a fixed [seed].
     @raise No_feasible_design if no candidate routes all flows within
     constraints.
     @raise Freq_assign.Infeasible if some island cannot clock high enough. *)

@@ -1,0 +1,100 @@
+module Log = (val Logs.src_log Pool.log_src : Logs.LOG)
+
+let now_ns () = Monotonic_clock.now ()
+
+let lock = Mutex.create ()
+let counters_tbl : (string, int) Hashtbl.t = Hashtbl.create 16
+let timers_tbl : (string, int64 * int) Hashtbl.t = Hashtbl.create 16
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let incr ?(by = 1) name =
+  locked (fun () ->
+      let v = Option.value (Hashtbl.find_opt counters_tbl name) ~default:0 in
+      Hashtbl.replace counters_tbl name (v + by))
+
+let counter_value name =
+  locked (fun () ->
+      Option.value (Hashtbl.find_opt counters_tbl name) ~default:0)
+
+let add_ns name ns =
+  locked (fun () ->
+      let total, count =
+        Option.value (Hashtbl.find_opt timers_tbl name) ~default:(0L, 0)
+      in
+      Hashtbl.replace timers_tbl name (Int64.add total ns, count + 1))
+
+let time name f =
+  let t0 = now_ns () in
+  Fun.protect ~finally:(fun () -> add_ns name (Int64.sub (now_ns ()) t0)) f
+
+let timer_ns name =
+  locked (fun () ->
+      match Hashtbl.find_opt timers_tbl name with
+      | Some (total, _) -> total
+      | None -> 0L)
+
+let sorted_bindings tbl =
+  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_bindings counters_tbl
+
+let timers () =
+  sorted_bindings timers_tbl
+  |> List.map (fun (name, (total, count)) -> (name, total, count))
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset timers_tbl)
+
+let report () =
+  List.iter
+    (fun (name, v) -> Log.info (fun m -> m "counter %-32s %d" name v))
+    (counters ());
+  List.iter
+    (fun (name, total, count) ->
+      Log.info (fun m ->
+          m "timer   %-32s %.3f ms over %d run%s" name
+            (Int64.to_float total /. 1e6)
+            count
+            (if count = 1 then "" else "s")))
+    (timers ())
+
+(* Metric names are dot-separated identifiers we pick ourselves, but
+   escape defensively so the output is always valid JSON. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (escape name) v))
+    (counters ());
+  Buffer.add_string b "}, \"timers_ns\": {";
+  List.iteri
+    (fun i (name, total, count) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\": {\"total_ns\": %Ld, \"count\": %d}"
+           (escape name) total count))
+    (timers ());
+  Buffer.add_string b "}}";
+  Buffer.contents b

@@ -1,0 +1,43 @@
+(** Lightweight instrumentation: named monotonic-clock timers and
+    counters, shared by the synthesis hot paths and the bench harness.
+
+    All operations are safe to call from any domain (a single mutex
+    guards the tables), so code running under {!Pool.parallel_map} can
+    count and time freely.  Timers accumulate: timing the same name
+    twice reports the total and the number of observations. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock reading in nanoseconds (CLOCK_MONOTONIC). *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()], adds its wall time to timer [name]
+    (even when [f] raises), and returns its result. *)
+
+val add_ns : string -> int64 -> unit
+(** Add a measured duration to timer [name] directly. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump counter [name] (default [by:1]). *)
+
+val counter_value : string -> int
+(** Current value of counter [name] ([0] if never bumped). *)
+
+val timer_ns : string -> int64
+(** Accumulated nanoseconds of timer [name] ([0L] if never observed). *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val timers : unit -> (string * int64 * int) list
+(** All timers as [(name, total_ns, observations)], sorted by name. *)
+
+val reset : unit -> unit
+(** Drop every counter and timer. *)
+
+val report : unit -> unit
+(** Log a one-line-per-entry summary through the [noc.exec] [Logs]
+    source at [Info] level. *)
+
+val to_json : unit -> string
+(** Dump all counters and timers as a JSON object:
+    [{"counters": {...}, "timers_ns": {"name": {"total_ns": n, "count": c}}}]. *)

@@ -1,0 +1,95 @@
+let log_src = Logs.Src.create "noc.exec" ~doc:"Domain pool and instrumentation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+(* Worker domains (and the calling domain while it works the queue)
+   carry this flag so that a [parallel_map] nested inside another one
+   runs sequentially instead of multiplying domains. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let env_jobs () =
+  match Sys.getenv_opt "NOC_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None ->
+       Log.warn (fun m -> m "ignoring NOC_JOBS=%S (want a positive integer)" s);
+       None)
+
+let default = ref None
+
+let default_domains () =
+  match !default with
+  | Some n -> n
+  | None ->
+    let n = Option.value (env_jobs ()) ~default:1 in
+    default := Some n;
+    n
+
+let set_default_domains n = default := Some (max 1 n)
+
+let parallel_map ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let n = List.length xs in
+  let domains = min domains n in
+  if domains <= 1 || Domain.DLS.get in_worker then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let output = Array.make n None in
+    let errors = Array.make n None in
+    (* Dynamic scheduling: workers claim indices off a shared counter, so
+       cheap candidates (e.g. fast-failing infeasible ones) don't leave a
+       statically-assigned chunk idle.  Claims are handed out in input
+       order, which keeps failure semantics deterministic: if element [k]
+       is the earliest that raises, every element before [k] succeeds and
+       [k] is claimed before any later element can trip the failure flag,
+       so [k]'s exception is always the one re-raised. *)
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let rec work () =
+      if not (Atomic.get failed) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try output.(i) <- Some (f input.(i))
+           with e ->
+             errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+             Atomic.set failed true);
+          work ()
+        end
+      end
+    in
+    let as_worker () =
+      let saved = Domain.DLS.get in_worker in
+      Domain.DLS.set in_worker true;
+      Fun.protect ~finally:(fun () -> Domain.DLS.set in_worker saved) work
+    in
+    (* The calling domain works the queue too, so a failing
+       [Domain.spawn] only costs parallelism, never progress. *)
+    let spawned =
+      List.init (domains - 1) Fun.id
+      |> List.filter_map (fun _ ->
+             match Domain.spawn as_worker with
+             | d -> Some d
+             | exception e ->
+               Log.warn (fun m ->
+                   m "Domain.spawn failed (%s); continuing with fewer workers"
+                     (Printexc.to_string e));
+               None)
+    in
+    as_worker ();
+    List.iter Domain.join spawned;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.to_list output |> List.map Option.get
+  end
+
+let parallel_filter_map ?domains f xs =
+  parallel_map ?domains f xs |> List.filter_map Fun.id

@@ -1,0 +1,41 @@
+(** A hand-rolled work pool over OCaml 5 [Domain]s.
+
+    The design-space sweeps of the synthesis ([Synth.run]'s candidate
+    evaluation, [Explore.island_sweep]'s partition evaluation) are
+    embarrassingly parallel: every candidate is a pure function of its
+    inputs.  [parallel_map] feeds the input to a configurable number of
+    domains (dynamically, off a shared counter, so uneven element costs
+    balance) and writes results into position, so the output list is
+    always in input order — running with [domains = n] is observably
+    identical to running sequentially (same values, same order, and on
+    the first failing element, the same exception).
+
+    The pool degrades gracefully: with [domains = 1], an input of fewer
+    than two elements, inside a worker of another [parallel_map] (no
+    nested domain explosion), or when [Domain.spawn] fails for any
+    reason, the affected work simply runs in the calling domain. *)
+
+val log_src : Logs.src
+(** The [noc.exec] log source, shared with {!Metrics}. *)
+
+val available_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — an upper bound worth using. *)
+
+val default_domains : unit -> int
+(** Domain count used when [?domains] is omitted.  Initialised from the
+    [NOC_JOBS] environment variable (a positive integer) and [1]
+    otherwise; [set_default_domains] overrides it. *)
+
+val set_default_domains : int -> unit
+(** Set the default domain count (clamped to at least 1).  Call from the
+    main domain before spawning work, e.g. when parsing [--jobs]. *)
+
+val parallel_map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~domains f xs] is [List.map f xs], evaluated on up to
+    [domains] domains ([default_domains ()] when omitted).  Results are
+    returned in input order.  If any application raises, the exception of
+    the earliest failing element is re-raised in the caller (elements
+    after it may or may not have been evaluated — [f] should be pure). *)
+
+val parallel_filter_map : ?domains:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** [List.filter_map], parallelised like {!parallel_map}. *)
