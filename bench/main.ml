@@ -7,7 +7,9 @@
      dune exec bench/main.exe -- fig2 fig3 fig4 fig5 overhead leakage \
                                   dse simcheck ablation speed   # pick some
      dune exec bench/main.exe -- speedup   # 1-domain vs N-domain DSE wall
-                                           # time on d26/d36/d48 (NOC_JOBS) *)
+                                           # time on d26/d36/d48 (NOC_JOBS)
+     dune exec bench/main.exe -- recovery  # rip-up/reroute recovery stats
+                                           # + verification on d26/d36/d48 *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -397,10 +399,12 @@ let speedup () =
       points
   in
   let t1, s1 =
-    wall (fun () -> Explore.island_sweep ~domains:1 config soc ~partitions)
+    wall (fun () ->
+        Explore.island_sweep ~domains:1 ~verify:true config soc ~partitions)
   in
   let tn, sn =
-    wall (fun () -> Explore.island_sweep ~domains:jobs config soc ~partitions)
+    wall (fun () ->
+        Explore.island_sweep ~domains:jobs ~verify:true config soc ~partitions)
   in
   Printf.printf
     "island_sweep (d26, %d partitions): %.2f s -> %.2f s (%.2fx), results %s\n"
@@ -409,6 +413,33 @@ let speedup () =
      else "MISMATCH");
   assert (sweep_signature s1 = sweep_signature sn);
   Printf.printf "\nmetrics: %s\n" (Noc_exec.Metrics.to_json ())
+
+(* ---------------- EXP-REC: rip-up/reroute recovery ---------------- *)
+
+let recovery () =
+  section
+    "EXP-REC: transactional rip-up/reroute recovery in the path allocator \
+     (default partitions; every best point re-checked with Verify.check_all)";
+  Printf.printf "%-6s %9s %9s %10s  %s\n" "bench" "tried" "feasible"
+    "recovered" "best verifies";
+  List.iter
+    (fun name ->
+      let case = Bench_case.find name in
+      let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
+      let r = Synth.run config bsoc vi in
+      let best = Synth.best_power r in
+      let verdict =
+        match
+          Noc_synthesis.Verify.check_all config bsoc vi best.DP.topology
+        with
+        | Ok () -> "OK"
+        | Error _ -> "VIOLATED"
+      in
+      Printf.printf "%-6s %9d %9d %10d  %s\n%!" name r.Synth.candidates_tried
+        r.Synth.candidates_feasible r.Synth.candidates_recovered verdict)
+    [ "d26"; "d36"; "d48" ];
+  Printf.printf "\nmetrics (see path_alloc.* for rip-ups/reroutes/rollbacks):\n%s\n"
+    (Noc_exec.Metrics.to_json ())
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -495,6 +526,7 @@ let all_experiments =
     ("ablation", ablation);
     ("speed", speed);
     ("speedup", speedup);
+    ("recovery", recovery);
   ]
 
 let () =

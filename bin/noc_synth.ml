@@ -395,12 +395,18 @@ let export_run () bench spec islands comm seed out =
   Noc_synthesis.Viz.save_design_svg ~path:svg_path case.Bench_case.soc vi
     result.Synth.plan best.DP.topology;
   let spec_path = out ^ ".spec" in
-  Noc_spec.Spec_io.save spec_path
-    {
-      Noc_spec.Spec_io.soc = case.Bench_case.soc;
-      vi = Some vi;
-      scenarios = case.Bench_case.scenarios;
-    };
+  (match
+     Noc_spec.Spec_io.save spec_path
+       {
+         Noc_spec.Spec_io.soc = case.Bench_case.soc;
+         vi = Some vi;
+         scenarios = case.Bench_case.scenarios;
+       }
+   with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "cannot write %s: %s\n" spec_path msg;
+    exit 1);
   let dot_path = out ^ ".dot" in
   let oc = open_out dot_path in
   output_string oc

@@ -10,19 +10,30 @@ type sweep_point = {
   result : Synth.result;
 }
 
-let island_sweep ?(seed = 0) ?domains config soc ~partitions =
+let log_src = Logs.Src.create "noc.explore" ~doc:"NoC design-space exploration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let island_sweep ?(seed = 0) ?domains ?(verify = false) config soc ~partitions
+    =
   Pool.parallel_filter_map ?domains
     (fun (label, vi) ->
       match Synth.run ~seed config soc vi with
       | result ->
-        Some
-          {
-            label;
-            islands = vi.Vi.islands;
-            vi;
-            point = Synth.best_power result;
-            result;
-          }
+        let point = Synth.best_power result in
+        (match
+           if verify then
+             Verify.check_all config soc vi point.Design_point.topology
+           else Ok ()
+         with
+         | Ok () ->
+           Some { label; islands = vi.Vi.islands; vi; point; result }
+         | Error violations ->
+           Noc_exec.Metrics.incr "explore.verify_failed";
+           Log.err (fun m ->
+               m "sweep point %s fails verification: %a" label
+                 Verify.pp_report violations);
+           None)
       | exception Synth.No_feasible_design _ -> None
       | exception Freq_assign.Infeasible _ -> None)
     partitions

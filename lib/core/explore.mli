@@ -14,6 +14,7 @@ type sweep_point = {
 val island_sweep :
   ?seed:int ->
   ?domains:int ->
+  ?verify:bool ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   partitions:(string * Noc_spec.Vi.t) list ->
@@ -23,7 +24,11 @@ val island_sweep :
     not appear in the output).  [domains] (default
     {!Noc_exec.Pool.default_domains}) synthesizes the partitions on that
     many domains; the output list is in [partitions] order regardless of
-    the domain count. *)
+    the domain count.  [verify] (default [false]) additionally runs
+    {!Verify.check_all} on each kept design; a partition whose best point
+    fails verification is skipped (and counted under the
+    [explore.verify_failed] metric) — a safety net for sweeps that lean on
+    the rip-up/reroute recovery path. *)
 
 val dominates : Design_point.t -> Design_point.t -> bool
 (** [dominates a b]: [a] is at least as good as [b] on both (total NoC

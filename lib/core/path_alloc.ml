@@ -7,11 +7,21 @@ module Link_model = Noc_models.Link_model
 module Sync_model = Noc_models.Sync_model
 module Dijkstra = Noc_graph.Dijkstra
 module Geometry = Noc_floorplan.Geometry
+module Metrics = Noc_exec.Metrics
 
 type error = {
   flow : Flow.t;
   reason : [ `No_path | `Latency of int ];
 }
+
+type stats = {
+  ripups : int;
+  reroutes : int;
+  rollbacks : int;
+  restarts : int;
+}
+
+let no_stats = { ripups = 0; reroutes = 0; rollbacks = 0; restarts = 0 }
 
 let pp_error ppf e =
   match e.reason with
@@ -348,32 +358,272 @@ let route_flow config state flow =
     | Error _ as e -> e
   end
 
-let route_all ?(priority = []) config soc vi topo ~clocks =
-  ignore vi;
-  let state = make_state config topo ~clocks in
-  let rank f =
-    (* position in the priority list, or max_int for unlisted flows *)
-    let rec find i = function
-      | [] -> max_int
-      | (src, dst) :: rest ->
-        if src = f.Flow.src && dst = f.Flow.dst then i else find (i + 1) rest
+(* ---------- transactional rip-up and reroute ---------- *)
+
+(* A consistent snapshot of the mutable routing state: the topology's
+   journal checkpoint plus copies of the incremental port/reserve
+   counters.  [restore] brings both back in one step, so the allocator can
+   speculate freely and abandon a failed recovery without rebuilding
+   anything. *)
+type snapshot = {
+  cp : Topology.checkpoint;
+  in_ports_snap : int array;
+  out_ports_snap : int array;
+  out_to_inter_snap : bool array;
+  in_from_inter_snap : bool array;
+}
+
+let save state =
+  {
+    cp = Topology.checkpoint state.topo;
+    in_ports_snap = Array.copy state.in_ports;
+    out_ports_snap = Array.copy state.out_ports;
+    out_to_inter_snap = Array.copy state.out_to_inter;
+    in_from_inter_snap = Array.copy state.in_from_inter;
+  }
+
+let restore state snap =
+  Topology.rollback state.topo snap.cp;
+  Array.blit snap.in_ports_snap 0 state.in_ports 0
+    (Array.length state.in_ports);
+  Array.blit snap.out_ports_snap 0 state.out_ports 0
+    (Array.length state.out_ports);
+  Array.blit snap.out_to_inter_snap 0 state.out_to_inter 0
+    (Array.length state.out_to_inter);
+  Array.blit snap.in_from_inter_snap 0 state.in_from_inter 0
+    (Array.length state.in_from_inter)
+
+let intermediate_switches state =
+  let acc = ref [] in
+  Array.iter
+    (fun sw ->
+      if sw.Topology.location = Topology.Intermediate then
+        acc := sw.Topology.sw_id :: !acc)
+    state.topo.Topology.switches;
+  List.rev !acc
+
+(* Update the incremental counters after [Topology.remove_flow] dropped
+   zero-bandwidth links, keeping them equal to what a recount would
+   give. *)
+let note_dropped_links state dropped =
+  let inter = lazy (intermediate_switches state) in
+  List.iter
+    (fun link ->
+      let u = link.Topology.link_src and v = link.Topology.link_dst in
+      state.out_ports.(u) <- state.out_ports.(u) - 1;
+      state.in_ports.(v) <- state.in_ports.(v) - 1;
+      if is_intermediate state v then
+        state.out_to_inter.(u) <-
+          List.exists
+            (fun w ->
+              Topology.find_link state.topo ~src:u ~dst:w <> None)
+            (Lazy.force inter);
+      if is_intermediate state u then
+        state.in_from_inter.(v) <-
+          List.exists
+            (fun w ->
+              Topology.find_link state.topo ~src:w ~dst:v <> None)
+            (Lazy.force inter))
+    dropped
+
+(* Committed flows standing in the failed flow's way, cheapest first: any
+   flow routed over a link, inside the failed flow's legal switch region,
+   that is either too full to take the flow's bandwidth or driven
+   from/into a port-saturated switch.  Those are exactly the resources a
+   capacity- or port-starved flow needs back. *)
+let conflict_victims state flow ~si ~di =
+  let topo = state.topo in
+  let congested (u, v) link =
+    node_allowed state ~si ~di u
+    && node_allowed state ~si ~di v
+    && (link.Topology.bw_mbps +. flow.Flow.bandwidth_mbps
+        > link_capacity state u v +. 1e-9
+        || state.out_ports.(u) + 1 > state.max_arity.(u)
+        || state.in_ports.(v) + 1 > state.max_arity.(v))
+  in
+  let congested_links =
+    List.filter
+      (fun l -> congested (l.Topology.link_src, l.Topology.link_dst) l)
+      (Topology.links_list topo)
+  in
+  if congested_links = [] then []
+  else begin
+    let on_link (a, b) route =
+      let rec scan = function
+        | x :: (y :: _ as rest) -> (x = a && y = b) || scan rest
+        | [ _ ] | [] -> false
+      in
+      scan route
     in
-    find 0 priority
+    let key (s, d) = (s, d) in
+    let seen = Hashtbl.create 16 in
+    let victims =
+      List.filter
+        (fun (f, route) ->
+          let k = key (f.Flow.src, f.Flow.dst) in
+          if Hashtbl.mem seen k then false
+          else if
+            List.exists
+              (fun l ->
+                on_link (l.Topology.link_src, l.Topology.link_dst) route)
+              congested_links
+          then begin
+            Hashtbl.add seen k ();
+            true
+          end
+          else false)
+        topo.Topology.routes
+      |> List.map fst
+    in
+    (* cheapest first: ripping up a low-bandwidth flow frees capacity at
+       the smallest reroute risk; ties broken by (src, dst) so recovery is
+       deterministic *)
+    List.sort
+      (fun a b ->
+        match compare a.Flow.bandwidth_mbps b.Flow.bandwidth_mbps with
+        | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
+        | c -> c)
+      victims
+  end
+
+(* Recovery is bounded: past this many rip-ups the congestion is
+   structural and a full restart (or rejecting the candidate) is
+   cheaper than continuing to dig. *)
+let max_ripups_per_recovery = 8
+
+(* Rip up the cheapest conflicting flows one at a time until the failed
+   flow routes, then put every ripped-up flow back (hottest first, like
+   the main order).  Returns the number of flows ripped up on success;
+   rolls the topology and counters back to [snap]-time state on
+   failure. *)
+let rip_up_and_reroute config state flow ~si ~di =
+  let snap = save state in
+  let victims = conflict_victims state flow ~si ~di in
+  (* [`Failed rolled_back]: whether any speculation had to be undone, as
+     opposed to finding no victim to rip up at all *)
+  let roll_back ripped =
+    restore state snap;
+    if ripped <> [] then Metrics.incr "path_alloc.rollbacks";
+    `Failed (ripped <> [])
   in
-  let by_priority_then_bandwidth a b =
-    match compare (rank a) (rank b) with
-    | 0 ->
-      (match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
-       | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
-       | c -> c)
-    | c -> c
+  let rec rip ripped = function
+    | [] -> Error ripped
+    | _ when List.length ripped >= max_ripups_per_recovery -> Error ripped
+    | victim :: rest ->
+      (match Topology.remove_flow state.topo victim with
+       | None -> rip ripped rest (* stale: already ripped up *)
+       | Some (_route, dropped) ->
+         note_dropped_links state dropped;
+         Metrics.incr "path_alloc.ripups";
+         let ripped = victim :: ripped in
+         (match route_flow config state flow with
+          | Ok () -> Ok ripped
+          | Error _ -> rip ripped rest))
   in
-  let flows = List.sort by_priority_then_bandwidth soc.Soc_spec.flows in
-  let rec go = function
-    | [] -> Ok ()
-    | flow :: rest ->
-      (match route_flow config state flow with
-       | Ok () -> go rest
-       | Error e -> Error e)
+  match rip [] victims with
+  | Error ripped -> roll_back ripped
+  | Ok ripped ->
+    (* reroute the victims in the main loop's order: decreasing
+       bandwidth, ties by (src, dst) *)
+    let by_bandwidth a b =
+      match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
+      | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
+      | c -> c
+    in
+    let rec reroute = function
+      | [] -> true
+      | v :: rest ->
+        (match route_flow config state v with
+         | Ok () ->
+           Metrics.incr "path_alloc.reroutes";
+           reroute rest
+         | Error _ -> false)
+    in
+    if reroute (List.sort by_bandwidth ripped) then
+      `Recovered (List.length ripped)
+    else roll_back ripped
+
+let islands_of_flow state flow =
+  let topo = state.topo in
+  match
+    ( topo.Topology.switches.(topo.Topology.core_switch.(flow.Flow.src))
+        .Topology.location,
+      topo.Topology.switches.(topo.Topology.core_switch.(flow.Flow.dst))
+        .Topology.location )
+  with
+  | Topology.Island a, Topology.Island b -> (a, b)
+  | _ -> assert false (* cores never attach to indirect switches *)
+
+let route_all ?(priority = []) config soc topo ~clocks =
+  Metrics.time "path_alloc.route_all" @@ fun () ->
+  let state = make_state config topo ~clocks in
+  let pristine = save state in
+  let flows_of priority =
+    (* position in the priority list, or max_int for unlisted flows *)
+    let rank_tbl = Hashtbl.create (List.length priority * 2 + 1) in
+    List.iteri
+      (fun i key ->
+        if not (Hashtbl.mem rank_tbl key) then Hashtbl.add rank_tbl key i)
+      priority;
+    let rank f =
+      match Hashtbl.find_opt rank_tbl (f.Flow.src, f.Flow.dst) with
+      | Some i -> i
+      | None -> max_int
+    in
+    let by_priority_then_bandwidth a b =
+      match compare (rank a) (rank b) with
+      | 0 ->
+        (match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
+         | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
+         | c -> c)
+      | c -> c
+    in
+    List.sort by_priority_then_bandwidth soc.Soc_spec.flows
   in
-  go flows
+  (* One pass over the flows.  A failure first tries in-place recovery
+     (rip up the cheapest conflicting committed flows, route the failed
+     flow, put the victims back); if recovery fails, the whole allocation
+     restarts from the pristine state with the troublesome flows routed
+     first — the rebuild-free equivalent of the old
+     rebuild-the-candidate retry, since a rebuilt candidate is
+     deterministic and identical to the pristine rollback. *)
+  let rec attempt priority restarts_left stats =
+    let rec go stats = function
+      | [] -> Ok stats
+      | flow :: rest ->
+        (match route_flow config state flow with
+         | Ok () -> go stats rest
+         | Error e ->
+           let si, di = islands_of_flow state flow in
+           (match rip_up_and_reroute config state flow ~si ~di with
+            | `Recovered ripped ->
+              go
+                {
+                  stats with
+                  ripups = stats.ripups + ripped;
+                  reroutes = stats.reroutes + ripped;
+                }
+                rest
+            | `Failed rolled_back ->
+              let stats =
+                if rolled_back then
+                  { stats with rollbacks = stats.rollbacks + 1 }
+                else stats
+              in
+              let key = (flow.Flow.src, flow.Flow.dst) in
+              if restarts_left > 0 && not (List.mem key priority) then begin
+                restore state pristine;
+                Metrics.incr "path_alloc.restarts";
+                attempt (priority @ [ key ])
+                  (restarts_left - 1)
+                  { stats with restarts = stats.restarts + 1 }
+              end
+              else Error e))
+    in
+    go stats (flows_of priority)
+  in
+  let result = attempt priority 2 no_stats in
+  (match result with
+   | Ok _ -> Topology.clear_journal topo
+   | Error _ -> ());
+  result

@@ -10,30 +10,50 @@
     third shutdownable island.
 
     If the cheapest path of a flow busts its latency constraint, the flow is
-    retried with a pure-latency cost; if that still fails, the whole
-    candidate is rejected (the paper only saves design points where "paths
-    found for all flows"). *)
+    retried with a pure-latency cost.  If a flow still has no admissible
+    path, the allocator recovers transactionally instead of rejecting the
+    candidate outright: it checkpoints the topology (see
+    {!Topology.checkpoint}), rips up the cheapest committed flows holding
+    the congested links, routes the failed flow, re-routes the ripped-up
+    flows hottest-first, and rolls everything back if any step fails.  A
+    failed recovery falls back to restarting the allocation from the
+    pristine topology with the troublesome flows prioritised (at most
+    twice); only then is the candidate rejected (the paper only saves
+    design points where "paths found for all flows"). *)
 
 type error = {
   flow : Noc_spec.Flow.t;
   reason : [ `No_path | `Latency of int (** cycles over budget *) ];
 }
 
+type stats = {
+  ripups : int;    (** committed flows ripped up by successful recoveries *)
+  reroutes : int;  (** ripped-up flows re-committed (equal to [ripups]) *)
+  rollbacks : int; (** recoveries abandoned via checkpoint rollback *)
+  restarts : int;  (** full restarts from the pristine topology *)
+}
+(** What recovery did during one [route_all] call.  All-zero when every
+    flow routed first try.  The same events are aggregated process-wide in
+    {!Noc_exec.Metrics} under [path_alloc.ripups], [path_alloc.reroutes],
+    [path_alloc.rollbacks] and [path_alloc.restarts] ([path_alloc.ripups]
+    also counts rip-ups later undone by a rollback; the [stats] field only
+    counts those that survived). *)
+
 val route_all :
   ?priority:(int * int) list ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
-  Noc_spec.Vi.t ->
   Topology.t ->
   clocks:Freq_assign.island_clock array ->
-  (unit, error) result
-(** Mutates the topology: creates links and commits all routes on success.
-    On error the topology must be discarded (links of already-routed flows
-    remain).  Flows are processed in decreasing bandwidth order, ties broken
-    by (src, dst) for determinism — except that flows whose [(src, dst)]
-    appears in [priority] are routed first, in [priority] order.  The
-    synthesis sweep uses this for rip-up-style retries: a flow starved of
-    ports or capacity by earlier flows gets first pick on a fresh
-    topology. *)
+  (stats, error) result
+(** Mutates the topology: creates links and commits all routes on success
+    (and clears the topology's undo journal).  On error the topology must
+    be discarded (links of already-routed flows remain).  Flows are
+    processed in decreasing bandwidth order, ties broken by (src, dst) for
+    determinism — except that flows whose [(src, dst)] appears in
+    [priority] are routed first, in [priority] order.  Failures recover
+    in place per the module description; the result reports what recovery
+    had to do.  Deterministic: identical inputs produce identical
+    topologies, routes and stats. *)
 
 val pp_error : Format.formatter -> error -> unit

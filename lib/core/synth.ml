@@ -13,6 +13,7 @@ type result = {
   clocks : Freq_assign.island_clock array;
   candidates_tried : int;
   candidates_feasible : int;
+  candidates_recovered : int;
 }
 
 exception No_feasible_design of string
@@ -68,40 +69,56 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
       schedules
   in
   let evaluate (switch_counts, indirect_count) =
-    (* Rip-up-style retries: when bandwidth-greedy ordering starves a
-       flow of ports or capacity, rebuild the candidate and route the
-       starved flows first. *)
-    let rec attempt priority retries_left =
-      let topo =
-        Switch_alloc.build ~seed ~strategy:assignment_strategy config soc vi
-          ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
-      in
-      match Path_alloc.route_all ~priority config soc vi topo ~clocks with
-      | Ok () -> Some (Design_point.evaluate config soc topo ~clocks)
-      | Error e ->
-        let key = (e.Path_alloc.flow.Noc_spec.Flow.src,
-                   e.Path_alloc.flow.Noc_spec.Flow.dst) in
-        if retries_left > 0 && not (List.mem key priority) then
-          attempt (priority @ [ key ]) (retries_left - 1)
-        else begin
-          Log.debug (fun m ->
-              m "candidate (switches=%a, indirect=%d) infeasible: %a"
-                Fmt.(array ~sep:comma int) switch_counts indirect_count
-                Path_alloc.pp_error e);
-          None
-        end
+    (* One build per candidate: routing failures recover in place inside
+       [Path_alloc.route_all] (transactional rip-up-and-reroute, with a
+       pristine-rollback restart as fallback) instead of rebuilding the
+       candidate topology from scratch. *)
+    let topo =
+      Switch_alloc.build ~seed ~strategy:assignment_strategy config soc vi
+        ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
     in
-    attempt [] 2
+    match Path_alloc.route_all config soc topo ~clocks with
+    | Ok stats ->
+      let recovered =
+        stats.Path_alloc.ripups > 0 || stats.Path_alloc.restarts > 0
+      in
+      if recovered then begin
+        (* A recovered design point went through speculative edits and
+           rollbacks; re-derive every invariant before trusting it. *)
+        match Verify.check_all config soc vi topo with
+        | Ok () -> Some (true, Design_point.evaluate config soc topo ~clocks)
+        | Error violations ->
+          Metrics.incr "synth.recovered_rejected";
+          Log.warn (fun m ->
+              m
+                "candidate (switches=%a, indirect=%d) recovered by \
+                 rip-up/reroute but fails verification: %a"
+                Fmt.(array ~sep:comma int)
+                switch_counts indirect_count Verify.pp_report violations);
+          None
+      end
+      else Some (false, Design_point.evaluate config soc topo ~clocks)
+    | Error e ->
+      Log.debug (fun m ->
+          m "candidate (switches=%a, indirect=%d) infeasible: %a"
+            Fmt.(array ~sep:comma int) switch_counts indirect_count
+            Path_alloc.pp_error e);
+      None
   in
-  let points =
+  let evaluated =
     Metrics.time "synth.candidates" (fun () ->
         Pool.parallel_map ?domains evaluate candidates)
     |> List.filter_map Fun.id
+  in
+  let points = List.map snd evaluated in
+  let recovered =
+    List.fold_left (fun acc (r, _) -> if r then acc + 1 else acc) 0 evaluated
   in
   let tried = List.length candidates in
   let feasible = List.length points in
   Metrics.incr ~by:tried "synth.candidates_tried";
   Metrics.incr ~by:feasible "synth.candidates_feasible";
+  Metrics.incr ~by:recovered "synth.candidates_recovered";
   if points = [] then
     raise
       (No_feasible_design
@@ -114,6 +131,7 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
     clocks;
     candidates_tried = tried;
     candidates_feasible = feasible;
+    candidates_recovered = recovered;
   }
 
 let pick better result =

@@ -10,6 +10,10 @@ type result = {
   clocks : Freq_assign.island_clock array;
   candidates_tried : int;
   candidates_feasible : int;
+  candidates_recovered : int;
+      (** feasible candidates that only routed thanks to
+          {!Path_alloc}'s rip-up/reroute recovery (each re-checked with
+          {!Verify.check_all} before being saved) *)
 }
 
 exception No_feasible_design of string

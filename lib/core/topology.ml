@@ -20,6 +20,18 @@ type link = {
   stages : int;
 }
 
+(* Undo journal: every structural edit (link creation/removal, bandwidth
+   charge, routes update) pushes the information needed to reverse it.
+   [checkpoint] captures the current journal suffix; [rollback] pops and
+   reverses entries until that suffix is reached again.  Entries hold the
+   link records themselves, so a charge can be undone even after the link
+   was dropped and resurrected — record identity survives both. *)
+type edit =
+  | Link_added of (int * int)
+  | Link_removed of link
+  | Bw_set of link * float  (* previous committed bandwidth *)
+  | Routes_set of (Flow.t * int list) list  (* previous routes list *)
+
 type t = {
   islands : int;
   switches : switch array;
@@ -27,7 +39,10 @@ type t = {
   links : (int * int, link) Hashtbl.t;
   mutable routes : (Flow.t * int list) list;
   flit_bits : int;
+  mutable journal : edit list;
 }
+
+type checkpoint = edit list
 
 let location_equal a b =
   match (a, b) with
@@ -65,7 +80,34 @@ let create ~islands ~switches ~core_switch ~flit_bits =
     links = Hashtbl.create 64;
     routes = [];
     flit_bits;
+    journal = [];
   }
+
+let checkpoint t = t.journal
+
+let rollback t cp =
+  let undo = function
+    | Link_added key -> Hashtbl.remove t.links key
+    | Link_removed link ->
+      Hashtbl.replace t.links (link.link_src, link.link_dst) link
+    | Bw_set (link, bw) -> link.bw_mbps <- bw
+    | Routes_set routes -> t.routes <- routes
+  in
+  let rec pop () =
+    if t.journal != cp then
+      match t.journal with
+      | [] ->
+        invalid_arg
+          "Topology.rollback: checkpoint does not belong to this topology \
+           (or the journal was cleared)"
+      | e :: rest ->
+        t.journal <- rest;
+        undo e;
+        pop ()
+  in
+  pop ()
+
+let clear_journal t = t.journal <- []
 
 let check_switch t s name =
   if s < 0 || s >= Array.length t.switches then
@@ -95,6 +137,7 @@ let add_link ?(stages = 0) t ~src ~dst ~length_mm =
     }
   in
   Hashtbl.replace t.links (src, dst) link;
+  t.journal <- Link_added (src, dst) :: t.journal;
   link
 
 let find_link t ~src ~dst =
@@ -124,7 +167,9 @@ let commit_flow t flow ~route =
   let rec charge = function
     | a :: (b :: _ as rest) ->
       (match find_link t ~src:a ~dst:b with
-       | Some link -> link.bw_mbps <- link.bw_mbps +. flow.Flow.bandwidth_mbps
+       | Some link ->
+         t.journal <- Bw_set (link, link.bw_mbps) :: t.journal;
+         link.bw_mbps <- link.bw_mbps +. flow.Flow.bandwidth_mbps
        | None ->
          invalid_arg
            (Printf.sprintf "Topology.commit_flow: missing link %d->%d" a b));
@@ -132,7 +177,43 @@ let commit_flow t flow ~route =
     | [ _ ] | [] -> ()
   in
   charge route;
+  t.journal <- Routes_set t.routes :: t.journal;
   t.routes <- (flow, route) :: t.routes
+
+(* Links whose committed bandwidth returns to (numerically) zero when a
+   flow is ripped up are dropped: their ports and standing power must not
+   survive the flow they were opened for. *)
+let zero_bw_mbps = 1e-6
+
+let remove_flow t flow =
+  let key = (flow.Flow.src, flow.Flow.dst) in
+  let is_entry (f, _) = (f.Flow.src, f.Flow.dst) = key in
+  match List.find_opt is_entry t.routes with
+  | None -> None
+  | Some (_, route) ->
+    t.journal <- Routes_set t.routes :: t.journal;
+    t.routes <- List.filter (fun e -> not (is_entry e)) t.routes;
+    let dropped = ref [] in
+    let rec discharge = function
+      | a :: (b :: _ as rest) ->
+        (match find_link t ~src:a ~dst:b with
+         | Some link ->
+           t.journal <- Bw_set (link, link.bw_mbps) :: t.journal;
+           link.bw_mbps <- link.bw_mbps -. flow.Flow.bandwidth_mbps;
+           if Float.abs link.bw_mbps <= zero_bw_mbps then begin
+             link.bw_mbps <- 0.0;
+             Hashtbl.remove t.links (a, b);
+             t.journal <- Link_removed link :: t.journal;
+             dropped := link :: !dropped
+           end
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Topology.remove_flow: missing link %d->%d" a b));
+        discharge rest
+      | [ _ ] | [] -> ()
+    in
+    discharge route;
+    Some (route, List.rev !dropped)
 
 let attached_cores t sw =
   check_switch t sw "attached_cores";

@@ -34,6 +34,9 @@ type link = {
           paper's unpipelined case); each adds one cycle of latency *)
 }
 
+type edit
+(** One reversible structural mutation; see {!checkpoint}. *)
+
 type t = {
   islands : int;  (** VI count, excluding the intermediate island *)
   switches : switch array;
@@ -41,7 +44,15 @@ type t = {
   links : (int * int, link) Hashtbl.t;
   mutable routes : (Noc_spec.Flow.t * int list) list;
   flit_bits : int;
+  mutable journal : edit list;
+      (** undo journal of every {!add_link}, {!commit_flow} and
+          {!remove_flow} since creation (or the last {!clear_journal}),
+          newest first *)
 }
+
+type checkpoint
+(** A position in the undo journal, obtained with {!checkpoint} and
+    consumed by {!rollback}. *)
 
 val create :
   islands:int ->
@@ -69,6 +80,34 @@ val commit_flow : t -> Noc_spec.Flow.t -> route:int list -> unit
 (** Record the route and add the flow's bandwidth to every link on it.
     @raise Invalid_argument if consecutive route switches have no link, the
     route does not start/end at the flow's NI switches, or is empty. *)
+
+val remove_flow : t -> Noc_spec.Flow.t -> (int list * link list) option
+(** Rip up the committed route of the flow with the same (src, dst):
+    un-charge its bandwidth from every link on the route, drop the route,
+    and remove links whose committed bandwidth returns to zero (within
+    1e-6 MB/s).  Returns the removed route and the dropped links — the
+    caller owns any derived port accounting — or [None] if the flow has no
+    committed route.  Fully journaled: a later {!rollback} restores the
+    route, the charges and the dropped links.
+    @raise Invalid_argument if the committed route references a missing
+    link (corrupted topology). *)
+
+val checkpoint : t -> checkpoint
+(** Capture the current journal position.  O(1). *)
+
+val rollback : t -> checkpoint -> unit
+(** Reverse every edit made since the checkpoint was taken, newest first:
+    links created are removed, links dropped are restored, bandwidth
+    charges and the routes list are reset.  O(edits since checkpoint).
+    Rolling back to the same checkpoint twice is a no-op the second time.
+    @raise Invalid_argument if the checkpoint is not a suffix of the
+    current journal (taken from another topology, already rolled past, or
+    invalidated by {!clear_journal}). *)
+
+val clear_journal : t -> unit
+(** Forget the undo history (frees it for garbage collection) and
+    invalidate every outstanding non-empty checkpoint.  Call once a
+    topology's editing session is over. *)
 
 val attached_cores : t -> int -> int list
 (** Cores whose NI hangs off the given switch, increasing ids. *)

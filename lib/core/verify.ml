@@ -197,6 +197,11 @@ let check config soc vi topo =
   check_shutdown vi topo push;
   List.rev !violations
 
+let check_all config soc vi topo =
+  match check config soc vi topo with
+  | [] -> Ok ()
+  | violations -> Error violations
+
 let pp_violation ppf = function
   | Unrouted_flow f -> Format.fprintf ppf "unrouted flow %a" Flow.pp f
   | Duplicate_route f -> Format.fprintf ppf "duplicate route for %a" Flow.pp f

@@ -38,6 +38,17 @@ val check :
     design is clean.  Island clocks are re-derived from the spec via
     {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}). *)
 
+val check_all :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Topology.t ->
+  (unit, violation list) result
+(** {!check} as a pass/fail result: [Ok ()] iff every invariant holds.
+    The synthesis sweep runs it on every design point produced through the
+    rip-up/reroute recovery path, and the bench harness on every sweep
+    point. *)
+
 val pp_violation : Format.formatter -> violation -> unit
 
 val pp_report : Format.formatter -> violation list -> unit

@@ -7,10 +7,20 @@ type bundle = {
 (* ---------- printing ---------- *)
 
 let print_float b x =
-  (* shortest representation that still round-trips for our value ranges *)
+  (* shortest representation that still round-trips: integers print as
+     such; everything else tries increasing precision and stops at the
+     first rendering that parses back to the identical double (%.17g
+     always does) *)
   if Float.is_integer x && Float.abs x < 1e15 then
     Buffer.add_string b (Printf.sprintf "%.0f" x)
-  else Buffer.add_string b (Printf.sprintf "%.9g" x)
+  else begin
+    let rec shortest precision =
+      let s = Printf.sprintf "%.*g" precision x in
+      if precision >= 17 || float_of_string s = x then s
+      else shortest (precision + 1)
+    in
+    Buffer.add_string b (shortest 9)
+  end
 
 let to_string bundle =
   let b = Buffer.create 4096 in
@@ -270,20 +280,50 @@ let load path =
   match open_in path with
   | exception Sys_error m -> Error m
   | ic ->
-    let len = in_channel_length ic in
-    let contents = really_input_string ic len in
-    close_in ic;
-    parse contents
+    (match
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> really_input_string ic (in_channel_length ic))
+     with
+     | contents -> parse contents
+     | exception Sys_error m -> Error m
+     | exception End_of_file ->
+       Error (Printf.sprintf "%s: file truncated while reading" path))
 
+(* Atomic save: write to a fresh temp file in the destination directory,
+   then rename over the target, so a crash or I/O error mid-write never
+   leaves a half-written spec behind. *)
 let save path bundle =
-  let oc = open_out path in
-  output_string oc (to_string bundle);
-  close_out oc
+  let contents = to_string bundle in
+  match
+    Filename.open_temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".") ".tmp"
+  with
+  | exception Sys_error m -> Error m
+  | tmp, oc ->
+    (match
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc contents;
+           close_out oc)
+     with
+     | () ->
+       (match Sys.rename tmp path with
+        | () -> Ok ()
+        | exception Sys_error m ->
+          (try Sys.remove tmp with Sys_error _ -> ());
+          Error m)
+     | exception Sys_error m ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       Error m)
 
 (* ---------- equality ---------- *)
 
-let feq a b =
-  Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+(* Exact: [print_float] emits the shortest rendering that parses back to
+   the identical double, so a round-trip must reproduce every float
+   bit-for-bit. *)
+let feq = Float.equal
 
 let equal_core (a : Core_spec.t) (b : Core_spec.t) =
   a.Core_spec.id = b.Core_spec.id

@@ -20,7 +20,8 @@
 
     Parsing is strict: unknown directives, bad arities and inconsistent
     ids are reported with their line number.  Printing followed by parsing
-    reproduces the bundle exactly (round-trip property-tested). *)
+    reproduces the bundle exactly, floats bit-for-bit (round-trip
+    property-tested). *)
 
 type bundle = {
   soc : Soc_spec.t;
@@ -37,10 +38,13 @@ val to_string : bundle -> string
 val load : string -> (bundle, string) result
 (** Read and parse a file; I/O errors are reported in the [Error] case. *)
 
-val save : string -> bundle -> unit
-(** Write [to_string] to the given path.
-    @raise Sys_error on I/O failure. *)
+val save : string -> bundle -> (unit, string) result
+(** Write [to_string] to the given path atomically: the contents go to a
+    fresh temp file in the same directory which is then renamed over the
+    target, so readers never observe a half-written spec.  I/O errors are
+    reported in the [Error] case (and the temp file is removed). *)
 
 val equal_bundle : bundle -> bundle -> bool
-(** Structural equality up to float printing precision — what the
-    round-trip test checks. *)
+(** Structural equality, with floats compared exactly — printing picks
+    the shortest rendering that round-trips bit-for-bit, so this is what
+    the round-trip test checks. *)

@@ -189,8 +189,120 @@ let test_spec_io_errors () =
   expect_error
     "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nflow 0 0 bw 10 lat 10\n";
   expect_error
-    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nassign 0 0\n"
-    (* assign without islands *)
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nassign 0 0\n";
+  (* assign without islands *)
+  (* malformed core lines *)
+  expect_error "soc x\ncore zero a processor area 1 freq 100 dyn 5\n";
+  expect_error "soc x\ncore 0 a processor size 1 freq 100 dyn 5\n";
+  expect_error "soc x\ncore 0 a processor area wide freq 100 dyn 5\n";
+  (* malformed flow lines *)
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 1 b memory area 1 freq 100 dyn 5\nflow 0 1 bw 10\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 1 b memory area 1 freq 100 dyn 5\nflow 0 1 lat 10 bw 10\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 1 b memory area 1 freq 100 dyn 5\nflow 0 1 bw ten lat 10\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 1 b memory area 1 freq 100 dyn 5\nflow 0 5 bw 10 lat 10\n";
+  (* duplicate core ids *)
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 0 b memory area 1 freq 100 dyn 5\n";
+  (* malformed assign lines and out-of-range islands *)
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nislands 1\nassign 0\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nislands 1\n\
+     assign 0 zero\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nislands 2\nassign 0 5\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nislands 2\nassign 5 0\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nislands 1\nassign 0 0\n\
+     always_on 3\n";
+  (* core left without an island assignment *)
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\n\
+     core 1 b memory area 1 freq 100 dyn 5\nislands 1\nassign 0 0\n";
+  (* malformed scenario lines *)
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nscenario idle\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nscenario idle high 0\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nscenario idle 0.5 7\n";
+  expect_error
+    "soc x\ncore 0 a processor area 1 freq 100 dyn 5\nscenario idle 1.5 0\n"
+
+let test_spec_io_float_roundtrip_exact () =
+  (* values that %.9g cannot represent: the printer must escalate towards
+     %.17g until the rendering parses back bit-for-bit *)
+  List.iter
+    (fun bw ->
+      let soc =
+        Soc_spec.make ~name:"f"
+          ~cores:
+            [|
+              Noc_spec.Core_spec.make ~id:0 ~name:"a"
+                ~kind:Noc_spec.Core_spec.Processor ~area_mm2:1.0
+                ~freq_mhz:100.0 ~dynamic_mw:5.0 ();
+              Noc_spec.Core_spec.make ~id:1 ~name:"b"
+                ~kind:Noc_spec.Core_spec.Memory ~area_mm2:1.0 ~freq_mhz:100.0
+                ~dynamic_mw:5.0 ();
+            |]
+          ~flows:[ Flow.make ~src:0 ~dst:1 ~bw ~lat:10 ]
+          ()
+      in
+      let bundle = { Spec_io.soc; vi = None; scenarios = [] } in
+      match Spec_io.parse (Spec_io.to_string bundle) with
+      | Error m -> Alcotest.fail m
+      | Ok parsed ->
+        let f = List.hd parsed.Spec_io.soc.Soc_spec.flows in
+        if not (Float.equal f.Flow.bandwidth_mbps bw) then
+          Alcotest.failf "bandwidth %h round-tripped to %h" bw
+            f.Flow.bandwidth_mbps)
+    [ 0.1 +. 0.2; 1234.5678901234567; 100.0 *. Float.pi; 1000.0 /. 3.0 ]
+
+let test_spec_io_save_load () =
+  let bundle = bundle_of (Noc_benchmarks.Bench_case.find "d26") in
+  let path = Filename.temp_file "noc_spec" ".spec" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Spec_io.save path bundle with
+       | Ok () -> ()
+       | Error m -> Alcotest.failf "save failed: %s" m);
+      match Spec_io.load path with
+      | Error m -> Alcotest.failf "load failed: %s" m
+      | Ok parsed ->
+        checkb "save/load round-trips exactly" true
+          (Spec_io.equal_bundle bundle parsed));
+  (* no stray temp file left next to the target *)
+  let dir = Filename.dirname path in
+  Array.iter
+    (fun f ->
+      if
+        String.length f > String.length (Filename.basename path)
+        && String.sub f 0 (String.length (Filename.basename path))
+           = Filename.basename path
+      then Alcotest.failf "leftover temp file %s" f)
+    (Sys.readdir dir)
+
+let test_spec_io_save_error () =
+  let bundle = bundle_of (Noc_benchmarks.Bench_case.find "d12") in
+  match Spec_io.save "/nonexistent-noc-dir/out.spec" bundle with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected an error writing into a missing directory"
+
+let test_spec_io_load_error () =
+  match Spec_io.load "/nonexistent-noc-dir/in.spec" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error reading a missing file"
 
 let test_spec_io_comments_and_defaults () =
   let text =
@@ -437,6 +549,12 @@ let () =
             test_spec_io_roundtrip_benchmarks;
           qt prop_spec_io_roundtrip_random;
           Alcotest.test_case "parse errors" `Quick test_spec_io_errors;
+          Alcotest.test_case "float round-trip exact" `Quick
+            test_spec_io_float_roundtrip_exact;
+          Alcotest.test_case "save/load round-trip" `Quick
+            test_spec_io_save_load;
+          Alcotest.test_case "save error path" `Quick test_spec_io_save_error;
+          Alcotest.test_case "load error path" `Quick test_spec_io_load_error;
           Alcotest.test_case "comments and defaults" `Quick
             test_spec_io_comments_and_defaults;
         ] );

@@ -185,6 +185,149 @@ let test_topology_routes () =
     checki "excess" 6 excess
   | None -> Alcotest.fail "expected violation"
 
+(* ---------- Topology undo journal ---------- *)
+
+let test_checkpoint_rollback () =
+  let t = mk_topology () in
+  let l02 = Topology.add_link t ~src:0 ~dst:2 ~length_mm:2.0 in
+  ignore (Topology.add_link t ~src:2 ~dst:1 ~length_mm:2.0);
+  let f1 = Flow.make ~src:0 ~dst:2 ~bw:100.0 ~lat:30 in
+  Topology.commit_flow t f1 ~route:[ 0; 2; 1 ];
+  let cp = Topology.checkpoint t in
+  Topology.commit_flow t
+    (Flow.make ~src:1 ~dst:3 ~bw:50.0 ~lat:30)
+    ~route:[ 0; 2; 1 ];
+  ignore (Topology.add_link t ~src:0 ~dst:1 ~length_mm:3.0);
+  checkf 1e-9 "charged" 150.0 l02.Topology.bw_mbps;
+  checki "out ports grew" 4 (Topology.out_ports t 0);
+  Topology.rollback t cp;
+  checkf 1e-9 "bandwidth restored" 100.0 l02.Topology.bw_mbps;
+  checkb "speculative link gone" true
+    (Topology.find_link t ~src:0 ~dst:1 = None);
+  checki "routes restored" 1 (List.length t.Topology.routes);
+  checki "out ports restored" 3 (Topology.out_ports t 0);
+  (* rolling back to the same checkpoint again is a no-op *)
+  Topology.rollback t cp;
+  checki "still one route" 1 (List.length t.Topology.routes)
+
+let test_remove_flow () =
+  let t = mk_topology () in
+  let l02 = Topology.add_link t ~src:0 ~dst:2 ~length_mm:2.0 in
+  ignore (Topology.add_link t ~src:2 ~dst:1 ~length_mm:2.0);
+  let f1 = Flow.make ~src:0 ~dst:2 ~bw:100.0 ~lat:30 in
+  let f2 = Flow.make ~src:1 ~dst:3 ~bw:50.0 ~lat:30 in
+  Topology.commit_flow t f1 ~route:[ 0; 2; 1 ];
+  Topology.commit_flow t f2 ~route:[ 0; 2; 1 ];
+  checkb "unknown flow" true
+    (Topology.remove_flow t (Flow.make ~src:3 ~dst:0 ~bw:1.0 ~lat:30) = None);
+  let cp = Topology.checkpoint t in
+  (match Topology.remove_flow t f2 with
+   | Some (route, dropped) ->
+     checki "route returned" 3 (List.length route);
+     checki "shared links survive" 0 (List.length dropped);
+     checkf 1e-9 "discharged" 100.0 l02.Topology.bw_mbps
+   | None -> Alcotest.fail "expected a committed route");
+  (match Topology.remove_flow t f1 with
+   | Some (_, dropped) ->
+     checki "links dropped at zero bandwidth" 2 (List.length dropped)
+   | None -> Alcotest.fail "expected a committed route");
+  checkb "links gone" true (Topology.find_link t ~src:0 ~dst:2 = None);
+  checki "no routes left" 0 (List.length t.Topology.routes);
+  checki "out ports back to NIs" 2 (Topology.out_ports t 0);
+  Topology.rollback t cp;
+  checkb "links restored" true (Topology.find_link t ~src:0 ~dst:2 <> None);
+  checkf 1e-9 "charges restored" 150.0 l02.Topology.bw_mbps;
+  checki "routes restored" 2 (List.length t.Topology.routes)
+
+let test_rollback_invalid_checkpoint () =
+  let t = mk_topology () in
+  let cp0 = Topology.checkpoint t in
+  ignore (Topology.add_link t ~src:0 ~dst:2 ~length_mm:2.0);
+  let cp1 = Topology.checkpoint t in
+  Topology.rollback t cp0;
+  expect_invalid "rolled-past checkpoint" (fun () -> Topology.rollback t cp1);
+  ignore (Topology.add_link t ~src:0 ~dst:2 ~length_mm:2.0);
+  let cp2 = Topology.checkpoint t in
+  Topology.clear_journal t;
+  expect_invalid "checkpoint invalidated by clear_journal" (fun () ->
+      Topology.rollback t cp2);
+  checkb "cleared journal keeps the edits" true
+    (Topology.find_link t ~src:0 ~dst:2 <> None)
+
+(* observable topology state: links with their charges, port counts and
+   committed routes — everything rollback promises to restore *)
+let observe t =
+  ( List.map
+      (fun l ->
+        ( l.Topology.link_src,
+          l.Topology.link_dst,
+          l.Topology.bw_mbps,
+          l.Topology.stages ))
+      (Topology.links_list t),
+    List.init
+      (Array.length t.Topology.switches)
+      (fun i -> (Topology.in_ports t i, Topology.out_ports t i)),
+    List.map (fun (f, r) -> ((f.Flow.src, f.Flow.dst), r)) t.Topology.routes )
+
+let prop_rollback_restores_topology =
+  QCheck.Test.make
+    ~name:
+      "checkpoint + random edits + rollback is observationally the identity"
+    ~count:300
+    QCheck.(small_list (pair (int_bound 2) (int_bound 11)))
+    (fun ops ->
+      let t = mk_topology () in
+      (* pre-checkpoint state the rollback must preserve *)
+      ignore (Topology.add_link t ~src:0 ~dst:2 ~length_mm:2.0);
+      ignore (Topology.add_link t ~src:2 ~dst:1 ~length_mm:2.0);
+      Topology.commit_flow t
+        (Flow.make ~src:0 ~dst:2 ~bw:100.0 ~lat:30)
+        ~route:[ 0; 2; 1 ];
+      let before = observe t in
+      let cp = Topology.checkpoint t in
+      let flows =
+        [|
+          Flow.make ~src:0 ~dst:2 ~bw:80.0 ~lat:30;
+          Flow.make ~src:0 ~dst:1 ~bw:50.0 ~lat:30;  (* same switch *)
+          Flow.make ~src:1 ~dst:3 ~bw:75.0 ~lat:30;
+          Flow.make ~src:2 ~dst:0 ~bw:60.0 ~lat:30;
+          Flow.make ~src:3 ~dst:2 ~bw:40.0 ~lat:30;  (* same switch *)
+        |]
+      in
+      let pairs = [| (0, 1); (1, 0); (1, 2); (0, 2); (2, 1); (2, 0) |] in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            let src, dst = pairs.(k mod Array.length pairs) in
+            (try ignore (Topology.add_link t ~src ~dst ~length_mm:1.5)
+             with Invalid_argument _ -> () (* already exists *))
+          | 1 ->
+            let f = flows.(k mod Array.length flows) in
+            if
+              not
+                (List.exists
+                   (fun (g, _) ->
+                     (g.Flow.src, g.Flow.dst) = (f.Flow.src, f.Flow.dst))
+                   t.Topology.routes)
+            then begin
+              let ss = t.Topology.core_switch.(f.Flow.src) in
+              let ds = t.Topology.core_switch.(f.Flow.dst) in
+              let route =
+                if ss = ds then [ ss ]
+                else begin
+                  if Topology.find_link t ~src:ss ~dst:ds = None then
+                    ignore (Topology.add_link t ~src:ss ~dst:ds ~length_mm:1.0);
+                  [ ss; ds ]
+                end
+              in
+              Topology.commit_flow t f ~route
+            end
+          | _ -> ignore (Topology.remove_flow t flows.(k mod Array.length flows)))
+        ops;
+      Topology.rollback t cp;
+      observe t = before)
+
 let test_topology_single_switch_latency () =
   let t = mk_topology () in
   checki "same-switch flow costs one switch traversal" 2
@@ -215,6 +358,75 @@ let test_topology_printers () =
 (* ---------- Path allocation on the benchmarks ---------- *)
 
 let synth_best soc vi = Synth.best_power (Synth.run config soc vi)
+
+(* Crafted congestion that only rip-up-and-reroute can untangle: the hot
+   flow grabs the direct inter-island link first; the late tight-latency
+   flow then finds that link full and the intermediate detour too slow.
+   Recovery must rip up the hot flow, give the direct link to the tight
+   flow, and push the hot flow through the intermediate switch. *)
+let test_ripup_recovers_tight_flow () =
+  let topo = mk_topology () in
+  let clock island freq_mhz =
+    { Freq_assign.island; freq_mhz; vdd = 0.8; max_arity = 8; min_switches = 1 }
+  in
+  let clocks = [| clock 0 400.0; clock 1 300.0 |] in
+  (* link 0->1 capacity: 0.75 x min(400, 300) MHz x 4 B/flit = 900 MB/s *)
+  let hot = Flow.make ~src:0 ~dst:2 ~bw:600.0 ~lat:30 in
+  let tight = Flow.make ~src:1 ~dst:3 ~bw:400.0 ~lat:12 in
+  let soc =
+    Soc_spec.make ~name:"conflict"
+      ~cores:(tiny_soc ()).Soc_spec.cores
+      ~flows:[ hot; tight ] ()
+  in
+  match Path_alloc.route_all config soc topo ~clocks with
+  | Error e -> Alcotest.failf "route_all failed: %a" Path_alloc.pp_error e
+  | Ok stats ->
+    checki "one rip-up" 1 stats.Path_alloc.ripups;
+    checki "one reroute" 1 stats.Path_alloc.reroutes;
+    checki "no rollback" 0 stats.Path_alloc.rollbacks;
+    checki "no restart" 0 stats.Path_alloc.restarts;
+    checki "both flows routed" 2 (List.length topo.Topology.routes);
+    let route_of f =
+      List.assoc_opt f
+        (List.map
+           (fun (g, r) -> ((g.Flow.src, g.Flow.dst), r))
+           topo.Topology.routes)
+    in
+    Alcotest.(check (option (list int)))
+      "tight flow owns the direct link"
+      (Some [ 0; 1 ])
+      (route_of (tight.Flow.src, tight.Flow.dst));
+    Alcotest.(check (option (list int)))
+      "hot flow detours through the intermediate switch"
+      (Some [ 0; 2; 1 ])
+      (route_of (hot.Flow.src, hot.Flow.dst));
+    (match Topology.find_link topo ~src:0 ~dst:1 with
+     | Some l -> checkf 1e-9 "direct link charge" 400.0 l.Topology.bw_mbps
+     | None -> Alcotest.fail "direct link missing");
+    (* port counters survived the rip-up: NIs + real links only *)
+    checki "sw0 out ports" 4 (Topology.out_ports topo 0);
+    checki "sw1 in ports" 4 (Topology.in_ports topo 1)
+
+let test_route_all_infeasible_reports_error () =
+  let topo = mk_topology () in
+  let clock island freq_mhz =
+    { Freq_assign.island; freq_mhz; vdd = 0.8; max_arity = 8; min_switches = 1 }
+  in
+  let clocks = [| clock 0 400.0; clock 1 300.0 |] in
+  (* two hot flows that can never share any island-to-island cut *)
+  let soc =
+    Soc_spec.make ~name:"hopeless"
+      ~cores:(tiny_soc ()).Soc_spec.cores
+      ~flows:
+        [
+          Flow.make ~src:0 ~dst:2 ~bw:800.0 ~lat:12;
+          Flow.make ~src:1 ~dst:3 ~bw:800.0 ~lat:12;
+        ]
+      ()
+  in
+  match Path_alloc.route_all config soc topo ~clocks with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an infeasible allocation"
 
 let test_routes_complete_and_capacitated () =
   let best = synth_best d26 d26_vi6 in
@@ -533,6 +745,15 @@ let () =
             test_topology_single_switch_latency;
           Alcotest.test_case "printers" `Quick test_topology_printers;
         ] );
+      ( "topology journal",
+        [
+          Alcotest.test_case "checkpoint and rollback" `Quick
+            test_checkpoint_rollback;
+          Alcotest.test_case "remove_flow" `Quick test_remove_flow;
+          Alcotest.test_case "invalid checkpoints" `Quick
+            test_rollback_invalid_checkpoint;
+          qt prop_rollback_restores_topology;
+        ] );
       ( "path allocation",
         [
           Alcotest.test_case "complete and capacitated" `Quick
@@ -540,6 +761,10 @@ let () =
           Alcotest.test_case "ports within arity" `Quick test_ports_within_arity;
           Alcotest.test_case "latency constraints" `Quick
             test_latency_constraints_hold;
+          Alcotest.test_case "rip-up recovers a tight flow" `Quick
+            test_ripup_recovers_tight_flow;
+          Alcotest.test_case "infeasible allocation reported" `Quick
+            test_route_all_infeasible_reports_error;
         ] );
       ( "synth sweep",
         [
