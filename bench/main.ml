@@ -9,7 +9,9 @@
      dune exec bench/main.exe -- speedup   # 1-domain vs N-domain DSE wall
                                            # time on d26/d36/d48 (NOC_JOBS)
      dune exec bench/main.exe -- recovery  # rip-up/reroute recovery stats
-                                           # + verification on d26/d36/d48 *)
+                                           # + verification on d26/d36/d48
+     dune exec bench/main.exe -- faults    # fault-injection survivability
+                                           # table, d12..d48 (NOC_JOBS) *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -441,6 +443,41 @@ let recovery () =
   Printf.printf "\nmetrics (see path_alloc.* for rip-ups/reroutes/rollbacks):\n%s\n"
     (Noc_exec.Metrics.to_json ())
 
+(* ---------------- EXP-FLT: fault-injection survivability ---------------- *)
+
+let faults () =
+  section
+    "EXP-FLT: fault-injection survivability, exhaustive single-switch and \
+     single-link campaigns (protected rows synthesize with backup routes; \
+     campaigns parallelized over NOC_JOBS domains, order-independent)";
+  List.iter
+    (fun case ->
+      let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
+      let row ~protect =
+        let r = Synth.run ~protect config bsoc vi in
+        let topo = (Synth.best_power r).DP.topology in
+        let clocks = r.Synth.clocks in
+        let campaign label sets =
+          let outcomes = Noc_fault.Survivability.run config topo ~clocks sets in
+          Format.printf "%a@."
+            Noc_fault.Survivability.pp_summary
+            (Printf.sprintf "%s %s%s" case.Bench_case.name label
+               (if protect then " prot" else ""),
+             outcomes)
+        in
+        campaign "sw" (Noc_fault.Campaign.single_switch topo);
+        campaign "link" (Noc_fault.Campaign.single_link topo)
+      in
+      row ~protect:false;
+      (match row ~protect:true with
+       | () -> ()
+       | exception Synth.No_feasible_design _ ->
+         Printf.printf "%-18s protected synthesis infeasible\n"
+           case.Bench_case.name);
+      print_newline ())
+    Bench_case.all;
+  Printf.printf "metrics: %s\n" (Noc_exec.Metrics.to_json ())
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let speed () =
@@ -527,6 +564,7 @@ let all_experiments =
     ("speed", speed);
     ("speedup", speedup);
     ("recovery", recovery);
+    ("faults", faults);
   ]
 
 let () =

@@ -153,9 +153,12 @@ let synth_run () bench spec islands comm seed alpha netlist dot =
   Format.printf "%a@." DP.pp_summary best;
   (match Noc_synthesis.Shutdown.check_topology vi best.DP.topology with
    | Ok () -> Format.printf "shutdown-safety invariant: OK@."
-   | Error v ->
-     Format.printf "shutdown-safety VIOLATED at switch %d (island %d)@."
-       v.Noc_synthesis.Shutdown.v_switch v.Noc_synthesis.Shutdown.v_island);
+   | Error violations ->
+     Format.printf "shutdown-safety VIOLATED (%d):@." (List.length violations);
+     List.iter
+       (fun v ->
+         Format.printf "  %a@." Noc_synthesis.Shutdown.pp_violation v)
+       violations);
   if netlist then
     Format.printf "%a@." Noc_synthesis.Topology.pp_netlist best.DP.topology;
   if dot then
@@ -334,6 +337,115 @@ let simulate_cmd =
       const simulate_run $ logs_term $ bench_arg $ seed_arg $ load $ gate
       $ poisson)
 
+(* --- faultsim --- *)
+
+let faultsim_run () bench spec islands comm seed alpha protect campaign k
+    count json_out =
+  let case = resolve_case bench spec in
+  let config = config_of alpha in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let result = Synth.run ~seed ~protect config case.Bench_case.soc vi in
+  let best = Synth.best_power result in
+  let topo = best.DP.topology in
+  let sets =
+    match campaign with
+    | `Switch -> Noc_fault.Campaign.single_switch topo
+    | `Link -> Noc_fault.Campaign.single_link topo
+    | `Random -> Noc_fault.Campaign.random_k ~seed ~k ~count topo
+  in
+  let outcomes =
+    Noc_fault.Survivability.run config topo ~clocks:result.Synth.clocks sets
+  in
+  let campaign_name =
+    match campaign with
+    | `Switch -> "single-switch"
+    | `Link -> "single-link"
+    | `Random -> Printf.sprintf "random-%d" k
+  in
+  let label =
+    Printf.sprintf "%s%s" case.Bench_case.name
+      (if protect then " (protected)" else "")
+  in
+  Format.printf "%s campaign, %d fault sets over %d routed flows@."
+    campaign_name (List.length sets)
+    (List.length topo.Noc_synthesis.Topology.routes);
+  Format.printf "%a@." Noc_fault.Survivability.pp_summary (label, outcomes);
+  (match json_out with
+   | None -> ()
+   | Some path ->
+     let doc =
+       Noc_fault.Survivability.to_json ~benchmark:case.Bench_case.name
+         ~campaign:campaign_name ~protected:protect outcomes
+     in
+     let oc = open_out path in
+     output_string oc doc;
+     close_out oc;
+     Format.printf "wrote %s@." path);
+  let s = Noc_fault.Survivability.summarize outcomes in
+  (* flows whose own NI switch died are beyond any routing's help; the
+     protection guarantee covers everything else *)
+  let preventable =
+    s.Noc_fault.Survivability.total_lost
+    - s.Noc_fault.Survivability.total_endpoint_lost
+  in
+  if protect && preventable > 0 then begin
+    Format.printf
+      "FAIL: %d flow(s) lost despite backup-route protection@." preventable;
+    exit 1
+  end
+
+let faultsim_cmd =
+  let protect =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:
+            "Synthesize with link-disjoint backup routes \
+             ($(b,Synth.run ~protect:true)) and fail (exit 1) if any flow \
+             protection could have saved is still lost (flows whose own NI \
+             switch died are excluded).")
+  in
+  let campaign =
+    let parse =
+      Arg.enum [ ("switch", `Switch); ("link", `Link); ("random", `Random) ]
+    in
+    Arg.(
+      value & opt parse `Switch
+      & info [ "campaign" ] ~docv:"KIND"
+          ~doc:
+            "Fault campaign: $(b,switch) (exhaustive single dead switch), \
+             $(b,link) (exhaustive single dead link) or $(b,random) \
+             (seeded $(b,--count) sets of $(b,--k) simultaneous faults).")
+  in
+  let k =
+    Arg.(
+      value & opt int 2
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Faults per set for $(b,--campaign random).")
+  in
+  let count =
+    Arg.(
+      value & opt int 32
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Fault sets to draw for $(b,--campaign random).")
+  in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the survivability report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:
+         "Synthesize, then inject fault campaigns (dead switches / dead \
+          links) and report how many flows survive via rip-up repair or \
+          backup routes.")
+    Term.(
+      const faultsim_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg $ alpha_arg $ protect $ campaign $ k $ count
+      $ json_out)
+
 (* --- report --- *)
 
 let report_run () bench spec islands comm seed =
@@ -440,6 +552,33 @@ let main_cmd =
     [
       list_cmd; synth_cmd; explore_cmd; baseline_cmd; leakage_cmd;
       floorplan_cmd; simulate_cmd; verify_cmd; export_cmd; report_cmd;
+      faultsim_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Expected failures become a one-line diagnostic and exit 2; exit 1 stays
+   reserved for [verify]/[faultsim] finding genuine violations. *)
+let () =
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception e ->
+    let message =
+      match e with
+      | Synth.No_feasible_design msg -> Some ("no feasible design: " ^ msg)
+      | Noc_synthesis.Freq_assign.Infeasible msg ->
+        Some ("frequency assignment infeasible: " ^ msg)
+      | Noc_sim.Engine.Gated_switch_traversal { flow; switch } ->
+        Some
+          (Format.asprintf
+             "flow %a traversed gated switch sw%d: topology is not \
+              shutdown-safe"
+             Noc_spec.Flow.pp flow switch)
+      | Invalid_argument msg -> Some ("invalid argument: " ^ msg)
+      | Failure msg -> Some msg
+      | Sys_error msg -> Some msg
+      | _ -> None
+    in
+    (match message with
+     | Some msg ->
+       Printf.eprintf "noc_synth: %s\n" msg;
+       exit 2
+     | None -> raise e)

@@ -6,6 +6,7 @@ type t = {
   buffer_depth : int;
   max_indirect_switches : int;
   allow_link_pipelining : bool;
+  protect_latency_slack : float;
   tech : Noc_models.Tech.t;
 }
 
@@ -18,6 +19,7 @@ let default =
     buffer_depth = 4;
     max_indirect_switches = 8;
     allow_link_pipelining = false;
+    protect_latency_slack = 2.0;
     tech = Noc_models.Tech.default_65nm;
   }
 
@@ -34,4 +36,6 @@ let validate t =
     invalid_arg "Config: negative new_link_penalty_pj";
   if t.buffer_depth < 1 then invalid_arg "Config: buffer_depth < 1";
   if t.max_indirect_switches < 0 then
-    invalid_arg "Config: negative max_indirect_switches"
+    invalid_arg "Config: negative max_indirect_switches";
+  if t.protect_latency_slack < 1.0 then
+    invalid_arg "Config: protect_latency_slack < 1.0"

@@ -28,6 +28,11 @@ type t = {
           one cycle of its driving clock, insert pipeline registers (one
           extra cycle each) instead of accepting a timing violation.
           Default [false] — the paper routes unpipelined links. *)
+  protect_latency_slack : float;
+      (** backup (protection) routes serve degraded post-fault operation,
+          so they may take up to [slack]·max_latency of their flow where
+          the primary must meet max_latency exactly; >= 1.0.
+          Default 2.0. *)
   tech : Noc_models.Tech.t;
 }
 

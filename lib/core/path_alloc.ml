@@ -30,11 +30,25 @@ let pp_error ppf e =
     Format.fprintf ppf "flow %a misses latency by %d cycles" Flow.pp e.flow
       excess
 
+type mask = {
+  dead_switch : int -> bool;
+  dead_link : int -> int -> bool;
+}
+
+let no_mask = { dead_switch = (fun _ -> false); dead_link = (fun _ _ -> false) }
+
+let mask_union a b =
+  {
+    dead_switch = (fun s -> a.dead_switch s || b.dead_switch s);
+    dead_link = (fun u v -> a.dead_link u v || b.dead_link u v);
+  }
+
 (* Mutable routing state: port counters are maintained incrementally because
    recounting them from the link table inside Dijkstra would be
    quadratic. *)
 type state = {
   topo : Topology.t;
+  mask : mask;  (* switches/links Dijkstra must neither reuse nor open *)
   max_arity : int array;   (* per switch *)
   in_ports : int array;
   out_ports : int array;
@@ -45,7 +59,7 @@ type state = {
   in_from_inter : bool array;
 }
 
-let make_state config topo ~clocks =
+let make_state ?(mask = no_mask) config topo ~clocks =
   let n = Array.length topo.Topology.switches in
   let inter = lazy (Freq_assign.intermediate_clock config clocks) in
   let arity_of sw =
@@ -65,6 +79,7 @@ let make_state config topo ~clocks =
   in
   {
     topo;
+    mask;
     max_arity = Array.map arity_of topo.Topology.switches;
     in_ports = Array.init n (fun sw -> Topology.in_ports topo sw);
     out_ports = Array.init n (fun sw -> Topology.out_ports topo sw);
@@ -230,7 +245,12 @@ let successors config state flow ~si ~di ~beta u =
   let lat_norm = float_of_int flow.Flow.max_latency_cycles in
   let result = ref [] in
   for v = 0 to n - 1 do
-    if v <> u && node_allowed state ~si ~di v then begin
+    if
+      v <> u
+      && (not (state.mask.dead_switch v))
+      && (not (state.mask.dead_link u v))
+      && node_allowed state ~si ~di v
+    then begin
       let candidate =
         match Topology.find_link topo ~src:u ~dst:v with
         | Some link ->
@@ -288,9 +308,9 @@ let successors config state flow ~si ~di ~beta u =
   done;
   !result
 
-let commit config state flow route =
+let open_missing config state route =
   let topo = state.topo in
-  let rec open_missing = function
+  let rec go = function
     | a :: (b :: _ as rest) ->
       (match Topology.find_link topo ~src:a ~dst:b with
        | Some _ -> ()
@@ -307,11 +327,14 @@ let commit config state flow route =
          state.in_ports.(b) <- state.in_ports.(b) + 1;
          if is_intermediate state b then state.out_to_inter.(a) <- true;
          if is_intermediate state a then state.in_from_inter.(b) <- true);
-      open_missing rest
+      go rest
     | [ _ ] | [] -> ()
   in
-  open_missing route;
-  Topology.commit_flow topo flow ~route
+  go route
+
+let commit config state flow route =
+  open_missing config state route;
+  Topology.commit_flow state.topo flow ~route
 
 let route_flow config state flow =
   let topo = state.topo in
@@ -328,7 +351,10 @@ let route_flow config state flow =
    | _ -> assert false (* cores never attach to indirect switches *));
   let ss = topo.Topology.core_switch.(flow.Flow.src) in
   let ds = topo.Topology.core_switch.(flow.Flow.dst) in
-  if ss = ds then begin
+  if state.mask.dead_switch ss || state.mask.dead_switch ds then
+    (* a dead endpoint switch strands the flow's NI — nothing to route *)
+    Error { flow; reason = `No_path }
+  else if ss = ds then begin
     commit config state flow [ ss ];
     Ok ()
   end
@@ -627,3 +653,122 @@ let route_all ?(priority = []) config soc topo ~clocks =
    | Ok _ -> Topology.clear_journal topo
    | Error _ -> ());
   result
+
+(* ---------- incremental sessions (fault repair) ---------- *)
+
+(* A session wraps the mutable routing state for callers outside the main
+   [route_all] sweep: the fault analyzer repairs severed flows one at a
+   time, and protected synthesis allocates backup routes.  The optional
+   mask removes faulted switches/links from Dijkstra's view — they can be
+   neither reused nor reopened. *)
+type session = {
+  s_config : Config.t;
+  s_state : state;
+}
+
+let session ?mask config topo ~clocks =
+  { s_config = config; s_state = make_state ?mask config topo ~clocks }
+
+let discard { s_state = state; _ } flow =
+  match Topology.remove_flow state.topo flow with
+  | None -> false
+  | Some (_route, dropped) ->
+    note_dropped_links state dropped;
+    true
+
+let reroute { s_config = config; s_state = state } flow =
+  match route_flow config state flow with
+  | Ok () -> Ok ()
+  | Error e ->
+    let si, di = islands_of_flow state flow in
+    (match rip_up_and_reroute config state flow ~si ~di with
+     | `Recovered _ -> Ok ()
+     | `Failed _ -> Error e)
+
+(* ---------- protection (backup) routes ---------- *)
+
+let links_of_route route =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go ((a, b) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] route
+
+let route_backup_with config state flow ~si ~di ~ss ~ds mask =
+  let masked = { state with mask } in
+  let topo = state.topo in
+  let attempt beta =
+    Dijkstra.run_to
+      ~n:(Array.length topo.Topology.switches)
+      ~successors:(successors config masked flow ~si ~di ~beta)
+      ~source:ss ~target:ds
+  in
+  (* Backups only carry traffic after a fault, in degraded mode; they get
+     a slacked latency budget where primaries must meet the deadline. *)
+  let budget =
+    int_of_float
+      (config.Config.protect_latency_slack
+      *. float_of_int flow.Flow.max_latency_cycles)
+  in
+  let finish route =
+    let latency = Topology.route_latency_cycles topo route in
+    if latency <= budget then begin
+      open_missing config state route;
+      Topology.commit_backup topo flow ~route;
+      Ok ()
+    end
+    else Error { flow; reason = `Latency (latency - budget) }
+  in
+  match attempt config.Config.beta with
+  | None -> Error { flow; reason = `No_path }
+  | Some (_, route) ->
+    (match finish route with
+     | Ok () -> Ok ()
+     | Error { reason = `Latency _; _ } when config.Config.beta > 0.0 ->
+       (* power-cheapest backup was too slow: retry latency-driven *)
+       (match attempt 0.0 with
+        | None -> Error { flow; reason = `No_path }
+        | Some (_, route) -> finish route)
+     | Error _ as e -> e)
+
+let route_backup { s_config = config; s_state = state } flow =
+  let topo = state.topo in
+  let ss = topo.Topology.core_switch.(flow.Flow.src) in
+  let ds = topo.Topology.core_switch.(flow.Flow.dst) in
+  if ss = ds then Ok () (* NI-local flow: no fabric hop to protect *)
+  else begin
+    let primary =
+      match
+        List.find_opt
+          (fun (f, _) ->
+            (f.Flow.src, f.Flow.dst) = (flow.Flow.src, flow.Flow.dst))
+          topo.Topology.routes
+      with
+      | Some (_, r) -> r
+      | None ->
+        invalid_arg "Path_alloc.route_backup: flow has no committed primary"
+    in
+    let si, di = islands_of_flow state flow in
+    let prim_links = links_of_route primary in
+    (* link-disjoint is the guarantee; switch-disjointness is attempted
+       first and degrades gracefully when port budgets are too tight *)
+    let link_disjoint =
+      {
+        dead_switch = (fun _ -> false);
+        dead_link = (fun u v -> List.mem (u, v) prim_links);
+      }
+    in
+    let switch_disjoint =
+      {
+        link_disjoint with
+        dead_switch = (fun s -> s <> ss && s <> ds && List.mem s primary);
+      }
+    in
+    let attempt m =
+      route_backup_with config state flow ~si ~di ~ss ~ds
+        (mask_union state.mask m)
+    in
+    match attempt switch_disjoint with
+    | Ok () -> Ok ()
+    | Error _ -> attempt link_disjoint
+  end

@@ -57,3 +57,59 @@ val route_all :
     topologies, routes and stats. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+(** {2 Fault masks and incremental sessions}
+
+    A {!mask} removes switches and directed links from the allocator's
+    view: masked resources are neither reused nor reopened by Dijkstra.
+    The fault analyzer ({!Noc_fault}) repairs severed flows through a
+    masked {!session}; protected synthesis allocates backup routes through
+    an unmasked one. *)
+
+type mask = {
+  dead_switch : int -> bool;
+  dead_link : int -> int -> bool;  (** directed, [dead_link src dst] *)
+}
+
+val no_mask : mask
+(** Masks nothing. *)
+
+val mask_union : mask -> mask -> mask
+(** A resource is dead if either argument says so. *)
+
+type session
+(** Mutable routing state bound to one topology, for incremental
+    (re-)routing outside [route_all].  Not thread-safe; use one session —
+    and one {!Topology.copy} — per worker. *)
+
+val session :
+  ?mask:mask ->
+  Config.t ->
+  Topology.t ->
+  clocks:Freq_assign.island_clock array ->
+  session
+(** Recounts ports and capacities from the topology as it stands.  Links
+    already dropped by a fault should be removed (rip up their flows)
+    before the session is created so the counters match the survivor
+    fabric; the mask then prevents reopening them. *)
+
+val discard : session -> Noc_spec.Flow.t -> bool
+(** Rip up the committed route of the flow (see {!Topology.remove_flow})
+    and keep the session's port accounting in step.  Returns [false] if
+    the flow had no committed route. *)
+
+val reroute : session -> Noc_spec.Flow.t -> (unit, error) result
+(** Route the (currently unrouted) flow under the session's mask and the
+    usual shutdown/latency/capacity rules: first directly, then via the
+    transactional rip-up-and-reroute recovery.  On [Error] the topology is
+    exactly as before the call (failed recoveries roll back). *)
+
+val route_backup : session -> Noc_spec.Flow.t -> (unit, error) result
+(** Allocate a protection route for a flow that already has a committed
+    primary: switch-disjoint from the primary when port budgets allow,
+    otherwise link-disjoint (directed).  The backup obeys every opening
+    rule and the flow's latency budget, opens real links/ports, but
+    commits no bandwidth ({!Topology.commit_backup}).  NI-local flows
+    (source and destination on one switch) need no backup and return
+    [Ok ()].
+    @raise Invalid_argument if the flow has no committed primary route. *)

@@ -14,7 +14,14 @@ type violation = {
   v_island : int;
 }
 
-let route_violation vi topo (flow, route) ~island_banned =
+let pp_violation ppf v =
+  Format.fprintf ppf "flow %a transits sw%d in third island %d" Flow.pp
+    v.v_flow v.v_switch v.v_island
+
+(* Every offending switch of the route, in route order — matching
+   [Verify.check]'s list-of-violations contract so a broken topology
+   reports all of its problems at once instead of the first. *)
+let route_violations vi topo (flow, route) ~island_banned =
   let si = vi.Vi.of_core.(flow.Flow.src) in
   let di = vi.Vi.of_core.(flow.Flow.dst) in
   let offending sw =
@@ -25,18 +32,16 @@ let route_violation vi topo (flow, route) ~island_banned =
         Some { v_flow = flow; v_switch = sw; v_island = isl }
       else None
   in
-  List.find_map offending route
+  List.filter_map offending route
 
 let check_topology vi topo =
-  let check acc entry =
-    match acc with
-    | Error _ -> acc
-    | Ok () ->
-      (match route_violation vi topo entry ~island_banned:(fun _ -> true) with
-       | Some v -> Error v
-       | None -> Ok ())
-  in
-  List.fold_left check (Ok ()) topo.Topology.routes
+  match
+    List.concat_map
+      (fun entry -> route_violations vi topo entry ~island_banned:(fun _ -> true))
+      (topo.Topology.routes @ topo.Topology.backup_routes)
+  with
+  | [] -> Ok ()
+  | violations -> Error violations
 
 let survives_gating vi topo ~gated =
   let gated_set = Array.make vi.Vi.islands false in
@@ -46,23 +51,16 @@ let survives_gating vi topo ~gated =
         invalid_arg "Shutdown.survives_gating: bad island id";
       gated_set.(isl) <- true)
     gated;
-  let check acc ((flow, _) as entry) =
-    match acc with
-    | Error _ -> acc
-    | Ok () ->
-      let si = vi.Vi.of_core.(flow.Flow.src) in
-      let di = vi.Vi.of_core.(flow.Flow.dst) in
-      if gated_set.(si) || gated_set.(di) then Ok () (* flow itself is off *)
-      else begin
-        match
-          route_violation vi topo entry ~island_banned:(fun isl ->
-              gated_set.(isl))
-        with
-        | Some v -> Error v
-        | None -> Ok ()
-      end
+  let check ((flow, _) as entry) =
+    let si = vi.Vi.of_core.(flow.Flow.src) in
+    let di = vi.Vi.of_core.(flow.Flow.dst) in
+    if gated_set.(si) || gated_set.(di) then [] (* flow itself is off *)
+    else
+      route_violations vi topo entry ~island_banned:(fun isl -> gated_set.(isl))
   in
-  List.fold_left check (Ok ()) topo.Topology.routes
+  match List.concat_map check topo.Topology.routes with
+  | [] -> Ok ()
+  | violations -> Error violations
 
 let island_noc_leakage_mw config vi topo ~island =
   if island < 0 || island >= vi.Vi.islands then

@@ -13,14 +13,20 @@ type violation = {
   v_island : int;          (** the third island it sits in *)
 }
 
-val check_topology : Noc_spec.Vi.t -> Topology.t -> (unit, violation) result
-(** Verify the invariant on every committed route. *)
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_topology :
+  Noc_spec.Vi.t -> Topology.t -> (unit, violation list) result
+(** Verify the invariant on every committed route — primaries and backup
+    (protection) routes alike.  Accumulates {e all} violations, matching
+    [Verify.check]'s list-of-violations contract. *)
 
 val survives_gating :
-  Noc_spec.Vi.t -> Topology.t -> gated:int list -> (unit, violation) result
+  Noc_spec.Vi.t -> Topology.t -> gated:int list -> (unit, violation list) result
 (** Direct check used by tests: with the given islands gated, does every
     flow between two live islands avoid all gated switches?  (Implied by
-    {!check_topology}, but verified independently.) *)
+    {!check_topology}, but verified independently.)  Accumulates all
+    violations. *)
 
 (** Power accounting of one usage scenario. *)
 type scenario_row = {

@@ -23,7 +23,7 @@ let log_src = Logs.Src.create "noc.synth" ~doc:"NoC topology synthesis"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cut)
-    ?domains config soc vi =
+    ?(protect = false) ?domains config soc vi =
   Metrics.time "synth.run" @@ fun () ->
   Config.validate config;
   let clocks = Freq_assign.assign config soc vi in
@@ -82,22 +82,61 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
       let recovered =
         stats.Path_alloc.ripups > 0 || stats.Path_alloc.restarts > 0
       in
-      if recovered then begin
-        (* A recovered design point went through speculative edits and
-           rollbacks; re-derive every invariant before trusting it. *)
-        match Verify.check_all config soc vi topo with
-        | Ok () -> Some (true, Design_point.evaluate config soc topo ~clocks)
-        | Error violations ->
-          Metrics.incr "synth.recovered_rejected";
-          Log.warn (fun m ->
-              m
-                "candidate (switches=%a, indirect=%d) recovered by \
-                 rip-up/reroute but fails verification: %a"
-                Fmt.(array ~sep:comma int)
-                switch_counts indirect_count Verify.pp_report violations);
-          None
+      (* Protection: a backup route per multi-hop flow, allocated after
+         every primary so backups see the final fabric.  Deterministic
+         order (decreasing bandwidth, ties by (src, dst)) like the main
+         sweep; a flow that cannot be protected rejects the candidate. *)
+      let protected_ok =
+        (not protect)
+        ||
+        let session = Path_alloc.session config topo ~clocks in
+        let by_bandwidth a b =
+          match
+            compare b.Noc_spec.Flow.bandwidth_mbps a.Noc_spec.Flow.bandwidth_mbps
+          with
+          | 0 ->
+            compare
+              (a.Noc_spec.Flow.src, a.Noc_spec.Flow.dst)
+              (b.Noc_spec.Flow.src, b.Noc_spec.Flow.dst)
+          | c -> c
+        in
+        List.for_all
+          (fun flow ->
+            match Path_alloc.route_backup session flow with
+            | Ok () -> true
+            | Error e ->
+              Metrics.incr "synth.unprotectable";
+              Log.debug (fun m ->
+                  m "candidate (switches=%a, indirect=%d) unprotectable: %a"
+                    Fmt.(array ~sep:comma int)
+                    switch_counts indirect_count Path_alloc.pp_error e);
+              false)
+          (List.sort by_bandwidth soc.Noc_spec.Soc_spec.flows)
+      in
+      if not protected_ok then None
+      else begin
+        Topology.clear_journal topo;
+        if recovered || protect then begin
+          (* A recovered design point went through speculative edits and
+             rollbacks, and a protected one grew backup links after the
+             main sweep; re-derive every invariant before trusting it. *)
+          match
+            Verify.check_all ~require_backups:protect config soc vi topo
+          with
+          | Ok () ->
+            Some (recovered, Design_point.evaluate config soc topo ~clocks)
+          | Error violations ->
+            Metrics.incr "synth.recovered_rejected";
+            Log.warn (fun m ->
+                m
+                  "candidate (switches=%a, indirect=%d) recovered by \
+                   rip-up/reroute or protected but fails verification: %a"
+                  Fmt.(array ~sep:comma int)
+                  switch_counts indirect_count Verify.pp_report violations);
+            None
+        end
+        else Some (false, Design_point.evaluate config soc topo ~clocks)
       end
-      else Some (false, Design_point.evaluate config soc topo ~clocks)
     | Error e ->
       Log.debug (fun m ->
           m "candidate (switches=%a, indirect=%d) infeasible: %a"

@@ -22,6 +22,7 @@ val run :
   ?seed:int ->
   ?anneal:bool ->
   ?assignment_strategy:Switch_alloc.strategy ->
+  ?protect:bool ->
   ?domains:int ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
@@ -31,7 +32,12 @@ val run :
     before synthesis; [assignment_strategy] (default
     {!Switch_alloc.Min_cut}) selects how cores map to switches — the
     {!Switch_alloc.Round_robin} ablation quantifies what the paper's
-    min-cut grouping buys.  [domains] (default
+    min-cut grouping buys.  [protect] (default [false]) additionally
+    allocates a backup route per multi-hop flow
+    ({!Path_alloc.route_backup}: switch-disjoint where port budgets allow,
+    link-disjoint otherwise) and verifies every saved point with
+    [Verify.check_all ~require_backups:true]; candidates whose flows
+    cannot all be protected are rejected as infeasible.  [domains] (default
     {!Noc_exec.Pool.default_domains}, i.e. [--jobs] / [NOC_JOBS])
     evaluates the candidate design points on that many domains; every
     candidate is a pure function of the inputs and results are merged in

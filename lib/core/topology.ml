@@ -31,6 +31,7 @@ type edit =
   | Link_removed of link
   | Bw_set of link * float  (* previous committed bandwidth *)
   | Routes_set of (Flow.t * int list) list  (* previous routes list *)
+  | Backups_set of (Flow.t * int list) list  (* previous backup routes *)
 
 type t = {
   islands : int;
@@ -38,6 +39,7 @@ type t = {
   core_switch : int array;
   links : (int * int, link) Hashtbl.t;
   mutable routes : (Flow.t * int list) list;
+  mutable backup_routes : (Flow.t * int list) list;
   flit_bits : int;
   mutable journal : edit list;
 }
@@ -79,6 +81,7 @@ let create ~islands ~switches ~core_switch ~flit_bits =
     core_switch = Array.copy core_switch;
     links = Hashtbl.create 64;
     routes = [];
+    backup_routes = [];
     flit_bits;
     journal = [];
   }
@@ -92,6 +95,7 @@ let rollback t cp =
       Hashtbl.replace t.links (link.link_src, link.link_dst) link
     | Bw_set (link, bw) -> link.bw_mbps <- bw
     | Routes_set routes -> t.routes <- routes
+    | Backups_set backups -> t.backup_routes <- backups
   in
   let rec pop () =
     if t.journal != cp then
@@ -214,6 +218,70 @@ let remove_flow t flow =
     in
     discharge route;
     Some (route, List.rev !dropped)
+
+(* Backup routes ride on real links and ports but commit no bandwidth:
+   they only carry traffic after a fault, when the primary's charge is
+   gone anyway. *)
+let commit_backup t flow ~route =
+  (match route with
+   | [] -> invalid_arg "Topology.commit_backup: empty route"
+   | first :: _ ->
+     if t.core_switch.(flow.Flow.src) <> first then
+       invalid_arg
+         "Topology.commit_backup: route does not start at source switch");
+  let rec last = function
+    | [] -> assert false
+    | [ x ] -> x
+    | _ :: rest -> last rest
+  in
+  if t.core_switch.(flow.Flow.dst) <> last route then
+    invalid_arg "Topology.commit_backup: route does not end at destination switch";
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if not (Hashtbl.mem t.links (a, b)) then
+        invalid_arg
+          (Printf.sprintf "Topology.commit_backup: missing link %d->%d" a b);
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check route;
+  t.journal <- Backups_set t.backup_routes :: t.journal;
+  t.backup_routes <- (flow, route) :: t.backup_routes
+
+let backup_route t flow =
+  let key = (flow.Flow.src, flow.Flow.dst) in
+  List.find_map
+    (fun (f, route) ->
+      if (f.Flow.src, f.Flow.dst) = key then Some route else None)
+    t.backup_routes
+
+(* An independent deep copy: link records are fresh (their committed
+   bandwidth mutates independently), the journal starts empty.  Switches
+   and route entries are immutable and shared. *)
+let copy t =
+  let links = Hashtbl.create (Hashtbl.length t.links) in
+  Hashtbl.iter
+    (fun key l ->
+      Hashtbl.replace links key
+        {
+          link_src = l.link_src;
+          link_dst = l.link_dst;
+          bw_mbps = l.bw_mbps;
+          length_mm = l.length_mm;
+          crossing = l.crossing;
+          stages = l.stages;
+        })
+    t.links;
+  {
+    islands = t.islands;
+    switches = t.switches;
+    core_switch = Array.copy t.core_switch;
+    links;
+    routes = t.routes;
+    backup_routes = t.backup_routes;
+    flit_bits = t.flit_bits;
+    journal = [];
+  }
 
 let attached_cores t sw =
   check_switch t sw "attached_cores";

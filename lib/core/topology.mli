@@ -43,6 +43,9 @@ type t = {
   core_switch : int array;
   links : (int * int, link) Hashtbl.t;
   mutable routes : (Noc_spec.Flow.t * int list) list;
+  mutable backup_routes : (Noc_spec.Flow.t * int list) list;
+      (** fault-protection routes committed by {!commit_backup}; they use
+          real links and ports but carry no committed bandwidth *)
   flit_bits : int;
   mutable journal : edit list;
       (** undo journal of every {!add_link}, {!commit_flow} and
@@ -91,6 +94,23 @@ val remove_flow : t -> Noc_spec.Flow.t -> (int list * link list) option
     route, the charges and the dropped links.
     @raise Invalid_argument if the committed route references a missing
     link (corrupted topology). *)
+
+val commit_backup : t -> Noc_spec.Flow.t -> route:int list -> unit
+(** Record a backup (protection) route for the flow.  Every hop must be an
+    existing link; no bandwidth is charged — a backup only carries traffic
+    once a fault has taken its primary (and the primary's charge) down.
+    Journaled like {!commit_flow}.
+    @raise Invalid_argument on a missing link or bad endpoints. *)
+
+val backup_route : t -> Noc_spec.Flow.t -> int list option
+(** The committed backup route of the flow with the same (src, dst), if
+    any. *)
+
+val copy : t -> t
+(** An independent deep copy: link records (and their mutable committed
+    bandwidth) are duplicated, routes and backups carried over, and the
+    journal starts empty.  Edits to the copy never touch the original —
+    use one copy per parallel fault-campaign worker. *)
 
 val checkpoint : t -> checkpoint
 (** Capture the current journal position.  O(1). *)

@@ -31,6 +31,8 @@ type violation =
     }
   | Clock_mismatch of { switch : int; expected_mhz : float; actual_mhz : float }
   | Shutdown_violation of { flow : Flow.t; switch : int; island : int }
+  | Missing_backup of Flow.t
+  | Backup_not_disjoint of { flow : Flow.t; src : int; dst : int }
 
 let flow_key f = (f.Flow.src, f.Flow.dst)
 
@@ -186,7 +188,90 @@ let check_shutdown vi topo push =
         route)
     topo.Topology.routes
 
-let check config soc vi topo =
+(* Backup (protection) routes obey every rule a primary does except
+   bandwidth accounting (they commit none): real links, right endpoints,
+   the latency budget (slacked by [Config.protect_latency_slack] — backups
+   serve degraded post-fault operation), and shutdown safety.  With
+   [require_backups] the protection contract itself is enforced: every
+   multi-hop flow carries a backup, link-disjoint (directed) from its
+   primary. *)
+let check_backups ~require_backups config vi topo push =
+  let backup_of = Hashtbl.create 16 in
+  List.iter
+    (fun ((flow, route) as entry) ->
+      let key = flow_key flow in
+      if Hashtbl.mem backup_of key then push (Duplicate_route flow)
+      else Hashtbl.replace backup_of key entry;
+      (match route with
+       | [] -> push (Wrong_endpoints flow)
+       | first :: _ ->
+         let rec last = function
+           | [ x ] -> x
+           | _ :: rest -> last rest
+           | [] -> assert false (* route non-empty here *)
+         in
+         if
+           topo.Topology.core_switch.(flow.Flow.src) <> first
+           || topo.Topology.core_switch.(flow.Flow.dst) <> last route
+         then push (Wrong_endpoints flow));
+      let rec hops = function
+        | a :: (b :: _ as rest) ->
+          (match Topology.find_link topo ~src:a ~dst:b with
+           | Some _ -> ()
+           | None -> push (Broken_route { flow; from_sw = a; to_sw = b }));
+          hops rest
+        | [ _ ] | [] -> ()
+      in
+      hops route;
+      (match route with
+       | [] -> ()
+       | _ ->
+         let budget =
+           int_of_float
+             (config.Config.protect_latency_slack
+             *. float_of_int flow.Flow.max_latency_cycles)
+         in
+         let latency = Topology.route_latency_cycles topo route in
+         if latency > budget then
+           push
+             (Latency_violation { flow; excess_cycles = latency - budget }));
+      let si = vi.Vi.of_core.(flow.Flow.src) in
+      let di = vi.Vi.of_core.(flow.Flow.dst) in
+      List.iter
+        (fun sw ->
+          match topo.Topology.switches.(sw).Topology.location with
+          | Topology.Intermediate -> ()
+          | Topology.Island isl ->
+            if isl <> si && isl <> di then
+              push (Shutdown_violation { flow; switch = sw; island = isl }))
+        route)
+    topo.Topology.backup_routes;
+  if require_backups then begin
+    let links_of route =
+      let rec go acc = function
+        | a :: (b :: _ as rest) -> go ((a, b) :: acc) rest
+        | [ _ ] | [] -> acc
+      in
+      go [] route
+    in
+    List.iter
+      (fun (flow, primary) ->
+        match primary with
+        | [ _ ] -> () (* NI-local: nothing in the fabric to protect *)
+        | _ ->
+          (match Hashtbl.find_opt backup_of (flow_key flow) with
+           | None -> push (Missing_backup flow)
+           | Some (_, backup) ->
+             let prim = links_of primary in
+             List.iter
+               (fun (src, dst) ->
+                 if List.mem (src, dst) prim then
+                   push (Backup_not_disjoint { flow; src; dst }))
+               (List.rev (links_of backup))))
+      topo.Topology.routes
+  end
+
+let check ?(require_backups = false) config soc vi topo =
   Config.validate config;
   let violations = ref [] in
   let push v = violations := v :: !violations in
@@ -195,10 +280,11 @@ let check config soc vi topo =
   check_resources config soc vi topo push;
   check_latency topo push;
   check_shutdown vi topo push;
+  check_backups ~require_backups config vi topo push;
   List.rev !violations
 
-let check_all config soc vi topo =
-  match check config soc vi topo with
+let check_all ?require_backups config soc vi topo =
+  match check ?require_backups config soc vi topo with
   | [] -> Ok ()
   | violations -> Error violations
 
@@ -234,6 +320,12 @@ let pp_violation ppf = function
     Format.fprintf ppf
       "flow %a transits sw%d in third island %d (blocks its shutdown)"
       Flow.pp flow switch island
+  | Missing_backup f ->
+    Format.fprintf ppf "protected flow %a has no backup route" Flow.pp f
+  | Backup_not_disjoint { flow; src; dst } ->
+    Format.fprintf ppf
+      "backup of %a shares link sw%d->sw%d with its primary" Flow.pp flow src
+      dst
 
 let pp_report ppf = function
   | [] -> Format.fprintf ppf "design is clean: all invariants hold"

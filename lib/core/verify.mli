@@ -27,8 +27,13 @@ type violation =
       (** switch not running at its island's derived clock *)
   | Shutdown_violation of { flow : Noc_spec.Flow.t; switch : int; island : int }
       (** a route transits a third shutdownable island *)
+  | Missing_backup of Noc_spec.Flow.t
+      (** protection required but a multi-hop flow has no backup route *)
+  | Backup_not_disjoint of { flow : Noc_spec.Flow.t; src : int; dst : int }
+      (** a backup shares the directed link with its own primary *)
 
 val check :
+  ?require_backups:bool ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
@@ -36,9 +41,18 @@ val check :
   violation list
 (** All violations, deterministically ordered.  An empty list means the
     design is clean.  Island clocks are re-derived from the spec via
-    {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}). *)
+    {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}).
+
+    Committed backup routes are always re-checked against the primary
+    rules they must share — real links, the flow's NI endpoints, the
+    latency budget, shutdown safety — but commit no bandwidth, so the
+    bandwidth/capacity accounting ignores them by design.  With
+    [require_backups] (default [false]) the protection contract of
+    [Synth.run ~protect:true] is enforced on top: every multi-hop flow
+    must carry a backup, link-disjoint (directed) from its primary. *)
 
 val check_all :
+  ?require_backups:bool ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->

@@ -1,0 +1,37 @@
+module Topology = Noc_synthesis.Topology
+
+let single_switch topo =
+  List.init (Array.length topo.Topology.switches) (fun s ->
+      [ Fault_model.Dead_switch s ])
+
+let single_link topo =
+  List.map
+    (fun l ->
+      [ Fault_model.Dead_link (l.Topology.link_src, l.Topology.link_dst) ])
+    (Topology.links_list topo)
+
+let universe topo =
+  List.init (Array.length topo.Topology.switches) (fun s ->
+      Fault_model.Dead_switch s)
+  @ List.map
+      (fun l -> Fault_model.Dead_link (l.Topology.link_src, l.Topology.link_dst))
+      (Topology.links_list topo)
+
+let random_k ?(seed = 0) ~k ~count topo =
+  if k < 1 then invalid_arg "Campaign.random_k: k < 1";
+  if count < 0 then invalid_arg "Campaign.random_k: negative count";
+  let pool = Array.of_list (universe topo) in
+  let n = Array.length pool in
+  let k = min k n in
+  let rng = Random.State.make [| seed; k; count; n |] in
+  List.init count (fun _ ->
+      (* partial Fisher–Yates: the first [k] slots are a uniform sample of
+         distinct faults *)
+      let a = Array.copy pool in
+      for i = 0 to k - 1 do
+        let j = i + Random.State.int rng (n - i) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      Array.to_list (Array.sub a 0 k))

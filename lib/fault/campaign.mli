@@ -1,0 +1,23 @@
+(** Deterministic fault-campaign generators.
+
+    A campaign is a list of fault sets; the analyzer evaluates each set on
+    its own copy of the topology, so the list order is the output order
+    (byte-identical for any worker count, see {!Survivability.run}). *)
+
+val single_switch : Noc_synthesis.Topology.t -> Fault_model.fault list list
+(** Exhaustive: one campaign element per switch, in switch-id order. *)
+
+val single_link : Noc_synthesis.Topology.t -> Fault_model.fault list list
+(** Exhaustive: one element per existing directed link, in (src, dst)
+    order. *)
+
+val universe : Noc_synthesis.Topology.t -> Fault_model.fault list
+(** Every injectable fault: all switches, then all links. *)
+
+val random_k :
+  ?seed:int -> k:int -> count:int -> Noc_synthesis.Topology.t ->
+  Fault_model.fault list list
+(** [count] sets of [k] distinct faults drawn uniformly from
+    {!universe}, deterministically from [seed] (default 0, the repo-wide
+    convention).  [k] is clamped to the universe size.
+    @raise Invalid_argument if [k < 1] or [count < 0]. *)

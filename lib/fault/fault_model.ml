@@ -1,0 +1,40 @@
+module Topology = Noc_synthesis.Topology
+module Path_alloc = Noc_synthesis.Path_alloc
+
+type fault = Dead_switch of int | Dead_link of int * int
+
+let pp ppf = function
+  | Dead_switch s -> Format.fprintf ppf "dead-switch sw%d" s
+  | Dead_link (a, b) -> Format.fprintf ppf "dead-link sw%d->sw%d" a b
+
+let to_string f = Format.asprintf "%a" pp f
+
+let pp_set ppf faults =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "+")
+    pp ppf faults
+
+let mask faults =
+  let dead_sw = Hashtbl.create 4 in
+  let dead_ln = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Dead_switch s -> Hashtbl.replace dead_sw s ()
+      | Dead_link (a, b) -> Hashtbl.replace dead_ln (a, b) ())
+    faults;
+  {
+    Path_alloc.dead_switch = (fun s -> Hashtbl.mem dead_sw s);
+    dead_link =
+      (fun u v ->
+        Hashtbl.mem dead_ln (u, v) || Hashtbl.mem dead_sw u
+        || Hashtbl.mem dead_sw v);
+  }
+
+let route_affected (m : Path_alloc.mask) route =
+  List.exists m.Path_alloc.dead_switch route
+  ||
+  let rec hops = function
+    | a :: (b :: _ as rest) -> m.Path_alloc.dead_link a b || hops rest
+    | [ _ ] | [] -> false
+  in
+  hops route

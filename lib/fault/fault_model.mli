@@ -1,0 +1,27 @@
+(** The fault model: a fabric component that stops working.
+
+    A dead switch takes every link touching it (and the NIs of its cores)
+    down with it; a dead link is directed, matching the topology's link
+    orientation.  Fault sets are plain lists — campaigns generate them
+    ({!Campaign}), the analyzer masks them out of the routing view
+    ({!Survivability}). *)
+
+type fault =
+  | Dead_switch of int
+  | Dead_link of int * int  (** directed, [(src, dst)] *)
+
+val pp : Format.formatter -> fault -> unit
+val to_string : fault -> string
+(** [dead-switch sw3] / [dead-link sw1->sw4]; used verbatim in the
+    survivability JSON. *)
+
+val pp_set : Format.formatter -> fault list -> unit
+(** Faults of one set joined with [+]. *)
+
+val mask : fault list -> Noc_synthesis.Path_alloc.mask
+(** The routing mask of a fault set: a switch is dead if listed, a
+    directed link is dead if listed or if either endpoint switch is
+    dead. O(1) queries. *)
+
+val route_affected : Noc_synthesis.Path_alloc.mask -> int list -> bool
+(** Does the route traverse any dead switch or dead link? *)

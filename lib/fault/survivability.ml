@@ -1,0 +1,252 @@
+module Flow = Noc_spec.Flow
+module Topology = Noc_synthesis.Topology
+module Path_alloc = Noc_synthesis.Path_alloc
+module Pool = Noc_exec.Pool
+module Metrics = Noc_exec.Metrics
+
+type verdict = Unaffected | Rerouted of { extra_cycles : int } | Lost
+
+type flow_outcome = { flow : Flow.t; verdict : verdict }
+
+type outcome = {
+  faults : Fault_model.fault list;
+  flows : flow_outcome list;
+  unaffected : int;
+  repaired : int;
+  lost : int;
+  endpoint_lost : int;
+  worst_extra_cycles : int;
+  topology : Topology.t;
+}
+
+let flow_key f = (f.Flow.src, f.Flow.dst)
+
+let analyze config topo0 ~clocks faults =
+  let topo = Topology.copy topo0 in
+  let m = Fault_model.mask faults in
+  Metrics.incr ~by:(List.length faults) "fault.injected";
+  let affected, untouched =
+    List.partition
+      (fun (_, route) -> Fault_model.route_affected m route)
+      topo.Topology.routes
+  in
+  (* pre-fault latency, while the severed routes still stand *)
+  let affected =
+    List.map
+      (fun (f, r) -> (f, Topology.route_latency_cycles topo r))
+      affected
+  in
+  (* Rip up every severed flow before repairing any: dead links lose their
+     committed bandwidth and drop out of the fabric, so the repair session
+     counts ports over the survivor fabric only (the mask then keeps the
+     dead resources from being reopened). *)
+  List.iter (fun (f, _) -> ignore (Topology.remove_flow topo f)) affected;
+  (* A fault — or the rip-up of a primary whose links a backup shared —
+     can break backup routes; prune them so the surviving topology stays
+     verifiable. *)
+  let backup_ok route =
+    (not (Fault_model.route_affected m route))
+    &&
+    let rec hops = function
+      | a :: (b :: _ as rest) ->
+        Topology.find_link topo ~src:a ~dst:b <> None && hops rest
+      | [ _ ] | [] -> true
+    in
+    hops route
+  in
+  topo.Topology.backup_routes <-
+    List.filter (fun (_, r) -> backup_ok r) topo.Topology.backup_routes;
+  let session = Path_alloc.session ~mask:m config topo ~clocks in
+  (* repair in the allocator's canonical order: decreasing bandwidth,
+     ties by (src, dst) *)
+  let order =
+    List.sort
+      (fun (a, _) (b, _) ->
+        match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
+        | 0 -> compare (flow_key a) (flow_key b)
+        | c -> c)
+      affected
+  in
+  let endpoint_dead flow =
+    let ss = topo.Topology.core_switch.(flow.Flow.src) in
+    let ds = topo.Topology.core_switch.(flow.Flow.dst) in
+    m.Path_alloc.dead_switch ss || m.Path_alloc.dead_switch ds
+  in
+  let repair (flow, old_latency) =
+    if endpoint_dead flow then
+      (* the fault took the flow's own NI switch: no routing — primary,
+         backup or repair — can save it *)
+      { flow; verdict = Lost }
+    else begin
+      let committed_extra () =
+        let route =
+          match
+            List.find_opt (fun (f, _) -> flow_key f = flow_key flow)
+              topo.Topology.routes
+          with
+          | Some (_, r) -> r
+          | None -> assert false (* reroute just committed it *)
+        in
+        Topology.route_latency_cycles topo route - old_latency
+      in
+      match Path_alloc.reroute session flow with
+      | Ok () -> { flow; verdict = Rerouted { extra_cycles = committed_extra () } }
+      | Error _ ->
+        (* The deadline-respecting repair failed and rolled itself back.
+           A protected flow may still fail over: its backup contract
+           guarantees delivery within the degraded (slacked) budget, so
+           retry under that budget — the pre-opened backup links make the
+           path available and cheap.  The survivor topology records the
+           degraded contract for the flow, so it re-verifies as is. *)
+        (match Topology.backup_route topo flow with
+         | None -> { flow; verdict = Lost }
+         | Some _ ->
+           let budget =
+             int_of_float
+               (config.Noc_synthesis.Config.protect_latency_slack
+               *. float_of_int flow.Flow.max_latency_cycles)
+           in
+           let degraded = { flow with Flow.max_latency_cycles = budget } in
+           (match Path_alloc.reroute session degraded with
+            | Ok () ->
+              { flow; verdict = Rerouted { extra_cycles = committed_extra () } }
+            | Error _ -> { flow; verdict = Lost }))
+    end
+  in
+  let repaired_flows = List.map repair order in
+  Topology.clear_journal topo;
+  let flows =
+    List.sort
+      (fun a b -> compare (flow_key a.flow) (flow_key b.flow))
+      (List.map (fun (f, _) -> { flow = f; verdict = Unaffected }) untouched
+      @ repaired_flows)
+  in
+  let count p = List.length (List.filter p flows) in
+  let repaired =
+    count (fun o -> match o.verdict with Rerouted _ -> true | _ -> false)
+  in
+  let lost = count (fun o -> o.verdict = Lost) in
+  let endpoint_lost =
+    count (fun o -> o.verdict = Lost && endpoint_dead o.flow)
+  in
+  let worst_extra_cycles =
+    List.fold_left
+      (fun acc o ->
+        match o.verdict with
+        | Rerouted { extra_cycles } -> max acc extra_cycles
+        | Unaffected | Lost -> acc)
+      0 flows
+  in
+  Metrics.incr ~by:repaired "fault.repaired";
+  Metrics.incr ~by:lost "fault.lost";
+  {
+    faults;
+    flows;
+    unaffected = List.length flows - repaired - lost;
+    repaired;
+    lost;
+    endpoint_lost;
+    worst_extra_cycles;
+    topology = topo;
+  }
+
+let run ?domains config topo ~clocks fault_sets =
+  Metrics.time "fault.campaign" @@ fun () ->
+  Pool.parallel_map ?domains (analyze config topo ~clocks) fault_sets
+
+type summary = {
+  fault_sets : int;
+  total_unaffected : int;
+  total_repaired : int;
+  total_lost : int;
+  total_endpoint_lost : int;
+  summary_worst_extra : int;
+}
+
+let summarize outcomes =
+  List.fold_left
+    (fun acc o ->
+      {
+        fault_sets = acc.fault_sets + 1;
+        total_unaffected = acc.total_unaffected + o.unaffected;
+        total_repaired = acc.total_repaired + o.repaired;
+        total_lost = acc.total_lost + o.lost;
+        total_endpoint_lost = acc.total_endpoint_lost + o.endpoint_lost;
+        summary_worst_extra = max acc.summary_worst_extra o.worst_extra_cycles;
+      })
+    {
+      fault_sets = 0;
+      total_unaffected = 0;
+      total_repaired = 0;
+      total_lost = 0;
+      total_endpoint_lost = 0;
+      summary_worst_extra = 0;
+    }
+    outcomes
+
+(* hand-rolled JSON: the schema is small and the repo carries no JSON
+   dependency (see docs/FORMAT.md) *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ~benchmark ~campaign ~protected outcomes =
+  let s = summarize outcomes in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"benchmark\": \"%s\", \"campaign\": \"%s\", \"protected\": %b,\n\
+        \ \"fault_sets\": %d,\n\
+        \ \"flows\": {\"unaffected\": %d, \"rerouted\": %d, \"lost\": %d, \
+        \"endpoint_lost\": %d},\n\
+        \ \"worst_extra_cycles\": %d,\n\
+        \ \"outcomes\": ["
+       (json_escape benchmark) (json_escape campaign) protected s.fault_sets
+       s.total_unaffected s.total_repaired s.total_lost s.total_endpoint_lost
+       s.summary_worst_extra);
+  List.iteri
+    (fun i o ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n  {\"faults\": [";
+      List.iteri
+        (fun j f ->
+          if j > 0 then Buffer.add_string b ", ";
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\"" (json_escape (Fault_model.to_string f))))
+        o.faults;
+      Buffer.add_string b
+        (Printf.sprintf
+           "], \"unaffected\": %d, \"rerouted\": %d, \"lost\": %d, \
+            \"endpoint_lost\": %d, \"worst_extra_cycles\": %d, \
+            \"lost_flows\": ["
+           o.unaffected o.repaired o.lost o.endpoint_lost
+           o.worst_extra_cycles);
+      let first = ref true in
+      List.iter
+        (fun fo ->
+          if fo.verdict = Lost then begin
+            if not !first then Buffer.add_string b ", ";
+            first := false;
+            Buffer.add_string b
+              (Printf.sprintf "[%d, %d]" fo.flow.Flow.src fo.flow.Flow.dst)
+          end)
+        o.flows;
+      Buffer.add_string b "]}")
+    outcomes;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let pp_summary ppf (label, outcomes) =
+  let s = summarize outcomes in
+  Format.fprintf ppf
+    "%-18s %4d fault sets  unaffected %5d  rerouted %4d  lost %4d (%d at \
+     dead NI)  worst +%d cycles"
+    label s.fault_sets s.total_unaffected s.total_repaired s.total_lost
+    s.total_endpoint_lost s.summary_worst_extra

@@ -1,0 +1,83 @@
+(** The survivability analyzer: inject a fault set, rip up every severed
+    flow, and attempt repair with the transactional path allocator under
+    the same shutdown/latency/capacity rules as synthesis.
+
+    Each analysis runs on its own {!Noc_synthesis.Topology.copy}, so the
+    input topology is never mutated and campaign elements are independent
+    — {!run} parallelizes them over the {!Noc_exec.Pool} with output
+    identical to the sequential walk for any worker count. *)
+
+type verdict =
+  | Unaffected  (** primary route touches no dead resource *)
+  | Rerouted of { extra_cycles : int }
+      (** repaired; zero-load latency grew by [extra_cycles] (negative if
+          the detour is shorter than the old path) *)
+  | Lost
+      (** no admissible repair: a dead NI switch, or no masked path within
+          the flow's constraints even after rip-up recovery *)
+
+type flow_outcome = { flow : Noc_spec.Flow.t; verdict : verdict }
+
+type outcome = {
+  faults : Fault_model.fault list;
+  flows : flow_outcome list;  (** every routed flow, sorted by (src, dst) *)
+  unaffected : int;
+  repaired : int;
+  lost : int;
+  endpoint_lost : int;
+      (** [Lost] flows whose own NI switch died with the fault — no
+          routing (primary, backup or repair) could have saved them, so
+          protection guarantees exclude them *)
+  worst_extra_cycles : int;
+  topology : Noc_synthesis.Topology.t;
+      (** the repaired survivor topology ([Lost] flows unrouted, backup
+          routes broken by the fault pruned); when [lost = 0] it passes
+          [Verify.check_all] *)
+}
+
+val analyze :
+  Noc_synthesis.Config.t ->
+  Noc_synthesis.Topology.t ->
+  clocks:Noc_synthesis.Freq_assign.island_clock array ->
+  Fault_model.fault list ->
+  outcome
+(** Pure with respect to the input topology (works on a copy).  Flows
+    whose primary survives are [Unaffected]; severed flows are ripped up
+    (dead links drop with their last flow) and repaired in decreasing
+    bandwidth order through a masked {!Noc_synthesis.Path_alloc.session} —
+    first directly, then via rip-up-and-reroute.  A failed repair rolls
+    back transactionally, leaving the survivor topology consistent, and
+    the flow is [Lost].  Bumps [fault.injected] / [fault.repaired] /
+    [fault.lost] in {!Noc_exec.Metrics}. *)
+
+val run :
+  ?domains:int ->
+  Noc_synthesis.Config.t ->
+  Noc_synthesis.Topology.t ->
+  clocks:Noc_synthesis.Freq_assign.island_clock array ->
+  Fault_model.fault list list ->
+  outcome list
+(** {!analyze} for every fault set of a campaign, parallelized over
+    [domains] ({!Noc_exec.Pool.parallel_map} semantics: order-preserving,
+    byte-identical results for any domain count). *)
+
+type summary = {
+  fault_sets : int;
+  total_unaffected : int;
+  total_repaired : int;
+  total_lost : int;
+  total_endpoint_lost : int;
+  summary_worst_extra : int;
+}
+
+val summarize : outcome list -> summary
+
+val to_json :
+  benchmark:string -> campaign:string -> protected:bool -> outcome list ->
+  string
+(** The survivability JSON document (schema in [docs/FORMAT.md]):
+    campaign totals plus one entry per fault set with its lost flows. *)
+
+val pp_summary : Format.formatter -> string * outcome list -> unit
+(** One table row: label, fault sets, unaffected/rerouted/lost flows,
+    worst latency growth. *)

@@ -20,23 +20,39 @@ type flow_state = {
   pattern : Traffic.pattern;
   packet_flits : int;
   program : Network.hop array;
+  backup : Network.hop array option;  (* compiled protection route, if any *)
   acc : Stats.accumulator;
   mutable injected : int;
+  mutable lost : int;  (* flits dropped by a fault or never launched *)
   suppressed : bool;  (* terminates in a gated island: never injects *)
 }
 
-(* one in-flight packet: latency recorded when its last flit ejects *)
+(* one in-flight packet: latency recorded when its last flit ejects.
+   Each packet carries the program it was launched on, so packets
+   in flight on the primary when a fault hits keep their route while
+   later injections fail over to the backup. *)
 type packet = {
   t0 : float;
   mutable remaining : int;
   measured : bool;
+  prog : Network.hop array;
 }
 
 type event =
   | Inject of int                               (* flow-state index *)
   | Arrive of { fs : int; hop : int; pkt : packet }
 
-let run ?(config = default_config) net ~vi ~injections =
+(* Does the fault kill this hop?  A dead switch takes the hops leaving it
+   and the links entering it; a dead link exactly its own hop. *)
+let hop_dead fault (h : Network.hop) =
+  match fault with
+  | Noc_fault.Fault_model.Dead_switch s ->
+    h.Network.hop_switch = s
+    || (match h.Network.hop_link with Some (_, d) -> d = s | None -> false)
+  | Noc_fault.Fault_model.Dead_link (a, b) ->
+    h.Network.hop_link = Some (a, b)
+
+let run ?(config = default_config) ?failover net ~vi ~injections =
   if config.horizon <= 0.0 || config.warmup < 0.0 then
     invalid_arg "Engine.run: bad horizon/warmup";
   if config.warmup >= config.horizon then
@@ -54,6 +70,21 @@ let run ?(config = default_config) net ~vi ~injections =
     match net.Network.topo.Topology.switches.(sw).Topology.location with
     | Topology.Island isl -> gated.(isl)
     | Topology.Intermediate -> false
+  in
+  let fault_time =
+    match failover with
+    | None -> infinity
+    | Some (t, _) ->
+      if t < 0.0 then invalid_arg "Engine.run: negative fault time";
+      t
+  in
+  let dead h =
+    match failover with Some (_, f) -> hop_dead f h | None -> false
+  in
+  let prog_dead p =
+    match failover with
+    | Some (_, f) -> Array.exists (hop_dead f) p
+    | None -> false
   in
   let states =
     Array.of_list
@@ -75,8 +106,10 @@ let run ?(config = default_config) net ~vi ~injections =
              pattern;
              packet_flits = max 1 packet_flits;
              program;
+             backup = Network.backup_program_of_flow net flow;
              acc = Stats.create ();
              injected = 0;
+             lost = 0;
              suppressed;
            })
          injections)
@@ -103,13 +136,33 @@ let run ?(config = default_config) net ~vi ~injections =
       fs.injected <- fs.injected + fs.packet_flits;
       if t >= config.warmup then
         injected_after_warmup := !injected_after_warmup + fs.packet_flits;
-      let pkt =
-        { t0 = t; remaining = fs.packet_flits; measured = t >= config.warmup }
+      (* After the fault hits, new packets of an affected flow fail over
+         to the backup program; with no surviving route their flits are
+         lost at the source NI. *)
+      let prog =
+        if t < fault_time || not (prog_dead fs.program) then Some fs.program
+        else
+          match fs.backup with
+          | Some b when not (prog_dead b) -> Some b
+          | Some _ | None -> None
       in
-      (* flits of one packet enter the source switch back to back *)
-      for flit = 0 to fs.packet_flits - 1 do
-        Heap.push heap (t +. float_of_int flit) (Arrive { fs = i; hop = 0; pkt })
-      done;
+      (match prog with
+       | None -> fs.lost <- fs.lost + fs.packet_flits
+       | Some prog ->
+         let pkt =
+           {
+             t0 = t;
+             remaining = fs.packet_flits;
+             measured = t >= config.warmup;
+             prog;
+           }
+         in
+         (* flits of one packet enter the source switch back to back *)
+         for flit = 0 to fs.packet_flits - 1 do
+           Heap.push heap
+             (t +. float_of_int flit)
+             (Arrive { fs = i; hop = 0; pkt })
+         done);
       (* pattern rate is per flit; packets arrive packet_flits times slower *)
       let next = ref t in
       for _ = 1 to fs.packet_flits do
@@ -119,26 +172,31 @@ let run ?(config = default_config) net ~vi ~injections =
       loop ()
     | Some (t, Arrive { fs = i; hop; pkt }) ->
       let fs = states.(i) in
-      let h = fs.program.(hop) in
+      let h = pkt.prog.(hop) in
       if switch_gated h.Network.hop_switch then
         raise
           (Gated_switch_traversal
              { flow = fs.flow; switch = h.Network.hop_switch });
-      let ready = t +. h.Network.service_cycles in
-      let depart = Float.max ready (port_busy.(h.Network.port) +. 1.0) in
-      port_busy.(h.Network.port) <- depart;
-      let next_time = depart +. h.Network.wire_cycles in
-      if hop + 1 < Array.length fs.program then
-        Heap.push heap next_time (Arrive { fs = i; hop = hop + 1; pkt })
+      if t >= fault_time && dead h then
+        (* the flit reached a dead component mid-flight: dropped *)
+        fs.lost <- fs.lost + 1
       else begin
-        pkt.remaining <- pkt.remaining - 1;
-        if pkt.remaining = 0 && pkt.measured then begin
-          (* packet latency: injection of the head flit to ejection of the
-             tail flit *)
-          let latency = next_time -. pkt.t0 in
-          Stats.record fs.acc ~latency;
-          incr delivered_after_warmup;
-          latency_sum := !latency_sum +. latency
+        let ready = t +. h.Network.service_cycles in
+        let depart = Float.max ready (port_busy.(h.Network.port) +. 1.0) in
+        port_busy.(h.Network.port) <- depart;
+        let next_time = depart +. h.Network.wire_cycles in
+        if hop + 1 < Array.length pkt.prog then
+          Heap.push heap next_time (Arrive { fs = i; hop = hop + 1; pkt })
+        else begin
+          pkt.remaining <- pkt.remaining - 1;
+          if pkt.remaining = 0 && pkt.measured then begin
+            (* packet latency: injection of the head flit to ejection of
+               the tail flit *)
+            let latency = next_time -. pkt.t0 in
+            Stats.record fs.acc ~latency;
+            incr delivered_after_warmup;
+            latency_sum := !latency_sum +. latency
+          end
         end
       end;
       loop ()
@@ -150,6 +208,7 @@ let run ?(config = default_config) net ~vi ~injections =
       Stats.flow = fs.flow;
       injected = fs.injected;
       delivered;
+      lost = fs.lost;
       avg_latency = (if delivered > 0 then Stats.mean fs.acc else nan);
       worst_latency =
         (if delivered > 0 then Stats.max_latency fs.acc else nan);
@@ -159,6 +218,7 @@ let run ?(config = default_config) net ~vi ~injections =
     Stats.flows = Array.to_list (Array.map flow_report states);
     total_injected = !injected_after_warmup;
     total_delivered = !delivered_after_warmup;
+    total_lost = Array.fold_left (fun acc fs -> acc + fs.lost) 0 states;
     overall_avg_latency =
       (if !delivered_after_warmup > 0 then
          !latency_sum /. float_of_int !delivered_after_warmup

@@ -23,10 +23,19 @@ val default_config : config
 
 val run :
   ?config:config ->
+  ?failover:float * Noc_fault.Fault_model.fault ->
   Network.t ->
   vi:Noc_spec.Vi.t ->
   injections:Traffic.injection list ->
   Stats.report
 (** Simulate flit traffic.  Flows not present in the network's programs are
     rejected with [Invalid_argument]; flows with both endpoints live but a
-    route through a gated switch raise {!Gated_switch_traversal}. *)
+    route through a gated switch raise {!Gated_switch_traversal}.
+
+    With [failover:(at, fault)], the fault strikes at simulation time [at]:
+    flits already in flight that reach a dead switch or link are dropped
+    (counted in the per-flow [lost]); packets injected from [at] onwards
+    fail over to the flow's compiled backup program when the primary is
+    affected — or are lost at the source NI when no surviving route exists.
+    Fault-free runs report [lost = 0] everywhere.
+    @raise Invalid_argument on a negative fault time. *)

@@ -6,12 +6,14 @@ type hop = {
   service_cycles : float;
   wire_cycles : float;
   hop_switch : int;
+  hop_link : (int * int) option;
 }
 
 type t = {
   topo : Topology.t;
   port_count : int;
   programs : (Flow.t * hop array) list;
+  backup_programs : (Flow.t * hop array) list;
 }
 
 type port_key =
@@ -46,6 +48,7 @@ let compile topo =
             service_cycles = service;
             wire_cycles = 0.0;
             hop_switch = last;
+            hop_link = None;
           };
         ]
       | a :: (b :: _ as rest) ->
@@ -62,6 +65,7 @@ let compile topo =
             (link_delay +. stages
              +. if crossing then sync_delay else 0.0);
           hop_switch = a;
+          hop_link = Some (a, b);
         }
         :: hops rest
       | [] -> assert false (* commit_flow rejects empty routes *)
@@ -69,18 +73,28 @@ let compile topo =
     (flow, Array.of_list (hops route))
   in
   let programs = List.rev_map program_of topo.Topology.routes in
-  { topo; port_count = !next_port; programs }
+  (* backups share the port-id table: a backup reusing a primary's link
+     contends on the same output-port server *)
+  let backup_programs = List.rev_map program_of topo.Topology.backup_routes in
+  { topo; port_count = !next_port; programs; backup_programs }
 
 let zero_load_latency program =
   Array.fold_left
     (fun acc hop -> acc +. hop.service_cycles +. hop.wire_cycles)
     0.0 program
 
-let program_of_flow t flow =
+let find_program programs flow =
   let rec find = function
     | [] -> raise Not_found
     | (f, program) :: rest ->
       if f.Flow.src = flow.Flow.src && f.Flow.dst = flow.Flow.dst then program
       else find rest
   in
-  find t.programs
+  find programs
+
+let program_of_flow t flow = find_program t.programs flow
+
+let backup_program_of_flow t flow =
+  match find_program t.backup_programs flow with
+  | program -> Some program
+  | exception Not_found -> None

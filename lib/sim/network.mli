@@ -13,6 +13,9 @@ type hop = {
   service_cycles : float;  (** switch pipeline before the port *)
   wire_cycles : float;  (** link + converter delay after the port *)
   hop_switch : int;     (** switch this hop leaves from (for gating checks) *)
+  hop_link : (int * int) option;
+      (** the inter-switch link this hop traverses; [None] on the final
+          ejection hop (used by fault-injection checks) *)
 }
 
 type t = {
@@ -20,6 +23,10 @@ type t = {
   port_count : int;
   programs : (Noc_spec.Flow.t * hop array) list;
       (** same order as the topology's route list *)
+  backup_programs : (Noc_spec.Flow.t * hop array) list;
+      (** compiled from the topology's backup (protection) routes, sharing
+          the primaries' port-id table so shared links contend on the same
+          server *)
 }
 
 val compile : Noc_synthesis.Topology.t -> t
@@ -32,3 +39,6 @@ val zero_load_latency : hop array -> float
 
 val program_of_flow : t -> Noc_spec.Flow.t -> hop array
 (** @raise Not_found if the flow is not routed. *)
+
+val backup_program_of_flow : t -> Noc_spec.Flow.t -> hop array option
+(** The flow's compiled backup program, if it has a backup route. *)

@@ -48,6 +48,17 @@ let run_at_load ?(seed = 0) ?(horizon = 20_000.0) ?(poisson = false)
       }
     net ~vi ~injections
 
+let run_with_fault ?(seed = 0) ?(horizon = 20_000.0) ?(load = 0.3) ~fault ~at
+    soc vi topo =
+  if at < 0.0 || at >= horizon then
+    invalid_arg "Sim.run_with_fault: fault time outside the horizon";
+  let net = Network.compile topo in
+  let injections = Traffic.injections_for_load ~load soc topo ~poisson:false in
+  Engine.run
+    ~config:
+      { Engine.horizon; warmup = horizon /. 10.0; seed; gated_islands = [] }
+    ~failover:(at, fault) net ~vi ~injections
+
 let run_with_shutdown ?(seed = 0) ?(horizon = 20_000.0) ?(load = 0.3) ~gated
     soc vi topo =
   let net = Network.compile topo in

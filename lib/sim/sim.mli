@@ -28,6 +28,23 @@ val run_at_load :
     reported latency is head-injection to tail-ejection (zero-load packet
     latency = route latency + packet_flits - 1 serialization cycles). *)
 
+val run_with_fault :
+  ?seed:int ->
+  ?horizon:float ->
+  ?load:float ->
+  fault:Noc_fault.Fault_model.fault ->
+  at:float ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_synthesis.Topology.t ->
+  Stats.report
+(** Simulate at [load] (default 0.3) and inject [fault] at cycle [at]:
+    in-flight flits reaching the dead component are dropped, later packets
+    of affected flows fail over to their backup route where one exists
+    (topologies from [Synth.run ~protect:true]) and are lost at the source
+    otherwise.  The report's [lost] counters measure the degradation.
+    @raise Invalid_argument if [at] is negative or past the horizon. *)
+
 val run_with_shutdown :
   ?seed:int ->
   ?horizon:float ->

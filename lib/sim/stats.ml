@@ -26,6 +26,7 @@ type flow_report = {
   flow : Noc_spec.Flow.t;
   injected : int;
   delivered : int;
+  lost : int;
   avg_latency : float;
   worst_latency : float;
 }
@@ -34,19 +35,23 @@ type report = {
   flows : flow_report list;
   total_injected : int;
   total_delivered : int;
+  total_lost : int;
   overall_avg_latency : float;
   horizon : float;
 }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>simulation over %.0f cycles: %d/%d flits delivered, avg latency \
+    "@[<v>simulation over %.0f cycles: %d/%d flits delivered%s, avg latency \
      %.2f cycles"
-    r.horizon r.total_delivered r.total_injected r.overall_avg_latency;
+    r.horizon r.total_delivered r.total_injected
+    (if r.total_lost > 0 then Printf.sprintf " (%d lost)" r.total_lost else "")
+    r.overall_avg_latency;
   List.iter
     (fun fr ->
-      Format.fprintf ppf "@,  %a: %d/%d avg %.2f worst %.0f"
-        Noc_spec.Flow.pp fr.flow fr.delivered fr.injected fr.avg_latency
-        fr.worst_latency)
+      Format.fprintf ppf "@,  %a: %d/%d%s avg %.2f worst %.0f"
+        Noc_spec.Flow.pp fr.flow fr.delivered fr.injected
+        (if fr.lost > 0 then Printf.sprintf " (%d lost)" fr.lost else "")
+        fr.avg_latency fr.worst_latency)
     r.flows;
   Format.fprintf ppf "@]"

@@ -17,6 +17,10 @@ type flow_report = {
   flow : Noc_spec.Flow.t;
   injected : int;
   delivered : int;
+  lost : int;
+      (** flits dropped at a faulted switch/link, or never launched
+          because neither primary nor backup route survived the fault
+          (always 0 in fault-free runs) *)
   avg_latency : float;   (** cycles; NaN if nothing delivered *)
   worst_latency : float;
 }
@@ -25,6 +29,7 @@ type report = {
   flows : flow_report list;
   total_injected : int;
   total_delivered : int;
+  total_lost : int;  (** sum of the per-flow [lost] counters *)
   overall_avg_latency : float;
   horizon : float;  (** simulated cycles *)
 }
