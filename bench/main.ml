@@ -11,7 +11,10 @@
      dune exec bench/main.exe -- recovery  # rip-up/reroute recovery stats
                                            # + verification on d26/d36/d48
      dune exec bench/main.exe -- faults    # fault-injection survivability
-                                           # table, d12..d48 (NOC_JOBS) *)
+                                           # table, d12..d48 (NOC_JOBS)
+     dune exec bench/main.exe -- sweep     # memoized sweep engine: cache
+                                           # on/off wall time + identity on
+                                           # d36/d48, writes BENCH_sweep.json *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -305,7 +308,13 @@ let ablation () =
    in
    describe "min-cut (paper)" (logical_result 6);
    describe "round-robin"
-     (Synth.run ~assignment_strategy:Noc_synthesis.Switch_alloc.Round_robin
+     (Synth.run
+        ~options:
+          {
+            Synth.Options.default with
+            Synth.Options.assignment_strategy =
+              Noc_synthesis.Switch_alloc.Round_robin;
+          }
         config soc (logical_vi 6)));
   Printf.printf "\nlink width sweep (6-VI logical, paper S4):\n";
   List.iter
@@ -379,9 +388,14 @@ let speedup () =
       let case = Bench_case.find name in
       let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
       (* one warm-up run so allocation effects hit neither timing *)
-      ignore (Synth.run ~domains:1 config bsoc vi);
-      let t1, r1 = wall (fun () -> Synth.run ~domains:1 config bsoc vi) in
-      let tn, rn = wall (fun () -> Synth.run ~domains:jobs config bsoc vi) in
+      let domains n =
+        { Synth.Options.default with Synth.Options.domains = Some n }
+      in
+      ignore (Synth.run ~options:(domains 1) config bsoc vi);
+      let t1, r1 = wall (fun () -> Synth.run ~options:(domains 1) config bsoc vi) in
+      let tn, rn =
+        wall (fun () -> Synth.run ~options:(domains jobs) config bsoc vi)
+      in
       Printf.printf "%-6s %12.2f %12.2f %8.2fx  %s\n%!" name t1 tn (t1 /. tn)
         (if front_signature r1 = front_signature rn then "identical"
          else "MISMATCH");
@@ -400,13 +414,21 @@ let speedup () =
           sp.Explore.point.DP.avg_latency_cycles ))
       points
   in
+  let sweep_options n =
+    {
+      Explore.Options.synth =
+        { Synth.Options.default with Synth.Options.domains = Some n };
+      verify = true;
+    }
+  in
   let t1, s1 =
     wall (fun () ->
-        Explore.island_sweep ~domains:1 ~verify:true config soc ~partitions)
+        Explore.island_sweep ~options:(sweep_options 1) config soc ~partitions)
   in
   let tn, sn =
     wall (fun () ->
-        Explore.island_sweep ~domains:jobs ~verify:true config soc ~partitions)
+        Explore.island_sweep ~options:(sweep_options jobs) config soc
+          ~partitions)
   in
   Printf.printf
     "island_sweep (d26, %d partitions): %.2f s -> %.2f s (%.2fx), results %s\n"
@@ -454,7 +476,11 @@ let faults () =
     (fun case ->
       let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
       let row ~protect =
-        let r = Synth.run ~protect config bsoc vi in
+        let r =
+          Synth.run
+            ~options:{ Synth.Options.default with Synth.Options.protect }
+            config bsoc vi
+        in
         let topo = (Synth.best_power r).DP.topology in
         let clocks = r.Synth.clocks in
         let campaign label sets =
@@ -477,6 +503,138 @@ let faults () =
       print_newline ())
     Bench_case.all;
   Printf.printf "metrics: %s\n" (Noc_exec.Metrics.to_json ())
+
+(* ---------------- EXP-SWEEP: memoized sweep engine ---------------- *)
+
+(* Full per-point signature (not just the Pareto front): the cached and
+   uncached engines must agree bit for bit on every saved design point. *)
+let point_signature p =
+  ( Power.total_mw p.DP.power,
+    p.DP.avg_latency_cycles,
+    p.DP.switch_count,
+    p.DP.indirect_count,
+    p.DP.link_count,
+    p.DP.crossing_count,
+    p.DP.total_wire_mm )
+
+let result_signature r =
+  ( List.map point_signature r.Synth.points,
+    r.Synth.candidates_tried,
+    r.Synth.candidates_feasible,
+    r.Synth.candidates_recovered )
+
+let sweep () =
+  section
+    "EXP-SWEEP: memoized sweep engine, cache on vs off (writes \
+     BENCH_sweep.json; cached and uncached runs must be bit-identical)";
+  let module J = Noc_synthesis.Report.Json in
+  let gate_failed = ref false in
+  let rows = ref [] in
+  Printf.printf "%-6s %5s %12s %12s %9s  %s\n" "bench" "jobs" "uncached s"
+    "cached s" "speedup" "identical";
+  List.iter
+    (fun name ->
+      let case = Bench_case.find name in
+      let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
+      let options ~cache ~jobs =
+        {
+          Synth.Options.default with
+          Synth.Options.cache;
+          domains = Some jobs;
+        }
+      in
+      (* warm-up so allocation effects hit neither timing *)
+      ignore (Synth.run ~options:(options ~cache:false ~jobs:1) config bsoc vi);
+      List.iter
+        (fun jobs ->
+          (* Reps of the two configurations are interleaved (one uncached,
+             one cached, repeat) until ~3 s of wall clock is spent (at
+             least 5 pairs, at most 30), and each side keeps its fastest
+             rep: the minimum is the standard noise filter for sub-second
+             runs, where one GC major slice or scheduler blip swamps the
+             real difference, and interleaving keeps slow clock-frequency
+             drift from biasing one side.  Every rep starts from cold
+             process-wide tables, so the cached column measures what one
+             sweep's memoization buys, not leftovers of a previous rep. *)
+          let one ~cache =
+            Noc_cache.Memo.clear_all ();
+            wall (fun () ->
+                Synth.run ~options:(options ~cache ~jobs) config bsoc vi)
+          in
+          let best_off = ref infinity and best_on = ref infinity in
+          let r_off = ref None and r_on = ref None in
+          let ratios = ref [] in
+          let keep best result (t, r) =
+            if t < !best then best := t;
+            match !result with
+            | None -> result := Some r
+            | Some prev ->
+              (* every rep must agree with the first, cached or not *)
+              assert (result_signature prev = result_signature r)
+          in
+          let spent = ref 0.0 and pairs = ref 0 in
+          while !pairs < 5 || (!pairs < 30 && !spent < 3.0) do
+            let ((t_off, _) as off) = one ~cache:false in
+            let ((t_on, _) as on_) = one ~cache:true in
+            keep best_off r_off off;
+            keep best_on r_on on_;
+            ratios := (t_off /. t_on) :: !ratios;
+            spent := !spent +. t_off +. t_on;
+            incr pairs
+          done;
+          let t_off, r_off = (!best_off, Option.get !r_off) in
+          let t_on, r_on = (!best_on, Option.get !r_on) in
+          let identical = result_signature r_off = result_signature r_on in
+          (* the speedup is the median of the per-pair ratios: each pair
+             ran back to back, so a ratio is immune to drift, and the
+             median to the occasional GC-stretched outlier rep *)
+          let speedup =
+            let sorted = List.sort compare !ratios in
+            List.nth sorted (List.length sorted / 2)
+          in
+          Printf.printf "%-6s %5d %12.3f %12.3f %8.2fx  %s\n%!" name jobs
+            t_off t_on speedup
+            (if identical then "identical" else "MISMATCH");
+          assert identical;
+          if name = "d36" && jobs = 1 && speedup < 1.0 then
+            gate_failed := true;
+          rows :=
+            J.Obj
+              [
+                ("benchmark", J.String name);
+                ("jobs", J.Int jobs);
+                ("uncached_s", J.Float t_off);
+                ("cached_s", J.Float t_on);
+                ("speedup", J.Float speedup);
+                ("identical", J.Bool identical);
+              ]
+            :: !rows)
+        [ 1; 4 ])
+    [ "d36"; "d48" ];
+  let doc =
+    J.to_string
+      (J.document ~kind:"bench_sweep"
+         [
+           ("cache_counters",
+            J.Obj
+              (List.filter_map
+                 (fun (k, v) ->
+                   if String.length k >= 6 && String.sub k 0 6 = "cache." then
+                     Some (k, J.Int v)
+                   else None)
+                 (Noc_exec.Metrics.counters ())));
+           ("rows", J.List (List.rev !rows));
+         ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_sweep.json\n";
+  if !gate_failed then begin
+    Printf.printf "FAIL: cached d36 sequential sweep slower than uncached\n";
+    exit 1
+  end
 
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
@@ -564,6 +722,7 @@ let all_experiments =
     ("speed", speed);
     ("speedup", speedup);
     ("recovery", recovery);
+    ("sweep", sweep);
     ("faults", faults);
   ]
 

@@ -14,10 +14,23 @@ module DP = Noc_synthesis.Design_point
 module Power = Noc_models.Power
 module Bench_case = Noc_benchmarks.Bench_case
 
-let setup_logs level jobs =
+let setup_logs level jobs metrics =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level;
-  if jobs > 0 then Noc_exec.Pool.set_default_domains jobs
+  if jobs > 0 then Noc_exec.Pool.set_default_domains jobs;
+  (* every subcommand exits through here: dump the process-wide metrics
+     (including the cache.* hit/miss counters) at the last moment *)
+  match metrics with
+  | None -> ()
+  | Some dest ->
+    at_exit (fun () ->
+        let doc = Noc_exec.Metrics.to_json () ^ "\n" in
+        if dest = "-" then print_string doc
+        else begin
+          let oc = open_out dest in
+          output_string oc doc;
+          close_out oc
+        end)
 
 let jobs_arg =
   Arg.(
@@ -30,7 +43,17 @@ let jobs_arg =
            are byte-identical for any $(docv); 0 (the default) means 1 \
            domain unless $(b,NOC_JOBS) is set.")
 
-let logs_term = Term.(const setup_logs $ Logs_cli.level () $ jobs_arg)
+let metrics_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "On exit, dump every Noc_exec.Metrics counter and timer \
+           (including the $(b,cache.*) hit/miss counters) as a JSON \
+           document to $(docv); $(b,-) means stdout.")
+
+let logs_term =
+  Term.(const setup_logs $ Logs_cli.level () $ jobs_arg $ metrics_arg)
 
 let bench_arg =
   let doc =
@@ -108,6 +131,9 @@ let resolve_case bench spec =
 
 let config_of alpha = { Config.default with Config.alpha }
 
+let options_of ?(protect = false) seed =
+  { Synth.Options.default with Synth.Options.seed; protect }
+
 let vi_of_options case ~islands ~comm ~seed =
   if islands = 0 then case.Bench_case.default_vi
   else if comm then
@@ -146,7 +172,7 @@ let synth_run () bench spec islands comm seed alpha netlist dot =
   let case = resolve_case bench spec in
   let config = config_of alpha in
   let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
   let best = Synth.best_power result in
   Format.printf "%d candidates tried, %d feasible@."
     result.Synth.candidates_tried result.Synth.candidates_feasible;
@@ -194,7 +220,7 @@ let explore_run () bench seed alpha =
   List.iter
     (fun k ->
       let describe vi =
-        match Synth.run ~seed config soc vi with
+        match Synth.run ~options:(options_of seed) config soc vi with
         | r ->
           let p = Synth.best_power r in
           Printf.sprintf "%7.1f / %5.2f" (Power.dynamic_mw p.DP.power)
@@ -230,8 +256,8 @@ let baseline_run () bench seed alpha =
   let case = lookup_bench bench in
   let config = config_of alpha in
   let soc = case.Bench_case.soc in
-  let vi_result = Synth.run ~seed config soc case.Bench_case.default_vi in
-  let base_result = Noc_synthesis.Baseline.synthesize ~seed config soc in
+  let vi_result = Synth.run ~options:(options_of seed) config soc case.Bench_case.default_vi in
+  let base_result = Noc_synthesis.Baseline.synthesize ~options:(options_of seed) config soc in
   let comparison =
     Noc_synthesis.Baseline.compare_designs soc
       ~vi_point:(Synth.best_power vi_result)
@@ -252,7 +278,7 @@ let baseline_cmd =
 let leakage_run () bench seed alpha =
   let case = lookup_bench bench in
   let config = config_of alpha in
-  let result = Synth.run ~seed config case.Bench_case.soc case.Bench_case.default_vi in
+  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc case.Bench_case.default_vi in
   let best = Synth.best_power result in
   let report =
     Noc_synthesis.Shutdown.leakage_report config case.Bench_case.soc
@@ -303,7 +329,7 @@ let simulate_run () bench seed load gate poisson =
   let config = Config.default in
   let soc = case.Bench_case.soc in
   let vi = case.Bench_case.default_vi in
-  let result = Synth.run ~seed config soc vi in
+  let result = Synth.run ~options:(options_of seed) config soc vi in
   let best = Synth.best_power result in
   let report =
     if gate = [] then
@@ -344,7 +370,7 @@ let faultsim_run () bench spec islands comm seed alpha protect campaign k
   let case = resolve_case bench spec in
   let config = config_of alpha in
   let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~seed ~protect config case.Bench_case.soc vi in
+  let result = Synth.run ~options:(options_of ~protect seed) config case.Bench_case.soc vi in
   let best = Synth.best_power result in
   let topo = best.DP.topology in
   let sets =
@@ -401,7 +427,7 @@ let faultsim_cmd =
       & info [ "protect" ]
           ~doc:
             "Synthesize with link-disjoint backup routes \
-             ($(b,Synth.run ~protect:true)) and fail (exit 1) if any flow \
+             ($(b,Synth.Options.protect)) and fail (exit 1) if any flow \
              protection could have saved is still lost (flows whose own NI \
              switch died are excluded).")
   in
@@ -452,7 +478,7 @@ let report_run () bench spec islands comm seed =
   let case = resolve_case bench spec in
   let config = Config.default in
   let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
   let best = Synth.best_power result in
   let report = Noc_synthesis.Report.build case.Bench_case.soc vi best in
   Format.printf "%a@."
@@ -475,7 +501,7 @@ let verify_run () bench spec islands comm seed alpha =
   let case = resolve_case bench spec in
   let config = config_of alpha in
   let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
   let best = Synth.best_power result in
   let violations =
     Noc_synthesis.Verify.check config case.Bench_case.soc vi
@@ -501,7 +527,7 @@ let export_run () bench spec islands comm seed out =
   let case = resolve_case bench spec in
   let config = Config.default in
   let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~seed config case.Bench_case.soc vi in
+  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
   let best = Synth.best_power result in
   let svg_path = out ^ ".svg" in
   Noc_synthesis.Viz.save_design_svg ~path:svg_path case.Bench_case.soc vi

@@ -1,0 +1,69 @@
+module Metrics = Noc_exec.Metrics
+
+type ('k, 'v) t = {
+  memo_name : string;
+  hits_counter : string;
+  misses_counter : string;
+  lock : Mutex.t;
+  tbl : ('k, 'v) Hashtbl.t;
+}
+
+let registry_lock = Mutex.create ()
+let registry : (unit -> unit) list ref = ref []
+
+let create ?(size = 64) memo_name =
+  let t =
+    {
+      memo_name;
+      hits_counter = "cache." ^ memo_name ^ ".hits";
+      misses_counter = "cache." ^ memo_name ^ ".misses";
+      lock = Mutex.create ();
+      tbl = Hashtbl.create size;
+    }
+  in
+  Mutex.lock registry_lock;
+  registry :=
+    (fun () ->
+      Mutex.lock t.lock;
+      Hashtbl.reset t.tbl;
+      Mutex.unlock t.lock)
+    :: !registry;
+  Mutex.unlock registry_lock;
+  t
+
+let name t = t.memo_name
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find_opt t key = locked t (fun () -> Hashtbl.find_opt t.tbl key)
+
+let find_or_add t key compute =
+  match find_opt t key with
+  | Some v ->
+    Metrics.incr t.hits_counter;
+    v
+  | None ->
+    Metrics.incr t.misses_counter;
+    (* compute outside the lock: a concurrent miss on the same key just
+       duplicates work on a pure function; first insert wins, so every
+       caller still sees one value per key *)
+    let v = compute () in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some winner -> winner
+        | None ->
+          Hashtbl.add t.tbl key v;
+          v)
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+
+let clear_all () =
+  Mutex.lock registry_lock;
+  let clears = !registry in
+  Mutex.unlock registry_lock;
+  List.iter (fun f -> f ()) clears
+
+let digest v = Digest.string (Marshal.to_string v [ Marshal.No_sharing ])

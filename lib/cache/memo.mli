@@ -1,0 +1,44 @@
+(** Domain-safe keyed memo tables for the incremental sweep engine.
+
+    A table maps structurally-compared keys to values under a private
+    mutex, so lookups may race freely across {!Noc_exec.Pool} workers.
+    Values must be pure functions of their key: when two domains miss on
+    the same key concurrently, both compute and one result wins — which is
+    only sound (and deterministic) if every compute for a key returns the
+    same value.
+
+    Every lookup bumps the [cache.<name>.hits] / [cache.<name>.misses]
+    counters in {!Noc_exec.Metrics}, so cache effectiveness shows up in
+    [--metrics] dumps and the bench harness. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> string -> ('k, 'v) t
+(** [create name] is an empty table registered under [name] (the metrics
+    prefix, and what {!clear_all} reaches).  [size] (default 64) is the
+    initial bucket count. *)
+
+val name : ('k, 'v) t -> string
+
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_add t key compute] returns the cached value for [key], or
+    runs [compute ()] (outside the table lock) and caches its result.
+    The first value stored for a key is the one every later lookup sees.
+    If [compute] raises, nothing is cached and the exception escapes. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Peek without computing; bumps no counter. *)
+
+val length : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit
+
+val clear_all : unit -> unit
+(** Empty every table ever {!create}d — the bench harness calls this
+    between timed runs so cached and uncached timings start cold. *)
+
+val digest : 'a -> string
+(** Canonical content key for an immutable, closure-free value: the MD5 of
+    its [Marshal] representation (without sharing, so structurally equal
+    values digest equally).  Do not pass values containing functions,
+    lazies or custom blocks. *)

@@ -1,0 +1,38 @@
+module Ugraph = Noc_graph.Ugraph
+module Kway = Noc_partition.Kway
+
+let graph_digest g =
+  let b = Buffer.create 256 in
+  let n = Ugraph.node_count g in
+  Buffer.add_string b (string_of_int n);
+  for v = 0 to n - 1 do
+    Buffer.add_char b 'n';
+    Buffer.add_int64_le b (Int64.bits_of_float (Ugraph.node_weight g v))
+  done;
+  List.iter
+    (fun (u, v, w) ->
+      Buffer.add_char b 'e';
+      Buffer.add_string b (string_of_int u);
+      Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_int64_le b (Int64.bits_of_float w))
+    (Ugraph.edges g);
+  Digest.string (Buffer.contents b)
+
+let memo : (string * int * int * int64, Kway.t) Memo.t =
+  Memo.create "partition"
+
+let partition ?digest ~seed ~parts ~max_block_weight g =
+  let digest =
+    match digest with Some d -> d | None -> graph_digest g
+  in
+  let key = (digest, seed, parts, Int64.bits_of_float max_block_weight) in
+  let k =
+    Memo.find_or_add memo key (fun () ->
+        Kway.partition ~seed ~parts ~max_block_weight g)
+  in
+  {
+    k with
+    Kway.assignment = Array.copy k.Kway.assignment;
+    block_weight = Array.copy k.Kway.block_weight;
+  }

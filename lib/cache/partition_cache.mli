@@ -1,0 +1,26 @@
+(** Process-wide cache of min-cut partitions.
+
+    {!Noc_partition.Kway.partition} is deterministic for a fixed seed, so
+    its result is a pure function of (graph, seed, parts,
+    max_block_weight) — the cache key.  Graphs are keyed by content
+    ({!graph_digest} of the canonical sorted edge list), which is what
+    makes the sweep incremental: every candidate of a
+    [Noc_synthesis.Synth.run] sweep that asks for island [i] at [k]
+    switches — and every later run over the same spec — reuses one
+    partition.  Hits/misses land on the [cache.partition.*] counters. *)
+
+val graph_digest : Noc_graph.Ugraph.t -> string
+(** Content digest of a graph: node count, node weights and the sorted
+    weighted edge list.  Structurally equal graphs digest equally. *)
+
+val partition :
+  ?digest:string ->
+  seed:int ->
+  parts:int ->
+  max_block_weight:float ->
+  Noc_graph.Ugraph.t ->
+  Noc_partition.Kway.t
+(** Cached {!Noc_partition.Kway.partition} (default [balance]).  [digest]
+    skips recomputing {!graph_digest} when the caller already has it.  The
+    returned record carries fresh [assignment]/[block_weight] arrays, so
+    callers may scribble on them without corrupting the cache. *)

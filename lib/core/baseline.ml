@@ -2,14 +2,14 @@ module Soc_spec = Noc_spec.Soc_spec
 module Vi = Noc_spec.Vi
 module Power = Noc_models.Power
 
-let synthesize ?(seed = 0) config soc =
+let synthesize ?(options = Synth.Options.default) config soc =
   let flat =
     Soc_spec.make ~name:(soc.Soc_spec.name ^ "-baseline")
       ~cores:soc.Soc_spec.cores ~flows:soc.Soc_spec.flows
       ~flit_bits:soc.Soc_spec.flit_bits ~allow_intermediate_island:false ()
   in
   let vi = Vi.single_island ~cores:(Soc_spec.core_count flat) in
-  Synth.run ~seed config flat vi
+  Synth.run ~options config flat vi
 
 type comparison = {
   vi_point : Design_point.t;

@@ -8,7 +8,7 @@
     of SoC area on average). *)
 
 val synthesize :
-  ?seed:int -> Config.t -> Noc_spec.Soc_spec.t -> Synth.result
+  ?options:Synth.Options.t -> Config.t -> Noc_spec.Soc_spec.t -> Synth.result
 (** Run Algorithm 1 with every core in a single non-shutdownable island and
     no intermediate VI: no crossings exist, so no converter is ever
     inserted and a single NoC clock is used — the conventional flow. *)

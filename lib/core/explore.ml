@@ -14,11 +14,20 @@ let log_src = Logs.Src.create "noc.explore" ~doc:"NoC design-space exploration"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let island_sweep ?(seed = 0) ?domains ?(verify = false) config soc ~partitions
-    =
-  Pool.parallel_filter_map ?domains
+module Options = struct
+  type t = {
+    synth : Synth.Options.t;  (* applied to every inner [Synth.run] *)
+    verify : bool;
+  }
+
+  let default = { synth = Synth.Options.default; verify = false }
+end
+
+let island_sweep ?(options = Options.default) config soc ~partitions =
+  let verify = options.Options.verify in
+  Pool.parallel_filter_map ?domains:options.Options.synth.Synth.Options.domains
     (fun (label, vi) ->
-      match Synth.run ~seed config soc vi with
+      match Synth.run ~options:options.Options.synth config soc vi with
       | result ->
         let point = Synth.best_power result in
         (match
@@ -37,6 +46,16 @@ let island_sweep ?(seed = 0) ?domains ?(verify = false) config soc ~partitions
       | exception Synth.No_feasible_design _ -> None
       | exception Freq_assign.Infeasible _ -> None)
     partitions
+
+let island_sweep_legacy ?(seed = 0) ?domains ?(verify = false) config soc
+    ~partitions =
+  island_sweep
+    ~options:
+      {
+        Options.synth = { Synth.Options.default with seed; domains };
+        verify;
+      }
+    config soc ~partitions
 
 let dominates a b =
   let pa = Power.total_mw a.Design_point.power
@@ -106,7 +125,7 @@ let best_scenario_weighted config soc vi ~scenarios result =
         if s < best_score then (p, s) else best)
       (first, score first) rest
 
-let width_sweep ?(seed = 0) config soc vi ~widths =
+let width_sweep ?(options = Synth.Options.default) config soc vi ~widths =
   List.filter_map
     (fun flit_bits ->
       let soc =
@@ -117,17 +136,17 @@ let width_sweep ?(seed = 0) config soc vi ~widths =
           ~allow_intermediate_island:
             soc.Noc_spec.Soc_spec.allow_intermediate_island ()
       in
-      match Synth.run ~seed config soc vi with
+      match Synth.run ~options config soc vi with
       | result -> Some (flit_bits, Synth.best_power result)
       | exception Synth.No_feasible_design _ -> None
       | exception Freq_assign.Infeasible _ -> None)
     widths
 
-let alpha_sweep ?(seed = 0) config soc vi ~alphas =
+let alpha_sweep ?(options = Synth.Options.default) config soc vi ~alphas =
   List.filter_map
     (fun alpha ->
       let config = { config with Config.alpha } in
-      match Synth.run ~seed config soc vi with
+      match Synth.run ~options config soc vi with
       | result -> Some (alpha, Synth.best_power result)
       | exception Synth.No_feasible_design _ -> None
       | exception Freq_assign.Infeasible _ -> None)

@@ -11,7 +11,41 @@ type sweep_point = {
   result : Synth.result;
 }
 
+(** Sweep-level options: the {!Synth.Options.t} applied to every inner
+    synthesis run, plus the sweep's own [verify] knob. *)
+module Options : sig
+  type t = {
+    synth : Synth.Options.t;
+        (** inner synthesis options; [synth.domains] also sets how many
+            domains the sweep itself fans out on *)
+    verify : bool;
+        (** additionally run {!Verify.check_all} on each kept design; a
+            partition whose best point fails verification is skipped (and
+            counted under the [explore.verify_failed] metric) — a safety
+            net for sweeps that lean on the rip-up/reroute recovery path *)
+  }
+
+  val default : t
+  (** [{ synth = Synth.Options.default; verify = false }] *)
+end
+
 val island_sweep :
+  ?options:Options.t ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  partitions:(string * Noc_spec.Vi.t) list ->
+  sweep_point list
+(** Synthesize once per named VI assignment and keep each best-power point.
+    Assignments whose synthesis is infeasible are skipped (they simply do
+    not appear in the output).  The partitions are synthesized on
+    [options.synth.domains] domains (default
+    {!Noc_exec.Pool.default_domains}); the output list is in [partitions]
+    order regardless of the domain count.  With the default
+    [options.synth.cache = true], repeated sweeps over the same SoC reuse
+    memoized clocks, floorplans and min-cut partitions (metrics
+    [cache.*]) with bit-identical results. *)
+
+val island_sweep_legacy :
   ?seed:int ->
   ?domains:int ->
   ?verify:bool ->
@@ -19,16 +53,9 @@ val island_sweep :
   Noc_spec.Soc_spec.t ->
   partitions:(string * Noc_spec.Vi.t) list ->
   sweep_point list
-(** Synthesize once per named VI assignment and keep each best-power point.
-    Assignments whose synthesis is infeasible are skipped (they simply do
-    not appear in the output).  [domains] (default
-    {!Noc_exec.Pool.default_domains}) synthesizes the partitions on that
-    many domains; the output list is in [partitions] order regardless of
-    the domain count.  [verify] (default [false]) additionally runs
-    {!Verify.check_all} on each kept design; a partition whose best point
-    fails verification is skipped (and counted under the
-    [explore.verify_failed] metric) — a safety net for sweeps that lean on
-    the rip-up/reroute recovery path. *)
+  [@@ocaml.deprecated "use Explore.island_sweep ?options"]
+(** Pre-{!Options} interface; equivalent to [island_sweep ~options:{ synth
+    = { Synth.Options.default with seed; domains }; verify }]. *)
 
 val dominates : Design_point.t -> Design_point.t -> bool
 (** [dominates a b]: [a] is at least as good as [b] on both (total NoC
@@ -48,7 +75,7 @@ val pareto : Design_point.t list -> Design_point.t list
     one. *)
 
 val alpha_sweep :
-  ?seed:int ->
+  ?options:Synth.Options.t ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
@@ -72,7 +99,7 @@ val best_scenario_weighted :
     @raise Synth.No_feasible_design on an empty result. *)
 
 val width_sweep :
-  ?seed:int ->
+  ?options:Synth.Options.t ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->

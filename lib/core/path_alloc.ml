@@ -43,6 +43,27 @@ let mask_union a b =
     dead_link = (fun u v -> a.dead_link u v || b.dead_link u v);
   }
 
+(* The hop-energy memo, laid out for the Dijkstra inner loop: directly
+   indexed slots — no hashing, no allocation — holding the
+   flow-independent cost factors, each tagged with the inputs it was
+   computed from (a slot whose tag no longer matches is recomputed and
+   overwritten).  The factors are cached separately because they drift at
+   very different rates: the wire part of a hop (link, converter and
+   register energy, standing power, latency) is pure in the fixed
+   geometry and [stages], which is constant per (is_new, u, v) pair in
+   practice — while the switch-traversal part depends on v's live port
+   counts, which change every time routing opens a link.  Coupling them
+   under one tag would throw away the expensive wire model on every port
+   drift. *)
+type hop_cache = {
+  wire_tag : int array;       (* stages, or -1 cold — per (is_new, u, v) *)
+  wire_energy : float array;  (* energy_pj of the wire part of the hop *)
+  wire_standing : float array; (* standing mW of opening the link *)
+  wire_latency : float array; (* hop latency in cycles, as Dijkstra uses it *)
+  sw_tag : int array;         (* packed ports, or -1 cold — per (is_new, v) *)
+  sw_energy : float array;    (* energy_pj of traversing switch v *)
+}
+
 (* Mutable routing state: port counters are maintained incrementally because
    recounting them from the link table inside Dijkstra would be
    quadratic. *)
@@ -57,9 +78,24 @@ type state = {
   out_to_inter : bool array;
       (* direct switch already owns a link towards the intermediate VI *)
   in_from_inter : bool array;
+  hop_cache : hop_cache option;
+      (* direct-indexed (energy_pj, standing_mw) per (is_new, u, v) hop,
+         tag-validated against the evolving (stages, ports) inputs — see
+         [hop_power_latency].  Local to this state (one domain), no lock. *)
+  new_stages : int array option;
+      (* pipeline stages of a prospective u->v link ([-1] cold) — pure in
+         the fixed geometry and u's clock, so one manhattan/stage model
+         evaluation per pair instead of one per Dijkstra probe. *)
+  allowed_memo : (int, int array) Hashtbl.t option;
+      (* ascending switch ids admissible for an (si, di) flow — a pure
+         function of the fixed switch locations.  Fault masks are checked
+         per lookup, never baked in, so states sharing these tables across
+         a mask change ([route_backup]) stay correct. *)
+  hop_hits : int ref;   (* flushed to Metrics in batch: the global counter *)
+  hop_misses : int ref; (* mutex must not be taken per Dijkstra edge *)
 }
 
-let make_state ?(mask = no_mask) config topo ~clocks =
+let make_state ?(mask = no_mask) ?(cache = true) config topo ~clocks =
   let n = Array.length topo.Topology.switches in
   let inter = lazy (Freq_assign.intermediate_clock config clocks) in
   let arity_of sw =
@@ -87,7 +123,33 @@ let make_state ?(mask = no_mask) config topo ~clocks =
     has_indirect;
     out_to_inter = Array.make n false;
     in_from_inter = Array.make n false;
+    hop_cache =
+      (if cache then
+         Some
+           {
+             wire_tag = Array.make (2 * n * n) (-1);
+             wire_energy = Array.make (2 * n * n) 0.0;
+             wire_standing = Array.make (2 * n * n) 0.0;
+             wire_latency = Array.make (2 * n * n) 0.0;
+             sw_tag = Array.make (2 * n) (-1);
+             sw_energy = Array.make (2 * n) 0.0;
+           }
+       else None);
+    new_stages = (if cache then Some (Array.make (n * n) (-1)) else None);
+    allowed_memo = (if cache then Some (Hashtbl.create 16) else None);
+    hop_hits = ref 0;
+    hop_misses = ref 0;
   }
+
+let flush_hop_metrics state =
+  if !(state.hop_hits) > 0 then begin
+    Metrics.incr ~by:!(state.hop_hits) "cache.hop_energy.hits";
+    state.hop_hits := 0
+  end;
+  if !(state.hop_misses) > 0 then begin
+    Metrics.incr ~by:!(state.hop_misses) "cache.hop_energy.misses";
+    state.hop_misses := 0
+  end
 
 let is_intermediate state s =
   state.topo.Topology.switches.(s).Topology.location = Topology.Intermediate
@@ -138,32 +200,36 @@ let stages_needed config sw_u ~length_mm =
       ~freq_mhz:sw_u.Topology.freq_mhz
   else 0
 
-(* Power increase of pushing the flow through hop u->v (entering switch v),
-   in mW; [is_new] adds the opening bias and, for crossings, the leakage of
-   the converter that would be instantiated. *)
-let hop_power_mw config state flow ~is_new ~stages u v =
+(* The switch-traversal part of a hop's energy: entering switch [v] sized
+   as it would be with this flow admitted.  Depends on the evolving port
+   counts only through the packed (v, inputs, outputs) memo key. *)
+let hop_switch_energy_pj config state ~is_new v =
+  let topo = state.topo in
+  let sw_v = topo.Topology.switches.(v) in
+  let switch_cfg =
+    {
+      Switch_model.inputs = max 2 (state.in_ports.(v) + if is_new then 1 else 0);
+      outputs = max 2 state.out_ports.(v);
+      flit_bits = topo.Topology.flit_bits;
+      buffer_depth = config.Config.buffer_depth;
+    }
+  in
+  Switch_model.energy_per_flit_pj config.Config.tech switch_cfg
+    ~vdd:sw_v.Topology.vdd
+
+(* The wire part of a hop's cost — link, converter and pipeline-register
+   energy plus the standing power of opening the link — a pure function of
+   the topology's fixed geometry and supplies and (is_new, stages): the
+   (is_new, stages, u, v) memo key. *)
+let hop_wire_energy_standing config state ~is_new ~stages u v =
   let topo = state.topo in
   let tech = config.Config.tech in
   let flit_bits = topo.Topology.flit_bits in
-  let rate =
-    Units.flits_per_second ~bw_mbps:flow.Flow.bandwidth_mbps ~flit_bits
-  in
   let sw_v = topo.Topology.switches.(v) in
   let sw_u = topo.Topology.switches.(u) in
   let crossing = Topology.is_crossing topo u v in
   let length =
     Geometry.manhattan sw_u.Topology.position sw_v.Topology.position
-  in
-  let switch_cfg =
-    {
-      Switch_model.inputs = max 2 (state.in_ports.(v) + if is_new then 1 else 0);
-      outputs = max 2 state.out_ports.(v);
-      flit_bits;
-      buffer_depth = config.Config.buffer_depth;
-    }
-  in
-  let e_switch =
-    Switch_model.energy_per_flit_pj tech switch_cfg ~vdd:sw_v.Topology.vdd
   in
   let e_link =
     Link_model.energy_per_flit_pj tech ~length_mm:length ~flit_bits
@@ -181,11 +247,6 @@ let hop_power_mw config state flow ~is_new ~stages u v =
          ~vdd:sw_u.Topology.vdd
   in
   let e_open = if is_new then config.Config.new_link_penalty_pj else 0.0 in
-  let dynamic =
-    Units.power_mw_of_energy
-      ~energy_pj:(e_switch +. e_link +. e_sync +. e_registers +. e_open)
-      ~events_per_second:rate
-  in
   (* Opening a link costs standing power whether or not this flow is hot:
      one extra port's clock energy on both switches, plus — on a crossing —
      the converter's leakage and clock.  This is what consolidates
@@ -213,7 +274,103 @@ let hop_power_mw config state flow ~is_new ~stages u v =
       port_clock sw_u +. port_clock sw_v +. converter
     end
   in
-  dynamic +. standing
+  (e_link +. e_sync +. e_registers +. e_open, standing)
+
+(* Flow-independent factors of a hop's cost: the energy a flit spends on
+   hop u->v (entering switch v), and the standing power of opening the
+   link.  Summed switch-part-first so the memoized recomposition in
+   [hop_power_latency] rounds identically. *)
+let hop_energy_standing config state ~is_new ~stages u v =
+  let e_switch = hop_switch_energy_pj config state ~is_new v in
+  let e_wire, standing =
+    hop_wire_energy_standing config state ~is_new ~stages u v
+  in
+  (e_switch +. e_wire, standing)
+
+(* Packed (in_ports v, out_ports v) — everything the switch-traversal
+   cost reads that can drift as routing opens links.  [-1] (an oversized
+   field) falls back to direct computation, so packing limits can never
+   produce a wrong hit. *)
+let switch_tag_of state v =
+  let in_v = state.in_ports.(v) and out_v = state.out_ports.(v) in
+  if in_v >= 0 && in_v < 1024 && out_v >= 0 && out_v < 1024 then
+    (in_v lsl 10) lor out_v
+  else -1
+
+(* Power increase of pushing the flow through hop u->v (entering switch v),
+   in mW; [is_new] adds the opening bias and, for crossings, the leakage of
+   the converter that would be instantiated.
+
+   This is the synthesis hot spot (~1.5M evaluations per d36 sweep), so
+   the flow-independent factors are memoized per routing state in directly
+   indexed arrays — the wire slot per (is_new, u, v) validated against
+   [stages], the switch slot per (is_new, v) against the live port counts
+   — so a lookup neither hashes nor allocates.
+   The flow only enters through the flit rate, and
+   [Units.power_mw_of_energy ~energy_pj ~events_per_second] is linear in
+   the rate, so caching the exact (energy_pj, standing_mw) pair and
+   recomposing through the same call keeps cached and uncached results
+   bit-identical. *)
+let hop_power_latency config state flow ~is_new ~stages u v =
+  let rate =
+    Units.flits_per_second ~bw_mbps:flow.Flow.bandwidth_mbps
+      ~flit_bits:state.topo.Topology.flit_bits
+  in
+  let direct () =
+    let energy_pj, standing =
+      hop_energy_standing config state ~is_new ~stages u v
+    in
+    let crossing = Topology.is_crossing state.topo u v in
+    (energy_pj, standing, float_of_int (hop_latency_cycles ~crossing ~stages))
+  in
+  let energy_pj, standing, latency =
+    match state.hop_cache with
+    | None -> direct ()
+    | Some hc ->
+      let sw_tag = switch_tag_of state v in
+      if sw_tag < 0 then direct ()
+      else begin
+        let n = Array.length state.topo.Topology.switches in
+        let widx = ((((if is_new then 1 else 0) * n) + u) * n) + v in
+        let sidx = (if is_new then n else 0) + v in
+        let e_wire, standing, latency =
+          if hc.wire_tag.(widx) = stages then begin
+            incr state.hop_hits;
+            ( hc.wire_energy.(widx),
+              hc.wire_standing.(widx),
+              hc.wire_latency.(widx) )
+          end
+          else begin
+            incr state.hop_misses;
+            let e_wire, standing =
+              hop_wire_energy_standing config state ~is_new ~stages u v
+            in
+            let crossing = Topology.is_crossing state.topo u v in
+            let latency =
+              float_of_int (hop_latency_cycles ~crossing ~stages)
+            in
+            hc.wire_tag.(widx) <- stages;
+            hc.wire_energy.(widx) <- e_wire;
+            hc.wire_standing.(widx) <- standing;
+            hc.wire_latency.(widx) <- latency;
+            (e_wire, standing, latency)
+          end
+        in
+        let e_switch =
+          if hc.sw_tag.(sidx) = sw_tag then hc.sw_energy.(sidx)
+          else begin
+            let e = hop_switch_energy_pj config state ~is_new v in
+            hc.sw_tag.(sidx) <- sw_tag;
+            hc.sw_energy.(sidx) <- e;
+            e
+          end
+        in
+        (* same association as [hop_energy_standing]: switch part first *)
+        (e_switch +. e_wire, standing, latency)
+      end
+  in
+  (Units.power_mw_of_energy ~energy_pj ~events_per_second:rate +. standing,
+   latency)
 
 (* Normalization so the beta mix is dimensionless: a "typical" hop is a 5x5
    switch plus 2 mm of wire at nominal supply. *)
@@ -238,26 +395,80 @@ let reference_hop_power_mw config topo flow =
   in
   Float.max 1e-9 (Units.power_mw_of_energy ~energy_pj:e ~events_per_second:rate)
 
-let successors config state flow ~si ~di ~beta u =
+(* Ascending ids of the switches an (si, di) flow may visit — a pure
+   function of the topology's fixed switch locations, so it is worth
+   memoizing per state (fault masks are deliberately NOT baked in: a
+   [route_backup] state shares these tables across a mask change). *)
+let compute_allowed state ~si ~di =
+  let n = Array.length state.topo.Topology.switches in
+  let buf = Array.make n 0 in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if node_allowed state ~si ~di v then begin
+      buf.(!count) <- v;
+      incr count
+    end
+  done;
+  Array.sub buf 0 !count
+
+let allowed_nodes state ~si ~di =
+  match state.allowed_memo with
+  | Some tbl when si >= 0 && si < 0xFFFFF && di >= 0 && di < 0xFFFFF ->
+    let key = (si lsl 20) lor di in
+    (match Hashtbl.find_opt tbl key with
+     | Some nodes -> Some nodes
+     | None ->
+       let nodes = compute_allowed state ~si ~di in
+       Hashtbl.add tbl key nodes;
+       Some nodes)
+  | Some _ | None -> None
+
+(* Pipeline stages of a prospective u->v link, through [state.new_stages]
+   when memoization is on. *)
+let new_link_stages config state u v =
+  let compute () =
+    let topo = state.topo in
+    let sw_u = topo.Topology.switches.(u) in
+    let sw_v = topo.Topology.switches.(v) in
+    let length =
+      Geometry.manhattan sw_u.Topology.position sw_v.Topology.position
+    in
+    stages_needed config sw_u ~length_mm:length
+  in
+  match state.new_stages with
+  | None -> compute ()
+  | Some arr ->
+    let idx = (u * Array.length state.topo.Topology.switches) + v in
+    let cached = arr.(idx) in
+    if cached >= 0 then cached
+    else begin
+      let fresh = compute () in
+      arr.(idx) <- fresh;
+      fresh
+    end
+
+(* [p_norm] is [reference_hop_power_mw] for this flow — constant across
+   one Dijkstra run, so callers hoist it out of the per-node expansion.
+   Push-iterator shape ({!Dijkstra.run_to_iter}): calls [relax v cost] per
+   admissible edge instead of building a list per expansion. *)
+let successors_iter config state flow ~si ~di ~beta ~p_norm ~allowed u relax =
   let topo = state.topo in
   let n = Array.length topo.Topology.switches in
-  let p_norm = reference_hop_power_mw config topo flow in
   let lat_norm = float_of_int flow.Flow.max_latency_cycles in
-  let result = ref [] in
-  for v = 0 to n - 1 do
+  let consider v =
     if
       v <> u
       && (not (state.mask.dead_switch v))
       && (not (state.mask.dead_link u v))
-      && node_allowed state ~si ~di v
     then begin
+      (* one link lookup decides admissibility AND the pipeline stages *)
       let candidate =
         match Topology.find_link topo ~src:u ~dst:v with
         | Some link ->
           if
             link.Topology.bw_mbps +. flow.Flow.bandwidth_mbps
             <= link_capacity state u v +. 1e-9
-          then Some false
+          then Some (false, link.Topology.stages)
           else None
         | None ->
           (* links touching the intermediate VI may consume the reserved
@@ -275,38 +486,36 @@ let successors config state flow ~si ~di ~beta u =
             && state.out_ports.(u) + 1 <= out_cap
             && state.in_ports.(v) + 1 <= in_cap
             && flow.Flow.bandwidth_mbps <= link_capacity state u v +. 1e-9
-          then Some true
+          then Some (true, new_link_stages config state u v)
           else None
       in
       match candidate with
       | None -> ()
-      | Some is_new ->
-        let crossing = Topology.is_crossing topo u v in
-        let stages =
-          if is_new then begin
-            let sw_u = topo.Topology.switches.(u) in
-            let sw_v = topo.Topology.switches.(v) in
-            let length =
-              Geometry.manhattan sw_u.Topology.position sw_v.Topology.position
-            in
-            stages_needed config sw_u ~length_mm:length
-          end
-          else
-            match Topology.find_link topo ~src:u ~dst:v with
-            | Some link -> link.Topology.stages
-            | None -> 0
+      | Some (is_new, stages) ->
+        let power, latency =
+          hop_power_latency config state flow ~is_new ~stages u v
         in
-        let power = hop_power_mw config state flow ~is_new ~stages u v in
-        let latency = float_of_int (hop_latency_cycles ~crossing ~stages) in
         let cost =
           (beta *. (power /. p_norm))
           +. ((1.0 -. beta) *. (latency /. lat_norm))
         in
         (* strictly positive costs keep Dijkstra's invariants honest *)
-        result := (v, Float.max 1e-9 cost) :: !result
+        relax v (Float.max 1e-9 cost)
     end
-  done;
-  !result
+  in
+  (* Both walks visit the same admissible nodes in the same order, so
+     Dijkstra's tie-breaking — and every route — is identical with the
+     memo on or off.  (Descending, matching the consed successor lists of
+     earlier revisions, so routes stay stable across the refactor.) *)
+  match allowed with
+  | Some nodes ->
+    for i = Array.length nodes - 1 downto 0 do
+      consider nodes.(i)
+    done
+  | None ->
+    for v = n - 1 downto 0 do
+      if node_allowed state ~si ~di v then consider v
+    done
 
 let open_missing config state route =
   let topo = state.topo in
@@ -359,10 +568,15 @@ let route_flow config state flow =
     Ok ()
   end
   else begin
+    let p_norm = reference_hop_power_mw config topo flow in
+    (* one memo lookup per flow, not one per node expansion *)
+    let allowed = allowed_nodes state ~si:!si ~di:!di in
     let attempt beta =
-      Dijkstra.run_to
+      Dijkstra.run_to_iter
         ~n:(Array.length topo.Topology.switches)
-        ~successors:(successors config state flow ~si:!si ~di:!di ~beta)
+        ~successors_iter:
+          (successors_iter config state flow ~si:!si ~di:!di ~beta ~p_norm
+             ~allowed)
         ~source:ss ~target:ds
     in
     let try_route beta =
@@ -580,9 +794,9 @@ let islands_of_flow state flow =
   | Topology.Island a, Topology.Island b -> (a, b)
   | _ -> assert false (* cores never attach to indirect switches *)
 
-let route_all ?(priority = []) config soc topo ~clocks =
+let route_all ?(priority = []) ?cache config soc topo ~clocks =
   Metrics.time "path_alloc.route_all" @@ fun () ->
-  let state = make_state config topo ~clocks in
+  let state = make_state ?cache config topo ~clocks in
   let pristine = save state in
   let flows_of priority =
     (* position in the priority list, or max_int for unlisted flows *)
@@ -652,6 +866,7 @@ let route_all ?(priority = []) config soc topo ~clocks =
   (match result with
    | Ok _ -> Topology.clear_journal topo
    | Error _ -> ());
+  flush_hop_metrics state;
   result
 
 (* ---------- incremental sessions (fault repair) ---------- *)
@@ -666,8 +881,8 @@ type session = {
   s_state : state;
 }
 
-let session ?mask config topo ~clocks =
-  { s_config = config; s_state = make_state ?mask config topo ~clocks }
+let session ?mask ?cache config topo ~clocks =
+  { s_config = config; s_state = make_state ?mask ?cache config topo ~clocks }
 
 let discard { s_state = state; _ } flow =
   match Topology.remove_flow state.topo flow with
@@ -677,13 +892,17 @@ let discard { s_state = state; _ } flow =
     true
 
 let reroute { s_config = config; s_state = state } flow =
-  match route_flow config state flow with
-  | Ok () -> Ok ()
-  | Error e ->
-    let si, di = islands_of_flow state flow in
-    (match rip_up_and_reroute config state flow ~si ~di with
-     | `Recovered _ -> Ok ()
-     | `Failed _ -> Error e)
+  let result =
+    match route_flow config state flow with
+    | Ok () -> Ok ()
+    | Error e ->
+      let si, di = islands_of_flow state flow in
+      (match rip_up_and_reroute config state flow ~si ~di with
+       | `Recovered _ -> Ok ()
+       | `Failed _ -> Error e)
+  in
+  flush_hop_metrics state;
+  result
 
 (* ---------- protection (backup) routes ---------- *)
 
@@ -697,10 +916,13 @@ let links_of_route route =
 let route_backup_with config state flow ~si ~di ~ss ~ds mask =
   let masked = { state with mask } in
   let topo = state.topo in
+  let p_norm = reference_hop_power_mw config topo flow in
+  let allowed = allowed_nodes masked ~si ~di in
   let attempt beta =
-    Dijkstra.run_to
+    Dijkstra.run_to_iter
       ~n:(Array.length topo.Topology.switches)
-      ~successors:(successors config masked flow ~si ~di ~beta)
+      ~successors_iter:
+        (successors_iter config masked flow ~si ~di ~beta ~p_norm ~allowed)
       ~source:ss ~target:ds
   in
   (* Backups only carry traffic after a fault, in degraded mode; they get
@@ -768,7 +990,11 @@ let route_backup { s_config = config; s_state = state } flow =
       route_backup_with config state flow ~si ~di ~ss ~ds
         (mask_union state.mask m)
     in
-    match attempt switch_disjoint with
-    | Ok () -> Ok ()
-    | Error _ -> attempt link_disjoint
+    let result =
+      match attempt switch_disjoint with
+      | Ok () -> Ok ()
+      | Error _ -> attempt link_disjoint
+    in
+    flush_hop_metrics state;
+    result
   end

@@ -41,6 +41,7 @@ type stats = {
 
 val route_all :
   ?priority:(int * int) list ->
+  ?cache:bool ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Topology.t ->
@@ -54,7 +55,13 @@ val route_all :
     [priority] are routed first, in [priority] order.  Failures recover
     in place per the module description; the result reports what recovery
     had to do.  Deterministic: identical inputs produce identical
-    topologies, routes and stats. *)
+    topologies, routes and stats.
+
+    [cache] (default [true]) memoizes the flow-independent factors of the
+    hop cost per allocation — the synthesis hot spot.  Cached and uncached
+    runs are bit-identical (see ALGORITHM.md, "Memoization soundness");
+    hits/misses are reported in {!Noc_exec.Metrics} as
+    [cache.hop_energy.hits] / [cache.hop_energy.misses]. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -84,6 +91,7 @@ type session
 
 val session :
   ?mask:mask ->
+  ?cache:bool ->
   Config.t ->
   Topology.t ->
   clocks:Freq_assign.island_clock array ->
@@ -91,7 +99,8 @@ val session :
 (** Recounts ports and capacities from the topology as it stands.  Links
     already dropped by a fault should be removed (rip up their flows)
     before the session is created so the counters match the survivor
-    fabric; the mask then prevents reopening them. *)
+    fabric; the mask then prevents reopening them.  [cache] is as in
+    {!route_all}. *)
 
 val discard : session -> Noc_spec.Flow.t -> bool
 (** Rip up the committed route of the flow (see {!Topology.remove_flow})

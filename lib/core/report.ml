@@ -1,3 +1,4 @@
+module Json = Noc_exec.Json
 module Soc_spec = Noc_spec.Soc_spec
 module Vi = Noc_spec.Vi
 module Core_spec = Noc_spec.Core_spec

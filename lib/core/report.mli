@@ -8,6 +8,11 @@
     width, pipeline stages, committed bandwidth and utilization) — plus
     per-island and whole-design summaries. *)
 
+(** The repo-wide JSON emitter, re-exported so every machine-readable
+    report (metrics, survivability, bench results) is built and
+    versioned through one interface — see [docs/FORMAT.md]. *)
+module Json = Noc_exec.Json
+
 type t = {
   design_name : string;
   point : Design_point.t;

@@ -24,8 +24,15 @@ let core_traffic_weight soc core =
 
 type strategy = Min_cut | Round_robin
 
-let build ?(seed = 0) ?(strategy = Min_cut) config soc vi ~plan ~clocks ~vcgs
-    ~switch_counts ~indirect_count =
+let build ?(seed = 0) ?(strategy = Min_cut) ?partition config soc vi ~plan
+    ~clocks ~vcgs ~switch_counts ~indirect_count =
+  let partition =
+    match partition with
+    | Some f -> f
+    | None ->
+      fun ~island ~parts ~max_block_weight g ->
+        Kway.partition ~seed:(seed + island) ~parts ~max_block_weight g
+  in
   if Array.length clocks <> vi.Vi.islands then
     invalid_arg "Switch_alloc.build: clocks length mismatch";
   if Array.length vcgs <> vi.Vi.islands then
@@ -63,8 +70,7 @@ let build ?(seed = 0) ?(strategy = Min_cut) config soc vi ~plan ~clocks ~vcgs
     let assignment =
       match strategy with
       | Min_cut ->
-        (Kway.partition ~seed:(seed + island) ~parts:k ~max_block_weight:cap
-           vcg.Vcg.graph)
+        (partition ~island ~parts:k ~max_block_weight:cap vcg.Vcg.graph)
           .Kway.assignment
       | Round_robin ->
         (* traffic-blind baseline for the step-11 ablation *)

@@ -17,6 +17,12 @@ type strategy =
 val build :
   ?seed:int ->
   ?strategy:strategy ->
+  ?partition:
+    (island:int ->
+    parts:int ->
+    max_block_weight:float ->
+    Noc_graph.Ugraph.t ->
+    Noc_partition.Kway.t) ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
@@ -30,6 +36,13 @@ val build :
     first), indirect switches last.  Each direct switch sits at the
     bandwidth-weighted centroid of its attached cores; indirect switches
     spread along the NoC channel.
+
+    [partition] overrides how a [Min_cut] island's VCG is split into
+    switch blocks; the default calls {!Noc_partition.Kway.partition} with
+    [~seed:(seed + island)].  {!Synth.run} injects a memoized partitioner
+    here so repeated sweeps reuse cached min-cut solutions (the override
+    must be observationally equal to the default for results to stay
+    deterministic).
 
     @raise Invalid_argument if a switch count is below the island's minimum
     or above its core count, or array lengths disagree. *)

@@ -4,8 +4,13 @@ module Vcg = Noc_spec.Vcg
 module Placer = Noc_floorplan.Placer
 module Anneal = Noc_floorplan.Anneal
 module Power = Noc_models.Power
+module Units = Noc_models.Units
+module Switch_model = Noc_models.Switch_model
+module Ni_model = Noc_models.Ni_model
 module Pool = Noc_exec.Pool
 module Metrics = Noc_exec.Metrics
+module Memo = Noc_cache.Memo
+module Partition_cache = Noc_cache.Partition_cache
 
 type result = {
   points : Design_point.t list;
@@ -22,17 +27,188 @@ let log_src = Logs.Src.create "noc.synth" ~doc:"NoC topology synthesis"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cut)
-    ?(protect = false) ?domains config soc vi =
-  Metrics.time "synth.run" @@ fun () ->
-  Config.validate config;
-  let clocks = Freq_assign.assign config soc vi in
-  let plan0 = Placer.place soc vi in
-  let plan =
-    if anneal then Metrics.time "synth.anneal" (fun () -> Anneal.improve ~seed soc vi plan0)
+module Options = struct
+  type t = {
+    seed : int;
+    anneal : bool;
+    assignment_strategy : Switch_alloc.strategy;
+    protect : bool;
+    domains : int option;
+    cache : bool;
+    prune : bool;
+  }
+
+  let default =
+    {
+      seed = 0;
+      anneal = true;
+      assignment_strategy = Switch_alloc.Min_cut;
+      protect = false;
+      domains = None;
+      cache = true;
+      prune = false;
+    }
+end
+
+(* ---------- cross-run memo tables ---------- *)
+
+(* Per-island clocking and the (annealed) floorplan are pure functions of
+   their inputs, recomputed identically for every scenario of a sweep.
+   Both are memoized process-wide on a content digest of the inputs;
+   cached arrays are copied on the way out so callers can never corrupt
+   the tables.  [Explore.island_sweep] re-runs [Synth.run] once per
+   shutdown scenario over the same [config]/[soc]/[plan], which is where
+   these tables pay off. *)
+let clocks_memo : (string, Freq_assign.island_clock array) Memo.t =
+  Memo.create "clocks"
+
+let plan_memo : (string, Placer.plan) Memo.t = Memo.create "plan"
+
+let copy_plan (p : Placer.plan) =
+  {
+    p with
+    Placer.island_rects = Array.copy p.Placer.island_rects;
+    core_rects = Array.copy p.Placer.core_rects;
+  }
+
+let assign_clocks ~cache config soc vi =
+  if not cache then Freq_assign.assign config soc vi
+  else
+    Array.copy
+      (Memo.find_or_add clocks_memo
+         (Memo.digest (config, soc, vi))
+         (fun () -> Freq_assign.assign config soc vi))
+
+let make_plan ~cache ~seed ~anneal soc vi =
+  let compute () =
+    let plan0 = Placer.place soc vi in
+    if anneal then
+      Metrics.time "synth.anneal" (fun () -> Anneal.improve ~seed soc vi plan0)
     else plan0
   in
+  if not cache then compute ()
+  else
+    copy_plan
+      (Memo.find_or_add plan_memo (Memo.digest (soc, vi, seed, anneal)) compute)
+
+(* ---------- candidate lower bounds (pruning) ---------- *)
+
+(* A sound lower bound on the total power of any feasible design point for
+   the candidate, computable without building or routing it.  Counted:
+   the flow NI dynamic power (exact — every flow charges its source and
+   destination NI at the islands' supplies no matter how it routes), NI
+   clock + leakage for every core, and per-switch clock + leakage at the
+   smallest possible configuration (1x1).  Omitted (all >= 0): switch and
+   link dynamic power of the routes, link/register leakage, converters. *)
+let candidate_power_lb config soc ~clocks ~ni_mw (switch_counts, indirect_count) =
+  let tech = config.Config.tech in
+  let min_cfg =
+    {
+      Switch_model.inputs = 1;
+      outputs = 1;
+      flit_bits = soc.Soc_spec.flit_bits;
+      buffer_depth = config.Config.buffer_depth;
+    }
+  in
+  let standing_mw (c : Freq_assign.island_clock) =
+    Switch_model.clock_power_mw tech min_cfg ~vdd:c.Freq_assign.vdd
+      ~freq_mhz:c.Freq_assign.freq_mhz
+    +. Switch_model.leakage_mw tech min_cfg ~vdd:c.Freq_assign.vdd
+  in
+  let switch_floor = ref 0.0 in
+  Array.iteri
+    (fun island k ->
+      switch_floor :=
+        !switch_floor +. (float_of_int k *. standing_mw clocks.(island)))
+    switch_counts;
+  if indirect_count > 0 then
+    switch_floor :=
+      !switch_floor
+      +. float_of_int indirect_count
+         *. standing_mw (Freq_assign.intermediate_clock config clocks);
+  ni_mw +. !switch_floor
+
+(* Route-independent NI power: flow dynamic (src + dst NI, exact) plus
+   clock and leakage of every core's NI.  Constant across candidates. *)
+let ni_power_mw config soc vi ~clocks =
+  let tech = config.Config.tech in
+  let flit_bits = soc.Soc_spec.flit_bits in
+  let total = ref 0.0 in
+  List.iter
+    (fun f ->
+      let rate =
+        Units.flits_per_second ~bw_mbps:f.Noc_spec.Flow.bandwidth_mbps
+          ~flit_bits
+      in
+      let charge island =
+        let vdd = clocks.(island).Freq_assign.vdd in
+        total :=
+          !total
+          +. Units.power_mw_of_energy
+               ~energy_pj:(Ni_model.energy_per_flit_pj tech ~flit_bits ~vdd)
+               ~events_per_second:rate
+      in
+      charge vi.Vi.of_core.(f.Noc_spec.Flow.src);
+      charge vi.Vi.of_core.(f.Noc_spec.Flow.dst))
+    soc.Soc_spec.flows;
+  Array.iter
+    (fun island ->
+      let c = clocks.(island) in
+      total :=
+        !total
+        +. Ni_model.clock_power_mw tech ~flit_bits ~vdd:c.Freq_assign.vdd
+             ~freq_mhz:c.Freq_assign.freq_mhz
+        +. Ni_model.leakage_mw tech ~flit_bits ~vdd:c.Freq_assign.vdd)
+    vi.Vi.of_core;
+  !total
+
+(* Sound lower bound on the average zero-load latency: a flow between
+   cores of one island may share a switch (2 cycles: pipeline 2, no
+   link); a cross-island flow traverses at least two switches and one
+   link (2*2 + 1 = 5 cycles).  Constant across candidates. *)
+let avg_latency_lb soc vi =
+  let total, count =
+    List.fold_left
+      (fun (acc, n) f ->
+        let lb =
+          if
+            vi.Vi.of_core.(f.Noc_spec.Flow.src)
+            = vi.Vi.of_core.(f.Noc_spec.Flow.dst)
+          then 2.0
+          else 5.0
+        in
+        (acc +. lb, n + 1))
+      (0.0, 0) soc.Soc_spec.flows
+  in
+  if count = 0 then 0.0 else total /. float_of_int count
+
+let run ?(options = Options.default) config soc vi =
+  let o = options in
+  Metrics.time "synth.run" @@ fun () ->
+  Config.validate config;
+  let clocks = assign_clocks ~cache:o.Options.cache config soc vi in
+  let plan =
+    make_plan ~cache:o.Options.cache ~seed:o.Options.seed
+      ~anneal:o.Options.anneal soc vi
+  in
   let vcgs = Vcg.build_all ~alpha:config.Config.alpha soc vi in
+  let partition =
+    (* memoized min-cut: repeated sweeps re-solve identical per-island
+       partition problems, keyed on a canonical digest of the island's VCG
+       (computed once per run, not per candidate) *)
+    if not o.Options.cache then None
+    else begin
+      let digests =
+        Array.map
+          (fun vcg -> Partition_cache.graph_digest vcg.Vcg.graph)
+          vcgs
+      in
+      Some
+        (fun ~island ~parts ~max_block_weight g ->
+          Partition_cache.partition ~digest:digests.(island)
+            ~seed:(o.Options.seed + island) ~parts ~max_block_weight g)
+    end
+  in
   let sizes = Vi.island_sizes vi in
   let max_size = Array.fold_left max 1 sizes in
   let indirect_max =
@@ -61,23 +237,22 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
     in
     collect 0 [||] []
   in
-  let candidates =
-    List.concat_map
-      (fun switch_counts ->
-        List.init (indirect_max + 1) (fun indirect_count ->
-            (switch_counts, indirect_count)))
-      schedules
+  let candidates_of switch_counts =
+    List.init (indirect_max + 1) (fun indirect_count ->
+        (switch_counts, indirect_count))
   in
+  let candidates = List.concat_map candidates_of schedules in
   let evaluate (switch_counts, indirect_count) =
     (* One build per candidate: routing failures recover in place inside
        [Path_alloc.route_all] (transactional rip-up-and-reroute, with a
        pristine-rollback restart as fallback) instead of rebuilding the
        candidate topology from scratch. *)
     let topo =
-      Switch_alloc.build ~seed ~strategy:assignment_strategy config soc vi
+      Switch_alloc.build ~seed:o.Options.seed
+        ~strategy:o.Options.assignment_strategy ?partition config soc vi
         ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
     in
-    match Path_alloc.route_all config soc topo ~clocks with
+    match Path_alloc.route_all ~cache:o.Options.cache config soc topo ~clocks with
     | Ok stats ->
       let recovered =
         stats.Path_alloc.ripups > 0 || stats.Path_alloc.restarts > 0
@@ -87,9 +262,11 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
          order (decreasing bandwidth, ties by (src, dst)) like the main
          sweep; a flow that cannot be protected rejects the candidate. *)
       let protected_ok =
-        (not protect)
+        (not o.Options.protect)
         ||
-        let session = Path_alloc.session config topo ~clocks in
+        let session =
+          Path_alloc.session ~cache:o.Options.cache config topo ~clocks
+        in
         let by_bandwidth a b =
           match
             compare b.Noc_spec.Flow.bandwidth_mbps a.Noc_spec.Flow.bandwidth_mbps
@@ -116,12 +293,13 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
       if not protected_ok then None
       else begin
         Topology.clear_journal topo;
-        if recovered || protect then begin
+        if recovered || o.Options.protect then begin
           (* A recovered design point went through speculative edits and
              rollbacks, and a protected one grew backup links after the
              main sweep; re-derive every invariant before trusting it. *)
           match
-            Verify.check_all ~require_backups:protect config soc vi topo
+            Verify.check_all ~require_backups:o.Options.protect config soc vi
+              topo
           with
           | Ok () ->
             Some (recovered, Design_point.evaluate config soc topo ~clocks)
@@ -145,9 +323,57 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
       None
   in
   let evaluated =
-    Metrics.time "synth.candidates" (fun () ->
-        Pool.parallel_map ?domains evaluate candidates)
-    |> List.filter_map Fun.id
+    Metrics.time "synth.candidates" @@ fun () ->
+    if not o.Options.prune then
+      Pool.parallel_map ?domains:o.Options.domains evaluate candidates
+      |> List.filter_map Fun.id
+    else begin
+      (* Candidate-level lower-bound pruning: skip a candidate whose
+         power and latency lower bounds are both (non-strictly) dominated
+         by an already-saved point — it cannot beat that point on either
+         objective, so dropping it leaves [best_power], [best_latency]
+         and the strict Pareto front unchanged (the dominating point
+         precedes it in sweep order, so ties still resolve identically).
+         The saved set only grows at schedule boundaries, keeping the
+         evaluation a deterministic function of the inputs for any
+         domain count. *)
+      let saved = ref [] in
+      let dominated (power_lb, latency_lb) =
+        List.exists
+          (fun (p, l) -> p <= power_lb && l <= latency_lb)
+          !saved
+      in
+      let ni_mw = ni_power_mw config soc vi ~clocks in
+      let latency_lb = avg_latency_lb soc vi in
+      List.concat_map
+        (fun switch_counts ->
+          let group =
+            List.filter
+              (fun cand ->
+                let power_lb =
+                  candidate_power_lb config soc ~clocks ~ni_mw cand
+                in
+                if dominated (power_lb, latency_lb) then begin
+                  Metrics.incr "synth.pruned";
+                  false
+                end
+                else true)
+              (candidates_of switch_counts)
+          in
+          let results =
+            Pool.parallel_map ?domains:o.Options.domains evaluate group
+            |> List.filter_map Fun.id
+          in
+          saved :=
+            !saved
+            @ List.map
+                (fun (_, p) ->
+                  ( Power.total_mw p.Design_point.power,
+                    p.Design_point.avg_latency_cycles ))
+                results;
+          results)
+        schedules
+    end
   in
   let points = List.map snd evaluated in
   let recovered =
@@ -172,6 +398,14 @@ let run ?(seed = 0) ?(anneal = true) ?(assignment_strategy = Switch_alloc.Min_cu
     candidates_feasible = feasible;
     candidates_recovered = recovered;
   }
+
+let run_legacy ?(seed = 0) ?(anneal = true)
+    ?(assignment_strategy = Switch_alloc.Min_cut) ?(protect = false) ?domains
+    config soc vi =
+  run
+    ~options:
+      { Options.default with seed; anneal; assignment_strategy; protect; domains }
+    config soc vi
 
 let pick better result =
   match result.points with

@@ -18,7 +18,57 @@ type result = {
 
 exception No_feasible_design of string
 
+(** Every knob of a synthesis run in one record, so call sites name only
+    what they change:
+    [{ Options.default with seed = 7; protect = true }]. *)
+module Options : sig
+  type t = {
+    seed : int;  (** placement annealing and min-cut tie-breaking *)
+    anneal : bool;
+        (** simulated-annealing placement refinement before synthesis *)
+    assignment_strategy : Switch_alloc.strategy;
+        (** how cores map to switches; {!Switch_alloc.Round_robin} is the
+            ablation baseline quantifying what min-cut grouping buys *)
+    protect : bool;
+        (** additionally allocate a backup route per multi-hop flow
+            ({!Path_alloc.route_backup}: switch-disjoint where port budgets
+            allow, link-disjoint otherwise) and verify every saved point
+            with [Verify.check_all ~require_backups:true]; candidates whose
+            flows cannot all be protected are rejected as infeasible *)
+    domains : int option;
+        (** worker domains for candidate evaluation; [None] means
+            {!Noc_exec.Pool.default_domains} ([--jobs] / [NOC_JOBS]).
+            Results are identical for any domain count. *)
+    cache : bool;
+        (** memoize sub-problems process-wide: per-island min-cut
+            partitions, clock assignment, the (annealed) floorplan, and the
+            flow-independent hop-cost factors inside {!Path_alloc}.  Cached
+            and uncached runs are bit-identical (see ALGORITHM.md,
+            "Memoization soundness"); hit/miss counts appear in
+            {!Noc_exec.Metrics} under [cache.*]. *)
+    prune : bool;
+        (** skip candidates whose power/latency lower bounds are dominated
+            by an already-saved point.  Cheaper sweeps with an identical
+            {!best_power}, {!best_latency} and strict Pareto front — but
+            [result.points] may omit the dominated points, so exhaustive
+            sweeps (the default) keep this off *)
+  }
+
+  val default : t
+  (** [{ seed = 0; anneal = true; assignment_strategy = Min_cut;
+        protect = false; domains = None; cache = true; prune = false }] *)
+end
+
 val run :
+  ?options:Options.t -> Config.t -> Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> result
+(** Deterministic for a fixed {!Options.t}: identical inputs produce
+    identical results, for any [domains] count and whether or not [cache]
+    is enabled.
+    @raise No_feasible_design if no candidate routes all flows within
+    constraints.
+    @raise Freq_assign.Infeasible if some island cannot clock high enough. *)
+
+val run_legacy :
   ?seed:int ->
   ?anneal:bool ->
   ?assignment_strategy:Switch_alloc.strategy ->
@@ -28,24 +78,11 @@ val run :
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
   result
-(** [anneal] (default [true]) runs simulated-annealing placement refinement
-    before synthesis; [assignment_strategy] (default
-    {!Switch_alloc.Min_cut}) selects how cores map to switches — the
-    {!Switch_alloc.Round_robin} ablation quantifies what the paper's
-    min-cut grouping buys.  [protect] (default [false]) additionally
-    allocates a backup route per multi-hop flow
-    ({!Path_alloc.route_backup}: switch-disjoint where port budgets allow,
-    link-disjoint otherwise) and verifies every saved point with
-    [Verify.check_all ~require_backups:true]; candidates whose flows
-    cannot all be protected are rejected as infeasible.  [domains] (default
-    {!Noc_exec.Pool.default_domains}, i.e. [--jobs] / [NOC_JOBS])
-    evaluates the candidate design points on that many domains; every
-    candidate is a pure function of the inputs and results are merged in
-    sweep order, so the output is identical for any domain count.
-    Deterministic for a fixed [seed].
-    @raise No_feasible_design if no candidate routes all flows within
-    constraints.
-    @raise Freq_assign.Infeasible if some island cannot clock high enough. *)
+  [@@ocaml.deprecated
+    "use Synth.run ?options — e.g. run ~options:{ Options.default with seed }"]
+(** Pre-{!Options} interface, kept for one release so downstream callers
+    migrate at leisure.  Equivalent to [run ~options:{ Options.default
+    with seed; anneal; assignment_strategy; protect; domains }]. *)
 
 val best_power : result -> Design_point.t
 (** Feasible point with the lowest total NoC power (the paper's headline

@@ -27,7 +27,7 @@ type link = {
    link records themselves, so a charge can be undone even after the link
    was dropped and resurrected — record identity survives both. *)
 type edit =
-  | Link_added of (int * int)
+  | Link_added of int  (* packed link key *)
   | Link_removed of link
   | Bw_set of link * float  (* previous committed bandwidth *)
   | Routes_set of (Flow.t * int list) list  (* previous routes list *)
@@ -37,7 +37,7 @@ type t = {
   islands : int;
   switches : switch array;
   core_switch : int array;
-  links : (int * int, link) Hashtbl.t;
+  links : (int, link) Hashtbl.t;  (* keyed by [link_key] *)
   mutable routes : (Flow.t * int list) list;
   mutable backup_routes : (Flow.t * int list) list;
   flit_bits : int;
@@ -45,6 +45,12 @@ type t = {
 }
 
 type checkpoint = edit list
+
+(* The link table is keyed by the packed (src, dst) pair so the Dijkstra
+   inner loop's admissibility probes neither allocate a tuple nor run the
+   polymorphic hash; [create] bounds the switch count to keep the packing
+   injective. *)
+let link_key ~src ~dst = (src lsl 20) lor dst
 
 let location_equal a b =
   match (a, b) with
@@ -54,6 +60,8 @@ let location_equal a b =
 
 let create ~islands ~switches ~core_switch ~flit_bits =
   if Array.length switches = 0 then invalid_arg "Topology.create: no switch";
+  if Array.length switches > 0xFFFFF then
+    invalid_arg "Topology.create: too many switches";
   if islands < 1 then invalid_arg "Topology.create: islands < 1";
   if flit_bits <= 0 then invalid_arg "Topology.create: flit_bits <= 0";
   Array.iteri
@@ -92,7 +100,9 @@ let rollback t cp =
   let undo = function
     | Link_added key -> Hashtbl.remove t.links key
     | Link_removed link ->
-      Hashtbl.replace t.links (link.link_src, link.link_dst) link
+      Hashtbl.replace t.links
+        (link_key ~src:link.link_src ~dst:link.link_dst)
+        link
     | Bw_set (link, bw) -> link.bw_mbps <- bw
     | Routes_set routes -> t.routes <- routes
     | Backups_set backups -> t.backup_routes <- backups
@@ -128,7 +138,7 @@ let add_link ?(stages = 0) t ~src ~dst ~length_mm =
   if src = dst then invalid_arg "Topology.add_link: self link";
   if length_mm < 0.0 then invalid_arg "Topology.add_link: negative length";
   if stages < 0 then invalid_arg "Topology.add_link: negative stages";
-  if Hashtbl.mem t.links (src, dst) then
+  if Hashtbl.mem t.links (link_key ~src ~dst) then
     invalid_arg "Topology.add_link: link exists";
   let link =
     {
@@ -140,14 +150,14 @@ let add_link ?(stages = 0) t ~src ~dst ~length_mm =
       stages;
     }
   in
-  Hashtbl.replace t.links (src, dst) link;
-  t.journal <- Link_added (src, dst) :: t.journal;
+  Hashtbl.replace t.links (link_key ~src ~dst) link;
+  t.journal <- Link_added (link_key ~src ~dst) :: t.journal;
   link
 
 let find_link t ~src ~dst =
   check_switch t src "find_link";
   check_switch t dst "find_link";
-  Hashtbl.find_opt t.links (src, dst)
+  Hashtbl.find_opt t.links (link_key ~src ~dst)
 
 let links_list t =
   let all = Hashtbl.fold (fun _ l acc -> l :: acc) t.links [] in
@@ -206,7 +216,7 @@ let remove_flow t flow =
            link.bw_mbps <- link.bw_mbps -. flow.Flow.bandwidth_mbps;
            if Float.abs link.bw_mbps <= zero_bw_mbps then begin
              link.bw_mbps <- 0.0;
-             Hashtbl.remove t.links (a, b);
+             Hashtbl.remove t.links (link_key ~src:a ~dst:b);
              t.journal <- Link_removed link :: t.journal;
              dropped := link :: !dropped
            end
@@ -238,7 +248,7 @@ let commit_backup t flow ~route =
     invalid_arg "Topology.commit_backup: route does not end at destination switch";
   let rec check = function
     | a :: (b :: _ as rest) ->
-      if not (Hashtbl.mem t.links (a, b)) then
+      if not (Hashtbl.mem t.links (link_key ~src:a ~dst:b)) then
         invalid_arg
           (Printf.sprintf "Topology.commit_backup: missing link %d->%d" a b);
       check rest
@@ -297,7 +307,7 @@ let in_ports t sw =
   check_switch t sw "in_ports";
   let incoming =
     Hashtbl.fold
-      (fun (_, dst) _ acc -> if dst = sw then acc + 1 else acc)
+      (fun _ l acc -> if l.link_dst = sw then acc + 1 else acc)
       t.links 0
   in
   ni_ports t sw + incoming
@@ -306,7 +316,7 @@ let out_ports t sw =
   check_switch t sw "out_ports";
   let outgoing =
     Hashtbl.fold
-      (fun (src, _) _ acc -> if src = sw then acc + 1 else acc)
+      (fun _ l acc -> if l.link_src = sw then acc + 1 else acc)
       t.links 0
   in
   ni_ports t sw + outgoing
@@ -339,7 +349,7 @@ let route_latency_cycles t route =
        yet counts as unpipelined *)
     let rec stage_sum = function
       | a :: (b :: _ as rest) ->
-        (match Hashtbl.find_opt t.links (a, b) with
+        (match Hashtbl.find_opt t.links (link_key ~src:a ~dst:b) with
          | Some link -> link.stages
          | None -> 0)
         + stage_sum rest

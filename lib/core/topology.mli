@@ -41,7 +41,9 @@ type t = {
   islands : int;  (** VI count, excluding the intermediate island *)
   switches : switch array;
   core_switch : int array;
-  links : (int * int, link) Hashtbl.t;
+  links : (int, link) Hashtbl.t;
+      (** keyed by the packed (src, dst) pair; use {!find_link} /
+          {!links_list} rather than probing directly *)
   mutable routes : (Noc_spec.Flow.t * int list) list;
   mutable backup_routes : (Noc_spec.Flow.t * int list) list;
       (** fault-protection routes committed by {!commit_backup}; they use

@@ -1,0 +1,36 @@
+(** The one JSON emitter behind every machine-readable report (metrics
+    dumps, survivability campaigns, bench results — see [docs/FORMAT.md]).
+
+    The repo carries no JSON dependency, so this is a small value type
+    with a compact printer.  Every top-level report goes through
+    {!document}, which stamps the shared ["schema"] / ["schema_version"]
+    header consumers dispatch on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** printed shortest-round-trip; non-finite values print as [null]
+          (JSON has no NaN/infinity) *)
+  | String of t_string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_string = string
+
+val schema_version : int
+(** Version of the shared report envelope, bumped on breaking changes to
+    any emitted schema.  Currently [1]. *)
+
+val document : kind:string -> (string * t) list -> t
+(** [document ~kind fields] is [Obj] with the standard header prepended:
+    [{"schema": kind, "schema_version": n, ...fields}]. *)
+
+val to_string : t -> string
+(** Compact rendering (single line, [", "] / [": "] separators). *)
+
+val add_to_buffer : Buffer.t -> t -> unit
+
+val escape_string : string -> string
+(** JSON string-body escaping (quotes, backslash, control characters). *)

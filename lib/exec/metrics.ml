@@ -64,37 +64,22 @@ let report () =
             (if count = 1 then "" else "s")))
     (timers ())
 
-(* Metric names are dot-separated identifiers we pick ourselves, but
-   escape defensively so the output is always valid JSON. *)
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let to_json () =
-  let b = Buffer.create 256 in
-  Buffer.add_string b "{\"counters\": {";
-  List.iteri
-    (fun i (name, v) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b (Printf.sprintf "\"%s\": %d" (escape name) v))
-    (counters ());
-  Buffer.add_string b "}, \"timers_ns\": {";
-  List.iteri
-    (fun i (name, total, count) ->
-      if i > 0 then Buffer.add_string b ", ";
-      Buffer.add_string b
-        (Printf.sprintf "\"%s\": {\"total_ns\": %Ld, \"count\": %d}"
-           (escape name) total count))
-    (timers ());
-  Buffer.add_string b "}}";
-  Buffer.contents b
+  Json.to_string
+    (Json.document ~kind:"metrics"
+       [
+         ( "counters",
+           Json.Obj
+             (List.map (fun (name, v) -> (name, Json.Int v)) (counters ())) );
+         ( "timers_ns",
+           Json.Obj
+             (List.map
+                (fun (name, total, count) ->
+                  ( name,
+                    Json.Obj
+                      [
+                        ("total_ns", Json.Int (Int64.to_int total));
+                        ("count", Json.Int count);
+                      ] ))
+                (timers ())) );
+       ])

@@ -39,5 +39,6 @@ val report : unit -> unit
     source at [Info] level. *)
 
 val to_json : unit -> string
-(** Dump all counters and timers as a JSON object:
-    [{"counters": {...}, "timers_ns": {"name": {"total_ns": n, "count": c}}}]. *)
+(** Dump all counters and timers as a {!Json.document} of kind
+    ["metrics"]: [{"schema": "metrics", "schema_version": n, "counters":
+    {...}, "timers_ns": {"name": {"total_ns": n, "count": c}}}]. *)

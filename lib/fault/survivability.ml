@@ -150,9 +150,20 @@ let analyze config topo0 ~clocks faults =
     topology = topo;
   }
 
-let run ?domains config topo ~clocks fault_sets =
+module Options = struct
+  type t = { domains : int option }
+
+  let default = { domains = None }
+end
+
+let run ?(options = Options.default) config topo ~clocks fault_sets =
   Metrics.time "fault.campaign" @@ fun () ->
-  Pool.parallel_map ?domains (analyze config topo ~clocks) fault_sets
+  Pool.parallel_map ?domains:options.Options.domains
+    (analyze config topo ~clocks)
+    fault_sets
+
+let run_legacy ?domains config topo ~clocks fault_sets =
+  run ~options:{ Options.domains } config topo ~clocks fault_sets
 
 type summary = {
   fault_sets : int;
@@ -184,64 +195,52 @@ let summarize outcomes =
     }
     outcomes
 
-(* hand-rolled JSON: the schema is small and the repo carries no JSON
-   dependency (see docs/FORMAT.md) *)
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
+(* one JSON emitter for the whole repo: Noc_exec.Json (see docs/FORMAT.md) *)
 let to_json ~benchmark ~campaign ~protected outcomes =
+  let module J = Noc_exec.Json in
   let s = summarize outcomes in
-  let b = Buffer.create 4096 in
-  Buffer.add_string b
-    (Printf.sprintf
-       "{\"benchmark\": \"%s\", \"campaign\": \"%s\", \"protected\": %b,\n\
-        \ \"fault_sets\": %d,\n\
-        \ \"flows\": {\"unaffected\": %d, \"rerouted\": %d, \"lost\": %d, \
-        \"endpoint_lost\": %d},\n\
-        \ \"worst_extra_cycles\": %d,\n\
-        \ \"outcomes\": ["
-       (json_escape benchmark) (json_escape campaign) protected s.fault_sets
-       s.total_unaffected s.total_repaired s.total_lost s.total_endpoint_lost
-       s.summary_worst_extra);
-  List.iteri
-    (fun i o ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b "\n  {\"faults\": [";
-      List.iteri
-        (fun j f ->
-          if j > 0 then Buffer.add_string b ", ";
-          Buffer.add_string b
-            (Printf.sprintf "\"%s\"" (json_escape (Fault_model.to_string f))))
-        o.faults;
-      Buffer.add_string b
-        (Printf.sprintf
-           "], \"unaffected\": %d, \"rerouted\": %d, \"lost\": %d, \
-            \"endpoint_lost\": %d, \"worst_extra_cycles\": %d, \
-            \"lost_flows\": ["
-           o.unaffected o.repaired o.lost o.endpoint_lost
-           o.worst_extra_cycles);
-      let first = ref true in
-      List.iter
-        (fun fo ->
-          if fo.verdict = Lost then begin
-            if not !first then Buffer.add_string b ", ";
-            first := false;
-            Buffer.add_string b
-              (Printf.sprintf "[%d, %d]" fo.flow.Flow.src fo.flow.Flow.dst)
-          end)
-        o.flows;
-      Buffer.add_string b "]}")
-    outcomes;
-  Buffer.add_string b "\n]}\n";
-  Buffer.contents b
+  let outcome o =
+    J.Obj
+      [
+        ( "faults",
+          J.List
+            (List.map (fun f -> J.String (Fault_model.to_string f)) o.faults) );
+        ("unaffected", J.Int o.unaffected);
+        ("rerouted", J.Int o.repaired);
+        ("lost", J.Int o.lost);
+        ("endpoint_lost", J.Int o.endpoint_lost);
+        ("worst_extra_cycles", J.Int o.worst_extra_cycles);
+        ( "lost_flows",
+          J.List
+            (List.filter_map
+               (fun fo ->
+                 if fo.verdict = Lost then
+                   Some
+                     (J.List
+                        [ J.Int fo.flow.Flow.src; J.Int fo.flow.Flow.dst ])
+                 else None)
+               o.flows) );
+      ]
+  in
+  J.to_string
+    (J.document ~kind:"survivability"
+       [
+         ("benchmark", J.String benchmark);
+         ("campaign", J.String campaign);
+         ("protected", J.Bool protected);
+         ("fault_sets", J.Int s.fault_sets);
+         ( "flows",
+           J.Obj
+             [
+               ("unaffected", J.Int s.total_unaffected);
+               ("rerouted", J.Int s.total_repaired);
+               ("lost", J.Int s.total_lost);
+               ("endpoint_lost", J.Int s.total_endpoint_lost);
+             ] );
+         ("worst_extra_cycles", J.Int s.summary_worst_extra);
+         ("outcomes", J.List (List.map outcome outcomes));
+       ])
+  ^ "\n"
 
 let pp_summary ppf (label, outcomes) =
   let s = summarize outcomes in

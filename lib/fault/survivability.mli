@@ -50,16 +50,39 @@ val analyze :
     the flow is [Lost].  Bumps [fault.injected] / [fault.repaired] /
     [fault.lost] in {!Noc_exec.Metrics}. *)
 
+(** Campaign options, mirroring {!Noc_synthesis.Synth.Options}. *)
+module Options : sig
+  type t = {
+    domains : int option;
+        (** worker domains; [None] means
+            {!Noc_exec.Pool.default_domains} *)
+  }
+
+  val default : t
+  (** [{ domains = None }] *)
+end
+
 val run :
-  ?domains:int ->
+  ?options:Options.t ->
   Noc_synthesis.Config.t ->
   Noc_synthesis.Topology.t ->
   clocks:Noc_synthesis.Freq_assign.island_clock array ->
   Fault_model.fault list list ->
   outcome list
 (** {!analyze} for every fault set of a campaign, parallelized over
-    [domains] ({!Noc_exec.Pool.parallel_map} semantics: order-preserving,
-    byte-identical results for any domain count). *)
+    [options.domains] ({!Noc_exec.Pool.parallel_map} semantics:
+    order-preserving, byte-identical results for any domain count). *)
+
+val run_legacy :
+  ?domains:int ->
+  Noc_synthesis.Config.t ->
+  Noc_synthesis.Topology.t ->
+  clocks:Noc_synthesis.Freq_assign.island_clock array ->
+  Fault_model.fault list list ->
+  outcome list
+  [@@ocaml.deprecated "use Survivability.run ?options"]
+(** Pre-{!Options} interface; equivalent to
+    [run ~options:{ Options.domains }]. *)
 
 type summary = {
   fault_sets : int;
@@ -75,8 +98,9 @@ val summarize : outcome list -> summary
 val to_json :
   benchmark:string -> campaign:string -> protected:bool -> outcome list ->
   string
-(** The survivability JSON document (schema in [docs/FORMAT.md]):
-    campaign totals plus one entry per fault set with its lost flows. *)
+(** The survivability JSON document — a {!Noc_exec.Json.document} of kind
+    ["survivability"] (schema in [docs/FORMAT.md]): campaign totals plus
+    one entry per fault set with its lost flows.  Newline-terminated. *)
 
 val pp_summary : Format.formatter -> string * outcome list -> unit
 (** One table row: label, fault sets, unaffected/rerouted/lost flows,

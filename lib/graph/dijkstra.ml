@@ -5,9 +5,12 @@ let check n source =
     invalid_arg
       (Printf.sprintf "Dijkstra: source %d out of range [0,%d)" source n)
 
-(* Core loop shared by [run] and [run_to].  [stop] lets [run_to] bail out as
-   soon as the target is settled. *)
-let search ~n ~successors ~source ~stop =
+(* Core loop shared by every entry point.  [stop] lets the [run_to]
+   variants bail out as soon as the target is settled.  The expansion is a
+   push iterator — [successors_iter u relax] calls [relax v w] per edge —
+   so the synthesis hot path relaxes edges without materializing a list
+   per expansion. *)
+let search_iter ~n ~successors_iter ~source ~stop =
   check n source;
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
@@ -23,23 +26,27 @@ let search ~n ~successors ~source ~stop =
       else begin
         settled.(u) <- true;
         if not (stop u) then begin
-          let relax (v, w) =
-            if v >= 0 && v < n && Float.is_finite w && w >= 0.0 then begin
-              let candidate = d +. w in
-              if candidate < dist.(v) then begin
-                dist.(v) <- candidate;
-                pred.(v) <- u;
-                Heap.push heap candidate v
-              end
-            end
-          in
-          List.iter relax (successors u);
+          successors_iter u (fun v w ->
+              if v >= 0 && v < n && Float.is_finite w && w >= 0.0 then begin
+                let candidate = d +. w in
+                if candidate < dist.(v) then begin
+                  dist.(v) <- candidate;
+                  pred.(v) <- u;
+                  Heap.push heap candidate v
+                end
+              end);
           loop ()
         end
       end
   in
   loop ();
   { dist; pred }
+
+let search ~n ~successors ~source ~stop =
+  search_iter ~n
+    ~successors_iter:(fun u relax ->
+      List.iter (fun (v, w) -> relax v w) (successors u))
+    ~source ~stop
 
 let run ~n ~successors ~source =
   search ~n ~successors ~source ~stop:(fun _ -> false)
@@ -57,10 +64,18 @@ let path_to result target =
     Some (build target [])
   end
 
-let run_to ~n ~successors ~source ~target =
+let run_to_iter ~n ~successors_iter ~source ~target =
   if target < 0 || target >= n then
     invalid_arg "Dijkstra.run_to: target out of range";
-  let result = search ~n ~successors ~source ~stop:(fun u -> u = target) in
+  let result =
+    search_iter ~n ~successors_iter ~source ~stop:(fun u -> u = target)
+  in
   match path_to result target with
   | None -> None
   | Some path -> Some (result.dist.(target), path)
+
+let run_to ~n ~successors ~source ~target =
+  run_to_iter ~n
+    ~successors_iter:(fun u relax ->
+      List.iter (fun (v, w) -> relax v w) (successors u))
+    ~source ~target

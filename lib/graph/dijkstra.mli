@@ -26,6 +26,17 @@ val run_to :
     [source .. target] as [(cost, node list)] including both endpoints, or
     [None] if unreachable.  Stops as soon as [target] is settled. *)
 
+val run_to_iter :
+  n:int ->
+  successors_iter:(int -> (int -> float -> unit) -> unit) ->
+  source:int ->
+  target:int ->
+  (float * int list) option
+(** {!run_to} with a push-iterator expansion: [successors_iter u relax]
+    must call [relax v w] once per outgoing edge.  Saves the allocation of
+    a successor list per expansion on hot paths; relaxation order affects
+    only tie-breaking among equal-cost paths. *)
+
 val path_to : result -> int -> int list option
 (** Reconstruct the path from the source to a node from a {!result};
     [None] if unreachable. *)

@@ -35,8 +35,9 @@ let result_signature (r : Synth.result) =
 let test_synth_run_domains_equal () =
   let soc = D26.soc in
   let vi = D26.logical_partition ~islands:6 in
-  let r1 = Synth.run ~domains:1 config soc vi in
-  let r4 = Synth.run ~domains:4 config soc vi in
+  let opts n = { Synth.Options.default with Synth.Options.domains = Some n } in
+  let r1 = Synth.run ~options:(opts 1) config soc vi in
+  let r4 = Synth.run ~options:(opts 4) config soc vi in
   checki "same candidates tried" r1.Synth.candidates_tried
     r4.Synth.candidates_tried;
   checki "same feasible count" r1.Synth.candidates_feasible
@@ -60,8 +61,15 @@ let test_island_sweep_domains_equal () =
         (sp.Explore.label, sp.Explore.islands, point_signature sp.Explore.point))
       points
   in
-  let s1 = Explore.island_sweep ~domains:1 config soc ~partitions in
-  let s4 = Explore.island_sweep ~domains:4 config soc ~partitions in
+  let opts n =
+    {
+      Explore.Options.default with
+      Explore.Options.synth =
+        { Synth.Options.default with Synth.Options.domains = Some n };
+    }
+  in
+  let s1 = Explore.island_sweep ~options:(opts 1) config soc ~partitions in
+  let s4 = Explore.island_sweep ~options:(opts 4) config soc ~partitions in
   checki "same number of sweep points" (List.length s1) (List.length s4);
   checkb "sweep results structurally equal, in partition order" true
     (signature s1 = signature s4)

@@ -512,7 +512,13 @@ let test_scenario_weighted_selection () =
 
 let test_round_robin_valid_but_worse () =
   let rr =
-    Synth.run ~assignment_strategy:Noc_synthesis.Switch_alloc.Round_robin
+    Synth.run
+      ~options:
+        {
+          Synth.Options.default with
+          Synth.Options.assignment_strategy =
+            Noc_synthesis.Switch_alloc.Round_robin;
+        }
       config d26 d26_vi
   in
   let rr_best = Synth.best_power rr in

@@ -25,7 +25,11 @@ let setup name ~protect =
   lazy
     (let case = Bench_case.find name in
      let soc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
-     let result = Synth.run ~protect config soc vi in
+     let result =
+       Synth.run
+         ~options:{ Synth.Options.default with Synth.Options.protect }
+         config soc vi
+     in
      (soc, vi, result))
 
 let d12 = setup "d12" ~protect:false
@@ -214,8 +218,9 @@ let test_campaign_parallel_deterministic () =
   let json domains =
     Survivability.to_json ~benchmark:"d16" ~campaign:"single-switch"
       ~protected:false
-      (Survivability.run ~domains config topo ~clocks:result.Synth.clocks
-         campaign)
+      (Survivability.run
+         ~options:{ Survivability.Options.domains = Some domains }
+         config topo ~clocks:result.Synth.clocks campaign)
   in
   Alcotest.(check string) "1 domain vs 4 domains byte-identical" (json 1)
     (json 4)

@@ -693,7 +693,11 @@ let prop_random_soc_synthesizes =
           { Noc_benchmarks.Synth_gen.default_profile with cores = 12 }
       in
       let vi = Noc_benchmarks.Synth_gen.random_vi ~seed ~islands soc in
-      match Synth.run ~seed config soc vi with
+      match
+        Synth.run
+          ~options:{ Synth.Options.default with Synth.Options.seed }
+          config soc vi
+      with
       | result ->
         let best = Synth.best_power result in
         (* the full verifier: routes, bandwidth accounting, ports, capacity,
@@ -714,7 +718,11 @@ let prop_random_soc_simulates =
           { Noc_benchmarks.Synth_gen.default_profile with cores = 10 }
       in
       let vi = Noc_benchmarks.Synth_gen.random_vi ~seed ~islands:3 soc in
-      match Synth.run ~seed config soc vi with
+      match
+        Synth.run
+          ~options:{ Synth.Options.default with Synth.Options.seed }
+          config soc vi
+      with
       | result ->
         let best = Synth.best_power result in
         List.for_all
