@@ -1,10 +1,11 @@
 (* Command-line front end for the VI-aware NoC topology synthesis flow.
 
    Subcommands mirror the paper's experiments: [synth] runs Algorithm 1 on a
-   benchmark, [explore] sweeps island counts (Figs. 2/3), [baseline]
-   reports the shutdown-support overhead (§5), [leakage] the scenario
-   savings, [floorplan] the placement, and [simulate] drives the
-   discrete-event model. *)
+   benchmark, [rerun] re-synthesizes incrementally after a JSON delta
+   chain, [explore] sweeps island counts (Figs. 2/3), [baseline] reports
+   the shutdown-support overhead (§5), [leakage] the scenario savings,
+   [floorplan] the placement, and [simulate] drives the discrete-event
+   model. *)
 
 open Cmdliner
 
@@ -204,6 +205,114 @@ let synth_cmd =
     Term.(
       const synth_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
       $ comm_arg $ seed_arg $ alpha_arg $ netlist $ dot)
+
+(* --- rerun --- *)
+
+let rerun_run () bench spec islands comm seed alpha protect delta_file
+    save_spec =
+  let case = resolve_case bench spec in
+  let config = config_of alpha in
+  let soc = case.Bench_case.soc in
+  let vi = vi_of_options case ~islands ~comm ~seed in
+  let text =
+    match
+      let ic = open_in_bin delta_file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | s -> s
+    | exception Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let delta =
+    match Noc_spec.Delta.list_of_string text with
+    | Ok deltas -> deltas
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" delta_file msg;
+      exit 2
+  in
+  let options = options_of ~protect seed in
+  (* the base run both validates the spec and warms the memo tables the
+     incremental rerun then reuses *)
+  let prev = Synth.run ~options config soc vi in
+  Format.printf "base:  %d candidates tried, %d feasible@."
+    prev.Synth.candidates_tried prev.Synth.candidates_feasible;
+  Format.printf "base:  %a@." DP.pp_summary (Synth.best_power prev);
+  let (soc', vi'), result = Synth.rerun ~options ~prev ~delta config soc vi in
+  List.iter
+    (fun d -> Format.printf "edit:  %a@." Noc_spec.Delta.pp d)
+    delta;
+  let evicted family =
+    Noc_exec.Metrics.counter_value
+      (Printf.sprintf "cache.%s.evictions" family)
+  in
+  Format.printf
+    "evicted: %d island clocks, %d floorplans, %d partitions, %d candidate \
+     evaluations@."
+    (evicted "clocks") (evicted "plan") (evicted "partition") (evicted "eval");
+  Format.printf "rerun: %d candidates tried, %d feasible@."
+    result.Synth.candidates_tried result.Synth.candidates_feasible;
+  let best = Synth.best_power result in
+  Format.printf "rerun: %a@." DP.pp_summary best;
+  (match Noc_synthesis.Shutdown.check_topology vi' best.DP.topology with
+   | Ok () -> Format.printf "shutdown-safety invariant: OK@."
+   | Error violations ->
+     Format.printf "shutdown-safety VIOLATED (%d):@." (List.length violations);
+     List.iter
+       (fun v -> Format.printf "  %a@." Noc_synthesis.Shutdown.pp_violation v)
+       violations);
+  match save_spec with
+  | None -> ()
+  | Some path ->
+    (match
+       Noc_spec.Spec_io.save path
+         {
+           Noc_spec.Spec_io.soc = soc';
+           vi = Some vi';
+           scenarios = case.Bench_case.scenarios;
+         }
+     with
+    | Ok () -> Printf.printf "wrote %s\n" path
+    | Error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      exit 1)
+
+let rerun_cmd =
+  let delta_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "d"; "delta" ] ~docv:"FILE"
+          ~doc:
+            "JSON file with the spec edits to apply: a versioned \
+             $(b,spec_delta) envelope (see docs/FORMAT.md) whose \
+             $(b,deltas) list is applied in order.")
+  in
+  let save_spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-spec" ] ~docv:"FILE"
+          ~doc:"Write the edited spec as a bundle file to $(docv).")
+  in
+  let protect =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Synthesize with link-disjoint backup routes, as in faultsim.")
+  in
+  Cmd.v
+    (Cmd.info "rerun"
+       ~doc:
+         "Incremental re-synthesis: run the base spec, apply a JSON delta \
+          chain, and re-solve only the invalidated sub-problems \
+          ($(b,Synth.rerun)) — bit-identical to a fresh run on the edited \
+          spec.")
+    Term.(
+      const rerun_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
+      $ comm_arg $ seed_arg $ alpha_arg $ protect $ delta_file $ save_spec)
 
 (* --- explore --- *)
 
@@ -576,7 +685,7 @@ let main_cmd =
          "Application-specific NoC topology synthesis with voltage-island \
           shutdown support (Seiculescu et al., DAC 2009).")
     [
-      list_cmd; synth_cmd; explore_cmd; baseline_cmd; leakage_cmd;
+      list_cmd; synth_cmd; rerun_cmd; explore_cmd; baseline_cmd; leakage_cmd;
       floorplan_cmd; simulate_cmd; verify_cmd; export_cmd; report_cmd;
       faultsim_cmd;
     ]

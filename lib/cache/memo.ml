@@ -4,6 +4,7 @@ type ('k, 'v) t = {
   memo_name : string;
   hits_counter : string;
   misses_counter : string;
+  evictions_counter : string;
   lock : Mutex.t;
   tbl : ('k, 'v) Hashtbl.t;
 }
@@ -17,6 +18,7 @@ let create ?(size = 64) memo_name =
       memo_name;
       hits_counter = "cache." ^ memo_name ^ ".hits";
       misses_counter = "cache." ^ memo_name ^ ".misses";
+      evictions_counter = "cache." ^ memo_name ^ ".evictions";
       lock = Mutex.create ();
       tbl = Hashtbl.create size;
     }
@@ -59,6 +61,32 @@ let find_or_add t key compute =
 
 let length t = locked t (fun () -> Hashtbl.length t.tbl)
 let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+
+let remove t key =
+  let removed =
+    locked t (fun () ->
+        if Hashtbl.mem t.tbl key then begin
+          Hashtbl.remove t.tbl key;
+          true
+        end
+        else false)
+  in
+  if removed then Metrics.incr t.evictions_counter;
+  removed
+
+let remove_where t pred =
+  let removed =
+    locked t (fun () ->
+        let doomed =
+          Hashtbl.fold
+            (fun k _ acc -> if pred k then k :: acc else acc)
+            t.tbl []
+        in
+        List.iter (Hashtbl.remove t.tbl) doomed;
+        List.length doomed)
+  in
+  if removed > 0 then Metrics.incr ~by:removed t.evictions_counter;
+  removed
 
 let clear_all () =
   Mutex.lock registry_lock;

@@ -9,7 +9,9 @@
 
     Every lookup bumps the [cache.<name>.hits] / [cache.<name>.misses]
     counters in {!Noc_exec.Metrics}, so cache effectiveness shows up in
-    [--metrics] dumps and the bench harness. *)
+    [--metrics] dumps and the bench harness.  Targeted invalidation
+    ({!remove} / {!remove_where}, used by [Synth.rerun]'s delta dirty
+    sets) bumps [cache.<name>.evictions] the same way. *)
 
 type ('k, 'v) t
 
@@ -30,6 +32,18 @@ val find_opt : ('k, 'v) t -> 'k -> 'v option
 (** Peek without computing; bumps no counter. *)
 
 val length : ('k, 'v) t -> int
+
+val remove : ('k, 'v) t -> 'k -> bool
+(** Evict one key.  Returns whether an entry was present; if so, bumps
+    the [cache.<name>.evictions] counter.  Eviction is never required
+    for correctness (keys are content digests of the entry's inputs) —
+    it drops entries a spec edit made unreachable, and makes the
+    invalidation observable to tests via the counter. *)
+
+val remove_where : ('k, 'v) t -> ('k -> bool) -> int
+(** Evict every key satisfying the predicate (run under the table lock —
+    keep it cheap and pure).  Returns the number of entries dropped and
+    bumps [cache.<name>.evictions] by that amount. *)
 
 val clear : ('k, 'v) t -> unit
 

@@ -22,6 +22,9 @@ let graph_digest g =
 let memo : (string * int * int * int64, Kway.t) Memo.t =
   Memo.create "partition"
 
+let evict_digest digest =
+  Memo.remove_where memo (fun (d, _, _, _) -> d = digest)
+
 let partition ?digest ~seed ~parts ~max_block_weight g =
   let digest =
     match digest with Some d -> d | None -> graph_digest g

@@ -13,6 +13,15 @@ val graph_digest : Noc_graph.Ugraph.t -> string
 (** Content digest of a graph: node count, node weights and the sorted
     weighted edge list.  Structurally equal graphs digest equally. *)
 
+val evict_digest : string -> int
+(** Drop every cached partition of the graph with this content digest
+    (any [seed]/[parts]/[max_block_weight]), returning how many entries
+    went.  Used by [Synth.rerun] when a spec delta changes an island's
+    VCG; counted under [cache.partition.evictions].  Note that entries
+    are keyed purely by content, so islands of {e different} specs whose
+    VCGs happen to be structurally identical share entries — and are
+    evicted together. *)
+
 val partition :
   ?digest:string ->
   seed:int ->

@@ -47,6 +47,44 @@ let island_sweep ?(options = Options.default) config soc ~partitions =
       | exception Freq_assign.Infeasible _ -> None)
     partitions
 
+let rerun_island_sweep ?(options = Options.default) config soc ~prev ~delta =
+  List.iter
+    (fun d ->
+      match d with
+      | Noc_spec.Delta.Move_core _ | Noc_spec.Delta.Set_always_on _ ->
+        invalid_arg
+          "Explore.rerun_island_sweep: island-level deltas do not apply \
+           uniformly across sweep partitions (rerun the one partition with \
+           Synth.rerun instead)"
+      | Noc_spec.Delta.Set_flow_bandwidth _ | Noc_spec.Delta.Set_flow_latency _
+      | Noc_spec.Delta.Add_flow _ | Noc_spec.Delta.Remove_flow _
+      | Noc_spec.Delta.Set_core_freq _ -> ())
+    delta;
+  let verify = options.Options.verify in
+  Pool.parallel_filter_map ?domains:options.Options.synth.Synth.Options.domains
+    (fun sp ->
+      match
+        Synth.rerun ~options:options.Options.synth ~prev:sp.result ~delta
+          config soc sp.vi
+      with
+      | (soc', vi'), result ->
+        let point = Synth.best_power result in
+        (match
+           if verify then
+             Verify.check_all config soc' vi' point.Design_point.topology
+           else Ok ()
+         with
+        | Ok () -> Some { sp with vi = vi'; point; result }
+        | Error violations ->
+          Noc_exec.Metrics.incr "explore.verify_failed";
+          Log.err (fun m ->
+              m "rerun sweep point %s fails verification: %a" sp.label
+                Verify.pp_report violations);
+          None)
+      | exception Synth.No_feasible_design _ -> None
+      | exception Freq_assign.Infeasible _ -> None)
+    prev
+
 let island_sweep_legacy ?(seed = 0) ?domains ?(verify = false) config soc
     ~partitions =
   island_sweep

@@ -45,6 +45,25 @@ val island_sweep :
     memoized clocks, floorplans and min-cut partitions (metrics
     [cache.*]) with bit-identical results. *)
 
+val rerun_island_sweep :
+  ?options:Options.t ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  prev:sweep_point list ->
+  delta:Noc_spec.Delta.t list ->
+  sweep_point list
+(** Incrementally refresh a whole {!island_sweep} after SoC-level spec
+    edits: each previous sweep point is {!Synth.rerun} against its own
+    VI assignment (so untouched sub-problems are served from the memo
+    tables), with [soc] the base spec the sweep was run on and
+    [options.synth] the options it was run with.  Points whose edited
+    synthesis turns infeasible drop out, exactly as in {!island_sweep};
+    results are bit-identical to re-running the sweep from scratch on
+    the edited spec over the surviving partitions.
+    @raise Invalid_argument on island-level deltas ([Move_core],
+    [Set_always_on]) — those are relative to one specific partition, not
+    to a family of them. *)
+
 val island_sweep_legacy :
   ?seed:int ->
   ?domains:int ->

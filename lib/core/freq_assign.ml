@@ -37,8 +37,7 @@ let clock_of_frequency config ~island ~freq_mhz ~cores =
     let min_switches = (cores + capacity - 1) / capacity in
     { island; freq_mhz; vdd; max_arity; min_switches = max 1 min_switches }
 
-let assign config soc vi =
-  Config.validate config;
+let assign_island config soc vi ~island =
   let required_freq core =
     let hottest = Soc_spec.max_core_bandwidth_mbps soc core in
     if hottest <= 0.0 then floor_freq_mhz
@@ -48,15 +47,18 @@ let assign config soc vi =
         ~flit_bits:soc.Soc_spec.flit_bits
     end
   in
-  Array.init vi.Vi.islands (fun island ->
-      let members = Vi.cores_of_island vi island in
-      let freq =
-        List.fold_left
-          (fun acc core -> Float.max acc (required_freq core))
-          floor_freq_mhz members
-      in
-      clock_of_frequency config ~island ~freq_mhz:freq
-        ~cores:(List.length members))
+  let members = Vi.cores_of_island vi island in
+  let freq =
+    List.fold_left
+      (fun acc core -> Float.max acc (required_freq core))
+      floor_freq_mhz members
+  in
+  clock_of_frequency config ~island ~freq_mhz:freq
+    ~cores:(List.length members)
+
+let assign config soc vi =
+  Config.validate config;
+  Array.init vi.Vi.islands (fun island -> assign_island config soc vi ~island)
 
 let intermediate_clock config clocks =
   if Array.length clocks = 0 then

@@ -27,6 +27,16 @@ val assign : Config.t -> Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> island_clock ar
 (** One entry per island, indexed by island id.
     @raise Infeasible as described above. *)
 
+val assign_island :
+  Config.t -> Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> island:int -> island_clock
+(** One island of {!assign} — islands are clocked independently, which
+    is what lets [Synth] cache clock assignments per island and reuse
+    the untouched ones across spec deltas.  The result depends only on
+    the config, the link width, the island id and the hottest-flow
+    bandwidth of each member core (in member order).  Skips
+    [Config.validate] (done once by {!assign} / the synthesis driver).
+    @raise Infeasible as for {!assign}. *)
+
 val cores_per_switch_cap : island_clock -> has_external:bool -> int
 (** How many cores one switch of the island may serve: its [max_arity],
     minus one port reserved for inter-switch connectivity when the island

@@ -1,6 +1,9 @@
 module Soc_spec = Noc_spec.Soc_spec
+module Core_spec = Noc_spec.Core_spec
+module Flow = Noc_spec.Flow
 module Vi = Noc_spec.Vi
 module Vcg = Noc_spec.Vcg
+module Delta = Noc_spec.Delta
 module Placer = Noc_floorplan.Placer
 module Anneal = Noc_floorplan.Anneal
 module Power = Noc_models.Power
@@ -52,17 +55,36 @@ end
 
 (* ---------- cross-run memo tables ---------- *)
 
-(* Per-island clocking and the (annealed) floorplan are pure functions of
-   their inputs, recomputed identically for every scenario of a sweep.
-   Both are memoized process-wide on a content digest of the inputs;
-   cached arrays are copied on the way out so callers can never corrupt
-   the tables.  [Explore.island_sweep] re-runs [Synth.run] once per
-   shutdown scenario over the same [config]/[soc]/[plan], which is where
-   these tables pay off. *)
-let clocks_memo : (string, Freq_assign.island_clock array) Memo.t =
+(* Clocking, the (annealed) floorplan and per-candidate evaluations are
+   pure functions of their inputs, recomputed identically for every
+   scenario of a sweep and every re-run after a spec edit.  All are
+   memoized process-wide, keyed on a content digest of the *projection of
+   the spec each stage actually reads* — never the whole spec.  The
+   projections are what make [rerun] incremental: an edit that a stage
+   provably cannot observe (a core frequency constraint, an always-on
+   toggle, a latency budget for the floorplan) leaves that stage's key
+   unchanged, so the memoized answer is reused, and the qcheck
+   delta-chain suite (test/test_delta.ml) holds every projection to the
+   bit-identity standard.  Cached mutable values are copied on the way
+   out so callers can never corrupt the tables. *)
+
+(* One entry per (island, what its clock depends on): the config, the
+   link width and the hottest-flow bandwidth of each member core.  Island
+   clocks are independent, so a delta touching island [i] re-clocks [i]
+   alone. *)
+let clocks_memo : (string, Freq_assign.island_clock) Memo.t =
   Memo.create "clocks"
 
 let plan_memo : (string, Placer.plan) Memo.t = Memo.create "plan"
+
+(* Per-candidate evaluation outcome, keyed by (context, switch_counts,
+   indirect_count).  The context digests everything a candidate's
+   build/route/verify/evaluate chain reads besides the candidate itself;
+   the values it covers but does not embed (clocks, plan, VCGs,
+   partitions) are deterministic functions of embedded inputs. *)
+let eval_memo :
+    (string * int array * int, (bool * Design_point.t) option) Memo.t =
+  Memo.create "eval"
 
 let copy_plan (p : Placer.plan) =
   {
@@ -71,13 +93,78 @@ let copy_plan (p : Placer.plan) =
     core_rects = Array.copy p.Placer.core_rects;
   }
 
+(* ---------- projection digests ---------- *)
+
+let island_clock_key config soc vi island =
+  Memo.digest
+    ( config,
+      soc.Soc_spec.flit_bits,
+      island,
+      List.map
+        (Soc_spec.max_core_bandwidth_mbps soc)
+        (Vi.cores_of_island vi island) )
+
+(* The floorplan ([Placer.place] + [Anneal.improve]) reads core areas and
+   kinds, the island map, flow (src, dst, bandwidth) triples and the
+   channel flag — not latencies, names, frequencies or shutdownability. *)
+let plan_key soc vi ~seed ~anneal =
+  Memo.digest
+    ( Array.map
+        (fun c -> (c.Core_spec.area_mm2, c.Core_spec.kind))
+        soc.Soc_spec.cores,
+      soc.Soc_spec.allow_intermediate_island,
+      vi.Vi.islands,
+      vi.Vi.of_core,
+      List.map
+        (fun f -> (f.Flow.src, f.Flow.dst, f.Flow.bandwidth_mbps))
+        soc.Soc_spec.flows,
+      seed,
+      anneal )
+
+(* Everything candidate evaluation reads other than the candidate:
+   config, core (area, kind) — via the floorplan — the full flow list in
+   spec order, widths and flags, the island map, and the options that
+   change the built topology or the acceptance test.  Deliberately
+   absent: [soc.name], core names/frequencies/powers, [Vi.shutdownable],
+   scenarios, and [Options.domains]/[cache]/[prune] (all three leave
+   every candidate's outcome unchanged — see synth.mli). *)
+let eval_context config soc vi (o : Options.t) =
+  Memo.digest
+    ( config,
+      Array.map
+        (fun c -> (c.Core_spec.area_mm2, c.Core_spec.kind))
+        soc.Soc_spec.cores,
+      soc.Soc_spec.flows,
+      soc.Soc_spec.flit_bits,
+      soc.Soc_spec.allow_intermediate_island,
+      vi.Vi.islands,
+      vi.Vi.of_core,
+      o.Options.seed,
+      o.Options.anneal,
+      o.Options.assignment_strategy,
+      o.Options.protect )
+
+(* An evaluation hit hands out deep copies: callers (fault injection,
+   simulation) mutate point topologies freely, and the journal of a
+   cached point must stay empty. *)
+let copy_outcome = function
+  | None -> None
+  | Some (recovered, p) ->
+    Some
+      ( recovered,
+        {
+          p with
+          Design_point.topology = Topology.copy p.Design_point.topology;
+          clocks = Array.copy p.Design_point.clocks;
+        } )
+
 let assign_clocks ~cache config soc vi =
   if not cache then Freq_assign.assign config soc vi
   else
-    Array.copy
-      (Memo.find_or_add clocks_memo
-         (Memo.digest (config, soc, vi))
-         (fun () -> Freq_assign.assign config soc vi))
+    Array.init vi.Vi.islands (fun island ->
+        Memo.find_or_add clocks_memo
+          (island_clock_key config soc vi island)
+          (fun () -> Freq_assign.assign_island config soc vi ~island))
 
 let make_plan ~cache ~seed ~anneal soc vi =
   let compute () =
@@ -87,9 +174,7 @@ let make_plan ~cache ~seed ~anneal soc vi =
     else plan0
   in
   if not cache then compute ()
-  else
-    copy_plan
-      (Memo.find_or_add plan_memo (Memo.digest (soc, vi, seed, anneal)) compute)
+  else copy_plan (Memo.find_or_add plan_memo (plan_key soc vi ~seed ~anneal) compute)
 
 (* ---------- candidate lower bounds (pruning) ---------- *)
 
@@ -242,7 +327,7 @@ let run ?(options = Options.default) config soc vi =
         (switch_counts, indirect_count))
   in
   let candidates = List.concat_map candidates_of schedules in
-  let evaluate (switch_counts, indirect_count) =
+  let evaluate_raw (switch_counts, indirect_count) =
     (* One build per candidate: routing failures recover in place inside
        [Path_alloc.route_all] (transactional rip-up-and-reroute, with a
        pristine-rollback restart as fallback) instead of rebuilding the
@@ -322,6 +407,22 @@ let run ?(options = Options.default) config soc vi =
             Path_alloc.pp_error e);
       None
   in
+  let evaluate =
+    if not o.Options.cache then evaluate_raw
+    else begin
+      (* Per-candidate memoization: a warm re-run whose projections are
+         unchanged — e.g. [rerun] after an always-on toggle — resolves
+         every candidate by lookup, skipping build and routing entirely.
+         The digest is computed once per run; per candidate only the
+         (switch_counts, indirect_count) pair varies. *)
+      let context = eval_context config soc vi o in
+      fun ((switch_counts, indirect_count) as candidate) ->
+        copy_outcome
+          (Memo.find_or_add eval_memo
+             (context, switch_counts, indirect_count)
+             (fun () -> evaluate_raw candidate))
+    end
+  in
   let evaluated =
     Metrics.time "synth.candidates" @@ fun () ->
     if not o.Options.prune then
@@ -398,6 +499,57 @@ let run ?(options = Options.default) config soc vi =
     candidates_feasible = feasible;
     candidates_recovered = recovered;
   }
+
+(* ---------- incremental re-synthesis ---------- *)
+
+let invalidate ?(options = Options.default) ~prev ~delta config soc vi =
+  let o = options in
+  Config.validate config;
+  if Array.length prev.clocks <> vi.Vi.islands then
+    invalid_arg
+      "Synth.rerun: prev has a different island count than the base spec";
+  let edited, dirty = Delta.dirty_chain (soc, vi) delta in
+  if o.Options.cache then begin
+    (* [prev] anchors the invalidation to the base spec: recomputing the
+       base clocks (cache hits when warm) and comparing them against the
+       previous result catches a caller whose (prev, soc, vi) triple does
+       not belong together before any eviction happens. *)
+    let base_clocks = assign_clocks ~cache:true config soc vi in
+    if base_clocks <> prev.clocks then
+      invalid_arg
+        "Synth.rerun: prev does not match the base spec (clock mismatch)";
+    List.iter
+      (fun island ->
+        ignore (Memo.remove clocks_memo (island_clock_key config soc vi island)))
+      dirty.Delta.clock_islands;
+    if dirty.Delta.plan then
+      ignore
+        (Memo.remove plan_memo
+           (plan_key soc vi ~seed:o.Options.seed ~anneal:o.Options.anneal));
+    (let stale_islands =
+       if dirty.Delta.all_partitions then List.init vi.Vi.islands Fun.id
+       else dirty.Delta.partition_islands
+     in
+     if stale_islands <> [] then begin
+       let vcgs = Vcg.build_all ~alpha:config.Config.alpha soc vi in
+       List.iter
+         (fun island ->
+           ignore
+             (Partition_cache.evict_digest
+                (Partition_cache.graph_digest vcgs.(island).Vcg.graph)))
+         stale_islands
+     end);
+    if dirty.Delta.evals then begin
+      let context = eval_context config soc vi o in
+      ignore (Memo.remove_where eval_memo (fun (c, _, _) -> c = context))
+    end
+  end;
+  edited
+
+let rerun ?(options = Options.default) ~prev ~delta config soc vi =
+  Metrics.time "synth.rerun" @@ fun () ->
+  let ((soc', vi') as edited) = invalidate ~options ~prev ~delta config soc vi in
+  (edited, run ~options config soc' vi')
 
 let run_legacy ?(seed = 0) ?(anneal = true)
     ?(assignment_strategy = Switch_alloc.Min_cut) ?(protect = false) ?domains

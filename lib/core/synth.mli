@@ -41,10 +41,14 @@ module Options : sig
             Results are identical for any domain count. *)
     cache : bool;
         (** memoize sub-problems process-wide: per-island min-cut
-            partitions, clock assignment, the (annealed) floorplan, and the
-            flow-independent hop-cost factors inside {!Path_alloc}.  Cached
-            and uncached runs are bit-identical (see ALGORITHM.md,
-            "Memoization soundness"); hit/miss counts appear in
+            partitions, per-island clock assignment, the (annealed)
+            floorplan, whole candidate evaluations, and the
+            flow-independent hop-cost factors inside {!Path_alloc}.
+            Every table is keyed on a content digest of the projection of
+            the spec that sub-problem reads, which is what makes {!rerun}
+            incremental.  Cached and uncached runs are bit-identical (see
+            ALGORITHM.md, "Memoization soundness" and "Incremental
+            invalidation"); hit/miss/eviction counts appear in
             {!Noc_exec.Metrics} under [cache.*]. *)
     prune : bool;
         (** skip candidates whose power/latency lower bounds are dominated
@@ -67,6 +71,54 @@ val run :
     @raise No_feasible_design if no candidate routes all flows within
     constraints.
     @raise Freq_assign.Infeasible if some island cannot clock high enough. *)
+
+val rerun :
+  ?options:Options.t ->
+  prev:result ->
+  delta:Noc_spec.Delta.t list ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  (Noc_spec.Soc_spec.t * Noc_spec.Vi.t) * result
+(** Incremental re-synthesis after a chain of spec edits.  [soc]/[vi]
+    are the {e base} spec that produced [prev] (under the same
+    [options]); the deltas are applied in order and the edited spec is
+    returned with the new result.
+
+    [rerun] computes the chain's dirty sets per delta kind
+    ({!Noc_spec.Delta.dirty_chain}), evicts exactly the stale entries
+    from the clock / floorplan / partition / evaluation memo tables
+    (observable as [cache.*.evictions] metrics), and re-runs synthesis.
+    Because every memo key is a content digest of that sub-problem's
+    full read set, the result is {e bit-identical} to a from-scratch
+    {!run} on the edited spec — same points in the same order, same
+    counts — for any domain count.  The speedup depends on the delta
+    kind: edits no synthesis stage reads (always-on toggles, core
+    frequency constraints) resolve every candidate from the evaluation
+    memo, while flow edits re-route candidates but still reuse untouched
+    islands' clocks and partitions.
+
+    @raise Invalid_argument if a delta does not apply to the spec, or if
+    [prev] is inconsistent with [(config, soc, vi)].
+    @raise No_feasible_design / [Freq_assign.Infeasible] as {!run}, for
+    the edited spec. *)
+
+val invalidate :
+  ?options:Options.t ->
+  prev:result ->
+  delta:Noc_spec.Delta.t list ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Noc_spec.Soc_spec.t * Noc_spec.Vi.t
+(** The eviction half of {!rerun}, exposed for cache-invalidation tests:
+    applies the delta chain, evicts the stale memo entries (when
+    [options.cache]), and returns the edited spec without re-running
+    synthesis.  Eviction is hygiene, not correctness — stale entries are
+    unreachable anyway because every key digests its inputs — so the
+    counters it bumps ([cache.clocks.evictions], [cache.plan.evictions],
+    [cache.partition.evictions], [cache.eval.evictions]) are the
+    specification of "exactly the affected entries". *)
 
 val run_legacy :
   ?seed:int ->

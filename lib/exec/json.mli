@@ -30,6 +30,17 @@ val document : kind:string -> (string * t) list -> t
 val to_string : t -> string
 (** Compact rendering (single line, [", "] / [": "] separators). *)
 
+val of_string : string -> (t, string) result
+(** Strict JSON parser (the inverse of {!to_string}, accepting any
+    standard JSON text): one value, no trailing content, no comments or
+    trailing commas.  Numbers parse to [Int] when they are written as
+    integers and fit in [int], otherwise to [Float]; [\u] escapes decode
+    to UTF-8.  Errors carry the byte offset of the failure. *)
+
+val member : string -> t -> t option
+(** [member key (Obj fields)] is the first binding of [key]; [None] on
+    a missing key or a non-object. *)
+
 val add_to_buffer : Buffer.t -> t -> unit
 
 val escape_string : string -> string

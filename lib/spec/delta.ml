@@ -1,0 +1,376 @@
+module Json = Noc_exec.Json
+
+type t =
+  | Set_flow_bandwidth of { src : int; dst : int; bandwidth_mbps : float }
+  | Set_flow_latency of { src : int; dst : int; max_latency_cycles : int }
+  | Add_flow of Flow.t
+  | Remove_flow of { src : int; dst : int }
+  | Move_core of { core : int; island : int }
+  | Set_always_on of { island : int; always_on : bool }
+  | Set_core_freq of { core : int; freq_mhz : float }
+
+let pp ppf = function
+  | Set_flow_bandwidth { src; dst; bandwidth_mbps } ->
+    Format.fprintf ppf "flow %d->%d bw := %g MB/s" src dst bandwidth_mbps
+  | Set_flow_latency { src; dst; max_latency_cycles } ->
+    Format.fprintf ppf "flow %d->%d lat := %d cycles" src dst
+      max_latency_cycles
+  | Add_flow f -> Format.fprintf ppf "add flow %a" Flow.pp f
+  | Remove_flow { src; dst } -> Format.fprintf ppf "remove flow %d->%d" src dst
+  | Move_core { core; island } ->
+    Format.fprintf ppf "move core %d to island %d" core island
+  | Set_always_on { island; always_on } ->
+    Format.fprintf ppf "island %d := %s" island
+      (if always_on then "always-on" else "shutdownable")
+  | Set_core_freq { core; freq_mhz } ->
+    Format.fprintf ppf "core %d freq := %g MHz" core freq_mhz
+
+(* ---------- application ---------- *)
+
+let invalid fmt = Printf.ksprintf invalid_arg fmt
+
+let check_core soc core what =
+  if core < 0 || core >= Soc_spec.core_count soc then
+    invalid "Delta.apply: %s references unknown core %d" what core
+
+let find_flow soc ~src ~dst what =
+  if
+    not
+      (List.exists
+         (fun f -> f.Flow.src = src && f.Flow.dst = dst)
+         soc.Soc_spec.flows)
+  then invalid "Delta.apply: %s: no flow %d->%d in spec" what src dst
+
+let with_flows soc flows =
+  Soc_spec.make ~name:soc.Soc_spec.name ~cores:soc.Soc_spec.cores ~flows
+    ~flit_bits:soc.Soc_spec.flit_bits
+    ~allow_intermediate_island:soc.Soc_spec.allow_intermediate_island ()
+
+let with_cores soc cores =
+  Soc_spec.make ~name:soc.Soc_spec.name ~cores ~flows:soc.Soc_spec.flows
+    ~flit_bits:soc.Soc_spec.flit_bits
+    ~allow_intermediate_island:soc.Soc_spec.allow_intermediate_island ()
+
+let apply (soc, vi) delta =
+  match delta with
+  | Set_flow_bandwidth { src; dst; bandwidth_mbps } ->
+    find_flow soc ~src ~dst "set_flow_bandwidth";
+    let flows =
+      List.map
+        (fun f ->
+          if f.Flow.src = src && f.Flow.dst = dst then
+            Flow.make ~src ~dst ~bw:bandwidth_mbps ~lat:f.Flow.max_latency_cycles
+          else f)
+        soc.Soc_spec.flows
+    in
+    (with_flows soc flows, vi)
+  | Set_flow_latency { src; dst; max_latency_cycles } ->
+    find_flow soc ~src ~dst "set_flow_latency";
+    let flows =
+      List.map
+        (fun f ->
+          if f.Flow.src = src && f.Flow.dst = dst then
+            Flow.make ~src ~dst ~bw:f.Flow.bandwidth_mbps ~lat:max_latency_cycles
+          else f)
+        soc.Soc_spec.flows
+    in
+    (with_flows soc flows, vi)
+  | Add_flow f ->
+    (* appended at the end of the flow list: deterministic, and keeps
+       every existing flow's position (the flow list order is part of
+       the synthesis input) *)
+    (with_flows soc (soc.Soc_spec.flows @ [ f ]), vi)
+  | Remove_flow { src; dst } ->
+    find_flow soc ~src ~dst "remove_flow";
+    let flows =
+      List.filter
+        (fun f -> not (f.Flow.src = src && f.Flow.dst = dst))
+        soc.Soc_spec.flows
+    in
+    (with_flows soc flows, vi)
+  | Move_core { core; island } ->
+    check_core soc core "move_core";
+    if island < 0 || island >= vi.Vi.islands then
+      invalid "Delta.apply: move_core targets unknown island %d" island;
+    let of_core = Array.copy vi.Vi.of_core in
+    of_core.(core) <- island;
+    ( soc,
+      Vi.make ~islands:vi.Vi.islands ~of_core
+        ~shutdownable:vi.Vi.shutdownable () )
+  | Set_always_on { island; always_on } ->
+    if island < 0 || island >= vi.Vi.islands then
+      invalid "Delta.apply: set_always_on targets unknown island %d" island;
+    let shutdownable = Array.copy vi.Vi.shutdownable in
+    shutdownable.(island) <- not always_on;
+    (soc, Vi.make ~islands:vi.Vi.islands ~of_core:vi.Vi.of_core ~shutdownable ())
+  | Set_core_freq { core; freq_mhz } ->
+    check_core soc core "set_core_freq";
+    let cores =
+      Array.map
+        (fun c ->
+          if c.Core_spec.id = core then
+            Core_spec.make ~id:c.Core_spec.id ~name:c.Core_spec.name
+              ~kind:c.Core_spec.kind ~area_mm2:c.Core_spec.area_mm2 ~freq_mhz
+              ~dynamic_mw:c.Core_spec.dynamic_mw
+              ~leakage_mw:c.Core_spec.leakage_mw ()
+          else c)
+        soc.Soc_spec.cores
+    in
+    (with_cores soc cores, vi)
+
+let apply_all base deltas = List.fold_left apply base deltas
+
+(* ---------- dirty sets ---------- *)
+
+type dirty = {
+  clock_islands : int list;
+  partition_islands : int list;
+  all_partitions : bool;
+  plan : bool;
+  evals : bool;
+}
+
+let clean =
+  {
+    clock_islands = [];
+    partition_islands = [];
+    all_partitions = false;
+    plan = false;
+    evals = false;
+  }
+
+let union a b =
+  let merge xs ys = List.sort_uniq compare (xs @ ys) in
+  {
+    clock_islands = merge a.clock_islands b.clock_islands;
+    partition_islands = merge a.partition_islands b.partition_islands;
+    all_partitions = a.all_partitions || b.all_partitions;
+    plan = a.plan || b.plan;
+    evals = a.evals || b.evals;
+  }
+
+(* Definition-1 edge weights normalize by the global flow extrema, so a
+   flow edit that moves max_bw or min_lat re-weights every island's VCG,
+   not just the endpoints'. *)
+let globals_changed before after =
+  let extrema flows =
+    match flows with
+    | [] -> None
+    | _ -> Some (Flow.max_bandwidth flows, Flow.min_latency flows)
+  in
+  extrema before.Soc_spec.flows <> extrema after.Soc_spec.flows
+
+(* Dirty sets of one delta, against the spec it applies to ([before]) and
+   the spec it produces ([after]).  Island indices are stable across every
+   delta kind (the island count never changes), so unioning per-delta sets
+   over a chain marks exactly the islands whose cached sub-problems the
+   chain invalidates. *)
+let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
+  let endpoint_islands src dst =
+    List.sort_uniq compare [ vi.Vi.of_core.(src); vi.Vi.of_core.(dst) ]
+  in
+  let intra src dst =
+    if vi.Vi.of_core.(src) = vi.Vi.of_core.(dst) then [ vi.Vi.of_core.(src) ]
+    else []
+  in
+  match delta with
+  | Set_flow_bandwidth { src; dst; _ } ->
+    {
+      clock_islands = endpoint_islands src dst;
+      partition_islands = intra src dst;
+      all_partitions = globals_changed soc soc';
+      plan = true;
+      evals = true;
+    }
+  | Set_flow_latency { src; dst; _ } ->
+    (* latency never enters clocking (hottest-bandwidth only) or the
+       floorplan (bandwidth-weighted wirelength only) *)
+    {
+      clock_islands = [];
+      partition_islands = intra src dst;
+      all_partitions = globals_changed soc soc';
+      plan = false;
+      evals = true;
+    }
+  | Add_flow f ->
+    {
+      clock_islands = endpoint_islands f.Flow.src f.Flow.dst;
+      partition_islands = intra f.Flow.src f.Flow.dst;
+      all_partitions = globals_changed soc soc';
+      plan = true;
+      evals = true;
+    }
+  | Remove_flow { src; dst } ->
+    {
+      clock_islands = endpoint_islands src dst;
+      partition_islands = intra src dst;
+      all_partitions = globals_changed soc soc';
+      plan = true;
+      evals = true;
+    }
+  | Move_core { core; island } ->
+    let islands = List.sort_uniq compare [ vi.Vi.of_core.(core); island ] in
+    {
+      clock_islands = islands;
+      partition_islands = islands;
+      all_partitions = false;
+      plan = true;
+      evals = true;
+    }
+  | Set_always_on _ | Set_core_freq _ ->
+    (* no synthesis stage reads [Vi.shutdownable] or a core's frequency
+       constraint: shutdownability gates power *accounting* (scenario
+       analysis, shutdown savings) and core frequency is reporting-only.
+       The whole synthesis pipeline stays clean — which is what makes
+       these edits ~free to re-run. *)
+    clean
+
+let dirty_chain base deltas =
+  List.fold_left
+    (fun (state, acc) delta ->
+      let state' = apply state delta in
+      (state', union acc (dirty_between ~before:state ~after:state' delta)))
+    (base, clean) deltas
+
+let dirty_of base delta = snd (dirty_chain base [ delta ])
+
+(* ---------- JSON ---------- *)
+
+let schema = "spec_delta"
+
+let to_json delta =
+  let obj kind fields = Json.Obj (("kind", Json.String kind) :: fields) in
+  match delta with
+  | Set_flow_bandwidth { src; dst; bandwidth_mbps } ->
+    obj "set_flow_bandwidth"
+      [
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("bandwidth_mbps", Json.Float bandwidth_mbps);
+      ]
+  | Set_flow_latency { src; dst; max_latency_cycles } ->
+    obj "set_flow_latency"
+      [
+        ("src", Json.Int src);
+        ("dst", Json.Int dst);
+        ("max_latency_cycles", Json.Int max_latency_cycles);
+      ]
+  | Add_flow f ->
+    obj "add_flow"
+      [
+        ("src", Json.Int f.Flow.src);
+        ("dst", Json.Int f.Flow.dst);
+        ("bandwidth_mbps", Json.Float f.Flow.bandwidth_mbps);
+        ("max_latency_cycles", Json.Int f.Flow.max_latency_cycles);
+      ]
+  | Remove_flow { src; dst } ->
+    obj "remove_flow" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Move_core { core; island } ->
+    obj "move_core" [ ("core", Json.Int core); ("island", Json.Int island) ]
+  | Set_always_on { island; always_on } ->
+    obj "set_always_on"
+      [ ("island", Json.Int island); ("always_on", Json.Bool always_on) ]
+  | Set_core_freq { core; freq_mhz } ->
+    obj "set_core_freq"
+      [ ("core", Json.Int core); ("freq_mhz", Json.Float freq_mhz) ]
+
+let list_to_string deltas =
+  Json.to_string
+    (Json.document ~kind:schema
+       [ ("deltas", Json.List (List.map to_json deltas)) ])
+
+let ( let* ) = Result.bind
+
+let get_int json field =
+  match Json.member field json with
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" field)
+  | None -> Error (Printf.sprintf "missing field %S" field)
+
+let get_float json field =
+  match Json.member field json with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ -> Error (Printf.sprintf "field %S must be a number" field)
+  | None -> Error (Printf.sprintf "missing field %S" field)
+
+let get_bool json field =
+  match Json.member field json with
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S must be a boolean" field)
+  | None -> Error (Printf.sprintf "missing field %S" field)
+
+let of_json json =
+  match Json.member "kind" json with
+  | None -> Error "delta object is missing field \"kind\""
+  | Some (Json.String kind) -> (
+    match kind with
+    | "set_flow_bandwidth" ->
+      let* src = get_int json "src" in
+      let* dst = get_int json "dst" in
+      let* bandwidth_mbps = get_float json "bandwidth_mbps" in
+      Ok (Set_flow_bandwidth { src; dst; bandwidth_mbps })
+    | "set_flow_latency" ->
+      let* src = get_int json "src" in
+      let* dst = get_int json "dst" in
+      let* max_latency_cycles = get_int json "max_latency_cycles" in
+      Ok (Set_flow_latency { src; dst; max_latency_cycles })
+    | "add_flow" ->
+      let* src = get_int json "src" in
+      let* dst = get_int json "dst" in
+      let* bw = get_float json "bandwidth_mbps" in
+      let* lat = get_int json "max_latency_cycles" in
+      (match Flow.make ~src ~dst ~bw ~lat with
+      | f -> Ok (Add_flow f)
+      | exception Invalid_argument msg -> Error msg)
+    | "remove_flow" ->
+      let* src = get_int json "src" in
+      let* dst = get_int json "dst" in
+      Ok (Remove_flow { src; dst })
+    | "move_core" ->
+      let* core = get_int json "core" in
+      let* island = get_int json "island" in
+      Ok (Move_core { core; island })
+    | "set_always_on" ->
+      let* island = get_int json "island" in
+      let* always_on = get_bool json "always_on" in
+      Ok (Set_always_on { island; always_on })
+    | "set_core_freq" ->
+      let* core = get_int json "core" in
+      let* freq_mhz = get_float json "freq_mhz" in
+      Ok (Set_core_freq { core; freq_mhz })
+    | other -> Error (Printf.sprintf "unknown delta kind %S" other))
+  | Some _ -> Error "delta field \"kind\" must be a string"
+
+let list_of_string text =
+  let* json = Json.of_string text in
+  let* () =
+    match Json.member "schema" json with
+    | Some (Json.String s) when s = schema -> Ok ()
+    | Some (Json.String s) ->
+      Error (Printf.sprintf "expected schema %S, found %S" schema s)
+    | _ -> Error (Printf.sprintf "missing schema header (expected %S)" schema)
+  in
+  let* () =
+    match Json.member "schema_version" json with
+    | Some (Json.Int v) when v = Json.schema_version -> Ok ()
+    | Some (Json.Int v) ->
+      Error
+        (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+           v Json.schema_version)
+    | _ -> Error "missing or non-integer schema_version"
+  in
+  match Json.member "deltas" json with
+  | Some (Json.List items) ->
+    let rec decode i = function
+      | [] -> Ok []
+      | item :: rest ->
+        (match of_json item with
+        | Ok d ->
+          let* ds = decode (i + 1) rest in
+          Ok (d :: ds)
+        | Error e -> Error (Printf.sprintf "delta %d: %s" i e))
+    in
+    decode 0 items
+  | Some _ -> Error "field \"deltas\" must be a list"
+  | None -> Error "missing field \"deltas\""

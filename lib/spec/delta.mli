@@ -1,0 +1,94 @@
+(** Typed spec edits for incremental re-synthesis.
+
+    A delta is one designer-level edit to a [(Soc_spec.t, Vi.t)] pair —
+    the interactive moves of a design-space exploration session: nudge a
+    flow's bandwidth or latency budget, add or drop a flow, move a core
+    to another voltage island, pin an island always-on, revise a core's
+    frequency constraint.  [Synth.rerun] consumes a delta chain: it
+    {!dirty_chain}s the edits into per-cache dirty sets, evicts exactly
+    the stale entries, and re-runs synthesis — bit-identical to a fresh
+    run on the edited spec (property-tested in [test/test_delta.ml];
+    soundness argument in ALGORITHM.md, "Incremental invalidation").
+
+    Deltas also round-trip through a versioned JSON envelope
+    ([{"schema": "spec_delta", ...}], see FORMAT.md) for the
+    [noc_synth rerun] subcommand. *)
+
+type t =
+  | Set_flow_bandwidth of { src : int; dst : int; bandwidth_mbps : float }
+  | Set_flow_latency of { src : int; dst : int; max_latency_cycles : int }
+  | Add_flow of Flow.t
+  | Remove_flow of { src : int; dst : int }
+  | Move_core of { core : int; island : int }
+      (** reassign [core] to [island] (which must already exist) *)
+  | Set_always_on of { island : int; always_on : bool }
+      (** [always_on = true] clears the island's [Vi.shutdownable] bit *)
+  | Set_core_freq of { core : int; freq_mhz : float }
+
+val apply : Soc_spec.t * Vi.t -> t -> Soc_spec.t * Vi.t
+(** Apply one edit, re-validating through [Soc_spec.make] / [Vi.make] /
+    [Flow.make] / [Core_spec.make].  [Add_flow] appends at the end of
+    the flow list (flow order is part of the synthesis input, so the
+    edit point is deterministic).
+    @raise Invalid_argument on an edit that does not type-check against
+    the spec: unknown core/flow/island, duplicate flow, non-positive
+    bandwidth, a move that would empty an island, ... *)
+
+val apply_all : Soc_spec.t * Vi.t -> t list -> Soc_spec.t * Vi.t
+(** Left fold of {!apply}: each delta sees the spec produced by the
+    previous one. *)
+
+(** Which cached sub-problems a delta (chain) invalidates, by cache
+    family.  Island indices refer to the base spec — they are stable
+    across every delta kind, since no delta changes the island count. *)
+type dirty = {
+  clock_islands : int list;
+      (** islands whose memoized clock assignment is stale (a member
+          core's hottest flow bandwidth may have changed) *)
+  partition_islands : int list;
+      (** islands whose VCG — and so min-cut partitions — changed
+          structurally (ignore when {!field-all_partitions}) *)
+  all_partitions : bool;
+      (** the global Definition-1 normalizers (max bandwidth / min
+          latency over all flows) moved: every island's VCG edge weights
+          changed, so every partition of this spec is stale *)
+  plan : bool;  (** the (annealed) floorplan inputs changed *)
+  evals : bool;
+      (** per-candidate evaluation results are stale (any flow or
+          island-membership edit) *)
+}
+
+val clean : dirty
+(** The empty dirty set — what [Set_always_on] and [Set_core_freq]
+    produce, since no synthesis stage reads shutdownability or core
+    frequency constraints. *)
+
+val union : dirty -> dirty -> dirty
+
+val dirty_of : Soc_spec.t * Vi.t -> t -> dirty
+(** Dirty set of a single delta against the given spec.
+    @raise Invalid_argument if the delta does not apply. *)
+
+val dirty_chain : Soc_spec.t * Vi.t -> t list -> (Soc_spec.t * Vi.t) * dirty
+(** Apply a whole chain and union the per-delta dirty sets (each
+    computed against the intermediate spec it applies to).  Returns the
+    edited spec and the chain's total dirty set relative to the base.
+    @raise Invalid_argument on the first delta that does not apply. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 JSON} *)
+
+val schema : string
+(** ["spec_delta"] — the envelope kind. *)
+
+val to_json : t -> Noc_exec.Json.t
+val of_json : Noc_exec.Json.t -> (t, string) result
+
+val list_to_string : t list -> string
+(** Render a chain under the versioned envelope:
+    [{"schema": "spec_delta", "schema_version": n, "deltas": [...]}]. *)
+
+val list_of_string : string -> (t list, string) result
+(** Parse an envelope produced by {!list_to_string} (or written by
+    hand).  Errors name the offending delta index and field. *)

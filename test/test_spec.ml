@@ -7,6 +7,9 @@ module Vi = Noc_spec.Vi
 module Soc_spec = Noc_spec.Soc_spec
 module Vcg = Noc_spec.Vcg
 module Scenario = Noc_spec.Scenario
+module Spec_io = Noc_spec.Spec_io
+module Delta = Noc_spec.Delta
+module Json = Noc_exec.Json
 module Ugraph = Noc_graph.Ugraph
 module Digraph = Noc_graph.Digraph
 
@@ -335,6 +338,120 @@ let test_scenario_validation () =
   Scenario.validate_duties
     [ Scenario.make ~name:"a" ~used:[ 0 ] ~cores:2 ~duty:0.6 ]
 
+(* ---------- Spec_io: scenarios survive the text format exactly ---------- *)
+
+let test_spec_io_scenario_roundtrip () =
+  let cores =
+    Array.init 4 (fun id ->
+        Core_spec.make ~id
+          ~name:(Printf.sprintf "c%d" id)
+          ~kind:Core_spec.Processor ~area_mm2:(1.5 +. (0.25 *. float id))
+          ~freq_mhz:333.3 ~dynamic_mw:12.5 ())
+  in
+  let bundle =
+    {
+      Spec_io.soc =
+        Soc_spec.make ~name:"scenario-rt" ~cores
+          ~flows:
+            [
+              Flow.make ~src:0 ~dst:1 ~bw:800.0 ~lat:12;
+              Flow.make ~src:2 ~dst:3 ~bw:123.456 ~lat:20;
+            ]
+          ();
+      vi =
+        Some
+          (Vi.make ~islands:2 ~of_core:[| 0; 0; 1; 1 |]
+             ~shutdownable:[| false; true |] ());
+      scenarios =
+        [
+          (* fractional duties whose decimal renderings must come back
+             bit-identical, not merely close *)
+          Scenario.make ~name:"idle" ~used:[ 0 ] ~cores:4 ~duty:0.1;
+          Scenario.make ~name:"playback" ~used:[ 0; 2; 3 ] ~cores:4
+            ~duty:0.35;
+        ];
+    }
+  in
+  match Spec_io.parse (Spec_io.to_string bundle) with
+  | Error m -> Alcotest.failf "scenario bundle failed to parse: %s" m
+  | Ok parsed ->
+    checkb "bundle round-trips exactly" true (Spec_io.equal_bundle bundle parsed);
+    (* equal_bundle covers this, but pin the scenario fields explicitly:
+       an exact duty and an exact used-core mask *)
+    checki "scenario count" 2 (List.length parsed.Spec_io.scenarios);
+    let playback = List.nth parsed.Spec_io.scenarios 1 in
+    checkb "duty is bit-identical" true
+      (playback.Scenario.duty = 0.35);
+    checkb "used cores preserved" true
+      (playback.Scenario.used_cores = [| true; false; true; true |])
+
+(* ---------- malformed delta JSON ---------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_delta_error ~mentions text =
+  match Delta.list_of_string text with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" text
+  | Error e ->
+    checkb
+      (Printf.sprintf "error for %S mentions %S (got %S)" text mentions e)
+      true (contains e mentions)
+
+let test_delta_json_errors () =
+  (* lexical garbage is reported with a byte offset *)
+  expect_delta_error ~mentions:"offset" "not json at all";
+  expect_delta_error ~mentions:"offset" "{\"schema\": \"spec_delta\",}";
+  (* trailing content after a complete document is rejected *)
+  expect_delta_error ~mentions:"offset"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": []} extra";
+  (* envelope violations *)
+  expect_delta_error ~mentions:"schema" "{\"deltas\": []}";
+  expect_delta_error ~mentions:"spec_delta"
+    "{\"schema\": \"wrong_thing\", \"schema_version\": 1, \"deltas\": []}";
+  expect_delta_error ~mentions:"schema_version"
+    "{\"schema\": \"spec_delta\", \"deltas\": []}";
+  expect_delta_error ~mentions:"schema_version"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 999, \"deltas\": []}";
+  expect_delta_error ~mentions:"deltas"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1}";
+  expect_delta_error ~mentions:"list"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": {}}";
+  (* per-delta violations carry the offending index *)
+  expect_delta_error ~mentions:"delta 0"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+     [{\"kind\": \"warp_core\"}]}";
+  expect_delta_error ~mentions:"delta 1"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+     [{\"kind\": \"remove_flow\", \"src\": 1, \"dst\": 2}, {\"kind\": \
+     \"move_core\", \"core\": 3}]}";
+  expect_delta_error ~mentions:"island"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+     [{\"kind\": \"set_always_on\", \"always_on\": true}]}";
+  expect_delta_error ~mentions:"boolean"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+     [{\"kind\": \"set_always_on\", \"island\": 1, \"always_on\": 7}]}";
+  expect_delta_error ~mentions:"kind"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": [{}]}";
+  (* an invalid flow payload surfaces Flow.make's complaint *)
+  expect_delta_error ~mentions:"delta 0"
+    "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+     [{\"kind\": \"add_flow\", \"src\": 2, \"dst\": 2, \"bandwidth_mbps\": \
+     10, \"max_latency_cycles\": 5}]}";
+  (* and the happy path still decodes numbers flexibly (ints as floats) *)
+  match
+    Delta.list_of_string
+      "{\"schema\": \"spec_delta\", \"schema_version\": 1, \"deltas\": \
+       [{\"kind\": \"set_flow_bandwidth\", \"src\": 0, \"dst\": 1, \
+       \"bandwidth_mbps\": 250}]}"
+  with
+  | Ok [ Delta.Set_flow_bandwidth { src = 0; dst = 1; bandwidth_mbps } ] ->
+    checkb "integer bandwidth accepted as float" true (bandwidth_mbps = 250.0)
+  | Ok _ -> Alcotest.fail "decoded the wrong delta"
+  | Error e -> Alcotest.failf "valid delta rejected: %s" e
+
 let () =
   Alcotest.run "noc_spec"
     [
@@ -384,5 +501,12 @@ let () =
           Alcotest.test_case "always-on never gated" `Quick
             test_scenario_always_on_never_gated;
           Alcotest.test_case "validation" `Quick test_scenario_validation;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "scenario bundle round-trips exactly" `Quick
+            test_spec_io_scenario_roundtrip;
+          Alcotest.test_case "malformed delta JSON is rejected" `Quick
+            test_delta_json_errors;
         ] );
     ]
