@@ -17,7 +17,11 @@
                                            # d36/d48, writes BENCH_sweep.json
      dune exec bench/main.exe -- delta     # incremental re-synthesis: rerun
                                            # vs fresh per delta kind on d36,
-                                           # writes BENCH_delta.json *)
+                                           # writes BENCH_delta.json
+     dune exec bench/main.exe -- serve     # synthesis daemon + persistent
+                                           # store: repeat/near-repeat/cold
+                                           # request mix over a real socket,
+                                           # writes BENCH_serve.json *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -798,6 +802,267 @@ let delta () =
   Printf.printf "\nwrote BENCH_delta.json\n";
   if !gate_failed then exit 1
 
+(* ---------------- EXP-SERVE: synthesis as a service ---------------- *)
+
+(* Drive a real daemon — spawned in a sibling domain, spoken to over its
+   Unix socket — with the request mix a long-lived service sees: one
+   cold spec, a daemon restart (proving the store's persistence: the
+   first repeat after the restart is answered from disk), a burst of
+   exact repeats (answered from the in-process result cache), a
+   near-repeat delta, a second cold spec, and hostile input.  Warm
+   repeats must be bit-identical to a fresh local run and at least 50x
+   faster than the cold request (both sides measured with the daemon's
+   own per-request clock, which is immune to client-side scheduling
+   noise); the daemon must answer the malformed line and the invalid
+   request with error documents and still be alive afterwards.  Writes
+   BENCH_serve.json. *)
+let serve () =
+  let module J = Noc_synthesis.Report.Json in
+  let module Serve = Noc_serve.Serve in
+  section
+    "EXP-SERVE: daemon + persistent store, repeat/near-repeat/cold mix on \
+     d26 (writes BENCH_serve.json; warm store hits must be >= 50x faster \
+     than cold and bit-identical)";
+  let dir =
+    let d = Filename.temp_file "noc-serve-bench" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let socket_path = Filename.concat dir "serve.sock" in
+  let store_dir = Filename.concat dir "store" in
+  (* other experiments may have warmed the process-wide tables; the cold
+     request must be genuinely cold *)
+  Noc_cache.Memo.clear_all ();
+  let spawn_daemon () =
+    Domain.spawn (fun () ->
+        Serve.run
+          {
+            (Serve.default_config ~socket_path) with
+            Serve.store_dir = Some store_dir;
+          })
+  in
+  let daemon = spawn_daemon () in
+  let client = Serve.Client.connect ~retry_for:10.0 socket_path in
+  let envelope fields = J.document ~kind:Serve.schema_request fields in
+  let str name resp =
+    match J.member name resp with
+    | Some (J.String s) -> s
+    | _ -> Printf.ksprintf failwith "response is missing string field %S" name
+  in
+  let int_f name resp =
+    match J.member name resp with
+    | Some (J.Int i) -> i
+    | _ -> Printf.ksprintf failwith "response is missing int field %S" name
+  in
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (p /. 100.0 *. float_of_int (n - 1) +. 0.5)))
+  in
+  let synth_request =
+    envelope [ ("op", J.String "synth"); ("benchmark", J.String "d26") ]
+  in
+  (* cold: first sight of the spec, synthesized across the domain pool *)
+  let wall_cold, cold = wall (fun () -> Serve.Client.request client synth_request) in
+  assert (str "status" cold = "ok");
+  assert (str "source" cold = "computed");
+  let cold_ns = int_f "elapsed_ns" cold in
+  let digest = str "result_digest" cold in
+  (* restart the daemon: its in-process result cache dies with it, the
+     store directory does not — the first repeat a fresh daemon sees is
+     answered from disk *)
+  assert (
+    str "status" (Serve.Client.request client (envelope [ ("op", J.String "shutdown") ]))
+    = "ok");
+  Serve.Client.close client;
+  Domain.join daemon;
+  let daemon = spawn_daemon () in
+  let client = Serve.Client.connect ~retry_for:10.0 socket_path in
+  let _, disk = wall (fun () -> Serve.Client.request client synth_request) in
+  assert (str "status" disk = "ok");
+  assert (str "source" disk = "store");
+  assert (str "result_digest" disk = digest);
+  let store_hit_ns = int_f "elapsed_ns" disk in
+  (* warm burst: every further repeat comes from the in-process result
+     cache the disk hit just populated, same digest *)
+  let n_warm = 50 in
+  let warm_ns = ref [] and warm_wall = ref [] in
+  let burst_s, () =
+    wall (fun () ->
+        for _ = 1 to n_warm do
+          let w, resp =
+            wall (fun () -> Serve.Client.request client synth_request)
+          in
+          assert (str "status" resp = "ok");
+          assert (str "source" resp = "memo");
+          assert (str "result_digest" resp = digest);
+          warm_ns := float_of_int (int_f "elapsed_ns" resp) :: !warm_ns;
+          warm_wall := w :: !warm_wall
+        done)
+  in
+  (* near-repeat: a clean delta chain (no synthesis stage reads the
+     always-on bit) — the daemon aliases the base entry instead of
+     re-synthesizing, so this answers from the store too *)
+  let rerun_request =
+    envelope
+      [
+        ("op", J.String "rerun");
+        ("benchmark", J.String "d26");
+        ( "deltas",
+          J.List
+            [
+              J.Obj
+                [
+                  ("kind", J.String "set_always_on");
+                  ("island", J.Int 1);
+                  ("always_on", J.Bool true);
+                ];
+            ] );
+      ]
+  in
+  let _, near = wall (fun () -> Serve.Client.request client rerun_request) in
+  assert (str "status" near = "ok");
+  let near_source = str "source" near in
+  let near_ns = int_f "elapsed_ns" near in
+  (* second cold spec in the mix: same SoC, different partitioning *)
+  let cold2_request =
+    envelope
+      [
+        ("op", J.String "synth");
+        ("benchmark", J.String "d26");
+        ("islands", J.Int 4);
+      ]
+  in
+  let _, cold2 = wall (fun () -> Serve.Client.request client cold2_request) in
+  assert (str "status" cold2 = "ok");
+  assert (str "source" cold2 = "computed");
+  let cold2_ns = int_f "elapsed_ns" cold2 in
+  (* hostile input: neither a malformed line nor an invalid request may
+     take the daemon down — both are answered as error documents and the
+     next ping succeeds *)
+  let malformed_ok =
+    match J.of_string (Serve.Client.request_line client "this is not json") with
+    | Ok resp -> str "status" resp = "error"
+    | Error _ -> false
+  in
+  let invalid_ok =
+    let resp =
+      Serve.Client.request client
+        (envelope
+           [ ("op", J.String "synth"); ("benchmark", J.String "no-such-soc") ])
+    in
+    str "status" resp = "error"
+  in
+  let ping_ok =
+    str "status" (Serve.Client.request client (envelope [ ("op", J.String "ping") ]))
+    = "ok"
+  in
+  let survived = malformed_ok && invalid_ok && ping_ok in
+  let metrics =
+    Serve.Client.request client (envelope [ ("op", J.String "metrics") ])
+  in
+  let store_entries = int_f "store_entries" metrics in
+  assert (
+    str "status" (Serve.Client.request client (envelope [ ("op", J.String "shutdown") ]))
+    = "ok");
+  Serve.Client.close client;
+  Domain.join daemon;
+  (* bit-identity anchor: a fresh local run of the same request *)
+  let case = Bench_case.find "d26" in
+  let local =
+    Synth.run ~options:Synth.Options.default config case.Bench_case.soc
+      case.Bench_case.default_vi
+  in
+  let identical = Serve.Codec.result_digest local = digest in
+  let warm_p50 = percentile 50.0 !warm_ns
+  and warm_p99 = percentile 99.0 !warm_ns in
+  let speedup = float_of_int cold_ns /. warm_p50 in
+  let req_s = float_of_int n_warm /. burst_s in
+  Printf.printf "%-28s %14s\n" "request" "in-daemon";
+  Printf.printf "%-28s %11.3f ms   (client wall %.3f s)\n" "cold synth (d26)"
+    (float_of_int cold_ns /. 1e6) wall_cold;
+  Printf.printf "%-28s %11.3f ms   (first repeat after restart)\n"
+    "store hit (disk)"
+    (float_of_int store_hit_ns /. 1e6);
+  Printf.printf "%-28s %11.3f ms   (p99 %.3f ms, %.0f req/s)\n"
+    (Printf.sprintf "warm repeat p50 (of %d)" n_warm)
+    (warm_p50 /. 1e6) (warm_p99 /. 1e6) req_s;
+  Printf.printf "%-28s %11.3f ms   (source: %s)\n" "near-repeat clean delta"
+    (float_of_int near_ns /. 1e6) near_source;
+  Printf.printf "%-28s %11.3f ms\n" "cold synth (d26, 4 islands)"
+    (float_of_int cold2_ns /. 1e6);
+  Printf.printf "store speedup %.1fx   identical %b   survived %b   \
+                 store entries %d\n%!"
+    speedup identical survived store_entries;
+  let counters =
+    List.filter_map
+      (fun (k, v) ->
+        let pre p =
+          String.length k >= String.length p && String.sub k 0 (String.length p) = p
+        in
+        if pre "store." || pre "serve." then Some (k, J.Int v) else None)
+      (Noc_exec.Metrics.counters ())
+  in
+  let doc =
+    J.to_string
+      (J.document ~kind:"bench_serve"
+         [
+           ("benchmark", J.String "d26");
+           ("cold_ns", J.Int cold_ns);
+           ("cold_wall_s", J.Float wall_cold);
+           ("store_hit_ns", J.Int store_hit_ns);
+           ( "store_hit_speedup",
+             J.Float (float_of_int cold_ns /. float_of_int store_hit_ns) );
+           ("warm_requests", J.Int n_warm);
+           ("warm_p50_ns", J.Float warm_p50);
+           ("warm_p99_ns", J.Float warm_p99);
+           ("warm_req_per_s", J.Float req_s);
+           ("near_repeat_ns", J.Int near_ns);
+           ("near_repeat_source", J.String near_source);
+           ("cold2_ns", J.Int cold2_ns);
+           ("speedup", J.Float speedup);
+           ("identical", J.Bool identical);
+           ("survived_malformed", J.Bool malformed_ok);
+           ("survived_invalid", J.Bool invalid_ok);
+           ("survived", J.Bool survived);
+           ("store_entries", J.Int store_entries);
+           ("counters", J.Obj counters);
+         ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_serve.json\n";
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm dir with Sys_error _ | Unix.Unix_error _ -> ());
+  let fail = ref false in
+  if speedup < 50.0 then begin
+    Printf.printf "FAIL: warm store hit only %.1fx faster than cold (gate: 50x)\n"
+      speedup;
+    fail := true
+  end;
+  if not identical then begin
+    Printf.printf "FAIL: served result digest differs from a fresh local run\n";
+    fail := true
+  end;
+  if not survived then begin
+    Printf.printf
+      "FAIL: daemon did not answer hostile input gracefully \
+       (malformed %b, invalid %b, ping %b)\n"
+      malformed_ok invalid_ok ping_ok;
+    fail := true
+  end;
+  if !fail then exit 1
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let speed () =
@@ -886,6 +1151,7 @@ let all_experiments =
     ("recovery", recovery);
     ("sweep", sweep);
     ("delta", delta);
+    ("serve", serve);
     ("faults", faults);
   ]
 

@@ -581,6 +581,148 @@ let faultsim_cmd =
       $ comm_arg $ seed_arg $ alpha_arg $ protect $ campaign $ k $ count
       $ json_out)
 
+(* --- serve / request --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_run () socket store max_requests =
+  (* The process-wide at_exit --metrics dump only fires when the daemon
+     dies; live counters (per-request timers, cache.* and store.* hit
+     rates) are served over the socket by the [metrics] op instead. *)
+  let config =
+    {
+      (Noc_serve.Serve.default_config ~socket_path:socket) with
+      Noc_serve.Serve.store_dir = store;
+      max_requests;
+    }
+  in
+  Noc_serve.Serve.run config
+
+let serve_cmd =
+  let store =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent content-addressed result store directory (shared \
+             across restarts and instances).  Omitted: results are only \
+             cached in memory for the daemon's lifetime.")
+  in
+  let max_requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Exit after $(docv) requests (smoke tests); default: run until \
+             a $(b,shutdown) request.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the synthesis daemon: answer serve_request JSON envelopes on \
+          a Unix socket, warm specs from the content-addressed store, cold \
+          ones across the domain pool (see docs/FORMAT.md).")
+    Term.(const serve_run $ logs_term $ socket_arg $ store $ max_requests)
+
+let request_run () socket op bench spec islands comm seed alpha protect
+    delta_file retry =
+  let module J = Noc_exec.Json in
+  let fields = ref [] in
+  let add key v = fields := (key, v) :: !fields in
+  add "op" (J.String op);
+  (match spec with
+  | Some path ->
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    add "spec" (J.String text)
+  | None -> if op = "synth" || op = "rerun" then add "benchmark" (J.String bench));
+  if islands > 0 then add "islands" (J.Int islands);
+  if comm then add "comm" (J.Bool true);
+  if seed <> 0 then add "seed" (J.Int seed);
+  if alpha <> Config.default.Config.alpha then add "alpha" (J.Float alpha);
+  if protect then add "protect" (J.Bool true);
+  (match delta_file with
+  | None -> ()
+  | Some path ->
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match Noc_spec.Delta.list_of_string text with
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+    | Ok deltas ->
+      add "deltas" (J.List (List.map Noc_spec.Delta.to_json deltas))));
+  let request = J.document ~kind:"serve_request" (List.rev !fields) in
+  let client = Noc_serve.Serve.Client.connect ~retry_for:retry socket in
+  let response = Noc_serve.Serve.Client.request client request in
+  Noc_serve.Serve.Client.close client;
+  print_endline (J.to_string response);
+  match J.member "status" response with
+  | Some (J.String "ok") -> ()
+  | _ -> exit 1
+
+let request_cmd =
+  let op =
+    let parse =
+      Arg.enum
+        [
+          ("synth", "synth"); ("rerun", "rerun"); ("metrics", "metrics");
+          ("ping", "ping"); ("shutdown", "shutdown");
+        ]
+    in
+    Arg.(
+      value & opt parse "synth"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Request kind: $(b,synth), $(b,rerun) (needs $(b,--delta)), \
+             $(b,metrics), $(b,ping) or $(b,shutdown).")
+  in
+  let protect =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:"Ask for synthesis with link-disjoint backup routes.")
+  in
+  let delta_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "d"; "delta" ] ~docv:"FILE"
+          ~doc:"Spec-delta JSON envelope to send with $(b,--op rerun).")
+  in
+  let retry =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep retrying the connection this long while the daemon is \
+             still starting.")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Send one request to a running $(b,noc_synth serve) daemon and \
+          print the response JSON (exit 1 on an error response).")
+    Term.(
+      const request_run $ logs_term $ socket_arg $ op $ bench_arg $ spec_arg
+      $ islands_arg $ comm_arg $ seed_arg $ alpha_arg $ protect $ delta_file
+      $ retry)
+
 (* --- report --- *)
 
 let report_run () bench spec islands comm seed =
@@ -687,7 +829,7 @@ let main_cmd =
     [
       list_cmd; synth_cmd; rerun_cmd; explore_cmd; baseline_cmd; leakage_cmd;
       floorplan_cmd; simulate_cmd; verify_cmd; export_cmd; report_cmd;
-      faultsim_cmd;
+      faultsim_cmd; serve_cmd; request_cmd;
     ]
 
 (* Expected failures become a one-line diagnostic and exit 2; exit 1 stays
@@ -707,6 +849,14 @@ let () =
              "flow %a traversed gated switch sw%d: topology is not \
               shutdown-safe"
              Noc_spec.Flow.pp flow switch)
+      | Noc_partition.Kway.Partition_error msg ->
+        Some ("partitioning failed: " ^ msg)
+      | Noc_floorplan.Placer.Invalid_plan msg ->
+        Some ("floorplan check failed: " ^ msg)
+      | Unix.Unix_error (err, fn, arg) ->
+        Some
+          (Printf.sprintf "%s: %s%s" fn (Unix.error_message err)
+             (if arg = "" then "" else " (" ^ arg ^ ")"))
       | Invalid_argument msg -> Some ("invalid argument: " ^ msg)
       | Failure msg -> Some msg
       | Sys_error msg -> Some msg

@@ -2,6 +2,7 @@ module Metrics = Noc_exec.Metrics
 
 type ('k, 'v) t = {
   memo_name : string;
+  registry_id : int;
   hits_counter : string;
   misses_counter : string;
   evictions_counter : string;
@@ -9,13 +10,24 @@ type ('k, 'v) t = {
   tbl : ('k, 'v) Hashtbl.t;
 }
 
+(* The registry exists only so [clear_all] can reach every live table; it
+   is keyed by id so [unregister] can drop a table again — otherwise a
+   long-running process (the serve daemon) that creates request-scoped
+   scratch tables would grow the registry, and root every table it ever
+   made, for the life of the process. *)
 let registry_lock = Mutex.create ()
-let registry : (unit -> unit) list ref = ref []
+let registry : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16
+let next_id = ref 0
 
 let create ?(size = 64) memo_name =
+  Mutex.lock registry_lock;
+  let id = !next_id in
+  incr next_id;
+  Mutex.unlock registry_lock;
   let t =
     {
       memo_name;
+      registry_id = id;
       hits_counter = "cache." ^ memo_name ^ ".hits";
       misses_counter = "cache." ^ memo_name ^ ".misses";
       evictions_counter = "cache." ^ memo_name ^ ".evictions";
@@ -24,14 +36,26 @@ let create ?(size = 64) memo_name =
     }
   in
   Mutex.lock registry_lock;
-  registry :=
-    (fun () ->
+  Hashtbl.replace registry id (fun () ->
       Mutex.lock t.lock;
       Hashtbl.reset t.tbl;
-      Mutex.unlock t.lock)
-    :: !registry;
+      Mutex.unlock t.lock);
   Mutex.unlock registry_lock;
   t
+
+let unregister t =
+  Mutex.lock registry_lock;
+  Hashtbl.remove registry t.registry_id;
+  Mutex.unlock registry_lock;
+  Mutex.lock t.lock;
+  Hashtbl.reset t.tbl;
+  Mutex.unlock t.lock
+
+let registered () =
+  Mutex.lock registry_lock;
+  let n = Hashtbl.length registry in
+  Mutex.unlock registry_lock;
+  n
 
 let name t = t.memo_name
 
@@ -90,7 +114,7 @@ let remove_where t pred =
 
 let clear_all () =
   Mutex.lock registry_lock;
-  let clears = !registry in
+  let clears = Hashtbl.fold (fun _ f acc -> f :: acc) registry [] in
   Mutex.unlock registry_lock;
   List.iter (fun f -> f ()) clears
 

@@ -18,7 +18,21 @@ type ('k, 'v) t
 val create : ?size:int -> string -> ('k, 'v) t
 (** [create name] is an empty table registered under [name] (the metrics
     prefix, and what {!clear_all} reaches).  [size] (default 64) is the
-    initial bucket count. *)
+    initial bucket count.  The registry entry roots the table for the
+    life of the process — a short-lived (request-scoped) table must be
+    {!unregister}ed when its scope ends, or a long-running daemon leaks
+    one table per request. *)
+
+val unregister : ('k, 'v) t -> unit
+(** Drop the table from the {!clear_all} registry and empty it, so a
+    request-scoped scratch table becomes garbage when the last direct
+    reference dies.  The table itself remains usable (it is just no
+    longer rooted or reachable from {!clear_all}); unregistering twice
+    is a no-op. *)
+
+val registered : unit -> int
+(** Number of tables currently in the {!clear_all} registry — exposed so
+    leak tests can assert that request-scoped tables come and go. *)
 
 val name : ('k, 'v) t -> string
 
@@ -55,4 +69,14 @@ val digest : 'a -> string
 (** Canonical content key for an immutable, closure-free value: the MD5 of
     its [Marshal] representation (without sharing, so structurally equal
     values digest equally).  Do not pass values containing functions,
-    lazies or custom blocks. *)
+    lazies or custom blocks.
+
+    {b Stability constraint}: the [Marshal] byte representation — and so
+    this digest — is only stable {e within} one OCaml version and
+    architecture.  That is fine for these in-memory tables (keys never
+    outlive the process), but a digest must never be used as an on-disk
+    key as-is: a store shared between builds would silently mix entries
+    keyed by different representations of the same value.  {!Store}
+    namespaces every persistent key with its format version and
+    [Sys.ocaml_version] ({!Store.namespace}) so entries from an
+    incompatible build are skipped, not trusted. *)

@@ -1,0 +1,83 @@
+(** Persistent content-addressed result store.
+
+    A store maps string keys (content digests of a request's full input —
+    spec, config, options) to opaque string payloads (typically a
+    [Marshal]ed result), as files under a sharded directory:
+
+    {v
+    <root>/<aa>/<hash>        # aa = first two hex chars of <hash>
+    v}
+
+    where [<hash>] is the hex MD5 of the *namespaced* key: the key is
+    prefixed with {!namespace} (store format version + OCaml version +
+    the caller's codec tag) before hashing, so entries written by an
+    incompatible build land at different paths and are simply never
+    found — never mis-read.  Each entry additionally starts with a
+    one-line header repeating the namespace and the payload's length and
+    MD5; a reader that does find a foreign or damaged file (version
+    mismatch, truncation, bit rot) skips it as a miss instead of
+    crashing, and counts it under [store.incompatible] /
+    [store.corrupt].
+
+    Writes are atomic (temp file in the same shard directory, then
+    [rename]), so a store directory may be shared by concurrent
+    processes and domains: readers observe either the complete old entry
+    or the complete new one.  All operations on one [t] are additionally
+    serialized per-process by a private mutex, so they may be called
+    freely from {!Noc_exec.Pool} workers.
+
+    Every lookup bumps [store.hits] / [store.misses] in
+    {!Noc_exec.Metrics}; writes bump [store.writes] and evictions
+    [store.evictions], mirroring the in-memory {!Memo} counters. *)
+
+type t
+
+val format_version : int
+(** On-disk format version, bumped on any incompatible layout change.
+    Part of {!namespace}, so old entries are skipped, not migrated. *)
+
+val namespace : ?tag:string -> unit -> string
+(** ["<format_version>/ocaml-<Sys.ocaml_version>/<tag>"].  [Memo.digest]
+    keys are MD5s of [Marshal] representations, which are {e not} stable
+    across OCaml versions or architectures (see [memo.mli]); baking the
+    compiler version into every entry's path and header is what makes a
+    persistent store shared between builds safe.  [tag] (default [""])
+    lets a caller add its own codec version on top — bump it whenever
+    the marshaled value's type layout changes. *)
+
+val open_store : ?tag:string -> string -> t
+(** [open_store dir] opens (creating directories as needed) the store
+    rooted at [dir].  [tag] is folded into {!namespace} for every entry
+    this handle reads or writes. *)
+
+val root : t -> string
+
+val find : t -> string -> string option
+(** [find t key] is the payload stored under [key], or [None] if absent,
+    written by an incompatible build, or damaged.  Bumps [store.hits] or
+    [store.misses] (incompatible/corrupt entries also count one
+    [store.incompatible] / [store.corrupt]). *)
+
+val add : t -> string -> string -> unit
+(** [add t key payload] persists [payload] under [key], atomically
+    (write-then-rename; concurrent writers of the same key race benignly
+    — last rename wins, and content-addressed keys make both payloads
+    identical).  Bumps [store.writes]. *)
+
+val mem : t -> string -> bool
+(** Like {!find} but without reading the payload; bumps no counter. *)
+
+val remove : t -> string -> bool
+(** Evict one entry; [true] if it existed.  Bumps [store.evictions].
+    Like {!Memo.remove}, eviction is hygiene, not correctness: a key
+    digests the entry's full input, so a stale entry can never be
+    returned for a different input — removal just reclaims entries a
+    spec edit made unreachable (the serve daemon does this with
+    [Synth]'s per-delta-kind dirty sets). *)
+
+val length : t -> int
+(** Number of entries readable by this handle's namespace (scans the
+    directory; entries of other namespaces are not counted). *)
+
+val clear : t -> unit
+(** Remove every entry of this handle's namespace. *)

@@ -10,6 +10,10 @@ type plan = {
   core_rects : Geometry.rect array;
 }
 
+exception Invalid_plan of string
+
+let invalid_plan fmt = Printf.ksprintf (fun msg -> raise (Invalid_plan msg)) fmt
+
 let aspect_for_kind = function
   | Core_spec.Memory | Core_spec.Cache -> 1.6 (* macros tend to be oblong *)
   | Core_spec.Io | Core_spec.Peripheral -> 1.3
@@ -74,19 +78,17 @@ let wirelength soc plan =
 let check_plan soc vi plan =
   let n = Soc_spec.core_count soc in
   if Array.length plan.core_rects <> n then
-    failwith "Placer.check_plan: core_rects length mismatch";
+    invalid_plan "Placer.check_plan: core_rects length mismatch";
   Array.iteri
     (fun isl r ->
       if not (Geometry.contains_rect plan.die r) then
-        failwith (Printf.sprintf "Placer.check_plan: island %d outside die" isl))
+        invalid_plan "Placer.check_plan: island %d outside die" isl)
     plan.island_rects;
   Array.iteri
     (fun core r ->
       let isl = vi.Vi.of_core.(core) in
       if not (Geometry.contains_rect plan.island_rects.(isl) r) then
-        failwith
-          (Printf.sprintf "Placer.check_plan: core %d outside island %d" core
-             isl))
+        invalid_plan "Placer.check_plan: core %d outside island %d" core isl)
     plan.core_rects;
   for a = 0 to n - 1 do
     for b = a + 1 to n - 1 do
@@ -95,9 +97,8 @@ let check_plan soc vi plan =
           Geometry.overlap_area plan.core_rects.(a) plan.core_rects.(b)
         in
         if overlap > 1e-6 then
-          failwith
-            (Printf.sprintf "Placer.check_plan: cores %d and %d overlap (%g)"
-               a b overlap)
+          invalid_plan "Placer.check_plan: cores %d and %d overlap (%g)" a b
+            overlap
       end
     done
   done

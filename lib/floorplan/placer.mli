@@ -9,6 +9,12 @@ type plan = {
   core_rects : Geometry.rect array;     (** per core id *)
 }
 
+exception Invalid_plan of string
+(** A placement failed a legality check — raised instead of a bare
+    [Failure] so long-running callers (the [noc_synth serve] daemon, the
+    CLI's exit-2 diagnostic handler) can classify it as a per-request
+    failure rather than an unknown crash. *)
+
 val place :
   ?die_utilization:float ->
   ?die_aspect:float ->
@@ -28,4 +34,4 @@ val wirelength : Noc_spec.Soc_spec.t -> plan -> float
 val check_plan : Noc_spec.Soc_spec.t -> Noc_spec.Vi.t -> plan -> unit
 (** Assert placement legality: every core inside its island's rectangle,
     cores of one island pairwise non-overlapping, islands inside the die.
-    @raise Failure on the first violation. *)
+    @raise Invalid_plan on the first violation. *)

@@ -7,6 +7,10 @@ type t = {
   block_weight : float array;
 }
 
+exception Partition_error of string
+
+let partition_error fmt = Printf.ksprintf (fun msg -> raise (Partition_error msg)) fmt
+
 let epsilon = 1e-9
 
 let block_weights g assignment parts =
@@ -44,7 +48,7 @@ let repair_counts g side ~need0 ~need1 =
     let candidates = ref (move_candidates long) in
     while deficit short > 0 do
       match !candidates with
-      | [] -> failwith "Kway: cannot satisfy block count quota"
+      | [] -> partition_error "Kway: cannot satisfy block count quota"
       | v :: rest ->
         candidates := rest;
         side.(v) <- short;
@@ -218,22 +222,20 @@ let blocks t =
 let check_valid ~max_block_weight g t =
   let n = Ugraph.node_count g in
   if Array.length t.assignment <> n then
-    failwith "Kway.check_valid: assignment length mismatch";
+    partition_error "Kway.check_valid: assignment length mismatch";
   Array.iteri
     (fun v b ->
       if b < 0 || b >= t.parts then
-        failwith (Printf.sprintf "Kway.check_valid: node %d in block %d" v b))
+        partition_error "Kway.check_valid: node %d in block %d" v b)
     t.assignment;
   let weights = block_weights g t.assignment t.parts in
   Array.iteri
     (fun b w ->
       if w > max_block_weight +. 1e-6 then
-        failwith
-          (Printf.sprintf "Kway.check_valid: block %d weight %g over ceiling %g"
-             b w max_block_weight))
+        partition_error "Kway.check_valid: block %d weight %g over ceiling %g"
+          b w max_block_weight)
     weights;
   let cut = Ugraph.cut_weight g t.assignment in
   if Float.abs (cut -. t.cut) > 1e-6 then
-    failwith
-      (Printf.sprintf "Kway.check_valid: recorded cut %g <> recomputed %g"
-         t.cut cut)
+    partition_error "Kway.check_valid: recorded cut %g <> recomputed %g"
+      t.cut cut

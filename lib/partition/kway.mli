@@ -12,6 +12,12 @@ type t = {
   block_weight : float array;
 }
 
+exception Partition_error of string
+(** A partition could not be produced or failed an invariant — raised
+    instead of a bare [Failure] so long-running callers (the [noc_synth
+    serve] daemon, the CLI's exit-2 diagnostic handler) can classify it
+    as a per-request failure rather than an unknown crash. *)
+
 val partition :
   ?seed:int ->
   ?balance:float ->
@@ -39,4 +45,4 @@ val check_valid : max_block_weight:float -> Noc_graph.Ugraph.t -> t -> unit
 (** Assert the partition invariants (used by tests and property checks):
     every node assigned to a block in range, block weights within the
     ceiling, recomputed cut equal to the recorded cut.
-    @raise Failure describing the first violated invariant. *)
+    @raise Partition_error describing the first violated invariant. *)

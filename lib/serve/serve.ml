@@ -1,0 +1,589 @@
+module Json = Noc_exec.Json
+module Metrics = Noc_exec.Metrics
+module Memo = Noc_cache.Memo
+module Store = Noc_cache.Store
+module Synth = Noc_synthesis.Synth
+module Config = Noc_synthesis.Config
+module DP = Noc_synthesis.Design_point
+module Power = Noc_models.Power
+module Delta = Noc_spec.Delta
+module Spec_io = Noc_spec.Spec_io
+module Vi = Noc_spec.Vi
+module Soc_spec = Noc_spec.Soc_spec
+module Bench_case = Noc_benchmarks.Bench_case
+module Kway = Noc_partition.Kway
+module Placer = Noc_floorplan.Placer
+
+let log_src = Logs.Src.create "noc.serve" ~doc:"NoC synthesis daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let schema_request = "serve_request"
+let schema_response = "serve_response"
+
+(* ---------- result codec ---------- *)
+
+module Codec = struct
+  let tag = "synth-result-v1"
+
+  let encode (r : Synth.result) = Marshal.to_string r []
+
+  let decode s =
+    match (Marshal.from_string s 0 : Synth.result) with
+    | r -> Some r
+    | exception _ -> None
+
+  (* The digest is taken over a canonical projection, not the marshaled
+     bytes: hashtable layouts inside a Topology depend on insertion
+     history, so two structurally-identical results need not marshal
+     identically, but their signatures do. *)
+  let signature (r : Synth.result) =
+    ( List.map
+        (fun p ->
+          ( Power.total_mw p.DP.power,
+            p.DP.avg_latency_cycles,
+            p.DP.switch_count,
+            p.DP.indirect_count,
+            p.DP.link_count,
+            p.DP.crossing_count,
+            p.DP.total_wire_mm ))
+        r.Synth.points,
+      r.Synth.candidates_tried,
+      r.Synth.candidates_feasible,
+      r.Synth.candidates_recovered )
+
+  let result_digest r = Digest.to_hex (Memo.digest (signature r))
+end
+
+(* ---------- configuration and state ---------- *)
+
+type config = {
+  socket_path : string;
+  store_dir : string option;
+  synth_config : Config.t;
+  options : Synth.Options.t;
+  max_requests : int option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    store_dir = None;
+    synth_config = Config.default;
+    options = Synth.Options.default;
+    max_requests = None;
+  }
+
+type state = {
+  config : config;
+  store : Store.t option;
+  results : (string, Synth.result) Memo.t;
+      (* decoded-result read cache over the store: a repeat answered from
+         here skips the disk read and the Marshal decode (milliseconds
+         for a large sweep); the store below it is what survives
+         restarts.  Daemon-scoped — [run] unregisters it on shutdown. *)
+  started_ns : int64;
+  mutable requests : int;
+}
+
+let create_state config =
+  {
+    config;
+    store = Option.map (Store.open_store ~tag:Codec.tag) config.store_dir;
+    results = Memo.create "serve.results";
+    started_ns = Metrics.now_ns ();
+    requests = 0;
+  }
+
+(* ---------- request parsing ---------- *)
+
+exception Bad_request of string
+
+let bad_request fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let field key json = Json.member key json
+
+let string_field ?default key json =
+  match field key json with
+  | Some (Json.String s) -> Some s
+  | Some _ -> bad_request "field %S must be a string" key
+  | None -> default
+
+let int_field ~default key json =
+  match field key json with
+  | Some (Json.Int i) -> i
+  | Some _ -> bad_request "field %S must be an integer" key
+  | None -> default
+
+let float_field ~default key json =
+  match field key json with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | Some _ -> bad_request "field %S must be a number" key
+  | None -> default
+
+let bool_field ~default key json =
+  match field key json with
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad_request "field %S must be a boolean" key
+  | None -> default
+
+(* ---------- spec resolution (mirrors the CLI's --benchmark/--spec) ---------- *)
+
+let resolve_case ~scratch request =
+  let case =
+    match string_field "spec" request with
+    | Some text ->
+      (match
+         Memo.find_or_add scratch text (fun () -> Spec_io.parse text)
+       with
+      | Error message -> bad_request "spec: %s" message
+      | Ok bundle ->
+        let soc = bundle.Spec_io.soc in
+        let default_vi =
+          match bundle.Spec_io.vi with
+          | Some vi -> vi
+          | None -> Vi.single_island ~cores:(Soc_spec.core_count soc)
+        in
+        {
+          Bench_case.name = soc.Soc_spec.name;
+          soc;
+          default_vi;
+          scenarios = bundle.Spec_io.scenarios;
+          always_on_cores = [];
+        })
+    | None ->
+      let name =
+        match string_field "benchmark" request with
+        | Some name -> name
+        | None -> bad_request "request needs a \"benchmark\" or \"spec\" field"
+      in
+      (match Bench_case.find name with
+      | case -> case
+      | exception Not_found ->
+        bad_request "unknown benchmark %s (have: %s)" name
+          (String.concat ", " Bench_case.names))
+  in
+  let islands = int_field ~default:0 "islands" request in
+  let comm = bool_field ~default:false "comm" request in
+  let seed = int_field ~default:0 "seed" request in
+  let vi =
+    if islands = 0 then case.Bench_case.default_vi
+    else if comm then
+      Noc_benchmarks.Partitions.communication_based ~seed ~islands
+        ~always_on_cores:case.Bench_case.always_on_cores case.Bench_case.soc
+    else if case.Bench_case.name = "d26" then
+      Noc_benchmarks.D26.logical_partition ~islands
+    else
+      bad_request
+        "logical partitionings at custom island counts exist only for d26; \
+         set \"comm\": true"
+  in
+  (case.Bench_case.soc, vi)
+
+let request_options (base : Synth.Options.t) request =
+  {
+    base with
+    Synth.Options.seed = int_field ~default:base.Synth.Options.seed "seed" request;
+    protect = bool_field ~default:base.Synth.Options.protect "protect" request;
+  }
+
+let request_config (base : Config.t) request =
+  { base with Config.alpha = float_field ~default:base.Config.alpha "alpha" request }
+
+(* The store key digests the request's full input: everything that can
+   change the sweep result.  [domains] and [cache] are deliberately
+   absent (results are identical for any value — synth.mli), [prune] is
+   included because it changes which dominated points are saved. *)
+let request_key config (o : Synth.Options.t) soc vi =
+  Digest.to_hex
+    (Memo.digest
+       ( config,
+         soc,
+         vi,
+         o.Synth.Options.seed,
+         o.Synth.Options.anneal,
+         o.Synth.Options.assignment_strategy,
+         o.Synth.Options.protect,
+         o.Synth.Options.prune ))
+
+(* ---------- responses ---------- *)
+
+let respond fields = Json.document ~kind:schema_response fields
+
+let error_response msg =
+  respond [ ("status", Json.String "error"); ("error", Json.String msg) ]
+
+let error_response_of_exn e =
+  let message =
+    match e with
+    | Bad_request msg -> msg
+    | Synth.No_feasible_design msg -> "no feasible design: " ^ msg
+    | Noc_synthesis.Freq_assign.Infeasible msg ->
+      "frequency assignment infeasible: " ^ msg
+    | Kway.Partition_error msg -> "partitioning failed: " ^ msg
+    | Placer.Invalid_plan msg -> "floorplan check failed: " ^ msg
+    | Invalid_argument msg -> "invalid argument: " ^ msg
+    | Failure msg -> msg
+    | Sys_error msg -> msg
+    | e -> "internal error: " ^ Printexc.to_string e
+  in
+  error_response message
+
+let point_json p =
+  Json.Obj
+    [
+      ("power_mw", Json.Float (Power.total_mw p.DP.power));
+      ("avg_latency_cycles", Json.Float p.DP.avg_latency_cycles);
+      ("switches", Json.Int p.DP.switch_count);
+      ("indirect", Json.Int p.DP.indirect_count);
+      ("links", Json.Int p.DP.link_count);
+      ("crossings", Json.Int p.DP.crossing_count);
+    ]
+
+let result_fields ~key ~source (r : Synth.result) =
+  [
+    ("status", Json.String "ok");
+    ("source", Json.String source);
+    ("key", Json.String key);
+    ("result_digest", Json.String (Codec.result_digest r));
+    ("candidates_tried", Json.Int r.Synth.candidates_tried);
+    ("candidates_feasible", Json.Int r.Synth.candidates_feasible);
+    ("candidates_recovered", Json.Int r.Synth.candidates_recovered);
+    ("points", Json.Int (List.length r.Synth.points));
+    ("best_power", point_json (Synth.best_power r));
+    ("best_latency", point_json (Synth.best_latency r));
+  ]
+
+(* ---------- ops ---------- *)
+
+let store_find state key =
+  match state.store with
+  | None -> None
+  | Some store ->
+    (match Store.find store key with
+    | None -> None
+    | Some payload ->
+      (match Codec.decode payload with
+      | Some r -> Some r
+      | None ->
+        (* namespace and checksum both passed but the payload does not
+           decode: drop the entry rather than serving garbage *)
+        ignore (Store.remove store key);
+        Metrics.incr "store.corrupt";
+        None))
+
+let store_add state key r =
+  match state.store with
+  | None -> ()
+  | Some store -> Store.add store key (Codec.encode r)
+
+let remember state key r =
+  ignore (Memo.find_or_add state.results key (fun () -> r))
+
+(* Look a key up through both layers: the in-process decoded cache, then
+   the persistent store (promoting a disk hit into the cache). *)
+let cached state key =
+  match Memo.find_opt state.results key with
+  | Some r -> Some ("memo", r)
+  | None ->
+    (match store_find state key with
+    | Some r ->
+      remember state key r;
+      Some ("store", r)
+    | None -> None)
+
+let count_answer source =
+  Metrics.incr
+    (match source with
+    | "memo" -> "serve.memo_answers"
+    | "store" -> "serve.store_answers"
+    | _ -> "serve.computed_answers")
+
+(* Answer a spec from the cache or store, or synthesize (across the
+   domain pool) and persist; [source] tells the caller which happened. *)
+let answer_spec state ~config ~options soc vi =
+  let key = request_key config options soc vi in
+  match cached state key with
+  | Some (source, r) ->
+    count_answer source;
+    (key, source, r)
+  | None ->
+    count_answer "computed";
+    let r = Synth.run ~options config soc vi in
+    store_add state key r;
+    remember state key r;
+    (key, "computed", r)
+
+let op_synth state ~scratch request =
+  let soc, vi = resolve_case ~scratch request in
+  let options = request_options state.config.options request in
+  let config = request_config state.config.synth_config request in
+  let key, source, r = answer_spec state ~config ~options soc vi in
+  respond (result_fields ~key ~source r)
+
+let deltas_of request =
+  match field "deltas" request with
+  | Some (Json.List items) ->
+    List.mapi
+      (fun i item ->
+        match Delta.of_json item with
+        | Ok d -> d
+        | Error msg -> bad_request "deltas[%d]: %s" i msg)
+      items
+  | Some _ -> bad_request "field \"deltas\" must be a list"
+  | None -> bad_request "rerun request needs a \"deltas\" field"
+
+let op_rerun state ~scratch request =
+  let soc, vi = resolve_case ~scratch request in
+  let delta = deltas_of request in
+  let options = request_options state.config.options request in
+  let config = request_config state.config.synth_config request in
+  let base_key = request_key config options soc vi in
+  let (soc', vi'), dirty = Delta.dirty_chain (soc, vi) delta in
+  let edited_key = request_key config options soc' vi' in
+  let clean = dirty = Delta.clean in
+  if clean then (
+    match cached state edited_key with
+    | Some (source, r) ->
+      count_answer source;
+      respond (result_fields ~key:edited_key ~source r)
+    | None ->
+      (* no synthesis stage reads the edited fields, so the base result
+         is the edited spec's result (the bit-identity property of
+         Synth.rerun, test/test_delta.ml); alias it under the edited
+         key, leaving the base entry live *)
+      (match cached state base_key with
+      | Some (source, r) ->
+        Metrics.incr "serve.alias_answers";
+        count_answer source;
+        store_add state edited_key r;
+        remember state edited_key r;
+        respond (result_fields ~key:edited_key ~source r)
+      | None ->
+        let key, source, r = answer_spec state ~config ~options soc' vi' in
+        respond (result_fields ~key ~source r)))
+  else begin
+    (* the base entry seeds the incremental rerun, so fetch it before
+       evicting; a dirty chain supersedes the base spec, and exactly
+       that one entry is dropped (per-delta-kind dirty sets; content
+       addressing keeps every other entry valid by construction) *)
+    let prev = Option.map snd (cached state base_key) in
+    (match state.store with
+    | Some store ->
+      if Store.remove store base_key then
+        Metrics.incr "serve.superseded_evictions"
+    | None -> ());
+    ignore (Memo.remove state.results base_key);
+    match cached state edited_key with
+    | Some (source, r) ->
+      count_answer source;
+      respond (result_fields ~key:edited_key ~source r)
+    | None ->
+      count_answer "computed";
+      let prev =
+        match prev with
+        | Some prev -> prev
+        | None -> Synth.run ~options config soc vi
+      in
+      (* rerun evicts the stale in-memory memo entries from the dirty
+         sets, then re-solves incrementally; bit-identical to a fresh
+         run on the edited spec *)
+      let _edited, r = Synth.rerun ~options ~prev ~delta config soc vi in
+      store_add state edited_key r;
+      remember state edited_key r;
+      respond (result_fields ~key:edited_key ~source:"computed" r)
+  end
+
+let op_metrics state =
+  let metrics =
+    match Json.of_string (Metrics.to_json ()) with
+    | Ok doc -> doc
+    | Error _ -> Json.Null
+  in
+  respond
+    [
+      ("status", Json.String "ok");
+      ("requests", Json.Int state.requests);
+      ( "uptime_ns",
+        Json.Int
+          (Int64.to_int (Int64.sub (Metrics.now_ns ()) state.started_ns)) );
+      ("store_entries",
+       match state.store with
+       | None -> Json.Null
+       | Some store -> Json.Int (Store.length store));
+      ("metrics", metrics);
+    ]
+
+let op_ping state =
+  respond
+    [
+      ("status", Json.String "ok");
+      ("pong", Json.Bool true);
+      ("requests", Json.Int state.requests);
+    ]
+
+(* ---------- dispatch ---------- *)
+
+let handle_request state ~scratch request =
+  match field "schema" request with
+  | Some (Json.String s) when s = schema_request ->
+    (match field "schema_version" request with
+    | Some (Json.Int v) when v <= Json.schema_version ->
+      (match string_field "op" request with
+      | Some "ping" -> (op_ping state, `Continue)
+      | Some "metrics" -> (op_metrics state, `Continue)
+      | Some "synth" -> (op_synth state ~scratch request, `Continue)
+      | Some "rerun" -> (op_rerun state ~scratch request, `Continue)
+      | Some "shutdown" ->
+        ( respond
+            [ ("status", Json.String "ok"); ("stopping", Json.Bool true) ],
+          `Stop )
+      | Some op -> (error_response (Printf.sprintf "unknown op %S" op), `Continue)
+      | None -> (error_response "request needs an \"op\" field", `Continue))
+    | Some (Json.Int v) ->
+      ( error_response
+          (Printf.sprintf "unsupported schema_version %d (this daemon: %d)" v
+             Json.schema_version),
+        `Continue )
+    | _ -> (error_response "request needs an integer \"schema_version\"", `Continue))
+  | _ ->
+    ( error_response
+        (Printf.sprintf "request must be a %S envelope" schema_request),
+      `Continue )
+
+let handle_line state ~scratch line =
+  state.requests <- state.requests + 1;
+  Metrics.incr "serve.requests";
+  let t0 = Metrics.now_ns () in
+  let response, verdict =
+    (* the one boundary: nothing a single request does — malformed JSON,
+       an infeasible spec, a Kway/Placer invariant failure, an I/O error
+       — may take the daemon down *)
+    match
+      match Json.of_string line with
+      | Error msg -> (error_response msg, `Continue)
+      | Ok request -> handle_request state ~scratch request
+    with
+    | result -> result
+    | exception e -> (error_response_of_exn e, `Continue)
+  in
+  let elapsed = Int64.sub (Metrics.now_ns ()) t0 in
+  Metrics.add_ns "serve.request" elapsed;
+  let response =
+    match response with
+    | Json.Obj fields ->
+      (match List.assoc_opt "status" fields with
+      | Some (Json.String "error") -> Metrics.incr "serve.errors"
+      | _ -> ());
+      Json.Obj (fields @ [ ("elapsed_ns", Json.Int (Int64.to_int elapsed)) ])
+    | other -> other
+  in
+  (Json.to_string response, verdict)
+
+(* ---------- socket loop ---------- *)
+
+let serve_connection state fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* request-scoped scratch memo: spec texts parsed once per connection,
+     dropped from the registry when the connection closes *)
+  let scratch = Memo.create "serve.spec_parse" in
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.unregister scratch;
+      (try close_out_noerr oc with _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec loop () =
+        if
+          match state.config.max_requests with
+          | Some limit -> state.requests >= limit
+          | None -> false
+        then `Stop
+        else
+          match input_line ic with
+          | exception End_of_file -> `Continue
+          | exception Sys_error _ -> `Continue
+          | line ->
+            let response, verdict = handle_line state ~scratch line in
+            (try
+               output_string oc response;
+               output_char oc '\n';
+               flush oc
+             with Sys_error _ -> ());
+            (match verdict with `Stop -> `Stop | `Continue -> loop ())
+      in
+      loop ())
+
+let run config =
+  let state = create_state config in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
+  Unix.listen sock 16;
+  Log.info (fun m -> m "listening on %s" config.socket_path);
+  Fun.protect
+    ~finally:(fun () ->
+      Memo.unregister state.results;
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink config.socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec accept_loop () =
+        let continue_if_more () =
+          match config.max_requests with
+          | Some limit when state.requests >= limit -> ()
+          | _ -> accept_loop ()
+        in
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | fd, _ ->
+          (match serve_connection state fd with
+          | `Stop -> ()
+          | `Continue -> continue_if_more ())
+      in
+      accept_loop ());
+  Log.info (fun m ->
+      m "served %d requests, shutting down" state.requests)
+
+(* ---------- client ---------- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect ?(retry_for = 0.0) path =
+    let deadline = Unix.gettimeofday () +. retry_for in
+    let rec go () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+        { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      | exception
+          Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+        when Unix.gettimeofday () < deadline ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.02;
+        go ()
+      | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+    in
+    go ()
+
+  let request_line t line =
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    match input_line t.ic with
+    | line -> line
+    | exception End_of_file -> failwith "serve client: connection closed"
+
+  let request t json =
+    match Json.of_string (request_line t (Json.to_string json)) with
+    | Ok response -> response
+    | Error msg -> failwith ("serve client: bad response: " ^ msg)
+
+  let close t =
+    (try close_out_noerr t.oc with _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

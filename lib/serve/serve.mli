@@ -1,0 +1,129 @@
+(** Synthesis as a service: a long-running daemon on a Unix socket.
+
+    The wire protocol is newline-delimited JSON using the shared
+    versioned envelope ({!Noc_exec.Json.document}): each request is one
+    ["serve_request"] document on one line, answered by one
+    ["serve_response"] line (field reference in docs/FORMAT.md).  A
+    connection may issue any number of requests; malformed lines and
+    failing requests are answered with [{"status": "error", ...}] and
+    never terminate the daemon.
+
+    Cold [synth] requests run {!Noc_synthesis.Synth.run} — which fans
+    candidate evaluation out across the {!Noc_exec.Pool} domain pool —
+    and persist the full sweep result in a content-addressed
+    {!Noc_cache.Store} keyed by a digest of the request's entire input
+    (config, spec, VI assignment, result-affecting options).  A repeat
+    of the same spec is answered without synthesizing, from one of two
+    warm layers, named by the response's [source] field: ["memo"], an
+    in-process cache of decoded results (sub-millisecond — no disk
+    read, no [Marshal] decode), or ["store"], the persistent store
+    itself (a disk hit costs the decode, milliseconds for a large
+    sweep, and is promoted into the memo).  Because the store is on
+    disk, warm entries survive restarts and may be shared by a fleet of
+    instances; ["computed"] marks the cold path.
+
+    [rerun] requests carry a base spec plus a {!Noc_spec.Delta} chain.
+    The daemon classifies the chain with {!Noc_spec.Delta.dirty_chain}:
+    a chain whose dirty set is empty (always-on toggles, core frequency
+    edits — no synthesis stage reads them) re-uses the base result
+    verbatim under the edited spec's key, and a dirty chain evicts
+    exactly the superseded base entry from the store, evicts the stale
+    in-memory memo entries via {!Noc_synthesis.Synth.rerun}, and
+    re-synthesizes incrementally. *)
+
+module Json = Noc_exec.Json
+
+val schema_request : string
+(** ["serve_request"]. *)
+
+val schema_response : string
+(** ["serve_response"]. *)
+
+(** Serialization of {!Noc_synthesis.Synth.result} for the store. *)
+module Codec : sig
+  val tag : string
+  (** Codec version tag folded into {!Noc_cache.Store.namespace} — bump
+      whenever the marshaled layout of [Synth.result] changes, so stale
+      store entries are skipped rather than mis-decoded. *)
+
+  val encode : Noc_synthesis.Synth.result -> string
+
+  val decode : string -> Noc_synthesis.Synth.result option
+  (** [None] on any decoding failure (payloads are already namespace- and
+      checksum-guarded by the store, so this is a last-resort guard). *)
+
+  val result_digest : Noc_synthesis.Synth.result -> string
+  (** Hex digest of the result's canonical signature: every saved point's
+      (power, latency, switch/indirect/link/crossing counts, wire
+      length) in sweep order plus the tried/feasible/recovered counters.
+      Two results with equal digests are the same sweep outcome, whether
+      computed fresh, replayed from memo tables, or read back from the
+      store — the bit-identity handle used by tests and [bench serve]. *)
+end
+
+type config = {
+  socket_path : string;
+  store_dir : string option;
+      (** [None] disables persistence (in-process memo tables still make
+          repeats warm within one daemon's lifetime) *)
+  synth_config : Noc_synthesis.Config.t;
+      (** base synthesis config; a request's [alpha] field overrides *)
+  options : Noc_synthesis.Synth.Options.t;
+      (** base options; request fields [seed] / [protect] override *)
+  max_requests : int option;
+      (** stop after this many requests (tests / smoke runs); [None]
+          runs until a [shutdown] request *)
+}
+
+val default_config : socket_path:string -> config
+(** [Config.default] synthesis config, default options, no store, no
+    request limit. *)
+
+type state
+(** One daemon's mutable state: its store handle and request counters. *)
+
+val create_state : config -> state
+
+val handle_line : state -> scratch:(string, (Noc_spec.Spec_io.bundle, string) result) Noc_cache.Memo.t -> string -> string * [ `Continue | `Stop ]
+(** Process one request line and render the response line (without the
+    trailing newline).  Every exception a request can raise — parse
+    errors, [Synth.No_feasible_design], [Kway.Partition_error],
+    [Placer.Invalid_plan], I/O failures — is converted to an error
+    response; this function never raises.  [scratch] is the
+    connection-scoped spec-parse memo (see {!run}).  [`Stop] is returned
+    for a [shutdown] request. *)
+
+val error_response_of_exn : exn -> Json.t
+(** The error document a failing request is answered with — exposed so
+    tests can pin that typed synthesis errors ([Kway.Partition_error],
+    [Placer.Invalid_plan], [No_feasible_design], ...) are classified as
+    per-request diagnostics, not daemon-killing crashes. *)
+
+val run : config -> unit
+(** Bind the socket (replacing a stale socket file), serve connections
+    sequentially until a [shutdown] request or [max_requests], then
+    close and unlink the socket.  Each connection gets a request-scoped
+    spec-parse memo table that is {!Noc_cache.Memo.unregister}ed when
+    the connection closes, so a long-lived daemon does not accumulate
+    scratch tables; the daemon's own result cache is unregistered the
+    same way on shutdown. *)
+
+(** Minimal blocking client, used by the CLI [request] subcommand, the
+    serve bench and the tests. *)
+module Client : sig
+  type t
+
+  val connect : ?retry_for:float -> string -> t
+  (** Connect to the daemon's socket.  [retry_for] (seconds, default 0)
+      keeps retrying while the socket does not exist yet or refuses —
+      for callers that just started the daemon. *)
+
+  val request : t -> Json.t -> Json.t
+  (** Send one request document, wait for the response line.
+      @raise Failure on a closed connection or an unparsable response. *)
+
+  val request_line : t -> string -> string
+  (** Raw variant (used to exercise malformed envelopes). *)
+
+  val close : t -> unit
+end

@@ -71,6 +71,31 @@ let test_memo_clear_all () =
   Memo.clear_all ();
   checki "clear_all reaches every registered table" 0 (Memo.length t)
 
+let test_memo_unregister () =
+  (* request-scoped tables (e.g. the serve daemon's per-connection
+     spec-parse memo) must leave the registry when they die, or a
+     long-running process accumulates one closure per table forever *)
+  let before = Memo.registered () in
+  let t : (int, int) Memo.t = Memo.create "test_unregister" in
+  checki "create registers" (before + 1) (Memo.registered ());
+  ignore (Memo.find_or_add t 1 (fun () -> 1));
+  Memo.unregister t;
+  checki "unregister shrinks the registry" before (Memo.registered ());
+  checki "unregister drops entries" 0 (Memo.length t);
+  Memo.unregister t;
+  checki "unregister is idempotent" before (Memo.registered ());
+  (* an unregistered table still works, but clear_all no longer sees it *)
+  ignore (Memo.find_or_add t 2 (fun () -> 2));
+  Memo.clear_all ();
+  checki "clear_all skips unregistered tables" 1 (Memo.length t);
+  (* churning tables through create/unregister leaves no residue *)
+  for i = 0 to 99 do
+    let s : (int, int) Memo.t = Memo.create (Printf.sprintf "churn_%d" i) in
+    ignore (Memo.find_or_add s i (fun () -> i));
+    Memo.unregister s
+  done;
+  checki "no registry growth after churn" before (Memo.registered ())
+
 let test_memo_digest () =
   (* structural equality, not physical: fresh but equal values share a
      digest, so content-keyed caches hit across rebuilt specs *)
@@ -179,6 +204,7 @@ let () =
         [
           Alcotest.test_case "find_or_add" `Quick test_memo_find_or_add;
           Alcotest.test_case "clear_all" `Quick test_memo_clear_all;
+          Alcotest.test_case "unregister" `Quick test_memo_unregister;
           Alcotest.test_case "digest" `Quick test_memo_digest;
         ] );
       ( "identity",

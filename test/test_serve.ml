@@ -1,0 +1,315 @@
+(* Tests for the synthesis daemon (lib/serve): the result codec's
+   bit-identity, the error boundary that keeps one bad request from
+   killing the service, the store/memo answering layers behind
+   handle_line, and a live socket session with repeat / delta /
+   malformed envelopes surviving a daemon restart. *)
+
+module Config = Noc_synthesis.Config
+module Synth = Noc_synthesis.Synth
+module Serve = Noc_serve.Serve
+module Json = Noc_exec.Json
+module Memo = Noc_cache.Memo
+module Delta = Noc_spec.Delta
+module Soc_spec = Noc_spec.Soc_spec
+module Flow = Noc_spec.Flow
+module Bench_case = Noc_benchmarks.Bench_case
+module Kway = Noc_partition.Kway
+module Placer = Noc_floorplan.Placer
+
+let config = Config.default
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let tmp_dir () =
+  let d = Filename.temp_file "noc-serve-test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let str name json =
+  match Json.member name json with
+  | Some (Json.String s) -> s
+  | _ -> Alcotest.failf "response is missing string field %S" name
+
+let envelope fields = Json.document ~kind:Serve.schema_request fields
+
+let d12 = Bench_case.find "d12"
+let d12_result =
+  lazy
+    (Synth.run ~options:Synth.Options.default config d12.Bench_case.soc
+       d12.Bench_case.default_vi)
+
+(* ---------- codec ---------- *)
+
+let test_codec_round_trip () =
+  let r = Lazy.force d12_result in
+  let decoded = Option.get (Serve.Codec.decode (Serve.Codec.encode r)) in
+  (* the store hands back exactly the sweep that went in: same digest,
+     same counters, same points in order *)
+  checks "digest survives encode/decode" (Serve.Codec.result_digest r)
+    (Serve.Codec.result_digest decoded);
+  checki "tried" r.Synth.candidates_tried decoded.Synth.candidates_tried;
+  checki "feasible" r.Synth.candidates_feasible decoded.Synth.candidates_feasible;
+  checki "points" (List.length r.Synth.points) (List.length decoded.Synth.points);
+  checkb "decode rejects garbage" true (Serve.Codec.decode "garbage" = None)
+
+(* ---------- error boundary ---------- *)
+
+let test_error_classification () =
+  let message e = str "error" (Serve.error_response_of_exn e) in
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  (* the typed partition/floorplan invariant failures introduced for the
+     daemon boundary: per-request diagnostics, not crashes *)
+  checkb "kway classified" true
+    (has_prefix "partitioning failed" (message (Kway.Partition_error "quota")));
+  checkb "placer classified" true
+    (has_prefix "floorplan check failed"
+       (message (Placer.Invalid_plan "overlap")));
+  checkb "infeasible classified" true
+    (has_prefix "no feasible design"
+       (message (Synth.No_feasible_design "too tight")));
+  List.iter
+    (fun e -> checks "status is error" "error" (str "status" (Serve.error_response_of_exn e)))
+    [
+      (Kway.Partition_error "x" : exn);
+      Placer.Invalid_plan "x";
+      Synth.No_feasible_design "x";
+      Failure "x";
+      Not_found;
+    ]
+
+(* ---------- handle_line: the daemon's brain, no socket needed ---------- *)
+
+let with_state dir f =
+  let config_ =
+    {
+      (Serve.default_config ~socket_path:"unused") with
+      Serve.store_dir = Some dir;
+    }
+  in
+  let state = Serve.create_state config_ in
+  let scratch = Memo.create "test_serve.scratch" in
+  Fun.protect
+    ~finally:(fun () -> Memo.unregister scratch)
+    (fun () -> f (fun line -> Serve.handle_line state ~scratch line))
+
+let request_line fields = Json.to_string (envelope fields)
+
+let synth_line = request_line [ ("op", Json.String "synth"); ("benchmark", Json.String "d12") ]
+
+let parse_ok (line, verdict) =
+  (match Json.of_string line with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "unparsable response %s: %s" line msg), verdict
+
+let test_handle_line_sources () =
+  with_dir @@ fun dir ->
+  with_state dir @@ fun handle ->
+  let cold, v = parse_ok (handle synth_line) in
+  checkb "continues" true (v = `Continue);
+  checks "cold status" "ok" (str "status" cold);
+  checks "cold source" "computed" (str "source" cold);
+  let digest = str "result_digest" cold in
+  checks "matches a fresh local run" digest
+    (Serve.Codec.result_digest (Lazy.force d12_result));
+  let warm, _ = parse_ok (handle synth_line) in
+  checks "repeat source" "memo" (str "source" warm);
+  checks "repeat digest" digest (str "result_digest" warm);
+  (* a different daemon sharing the store answers from disk *)
+  with_state dir @@ fun handle2 ->
+  let disk, _ = parse_ok (handle2 synth_line) in
+  checks "restart source" "store" (str "source" disk);
+  checks "restart digest" digest (str "result_digest" disk)
+
+let test_handle_line_rerun () =
+  with_dir @@ fun dir ->
+  with_state dir @@ fun handle ->
+  let cold, _ = parse_ok (handle synth_line) in
+  let digest = str "result_digest" cold in
+  (* clean chain: no synthesis stage reads the always-on bit, so the
+     answer is the base result, aliased — and bit-identical *)
+  let clean_line =
+    request_line
+      [
+        ("op", Json.String "rerun");
+        ("benchmark", Json.String "d12");
+        ( "deltas",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("kind", Json.String "set_always_on");
+                  ("island", Json.Int 0);
+                  ("always_on", Json.Bool true);
+                ];
+            ] );
+      ]
+  in
+  let clean, _ = parse_ok (handle clean_line) in
+  checks "clean rerun ok" "ok" (str "status" clean);
+  checks "clean rerun answered warm" "memo" (str "source" clean);
+  checks "clean rerun digest = base digest" digest (str "result_digest" clean);
+  (* dirty chain: a flow edit supersedes the base entry and re-solves *)
+  let flow = List.hd d12.Bench_case.soc.Soc_spec.flows in
+  let deltas =
+    [
+      Delta.Set_flow_bandwidth
+        {
+          src = flow.Flow.src;
+          dst = flow.Flow.dst;
+          bandwidth_mbps = flow.Flow.bandwidth_mbps *. 0.9;
+        };
+    ]
+  in
+  let dirty_line =
+    request_line
+      [
+        ("op", Json.String "rerun");
+        ("benchmark", Json.String "d12");
+        ( "deltas",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("kind", Json.String "set_flow_bandwidth");
+                  ("src", Json.Int flow.Flow.src);
+                  ("dst", Json.Int flow.Flow.dst);
+                  ( "bandwidth_mbps",
+                    Json.Float (flow.Flow.bandwidth_mbps *. 0.9) );
+                ];
+            ] );
+      ]
+  in
+  let dirty, _ = parse_ok (handle dirty_line) in
+  checks "dirty rerun ok" "ok" (str "status" dirty);
+  checks "dirty rerun recomputed" "computed" (str "source" dirty);
+  (* bit-identity of the incremental path against a fresh local run on
+     the edited spec *)
+  let soc', vi' =
+    Delta.apply_all (d12.Bench_case.soc, d12.Bench_case.default_vi) deltas
+  in
+  let fresh = Synth.run ~options:Synth.Options.default config soc' vi' in
+  checks "dirty rerun digest = fresh edited run"
+    (Serve.Codec.result_digest fresh)
+    (str "result_digest" dirty);
+  (* the edited result is warm now; the superseded base entry is not *)
+  let again, _ = parse_ok (handle dirty_line) in
+  checks "repeat of dirty rerun is warm" "memo" (str "source" again)
+
+let test_handle_line_survives_bad_input () =
+  with_dir @@ fun dir ->
+  with_state dir @@ fun handle ->
+  let expect_error line =
+    let json, v = parse_ok (handle line) in
+    checks "status is error" "error" (str "status" json);
+    checkb "daemon continues" true (v = `Continue)
+  in
+  expect_error "this is not json";
+  expect_error "{\"schema\": \"wrong_schema\", \"schema_version\": 1}";
+  expect_error
+    (Json.to_string
+       (Json.Obj
+          [
+            ("schema", Json.String Serve.schema_request);
+            ("schema_version", Json.Int 999);
+            ("op", Json.String "ping");
+          ]));
+  expect_error (request_line [ ("op", Json.String "no-such-op") ]);
+  expect_error (request_line [ ("op", Json.String "synth") ]);
+  expect_error
+    (request_line
+       [ ("op", Json.String "synth"); ("benchmark", Json.String "no-such-soc") ]);
+  expect_error
+    (request_line
+       [
+         ("op", Json.String "synth");
+         ("benchmark", Json.String "d12");
+         ("islands", Json.String "four");
+       ]);
+  (* after all that abuse, a good request still works *)
+  let ping, _ = parse_ok (handle (request_line [ ("op", Json.String "ping") ])) in
+  checks "still alive" "ok" (str "status" ping);
+  let shutdown, v =
+    parse_ok (handle (request_line [ ("op", Json.String "shutdown") ]))
+  in
+  checks "shutdown ok" "ok" (str "status" shutdown);
+  checkb "shutdown stops" true (v = `Stop)
+
+(* ---------- live socket session ---------- *)
+
+let test_socket_session () =
+  with_dir @@ fun dir ->
+  let socket_path = Filename.concat dir "serve.sock" in
+  let store_dir = Filename.concat dir "store" in
+  let spawn () =
+    Domain.spawn (fun () ->
+        Serve.run
+          {
+            (Serve.default_config ~socket_path) with
+            Serve.store_dir = Some store_dir;
+          })
+  in
+  let daemon = spawn () in
+  let client = Serve.Client.connect ~retry_for:10.0 socket_path in
+  let request fields = Serve.Client.request client (envelope fields) in
+  let synth = [ ("op", Json.String "synth"); ("benchmark", Json.String "d12") ] in
+  let cold = request synth in
+  checks "cold over socket" "computed" (str "source" cold);
+  let digest = str "result_digest" cold in
+  let warm = request synth in
+  checks "repeat over socket" "memo" (str "source" warm);
+  checks "same digest" digest (str "result_digest" warm);
+  (* malformed envelope: answered, not fatal *)
+  let raw = Serve.Client.request_line client "][ nonsense" in
+  (match Json.of_string raw with
+  | Ok json -> checks "malformed answered with error" "error" (str "status" json)
+  | Error msg -> Alcotest.failf "unparsable error response: %s" msg);
+  let ping = request [ ("op", Json.String "ping") ] in
+  checks "alive after malformed" "ok" (str "status" ping);
+  let metrics = request [ ("op", Json.String "metrics") ] in
+  checks "metrics op" "ok" (str "status" metrics);
+  checkb "metrics embeds counters" true (Json.member "metrics" metrics <> None);
+  checks "shutdown" "ok" (str "status" (request [ ("op", Json.String "shutdown") ]));
+  Serve.Client.close client;
+  Domain.join daemon;
+  (* restart on the same store: the repeat is a disk hit *)
+  let daemon = spawn () in
+  let client = Serve.Client.connect ~retry_for:10.0 socket_path in
+  let disk = Serve.Client.request client (envelope synth) in
+  checks "warm across restart" "store" (str "source" disk);
+  checks "digest across restart" digest (str "result_digest" disk);
+  ignore (Serve.Client.request client (envelope [ ("op", Json.String "shutdown") ]));
+  Serve.Client.close client;
+  Domain.join daemon
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "serve",
+        [
+          Alcotest.test_case "codec round-trip" `Quick test_codec_round_trip;
+          Alcotest.test_case "error classification" `Quick
+            test_error_classification;
+          Alcotest.test_case "answer sources" `Quick test_handle_line_sources;
+          Alcotest.test_case "rerun: clean alias, dirty evict" `Quick
+            test_handle_line_rerun;
+          Alcotest.test_case "survives bad input" `Quick
+            test_handle_line_survives_bad_input;
+          Alcotest.test_case "socket session with restart" `Quick
+            test_socket_session;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the persistent content-addressed store (lib/cache/store.ml):
+   round-trips across handles, namespace isolation between incompatible
+   builds, graceful skipping of damaged entries, and safety under
+   concurrent multi-domain access. *)
+
+module Store = Noc_cache.Store
+module Memo = Noc_cache.Memo
+module Metrics = Noc_exec.Metrics
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let tmp_dir () =
+  let d = Filename.temp_file "noc-store-test" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rec rm path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_dir f =
+  let dir = tmp_dir () in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+(* Every entry file under the store root (shard dirs are one level deep). *)
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun shard ->
+         let p = Filename.concat dir shard in
+         if Sys.is_directory p then
+           Sys.readdir p |> Array.to_list
+           |> List.map (fun f -> Filename.concat p f)
+         else [])
+
+(* ---------- round-trip and persistence ---------- *)
+
+let test_round_trip () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store ~tag:"t" dir in
+  (* payloads are opaque binary: embedded newlines, NULs, non-UTF8 *)
+  let payload = "line1\nline2\x00\xff binary \r\n tail" in
+  checkb "empty store misses" true (Store.find store "k1" = None);
+  Store.add store "k1" payload;
+  checks "round-trips payload" payload
+    (Option.get (Store.find store "k1"));
+  checkb "mem sees entry" true (Store.mem store "k1");
+  checkb "mem misses absent key" false (Store.mem store "k2");
+  checki "length" 1 (Store.length store);
+  Store.add store "k2" "";
+  checks "empty payload round-trips" "" (Option.get (Store.find store "k2"));
+  (* a second handle on the same directory — a restarted daemon — reads
+     what the first wrote *)
+  let reopened = Store.open_store ~tag:"t" dir in
+  checks "persists across handles" payload
+    (Option.get (Store.find reopened "k1"));
+  checki "reopened length" 2 (Store.length reopened);
+  (* overwrite is last-write-wins *)
+  Store.add store "k1" "v2";
+  checks "overwrite visible" "v2" (Option.get (Store.find reopened "k1"))
+
+let test_remove_and_clear () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store dir in
+  Store.add store "a" "1";
+  Store.add store "b" "2";
+  let ev0 = Metrics.counter_value "store.evictions" in
+  checkb "remove existing" true (Store.remove store "a");
+  checkb "removed entry gone" true (Store.find store "a" = None);
+  checkb "remove absent" false (Store.remove store "a");
+  checki "one eviction counted" 1
+    (Metrics.counter_value "store.evictions" - ev0);
+  checki "other entry untouched" 1 (Store.length store);
+  Store.clear store;
+  checki "clear empties" 0 (Store.length store)
+
+(* ---------- namespace isolation ---------- *)
+
+let test_namespace_isolation () =
+  with_dir @@ fun dir ->
+  (* entries are addressed by a hash of the namespaced key, so handles
+     with different codec tags — stand-ins for builds with different
+     marshaled layouts — share a directory without ever seeing each
+     other's entries *)
+  let a = Store.open_store ~tag:"codec-v1" dir in
+  let b = Store.open_store ~tag:"codec-v2" dir in
+  Store.add a "k" "payload-v1";
+  checkb "other namespace misses" true (Store.find b "k" = None);
+  checki "other namespace counts nothing" 0 (Store.length b);
+  Store.add b "k" "payload-v2";
+  checks "namespaces coexist (v1)" "payload-v1" (Option.get (Store.find a "k"));
+  checks "namespaces coexist (v2)" "payload-v2" (Option.get (Store.find b "k"));
+  checkb "namespace strings differ" true
+    (Store.namespace ~tag:"codec-v1" () <> Store.namespace ~tag:"codec-v2" ());
+  (* format_version and compiler version are baked into every namespace:
+     Memo.digest keys are Marshal-derived and not stable across builds *)
+  let ns = Store.namespace ~tag:"x" () in
+  checkb "namespace carries format version" true
+    (String.length ns > 0 && ns.[0] <> '/'
+    && String.split_on_char '/' ns
+       |> List.exists (fun part -> part = "ocaml-" ^ Sys.ocaml_version))
+
+(* ---------- damaged entries are misses, not crashes ---------- *)
+
+let test_corrupt_entry_skipped () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store dir in
+  Store.add store "k" "precious payload";
+  let file =
+    match entry_files dir with
+    | [ f ] -> f
+    | files -> Alcotest.failf "expected 1 entry file, found %d" (List.length files)
+  in
+  (* truncate: header promises more bytes than the file holds *)
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc
+        (String.sub contents 0 (String.length contents - 4)));
+  let c0 = Metrics.counter_value "store.corrupt" in
+  checkb "truncated entry is a miss" true (Store.find store "k" = None);
+  checki "corruption counted" 1 (Metrics.counter_value "store.corrupt" - c0);
+  (* flip a payload byte: length is right, checksum is not *)
+  Store.add store "k" "precious payload";
+  let file = List.hd (entry_files dir) in
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  let bytes = Bytes.of_string contents in
+  let last = Bytes.length bytes - 1 in
+  Bytes.set bytes last (Char.chr (Char.code (Bytes.get bytes last) lxor 1));
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_bytes oc bytes);
+  let c0 = Metrics.counter_value "store.corrupt" in
+  checkb "bit-rotted entry is a miss" true (Store.find store "k" = None);
+  checki "bit rot counted" 1 (Metrics.counter_value "store.corrupt" - c0);
+  (* garbage that never was a store entry *)
+  Store.add store "k" "precious payload";
+  let file = List.hd (entry_files dir) in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc "not a store entry at all");
+  checkb "garbage file is a miss" true (Store.find store "k" = None);
+  (* a fresh write repairs the slot *)
+  Store.add store "k" "precious payload";
+  checks "rewrite repairs" "precious payload" (Option.get (Store.find store "k"))
+
+let test_incompatible_entry_skipped () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store ~tag:"mine" dir in
+  Store.add store "k" "payload";
+  (* forge a foreign build's entry at this key's path: same file, header
+     claiming another namespace (as if the hash scheme collided or the
+     directory was populated by hand) — must be skipped, not mis-read *)
+  let file = List.hd (entry_files dir) in
+  let contents = In_channel.with_open_bin file In_channel.input_all in
+  let newline = String.index contents '\n' in
+  let header = String.sub contents 0 newline in
+  let rest =
+    String.sub contents newline (String.length contents - newline)
+  in
+  let forged_header =
+    match String.split_on_char ' ' header with
+    | magic :: _namespace :: tail ->
+      String.concat " " (magic :: "0/ocaml-0.0.0/elsewhere" :: tail)
+    | _ -> Alcotest.fail "unexpected header shape"
+  in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc (forged_header ^ rest));
+  let i0 = Metrics.counter_value "store.incompatible" in
+  checkb "foreign-namespace entry is a miss" true (Store.find store "k" = None);
+  checki "incompatibility counted" 1
+    (Metrics.counter_value "store.incompatible" - i0);
+  checki "foreign entry not counted by length" 0 (Store.length store)
+
+(* ---------- concurrent access ---------- *)
+
+let test_concurrent_domains () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store dir in
+  let domains = 4 and per_domain = 25 in
+  let payload d k = Printf.sprintf "domain %d key %d %s" d k (String.make 64 'x') in
+  let workers =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            (* every domain hammers one shared handle and its own fresh
+               handle on the same directory, writing disjoint keys and
+               re-reading both its own and (racily) everyone's *)
+            let own = Store.open_store dir in
+            for k = 0 to per_domain - 1 do
+              let key = Printf.sprintf "%d/%d" d k in
+              Store.add store key (payload d k);
+              (match Store.find own key with
+              | Some v -> assert (v = payload d k)
+              | None -> assert false);
+              (* cross-domain reads may race a write-in-flight for keys a
+                 sibling has not written yet — atomic rename guarantees
+                 any payload seen is complete and correct *)
+              for d' = 0 to domains - 1 do
+                let key' = Printf.sprintf "%d/%d" d' k in
+                match Store.find store key' with
+                | Some v -> assert (v = payload d' k)
+                | None -> ()
+              done
+            done;
+            true))
+  in
+  List.iter (fun w -> checkb "domain ok" true (Domain.join w)) workers;
+  checki "every entry landed" (domains * per_domain) (Store.length store);
+  for d = 0 to domains - 1 do
+    for k = 0 to per_domain - 1 do
+      let key = Printf.sprintf "%d/%d" d k in
+      checks "entry readable after join" (payload d k)
+        (Option.get (Store.find store key))
+    done
+  done
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "round-trip and persistence" `Quick test_round_trip;
+          Alcotest.test_case "remove and clear" `Quick test_remove_and_clear;
+          Alcotest.test_case "namespace isolation" `Quick
+            test_namespace_isolation;
+          Alcotest.test_case "corrupt entries skipped" `Quick
+            test_corrupt_entry_skipped;
+          Alcotest.test_case "incompatible entries skipped" `Quick
+            test_incompatible_entry_skipped;
+          Alcotest.test_case "concurrent 4-domain access" `Quick
+            test_concurrent_domains;
+        ] );
+    ]
