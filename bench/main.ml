@@ -21,7 +21,13 @@
      dune exec bench/main.exe -- serve     # synthesis daemon + persistent
                                            # store: repeat/near-repeat/cold
                                            # request mix over a real socket,
-                                           # writes BENCH_serve.json *)
+                                           # writes BENCH_serve.json
+     dune exec bench/main.exe -- chaos     # concurrent daemon under a
+                                           # hostile client mix: slow writers,
+                                           # disconnects, malformed frames,
+                                           # deadlines, store corruption,
+                                           # overload, drain — gated, writes
+                                           # BENCH_chaos.json *)
 
 module Config = Noc_synthesis.Config
 module Synth = Noc_synthesis.Synth
@@ -1063,6 +1069,513 @@ let serve () =
   end;
   if !fail then exit 1
 
+(* ---------------- EXP-CHAOS: hostile-mix robustness ---------------- *)
+
+(* EXP-CHAOS hammers the concurrent daemon with the full hostile mix —
+   slow-writing clients, mid-request disconnects, malformed frames,
+   deadline-exceeding requests, a concurrent store-corrupting writer,
+   saturation beyond the queue, a forced drain — and gates on the
+   robustness contracts: the daemon never dies, every warm answer stays
+   bit-identical to the quiet run (no cross-request contamination, even
+   after restarting on the corrupted store), shed connections are
+   answered [overloaded] within a latency bound, and warm p99 with a
+   concurrent cold request stays within 5x of the quiet p99 (the
+   head-of-line fix, measured).  Writes BENCH_chaos.json. *)
+let chaos () =
+  let module J = Noc_synthesis.Report.Json in
+  let module Serve = Noc_serve.Serve in
+  section
+    "EXP-CHAOS: concurrent daemon under a hostile client mix (writes \
+     BENCH_chaos.json; daemon must survive, digests must stay \
+     bit-identical, shed and head-of-line latency gated)";
+  let dir =
+    let d = Filename.temp_file "noc-chaos-bench" "" in
+    Sys.remove d;
+    Unix.mkdir d 0o700;
+    d
+  in
+  let socket_path = Filename.concat dir "serve.sock" in
+  let store_dir = Filename.concat dir "store" in
+  Noc_cache.Memo.clear_all ();
+  let workers = 4 and queue_capacity = 4 in
+  let daemon_config =
+    {
+      (Serve.default_config ~socket_path) with
+      Serve.store_dir = Some store_dir;
+      workers;
+      queue_capacity;
+      drain_ms = 1_000;
+      retry_after_ms = 40;
+    }
+  in
+  let spawn_daemon () = Domain.spawn (fun () -> Serve.run daemon_config) in
+  let envelope fields = J.document ~kind:Serve.schema_request fields in
+  let str name resp =
+    match J.member name resp with
+    | Some (J.String s) -> s
+    | _ -> Printf.ksprintf failwith "response is missing string field %S" name
+  in
+  let code resp = match J.member "code" resp with
+    | Some (J.String c) -> c
+    | _ -> ""
+  in
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (p /. 100.0 *. float_of_int (n - 1) +. 0.5)))
+  in
+  (* every request on its own connection: the accept -> queue -> worker
+     path is exactly where head-of-line blocking and shedding live *)
+  let one_shot ?(retries = 0) request =
+    wall (fun () ->
+        if retries = 0 then begin
+          let c = Serve.Client.connect ~retry_for:10.0 socket_path in
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close c)
+            (fun () -> Serve.Client.request c request)
+        end
+        else
+          Serve.Client.request_with_retry ~retries ~connect_for:10.0
+            socket_path request)
+  in
+  let read_line_fd fd =
+    let buf = Buffer.create 256 in
+    let byte = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd byte 0 1 with
+      | 0 -> Buffer.contents buf
+      | _ ->
+        if Bytes.get byte 0 = '\n' then Buffer.contents buf
+        else begin
+          Buffer.add_char buf (Bytes.get byte 0);
+          go ()
+        end
+      | exception Unix.Unix_error _ -> Buffer.contents buf
+    in
+    go ()
+  in
+  let entry_files () =
+    match Sys.readdir store_dir with
+    | exception Sys_error _ -> []
+    | shards ->
+      Array.to_list shards
+      |> List.concat_map (fun shard ->
+             let p = Filename.concat store_dir shard in
+             if String.length shard = 2 && Sys.is_directory p then
+               Sys.readdir p |> Array.to_list
+               |> List.filter (fun f -> not (Filename.check_suffix f ".tmp"))
+               |> List.map (fun f -> Filename.concat p f)
+             else [])
+  in
+  let warm_request =
+    envelope [ ("op", J.String "synth"); ("benchmark", J.String "d12") ]
+  in
+  let ping = envelope [ ("op", J.String "ping") ] in
+  let shutdown = envelope [ ("op", J.String "shutdown") ] in
+
+  (* ---- phase 1: quiet baseline ---- *)
+  let daemon = spawn_daemon () in
+  let _, cold = one_shot warm_request in
+  assert (str "status" cold = "ok");
+  assert (str "source" cold = "computed");
+  let digest = str "result_digest" cold in
+  let n_warm = 40 in
+  let quiet_wall = ref [] in
+  for _ = 1 to n_warm do
+    let w, resp = one_shot warm_request in
+    assert (str "status" resp = "ok");
+    assert (str "result_digest" resp = digest);
+    quiet_wall := w :: !quiet_wall
+  done;
+  let quiet_p50 = percentile 50.0 !quiet_wall
+  and quiet_p99 = percentile 99.0 !quiet_wall in
+
+  (* ---- phase 2: head-of-line — warm burst racing a cold request ---- *)
+  let cold_request =
+    envelope [ ("op", J.String "synth"); ("benchmark", J.String "d26") ]
+  in
+  let cold_racer = Domain.spawn (fun () -> one_shot cold_request) in
+  Unix.sleepf 0.05;
+  let concurrent_wall = ref [] in
+  for _ = 1 to n_warm do
+    let w, resp = one_shot warm_request in
+    assert (str "status" resp = "ok");
+    assert (str "result_digest" resp = digest);
+    concurrent_wall := w :: !concurrent_wall
+  done;
+  let hol_cold_wall, hol_cold = Domain.join cold_racer in
+  assert (str "status" hol_cold = "ok");
+  let concurrent_p99 = percentile 99.0 !concurrent_wall in
+  (* the bound has a 25 ms floor so micro-jitter on a sub-ms quiet p99
+     cannot fail the gate *)
+  let hol_bound = Float.max (5.0 *. quiet_p99) 0.025 in
+  let hol_ok = concurrent_p99 <= hol_bound in
+
+  (* ---- phase 3: the hostile fleet, all at once ---- *)
+  let slow_writer () =
+    (* drips a valid ping at ~2 ms per byte: occupies a worker's
+       [input_line] without ever being invalid *)
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX socket_path);
+      let line = J.to_string ping ^ "\n" in
+      String.iter
+        (fun ch ->
+          ignore (Unix.write_substring fd (String.make 1 ch) 0 1);
+          Unix.sleepf 0.002)
+        line;
+      let response = read_line_fd fd in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match J.of_string response with
+      | Ok resp -> str "status" resp = "ok"
+      | Error _ -> false)
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  let disconnector () =
+    (* half a request, then vanish, repeatedly *)
+    (try
+       for _ = 1 to 10 do
+         let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+         Unix.connect fd (Unix.ADDR_UNIX socket_path);
+         let partial = "{\"schema\": \"serve_request\", \"op" in
+         (try
+            ignore
+              (Unix.write_substring fd partial 0 (String.length partial))
+          with Unix.Unix_error _ -> ());
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Unix.sleepf 0.005
+       done
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    true
+  in
+  let malformer () =
+    try
+      let results = ref true in
+      for i = 1 to 10 do
+        let c = Serve.Client.connect ~retry_for:10.0 socket_path in
+        let frame =
+          if i mod 2 = 0 then "][ not json at all \x00\xff"
+          else "{\"schema\": \"serve_request\", \"schema_version\": 999}"
+        in
+        (match J.of_string (Serve.Client.request_line c frame) with
+        | Ok resp -> if str "status" resp <> "error" then results := false
+        | Error _ -> results := false);
+        Serve.Client.close c
+      done;
+      !results
+    with _ -> false
+  in
+  let deadliner () =
+    (* cold sweeps (fresh seeds) under a 1 ms deadline: must be answered
+       as typed [timeout] documents, and must poison nothing *)
+    let answered = ref 0 and timeouts = ref 0 in
+    for i = 1 to 3 do
+      let request =
+        envelope
+          [
+            ("op", J.String "synth");
+            ("benchmark", J.String "d12");
+            ("seed", J.Int (9000 + i));
+            ("deadline_ms", J.Int 1);
+          ]
+      in
+      match one_shot ~retries:6 request with
+      | _, resp ->
+        incr answered;
+        if code resp = "timeout" then incr timeouts
+      | exception _ -> ()
+    done;
+    (!answered, !timeouts)
+  in
+  let corruptor () =
+    (* scribbles over live store entries and plants orphan temp files
+       while traffic is in flight: nothing it does may ever be served *)
+    let planted = ref 0 in
+    for i = 1 to 50 do
+      (try
+         (match entry_files () with
+         | [] -> ()
+         | files ->
+           let f = List.nth files (i mod List.length files) in
+           Out_channel.with_open_bin f (fun oc ->
+               Out_channel.output_string oc "CHAOS GARBAGE \x00\xde\xad"));
+         if i mod 10 = 0 then begin
+           match entry_files () with
+           | [] -> ()
+           | f :: _ ->
+             let shard = Filename.dirname f in
+             let tmp = Filename.temp_file ~temp_dir:shard ".wip" ".tmp" in
+             Out_channel.with_open_bin tmp (fun oc ->
+                 Out_channel.output_string oc "half-written");
+             incr planted
+         end
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      Unix.sleepf 0.002
+    done;
+    !planted
+  in
+  let hammer () =
+    (* honest warm traffic riding through the storm, with retry/backoff
+       for the moments the fleet saturates the queue: every answer must
+       carry the quiet run's digest *)
+    try
+      let ok = ref true in
+      for _ = 1 to 15 do
+        let _, resp = one_shot ~retries:8 warm_request in
+        if not (str "status" resp = "ok" && str "result_digest" resp = digest)
+        then ok := false
+      done;
+      !ok
+    with _ -> false
+  in
+  let d_slow1 = Domain.spawn slow_writer in
+  let d_slow2 = Domain.spawn slow_writer in
+  let d_disc = Domain.spawn disconnector in
+  let d_mal = Domain.spawn malformer in
+  let d_dead = Domain.spawn deadliner in
+  let d_corr = Domain.spawn corruptor in
+  let d_ham1 = Domain.spawn hammer in
+  let d_ham2 = Domain.spawn hammer in
+  let slow_ok = Domain.join d_slow1 && Domain.join d_slow2 in
+  let disc_ok = Domain.join d_disc in
+  let malformed_ok = Domain.join d_mal in
+  let deadline_answered, deadline_timeouts = Domain.join d_dead in
+  let tmp_planted = Domain.join d_corr in
+  let hammer_ok = Domain.join d_ham1 && Domain.join d_ham2 in
+  let _, alive = one_shot ping in
+  let alive_after_fleet = str "status" alive = "ok" in
+
+  (* ---- phase 4: saturate and shed ---- *)
+  (* hold every worker on an idle connection (the served ping proves
+     ownership), fill the queue with idle connections, then probe: each
+     further connection must be answered [overloaded] immediately *)
+  let holders =
+    List.init workers (fun _ ->
+        let c = Serve.Client.connect ~retry_for:10.0 socket_path in
+        assert (str "status" (Serve.Client.request c ping) = "ok");
+        c)
+  in
+  let fillers =
+    List.init queue_capacity (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        fd)
+  in
+  Unix.sleepf 0.3;
+  let shed_probes = 5 in
+  let shed_results =
+    List.init shed_probes (fun _ ->
+        let t0 = Noc_exec.Metrics.now_ns () in
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX socket_path);
+        let line = read_line_fd fd in
+        let elapsed_ms =
+          Int64.to_float (Int64.sub (Noc_exec.Metrics.now_ns ()) t0) /. 1e6
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match J.of_string line with
+        | Ok resp -> (code resp = "overloaded", elapsed_ms)
+        | Error _ -> (false, elapsed_ms))
+  in
+  let shed_all_ok = List.for_all fst shed_results in
+  let shed_max_ms =
+    List.fold_left (fun acc (_, ms) -> Float.max acc ms) 0.0 shed_results
+  in
+  let shed_bound_ms = 250.0 in
+  let shed_ok = shed_all_ok && shed_max_ms <= shed_bound_ms in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fillers;
+  (match holders with
+  | first :: rest ->
+    List.iter Serve.Client.close rest;
+    Unix.sleepf 0.1;
+    assert (str "status" (Serve.Client.request first shutdown) = "ok");
+    Serve.Client.close first
+  | [] -> ());
+  Domain.join daemon;
+
+  (* ---- phase 5: restart on the corrupted store ---- *)
+  (* scribble every surviving entry and age the planted temp orphans:
+     the fresh daemon must sweep the orphans at startup, read the
+     damage as clean misses, and recompute the identical result *)
+  List.iter
+    (fun f ->
+      try
+        Out_channel.with_open_bin f (fun oc ->
+            Out_channel.output_string oc "POST-MORTEM GARBAGE")
+      with Sys_error _ -> ())
+    (entry_files ());
+  let aged = Unix.gettimeofday () -. 3600.0 in
+  (try
+     Array.iter
+       (fun shard ->
+         let p = Filename.concat store_dir shard in
+         if Sys.is_directory p then
+           Array.iter
+             (fun f ->
+               if Filename.check_suffix f ".tmp" then
+                 try Unix.utimes (Filename.concat p f) aged aged
+                 with Unix.Unix_error _ -> ())
+             (Sys.readdir p))
+       (Sys.readdir store_dir)
+   with Sys_error _ -> ());
+  let tmp_gc0 = Noc_exec.Metrics.counter_value "store.tmp_gc" in
+  let daemon = spawn_daemon () in
+  let tmp_swept () =
+    Noc_exec.Metrics.counter_value "store.tmp_gc" - tmp_gc0
+  in
+  let _, restarted = one_shot warm_request in
+  let restart_status = str "status" restarted in
+  let restart_source = if restart_status = "ok" then str "source" restarted else "" in
+  let restart_digest_ok =
+    restart_status = "ok" && str "result_digest" restarted = digest
+  in
+  let tmp_gc_swept = tmp_swept () in
+
+  (* ---- phase 6: drain cancels a racing cold request ---- *)
+  let drain_request =
+    envelope
+      [
+        ("op", J.String "synth");
+        ("benchmark", J.String "d26");
+        ("islands", J.Int 4);
+        ("seed", J.Int 777);
+      ]
+  in
+  let racer = Domain.spawn (fun () -> one_shot drain_request) in
+  Unix.sleepf 0.1;
+  let _, stop = one_shot shutdown in
+  assert (str "status" stop = "ok");
+  let _, drained = Domain.join racer in
+  let drain_status = str "status" drained in
+  let drain_ok =
+    drain_status = "ok" || (drain_status = "error" && code drained = "cancelled")
+  in
+  Domain.join daemon;
+
+  (* ---- report and gates ---- *)
+  let contamination_free = hammer_ok && restart_digest_ok in
+  let survived =
+    alive_after_fleet && slow_ok && disc_ok && malformed_ok
+    && deadline_answered = 3 && drain_ok
+  in
+  Printf.printf "%-36s %8.3f ms (p50 %.3f ms)\n" "quiet warm p99 (client wall)"
+    (quiet_p99 *. 1e3) (quiet_p50 *. 1e3);
+  Printf.printf "%-36s %8.3f ms (bound %.1f ms, cold wall %.2f s)  %s\n"
+    "concurrent warm p99" (concurrent_p99 *. 1e3) (hol_bound *. 1e3)
+    hol_cold_wall
+    (if hol_ok then "OK" else "FAIL");
+  Printf.printf
+    "fleet: slow %b  disconnects %b  malformed %b  deadlines %d/3 answered \
+     (%d timeout)  hammer %b  alive %b\n"
+    slow_ok disc_ok malformed_ok deadline_answered deadline_timeouts hammer_ok
+    alive_after_fleet;
+  Printf.printf "shed: %d probes, all overloaded %b, max %.1f ms (bound %.0f)\n"
+    shed_probes shed_all_ok shed_max_ms shed_bound_ms;
+  Printf.printf
+    "restart on corrupted store: status %s source %s digest-identical %b, \
+     %d orphan tmp swept (planted %d)\n"
+    restart_status restart_source restart_digest_ok tmp_gc_swept tmp_planted;
+  Printf.printf "drain: racer answered %s%s\n%!" drain_status
+    (if drain_status = "error" then " (code " ^ code drained ^ ")" else "");
+  let counters =
+    List.filter_map
+      (fun (k, v) ->
+        let pre p =
+          String.length k >= String.length p && String.sub k 0 (String.length p) = p
+        in
+        if pre "store." || pre "serve." then Some (k, J.Int v) else None)
+      (Noc_exec.Metrics.counters ())
+  in
+  let doc =
+    J.to_string
+      (J.document ~kind:"bench_chaos"
+         [
+           ("benchmark", J.String "d12");
+           ("workers", J.Int workers);
+           ("queue_capacity", J.Int queue_capacity);
+           ("quiet_p50_ms", J.Float (quiet_p50 *. 1e3));
+           ("quiet_p99_ms", J.Float (quiet_p99 *. 1e3));
+           ("concurrent_p99_ms", J.Float (concurrent_p99 *. 1e3));
+           ("hol_bound_ms", J.Float (hol_bound *. 1e3));
+           ("hol_cold_wall_s", J.Float hol_cold_wall);
+           ("hol_ok", J.Bool hol_ok);
+           ("slow_writers_ok", J.Bool slow_ok);
+           ("disconnects_ok", J.Bool disc_ok);
+           ("malformed_ok", J.Bool malformed_ok);
+           ("deadline_answered", J.Int deadline_answered);
+           ("deadline_timeouts", J.Int deadline_timeouts);
+           ("hammer_ok", J.Bool hammer_ok);
+           ("alive_after_fleet", J.Bool alive_after_fleet);
+           ("shed_probes", J.Int shed_probes);
+           ("shed_all_overloaded", J.Bool shed_all_ok);
+           ("shed_max_ms", J.Float shed_max_ms);
+           ("shed_bound_ms", J.Float shed_bound_ms);
+           ("shed_ok", J.Bool shed_ok);
+           ("restart_status", J.String restart_status);
+           ("restart_source", J.String restart_source);
+           ("restart_digest_ok", J.Bool restart_digest_ok);
+           ("tmp_planted", J.Int tmp_planted);
+           ("tmp_gc_swept", J.Int tmp_gc_swept);
+           ("drain_status", J.String drain_status);
+           ("drain_ok", J.Bool drain_ok);
+           ("contamination_free", J.Bool contamination_free);
+           ("survived", J.Bool survived);
+           ("counters", J.Obj counters);
+         ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_chaos.json" in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_chaos.json\n";
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  (try rm dir with Sys_error _ | Unix.Unix_error _ -> ());
+  let fail = ref false in
+  if not survived then begin
+    Printf.printf
+      "FAIL: daemon did not survive the hostile mix cleanly (slow %b, \
+       disconnects %b, malformed %b, deadlines %d/3, alive %b, drain %b)\n"
+      slow_ok disc_ok malformed_ok deadline_answered alive_after_fleet
+      drain_ok;
+    fail := true
+  end;
+  if not contamination_free then begin
+    Printf.printf
+      "FAIL: cross-request contamination (hammer identical %b, restart \
+       identical %b)\n"
+      hammer_ok restart_digest_ok;
+    fail := true
+  end;
+  if not shed_ok then begin
+    Printf.printf
+      "FAIL: shed requests not answered overloaded within %.0f ms \
+       (all-overloaded %b, max %.1f ms)\n"
+      shed_bound_ms shed_all_ok shed_max_ms;
+    fail := true
+  end;
+  if not hol_ok then begin
+    Printf.printf
+      "FAIL: warm p99 %.3f ms with a concurrent cold request exceeds the \
+       head-of-line bound %.3f ms (quiet p99 %.3f ms)\n"
+      (concurrent_p99 *. 1e3) (hol_bound *. 1e3) (quiet_p99 *. 1e3);
+    fail := true
+  end;
+  if deadline_timeouts < 1 then begin
+    Printf.printf
+      "FAIL: no deadline-exceeding request was answered with a typed \
+       timeout (answered %d, timeouts %d)\n"
+      deadline_answered deadline_timeouts;
+    fail := true
+  end;
+  if !fail then exit 1
+
 (* ---------------- Bechamel micro-benchmarks ---------------- *)
 
 let speed () =
@@ -1152,6 +1665,7 @@ let all_experiments =
     ("sweep", sweep);
     ("delta", delta);
     ("serve", serve);
+    ("chaos", chaos);
     ("faults", faults);
   ]
 

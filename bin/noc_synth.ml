@@ -590,7 +590,7 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket path the daemon listens on.")
 
-let serve_run () socket store max_requests =
+let serve_run () socket store max_requests workers queue drain_ms =
   (* The process-wide at_exit --metrics dump only fires when the daemon
      dies; live counters (per-request timers, cache.* and store.* hit
      rates) are served over the socket by the [metrics] op instead. *)
@@ -599,6 +599,12 @@ let serve_run () socket store max_requests =
       (Noc_serve.Serve.default_config ~socket_path:socket) with
       Noc_serve.Serve.store_dir = store;
       max_requests;
+      workers = max 1 workers;
+      queue_capacity = max 1 queue;
+      drain_ms = max 0 drain_ms;
+      (* the real CLI daemon owns its process: SIGTERM/SIGINT drain
+         gracefully instead of killing in-flight work *)
+      handle_signals = true;
     }
   in
   Noc_serve.Serve.run config
@@ -620,19 +626,51 @@ let serve_cmd =
       & opt (some int) None
       & info [ "max-requests" ] ~docv:"N"
           ~doc:
-            "Exit after $(docv) requests (smoke tests); default: run until \
+            "Drain after $(docv) requests (smoke tests); default: run until \
              a $(b,shutdown) request.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving connections in parallel.  Cold \
+             synthesis additionally fans out across the domain pool \
+             ($(b,--jobs) / NOC_JOBS), so on few cores keep \
+             workers*jobs near the core count.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Pending-connection queue capacity; beyond it new connections \
+             are immediately answered $(b,overloaded) with a \
+             retry_after_ms hint instead of stalling the socket.")
+  in
+  let drain_ms =
+    Arg.(
+      value & opt int 5000
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "Graceful-drain budget on shutdown/SIGTERM: in-flight work \
+             gets this long to finish before being cancelled (answered \
+             $(b,cancelled)).")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the synthesis daemon: answer serve_request JSON envelopes on \
-          a Unix socket, warm specs from the content-addressed store, cold \
-          ones across the domain pool (see docs/FORMAT.md).")
-    Term.(const serve_run $ logs_term $ socket_arg $ store $ max_requests)
+         "Run the synthesis daemon: a worker pool answers serve_request \
+          JSON envelopes concurrently on a Unix socket, warm specs from \
+          the content-addressed store, cold ones across the domain pool; \
+          overload is shed, deadlines cancel, shutdown drains (see \
+          docs/FORMAT.md).")
+    Term.(
+      const serve_run $ logs_term $ socket_arg $ store $ max_requests
+      $ workers $ queue $ drain_ms)
 
 let request_run () socket op bench spec islands comm seed alpha protect
-    delta_file retry =
+    delta_file retry deadline_ms retries =
   let module J = Noc_exec.Json in
   let fields = ref [] in
   let add key v = fields := (key, v) :: !fields in
@@ -652,6 +690,9 @@ let request_run () socket op bench spec islands comm seed alpha protect
   if seed <> 0 then add "seed" (J.Int seed);
   if alpha <> Config.default.Config.alpha then add "alpha" (J.Float alpha);
   if protect then add "protect" (J.Bool true);
+  (match deadline_ms with
+  | Some ms -> add "deadline_ms" (J.Int ms)
+  | None -> ());
   (match delta_file with
   | None -> ()
   | Some path ->
@@ -668,9 +709,12 @@ let request_run () socket op bench spec islands comm seed alpha protect
     | Ok deltas ->
       add "deltas" (J.List (List.map Noc_spec.Delta.to_json deltas))));
   let request = J.document ~kind:"serve_request" (List.rev !fields) in
-  let client = Noc_serve.Serve.Client.connect ~retry_for:retry socket in
-  let response = Noc_serve.Serve.Client.request client request in
-  Noc_serve.Serve.Client.close client;
+  (* retrying client: reconnects per attempt and honors the daemon's
+     retry_after_ms backoff hint when shed with [overloaded] *)
+  let response =
+    Noc_serve.Serve.Client.request_with_retry ~retries:(max 0 retries)
+      ~connect_for:retry socket request
+  in
   print_endline (J.to_string response);
   match J.member "status" response with
   | Some (J.String "ok") -> ()
@@ -713,6 +757,24 @@ let request_cmd =
             "Keep retrying the connection this long while the daemon is \
              still starting.")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Ask the daemon to abandon the request after $(docv) \
+             milliseconds (answered with a $(b,timeout) error document).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times with exponential backoff and jitter \
+             when the daemon answers $(b,overloaded) (honoring its \
+             retry_after_ms hint) or the connection drops mid-request.")
+  in
   Cmd.v
     (Cmd.info "request"
        ~doc:
@@ -721,7 +783,7 @@ let request_cmd =
     Term.(
       const request_run $ logs_term $ socket_arg $ op $ bench_arg $ spec_arg
       $ islands_arg $ comm_arg $ seed_arg $ alpha_arg $ protect $ delta_file
-      $ retry)
+      $ retry $ deadline_ms $ retries)
 
 (* --- report --- *)
 

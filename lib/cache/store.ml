@@ -142,6 +142,47 @@ let fold_entry_paths t f acc =
       else acc)
     acc shards
 
+(* A writer killed between [temp_file] and [rename] (or whose
+   [Fun.protect] cleanup never ran — power loss, SIGKILL) leaves a
+   [.wip*.tmp] file in the shard directory.  Readers never look at tmp
+   names, so orphans are invisible to [find] — this is pure disk
+   hygiene.  [max_age_s] guards the race against live concurrent
+   writers: their tmp files exist for milliseconds, so anything older
+   by mtime is an orphan. *)
+let gc_tmp ?(max_age_s = 60.0) t =
+  let now = Unix.gettimeofday () in
+  let removed =
+    locked t (fun () ->
+        let shards = try Sys.readdir t.root with Sys_error _ -> [||] in
+        Array.fold_left
+          (fun acc shard ->
+            let dir = Filename.concat t.root shard in
+            if String.length shard = 2 && Sys.is_directory dir then
+              Array.fold_left
+                (fun acc file ->
+                  if
+                    String.length file > 4
+                    && String.sub file 0 4 = ".wip"
+                    && Filename.check_suffix file ".tmp"
+                  then (
+                    let path = Filename.concat dir file in
+                    match Unix.stat path with
+                    | exception Unix.Unix_error _ -> acc
+                    | st ->
+                      if now -. st.Unix.st_mtime >= max_age_s then (
+                        try
+                          Sys.remove path;
+                          acc + 1
+                        with Sys_error _ -> acc)
+                      else acc)
+                  else acc)
+                acc (Sys.readdir dir)
+            else acc)
+          0 shards)
+  in
+  if removed > 0 then Metrics.incr ~by:removed "store.tmp_gc";
+  removed
+
 let length t =
   locked t (fun () ->
       fold_entry_paths t

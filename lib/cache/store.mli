@@ -75,6 +75,16 @@ val remove : t -> string -> bool
     spec edit made unreachable (the serve daemon does this with
     [Synth]'s per-delta-kind dirty sets). *)
 
+val gc_tmp : ?max_age_s:float -> t -> int
+(** Remove orphaned temp files ([.wip*.tmp]) left in shard directories
+    by writers killed between write and rename, returning how many were
+    removed (bumped onto [store.tmp_gc]).  Only files older than
+    [max_age_s] (default 60 s, by mtime) are touched, so the in-flight
+    tmp files of live concurrent writers — which exist for milliseconds
+    — are never swept.  Orphans are invisible to {!find} (readers
+    address entries by hash name only), so this is disk hygiene, not
+    correctness; the serve daemon runs one sweep at startup. *)
+
 val length : t -> int
 (** Number of entries readable by this handle's namespace (scans the
     directory; entries of other namespaces are not counted). *)

@@ -12,6 +12,7 @@ module Switch_model = Noc_models.Switch_model
 module Ni_model = Noc_models.Ni_model
 module Pool = Noc_exec.Pool
 module Metrics = Noc_exec.Metrics
+module Cancel = Noc_exec.Cancel
 module Memo = Noc_cache.Memo
 module Partition_cache = Noc_cache.Partition_cache
 
@@ -39,6 +40,7 @@ module Options = struct
     domains : int option;
     cache : bool;
     prune : bool;
+    cancel : Noc_exec.Cancel.t;
   }
 
   let default =
@@ -50,6 +52,7 @@ module Options = struct
       domains = None;
       cache = true;
       prune = false;
+      cancel = Noc_exec.Cancel.never;
     }
 end
 
@@ -271,6 +274,7 @@ let run ?(options = Options.default) config soc vi =
   let o = options in
   Metrics.time "synth.run" @@ fun () ->
   Config.validate config;
+  Cancel.check o.Options.cancel;
   let clocks = assign_clocks ~cache:o.Options.cache config soc vi in
   let plan =
     make_plan ~cache:o.Options.cache ~seed:o.Options.seed
@@ -422,6 +426,16 @@ let run ?(options = Options.default) config soc vi =
              (context, switch_counts, indirect_count)
              (fun () -> evaluate_raw candidate))
     end
+  in
+  let evaluate candidate =
+    (* Candidate-boundary cancellation: one atomic load (plus a clock
+       read when a deadline is set) per candidate.  [Pool.parallel_map]
+       re-raises the earliest [Cancelled] and its failed flag stops the
+       other workers, so a deadline or drain aborts the sweep within
+       roughly one candidate's evaluation time — and before any result
+       is assembled, so cancelled work never reaches a store. *)
+    Cancel.check o.Options.cancel;
+    evaluate candidate
   in
   let evaluated =
     Metrics.time "synth.candidates" @@ fun () ->

@@ -56,11 +56,23 @@ module Options : sig
             {!best_power}, {!best_latency} and strict Pareto front — but
             [result.points] may omit the dominated points, so exhaustive
             sweeps (the default) keep this off *)
+    cancel : Noc_exec.Cancel.t;
+        (** cooperative cancellation token, checked once at the start of
+            {!run} and once per candidate at the sweep boundary.  When it
+            fires (explicit {!Noc_exec.Cancel.cancel} or a deadline),
+            {!run} raises {!Noc_exec.Cancel.Cancelled} within roughly one
+            candidate's evaluation time, before any result is assembled —
+            a cancelled run never produces a partial [result].  Like
+            [domains]/[cache]/[prune], the token does not participate in
+            memo keys: per-candidate entries computed before the
+            cancellation are sound and survive for the next run.  Default
+            {!Noc_exec.Cancel.never}. *)
   }
 
   val default : t
   (** [{ seed = 0; anneal = true; assignment_strategy = Min_cut;
-        protect = false; domains = None; cache = true; prune = false }] *)
+        protect = false; domains = None; cache = true; prune = false;
+        cancel = Cancel.never }] *)
 end
 
 val run :

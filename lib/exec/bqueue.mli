@@ -1,0 +1,28 @@
+(** Bounded multi-producer multi-consumer blocking queue.
+
+    The backpressure primitive behind the serve daemon's accept loop:
+    producers {!try_push} and are told immediately (no blocking) when
+    the queue is full — the caller sheds the work instead of stalling —
+    while consumers {!pop} and block until an item arrives or the queue
+    is closed and drained.  Domain-safe (Mutex + Condition). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue without blocking.  [false] when the queue is at capacity or
+    closed — the caller must dispose of the item itself (shed it). *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available and dequeue it.  [None] once the
+    queue is closed {e and} empty: items pushed before {!close} are
+    still delivered, so close-then-drain is lossless. *)
+
+val close : 'a t -> unit
+(** Refuse further pushes and wake all blocked consumers.  Idempotent. *)
+
+val length : 'a t -> int
+
+val is_closed : 'a t -> bool

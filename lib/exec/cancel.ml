@@ -1,0 +1,27 @@
+type t = {
+  flag : bool Atomic.t;
+  deadline_ns : int64 option;
+}
+
+exception Cancelled
+
+(* [never] is shared: it has no deadline and nobody holds a reference
+   able to set its flag, so [check never] is one atomic load. *)
+let never = { flag = Atomic.make false; deadline_ns = None }
+
+let create ?deadline_ns () = { flag = Atomic.make false; deadline_ns }
+
+let with_timeout_ms ms =
+  let ns = Int64.mul (Int64.of_int ms) 1_000_000L in
+  create ~deadline_ns:(Int64.add (Metrics.now_ns ()) ns) ()
+
+let cancel t = Atomic.set t.flag true
+
+let deadline_exceeded t =
+  match t.deadline_ns with
+  | None -> false
+  | Some d -> Metrics.now_ns () >= d
+
+let cancelled t = Atomic.get t.flag || deadline_exceeded t
+
+let check t = if cancelled t then raise Cancelled

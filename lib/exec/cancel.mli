@@ -1,0 +1,46 @@
+(** Cooperative cancellation tokens with optional monotonic deadlines.
+
+    A token is shared between the party that may want work to stop (a
+    serve daemon draining, a request deadline) and the work itself,
+    which polls {!check} at natural unit-of-work boundaries — the
+    synthesis sweep checks once per candidate ({!Noc_synthesis.Synth}).
+    Tokens are domain-safe: {!cancel} is an atomic store, {!check} an
+    atomic load plus a monotonic-clock read when a deadline is set, so
+    polling from {!Pool.parallel_map} workers is free of locks.
+
+    Deadlines use {!Metrics.now_ns} (CLOCK_MONOTONIC), never the wall
+    clock, so stepping the system time can neither fire a deadline
+    early nor postpone it. *)
+
+type t
+
+exception Cancelled
+(** Raised by {!check}.  Callers that need to distinguish a deadline
+    from an explicit {!cancel} ask {!deadline_exceeded} afterwards. *)
+
+val never : t
+(** The token that never cancels — the default for plain synthesis
+    runs.  Shared and flagless by construction, costing one atomic load
+    per {!check}. *)
+
+val create : ?deadline_ns:int64 -> unit -> t
+(** A fresh token, cancellable with {!cancel}; with [deadline_ns] (a
+    {!Metrics.now_ns} instant) it additionally self-cancels once the
+    monotonic clock passes that instant. *)
+
+val with_timeout_ms : int -> t
+(** [create] with a deadline [ms] milliseconds from now. *)
+
+val cancel : t -> unit
+(** Ask the work holding this token to stop at its next {!check}. *)
+
+val cancelled : t -> bool
+(** [true] once {!cancel} was called or the deadline has passed. *)
+
+val deadline_exceeded : t -> bool
+(** [true] iff the token has a deadline and it has passed — [false] for
+    tokens cancelled only explicitly, letting callers classify a stop
+    as [timeout] vs [cancelled]. *)
+
+val check : t -> unit
+(** @raise Cancelled if {!cancelled}. *)

@@ -1,5 +1,7 @@
 module Json = Noc_exec.Json
 module Metrics = Noc_exec.Metrics
+module Cancel = Noc_exec.Cancel
+module Bqueue = Noc_exec.Bqueue
 module Memo = Noc_cache.Memo
 module Store = Noc_cache.Store
 module Synth = Noc_synthesis.Synth
@@ -63,6 +65,11 @@ type config = {
   synth_config : Config.t;
   options : Synth.Options.t;
   max_requests : int option;
+  workers : int;
+  queue_capacity : int;
+  drain_ms : int;
+  retry_after_ms : int;
+  handle_signals : bool;
 }
 
 let default_config ~socket_path =
@@ -72,6 +79,11 @@ let default_config ~socket_path =
     synth_config = Config.default;
     options = Synth.Options.default;
     max_requests = None;
+    workers = 4;
+    queue_capacity = 16;
+    drain_ms = 5_000;
+    retry_after_ms = 50;
+    handle_signals = false;
   }
 
 type state = {
@@ -83,17 +95,60 @@ type state = {
          for a large sweep); the store below it is what survives
          restarts.  Daemon-scoped — [run] unregisters it on shutdown. *)
   started_ns : int64;
-  mutable requests : int;
+  requests : int Atomic.t;
+  in_flight : int Atomic.t;
+  stopping : bool Atomic.t;
+  force_closing : bool Atomic.t;
+  mutable queue_depth : unit -> int;
+      (* wired to the live accept queue by [run]; 0 for socketless states *)
+  tokens : (int, Cancel.t) Hashtbl.t;
+      (* cancellation tokens of in-flight synth/rerun requests, so drain
+         can cancel them all; guarded by [tokens_mutex] *)
+  tokens_mutex : Mutex.t;
+  next_token : int Atomic.t;
 }
 
 let create_state config =
+  let store = Option.map (Store.open_store ~tag:Codec.tag) config.store_dir in
+  (* startup hygiene: sweep temp files orphaned by a previous writer
+     killed between write and rename (counted under store.tmp_gc) *)
+  (match store with
+  | Some store ->
+    let swept = Store.gc_tmp store in
+    if swept > 0 then
+      Log.info (fun m -> m "swept %d orphaned store temp file(s)" swept)
+  | None -> ());
   {
     config;
-    store = Option.map (Store.open_store ~tag:Codec.tag) config.store_dir;
+    store;
     results = Memo.create "serve.results";
     started_ns = Metrics.now_ns ();
-    requests = 0;
+    requests = Atomic.make 0;
+    in_flight = Atomic.make 0;
+    stopping = Atomic.make false;
+    force_closing = Atomic.make false;
+    queue_depth = (fun () -> 0);
+    tokens = Hashtbl.create 16;
+    tokens_mutex = Mutex.create ();
+    next_token = Atomic.make 0;
   }
+
+let register_token state token =
+  let id = Atomic.fetch_and_add state.next_token 1 in
+  Mutex.lock state.tokens_mutex;
+  Hashtbl.replace state.tokens id token;
+  Mutex.unlock state.tokens_mutex;
+  id
+
+let unregister_token state id =
+  Mutex.lock state.tokens_mutex;
+  Hashtbl.remove state.tokens id;
+  Mutex.unlock state.tokens_mutex
+
+let cancel_live_tokens state =
+  Mutex.lock state.tokens_mutex;
+  Hashtbl.iter (fun _ token -> Cancel.cancel token) state.tokens;
+  Mutex.unlock state.tokens_mutex
 
 (* ---------- request parsing ---------- *)
 
@@ -194,7 +249,9 @@ let request_config (base : Config.t) request =
 (* The store key digests the request's full input: everything that can
    change the sweep result.  [domains] and [cache] are deliberately
    absent (results are identical for any value — synth.mli), [prune] is
-   included because it changes which dominated points are saved. *)
+   included because it changes which dominated points are saved, and
+   [cancel] is excluded because a cancelled run never produces a result
+   to store. *)
 let request_key config (o : Synth.Options.t) soc vi =
   Digest.to_hex
     (Memo.digest
@@ -211,24 +268,43 @@ let request_key config (o : Synth.Options.t) soc vi =
 
 let respond fields = Json.document ~kind:schema_response fields
 
-let error_response msg =
-  respond [ ("status", Json.String "error"); ("error", Json.String msg) ]
+(* Machine-readable error taxonomy (docs/FORMAT.md): every error
+   response carries a [code] so clients can branch without parsing
+   messages — [bad_request], [infeasible], [timeout], [overloaded],
+   [cancelled], [internal]. *)
+let error_response ?(code = "internal") ?(extra = []) msg =
+  respond
+    ([
+       ("status", Json.String "error");
+       ("code", Json.String code);
+       ("error", Json.String msg);
+     ]
+    @ extra)
 
 let error_response_of_exn e =
-  let message =
+  let code, message =
     match e with
-    | Bad_request msg -> msg
-    | Synth.No_feasible_design msg -> "no feasible design: " ^ msg
+    | Bad_request msg -> ("bad_request", msg)
+    | Synth.No_feasible_design msg -> ("infeasible", "no feasible design: " ^ msg)
     | Noc_synthesis.Freq_assign.Infeasible msg ->
-      "frequency assignment infeasible: " ^ msg
-    | Kway.Partition_error msg -> "partitioning failed: " ^ msg
-    | Placer.Invalid_plan msg -> "floorplan check failed: " ^ msg
-    | Invalid_argument msg -> "invalid argument: " ^ msg
-    | Failure msg -> msg
-    | Sys_error msg -> msg
-    | e -> "internal error: " ^ Printexc.to_string e
+      ("infeasible", "frequency assignment infeasible: " ^ msg)
+    | Kway.Partition_error msg -> ("infeasible", "partitioning failed: " ^ msg)
+    | Placer.Invalid_plan msg -> ("infeasible", "floorplan check failed: " ^ msg)
+    | Cancel.Cancelled -> ("cancelled", "request cancelled")
+    | Invalid_argument msg -> ("bad_request", "invalid argument: " ^ msg)
+    | Failure msg -> ("internal", msg)
+    | Sys_error msg -> ("internal", msg)
+    | e -> ("internal", "internal error: " ^ Printexc.to_string e)
   in
-  error_response message
+  error_response ~code message
+
+let overloaded_response config =
+  error_response ~code:"overloaded"
+    ~extra:[ ("retry_after_ms", Json.Int config.retry_after_ms) ]
+    "daemon overloaded: pending-connection queue is full"
+
+let shutting_down_response () =
+  error_response ~code:"cancelled" "daemon shutting down"
 
 let point_json p =
   Json.Obj
@@ -254,6 +330,48 @@ let result_fields ~key ~source (r : Synth.result) =
     ("best_power", point_json (Synth.best_power r));
     ("best_latency", point_json (Synth.best_latency r));
   ]
+
+(* ---------- deadlines and cancellation ---------- *)
+
+(* Wrap a synth/rerun body with a per-request cancellation token: the
+   request's [deadline_ms] arms a monotonic deadline, and the token is
+   registered so a draining daemon can cancel it.  [Synth.run] checks
+   the token once per candidate, so a firing deadline surfaces here as
+   [Cancel.Cancelled] within one candidate's evaluation time — answered
+   as a typed [timeout] (or [cancelled], if the daemon cancelled it)
+   instead of running forever. *)
+let with_cancellation state request f =
+  let deadline_ms =
+    match field "deadline_ms" request with
+    | Some (Json.Int ms) when ms > 0 -> Some ms
+    | Some (Json.Int _) -> bad_request "field \"deadline_ms\" must be positive"
+    | Some _ -> bad_request "field \"deadline_ms\" must be an integer"
+    | None -> None
+  in
+  let token =
+    match deadline_ms with
+    | Some ms -> Cancel.with_timeout_ms ms
+    | None -> Cancel.create ()
+  in
+  if Atomic.get state.force_closing then Cancel.cancel token;
+  let id = register_token state token in
+  Fun.protect
+    ~finally:(fun () -> unregister_token state id)
+    (fun () ->
+      match f token with
+      | response -> response
+      | exception Cancel.Cancelled ->
+        if Cancel.deadline_exceeded token then begin
+          Metrics.incr "serve.timeouts";
+          let ms = Option.value deadline_ms ~default:0 in
+          error_response ~code:"timeout"
+            ~extra:[ ("deadline_ms", Json.Int ms) ]
+            (Printf.sprintf "deadline of %d ms exceeded" ms)
+        end
+        else begin
+          Metrics.incr "serve.cancelled";
+          error_response ~code:"cancelled" "request cancelled by daemon drain"
+        end)
 
 (* ---------- ops ---------- *)
 
@@ -301,7 +419,9 @@ let count_answer source =
     | _ -> "serve.computed_answers")
 
 (* Answer a spec from the cache or store, or synthesize (across the
-   domain pool) and persist; [source] tells the caller which happened. *)
+   domain pool) and persist; [source] tells the caller which happened.
+   A [Cancel.Cancelled] escaping [Synth.run] propagates before any
+   store/memo write, so cancelled work never pollutes either layer. *)
 let answer_spec state ~config ~options soc vi =
   let key = request_key config options soc vi in
   match cached state key with
@@ -319,8 +439,10 @@ let op_synth state ~scratch request =
   let soc, vi = resolve_case ~scratch request in
   let options = request_options state.config.options request in
   let config = request_config state.config.synth_config request in
-  let key, source, r = answer_spec state ~config ~options soc vi in
-  respond (result_fields ~key ~source r)
+  with_cancellation state request (fun token ->
+      let options = { options with Synth.Options.cancel = token } in
+      let key, source, r = answer_spec state ~config ~options soc vi in
+      respond (result_fields ~key ~source r))
 
 let deltas_of request =
   match field "deltas" request with
@@ -339,6 +461,8 @@ let op_rerun state ~scratch request =
   let delta = deltas_of request in
   let options = request_options state.config.options request in
   let config = request_config state.config.synth_config request in
+  with_cancellation state request @@ fun token ->
+  let options = { options with Synth.Options.cancel = token } in
   let base_key = request_key config options soc vi in
   let (soc', vi'), dirty = Delta.dirty_chain (soc, vi) delta in
   let edited_key = request_key config options soc' vi' in
@@ -404,10 +528,17 @@ let op_metrics state =
   respond
     [
       ("status", Json.String "ok");
-      ("requests", Json.Int state.requests);
+      ("requests", Json.Int (Atomic.get state.requests));
       ( "uptime_ns",
         Json.Int
           (Int64.to_int (Int64.sub (Metrics.now_ns ()) state.started_ns)) );
+      (* saturation view: how deep the accept queue is, how many requests
+         are executing right now, and the shed/timeout/cancel tallies *)
+      ("queue_depth", Json.Int (state.queue_depth ()));
+      ("in_flight", Json.Int (Atomic.get state.in_flight));
+      ("shed", Json.Int (Metrics.counter_value "serve.shed"));
+      ("timeouts", Json.Int (Metrics.counter_value "serve.timeouts"));
+      ("cancelled", Json.Int (Metrics.counter_value "serve.cancelled"));
       ("store_entries",
        match state.store with
        | None -> Json.Null
@@ -420,7 +551,7 @@ let op_ping state =
     [
       ("status", Json.String "ok");
       ("pong", Json.Bool true);
-      ("requests", Json.Int state.requests);
+      ("requests", Json.Int (Atomic.get state.requests));
     ]
 
 (* ---------- dispatch ---------- *)
@@ -439,21 +570,30 @@ let handle_request state ~scratch request =
         ( respond
             [ ("status", Json.String "ok"); ("stopping", Json.Bool true) ],
           `Stop )
-      | Some op -> (error_response (Printf.sprintf "unknown op %S" op), `Continue)
-      | None -> (error_response "request needs an \"op\" field", `Continue))
+      | Some op ->
+        ( error_response ~code:"bad_request"
+            (Printf.sprintf "unknown op %S" op),
+          `Continue )
+      | None ->
+        (error_response ~code:"bad_request" "request needs an \"op\" field",
+         `Continue))
     | Some (Json.Int v) ->
-      ( error_response
+      ( error_response ~code:"bad_request"
           (Printf.sprintf "unsupported schema_version %d (this daemon: %d)" v
              Json.schema_version),
         `Continue )
-    | _ -> (error_response "request needs an integer \"schema_version\"", `Continue))
+    | _ ->
+      ( error_response ~code:"bad_request"
+          "request needs an integer \"schema_version\"",
+        `Continue ))
   | _ ->
-    ( error_response
+    ( error_response ~code:"bad_request"
         (Printf.sprintf "request must be a %S envelope" schema_request),
       `Continue )
 
 let handle_line state ~scratch line =
-  state.requests <- state.requests + 1;
+  Atomic.incr state.requests;
+  Atomic.incr state.in_flight;
   Metrics.incr "serve.requests";
   let t0 = Metrics.now_ns () in
   let response, verdict =
@@ -462,12 +602,13 @@ let handle_line state ~scratch line =
        — may take the daemon down *)
     match
       match Json.of_string line with
-      | Error msg -> (error_response msg, `Continue)
+      | Error msg -> (error_response ~code:"bad_request" msg, `Continue)
       | Ok request -> handle_request state ~scratch request
     with
     | result -> result
     | exception e -> (error_response_of_exn e, `Continue)
   in
+  Atomic.decr state.in_flight;
   let elapsed = Int64.sub (Metrics.now_ns ()) t0 in
   Metrics.add_ns "serve.request" elapsed;
   let response =
@@ -483,6 +624,11 @@ let handle_line state ~scratch line =
 
 (* ---------- socket loop ---------- *)
 
+(* Serve one connection's request lines.  The caller owns [fd]: this
+   function flushes but never closes it, so the worker loop can
+   unregister the descriptor from the drain registry before closing —
+   the ordering that makes a force-drain [Unix.shutdown] race-free
+   against descriptor reuse. *)
 let serve_connection state fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
@@ -490,15 +636,12 @@ let serve_connection state fd =
      dropped from the registry when the connection closes *)
   let scratch = Memo.create "serve.spec_parse" in
   Fun.protect
-    ~finally:(fun () ->
-      Memo.unregister scratch;
-      (try close_out_noerr oc with _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ())
+    ~finally:(fun () -> Memo.unregister scratch)
     (fun () ->
       let rec loop () =
         if
           match state.config.max_requests with
-          | Some limit -> state.requests >= limit
+          | Some limit -> Atomic.get state.requests >= limit
           | None -> false
         then `Stop
         else
@@ -516,35 +659,215 @@ let serve_connection state fd =
       in
       loop ())
 
+let write_line_nonblock fd line =
+  (* best-effort single write of a tiny response (an [overloaded] or
+     shutting-down document, well under a socket buffer); a client too
+     slow to absorb even that is dropped rather than allowed to block
+     the caller *)
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+  try ignore (Unix.write_substring fd (line ^ "\n") 0 (String.length line + 1))
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let shed state fd =
+  Metrics.incr "serve.shed";
+  write_line_nonblock fd (Json.to_string (overloaded_response state.config));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let ms_to_ns ms = Int64.mul (Int64.of_int ms) 1_000_000L
+
+(* A peer that disconnects mid-request (chaos clients, killed CLIs)
+   turns our next write into EPIPE; with SIGPIPE at its default
+   disposition that is process death, not an exception.  Ignore it
+   process-wide (idempotent) so writes fail as catchable [Sys_error] /
+   [Unix_error] instead — done by both the daemon and the client. *)
+let ignore_sigpipe () =
+  if Sys.os_type = "Unix" then
+    try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> ()
+
 let run config =
   let state = create_state config in
+  ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
   Unix.bind sock (Unix.ADDR_UNIX config.socket_path);
-  Unix.listen sock 16;
-  Log.info (fun m -> m "listening on %s" config.socket_path);
-  Fun.protect
-    ~finally:(fun () ->
-      Memo.unregister state.results;
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink config.socket_path with Unix.Unix_error _ -> ())
-    (fun () ->
-      let rec accept_loop () =
-        let continue_if_more () =
-          match config.max_requests with
-          | Some limit when state.requests >= limit -> ()
-          | _ -> accept_loop ()
+  Unix.listen sock (max 16 config.queue_capacity);
+  Unix.set_nonblock sock;
+  (* self-pipe: drain triggers (shutdown op, signals, max_requests) write
+     one byte here to interrupt the accept loop's select *)
+  let wake_r, wake_w = Unix.pipe () in
+  let queue : Unix.file_descr Bqueue.t =
+    Bqueue.create ~capacity:config.queue_capacity
+  in
+  state.queue_depth <- (fun () -> Bqueue.length queue);
+  let trigger_drain () =
+    if not (Atomic.exchange state.stopping true) then begin
+      Log.info (fun m -> m "drain requested");
+      try ignore (Unix.write_substring wake_w "x" 0 1)
+      with Unix.Unix_error _ -> ()
+    end
+  in
+  let restore_signals =
+    if not config.handle_signals then fun () -> ()
+    else begin
+      let install signal =
+        let prev =
+          Sys.signal signal (Sys.Signal_handle (fun _ -> trigger_drain ()))
         in
-        match Unix.accept sock with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-        | fd, _ ->
-          (match serve_connection state fd with
-          | `Stop -> ()
-          | `Continue -> continue_if_more ())
+        fun () -> Sys.set_signal signal prev
+      in
+      let restores = List.map install [ Sys.sigterm; Sys.sigint ] in
+      fun () -> List.iter (fun f -> f ()) restores
+    end
+  in
+  (* connection registry: descriptors currently owned by workers, so a
+     force drain can [shutdown] them to unblock reads.  A worker removes
+     its descriptor (under the mutex) before closing it, so a concurrent
+     shutdown can never hit a recycled descriptor number. *)
+  let conns = Hashtbl.create 16 in
+  let conns_mutex = Mutex.create () in
+  let next_conn = Atomic.make 0 in
+  let register_conn fd =
+    let id = Atomic.fetch_and_add next_conn 1 in
+    Mutex.lock conns_mutex;
+    Hashtbl.replace conns id fd;
+    Mutex.unlock conns_mutex;
+    id
+  in
+  let unregister_and_close id fd =
+    Mutex.lock conns_mutex;
+    Hashtbl.remove conns id;
+    Mutex.unlock conns_mutex;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let shutdown_live_conns ~how () =
+    Mutex.lock conns_mutex;
+    Hashtbl.iter
+      (fun _ fd ->
+        (* receive side first: a worker blocked in [input_line] wakes
+           with EOF, but a cancelled response already in flight can
+           still be written and read by the client *)
+        try Unix.shutdown fd how with Unix.Unix_error _ -> ())
+      conns;
+    Mutex.unlock conns_mutex
+  in
+  let workers_done = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      match Bqueue.pop queue with
+      | None -> ()
+      | Some fd ->
+        let id = register_conn fd in
+        (if Atomic.get state.force_closing then
+           write_line_nonblock fd (Json.to_string (shutting_down_response ()))
+         else
+           match serve_connection state fd with
+           | `Stop -> trigger_drain ()
+           | `Continue -> ()
+           | exception e ->
+             (* a connection must never take its worker down *)
+             Log.err (fun m ->
+                 m "connection handler raised: %s" (Printexc.to_string e)));
+        unregister_and_close id fd;
+        loop ()
+    in
+    (try loop ()
+     with e ->
+       Log.err (fun m -> m "worker died: %s" (Printexc.to_string e)));
+    Atomic.incr workers_done
+  in
+  let workers =
+    List.init (max 1 config.workers) (fun _ -> Domain.spawn worker)
+  in
+  Log.info (fun m ->
+      m "listening on %s (%d workers, queue %d)" config.socket_path
+        (List.length workers) config.queue_capacity);
+  (* The drain sequence runs in the [finally] so every exit path — a
+     shutdown request, a signal, max_requests, even an unexpected
+     exception in the accept loop — stops accepting, finishes or cancels
+     in-flight work against the drain deadline, and joins the workers
+     before the daemon returns. *)
+  let drain () =
+    Atomic.set state.stopping true;
+    (* stop accepting: close and unlink the socket first, so clients see
+       ECONNREFUSED (and back off and retry) instead of queueing *)
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+    Bqueue.close queue;
+    let deadline =
+      Int64.add (Metrics.now_ns ()) (ms_to_ns (max 0 config.drain_ms))
+    in
+    let all_done () = Atomic.get workers_done = List.length workers in
+    (* grace phase: let in-flight work finish (stdlib Condition has no
+       timed wait, so poll) *)
+    let rec grace () =
+      if (not (all_done ())) && Metrics.now_ns () < deadline then begin
+        Unix.sleepf 0.005;
+        grace ()
+      end
+    in
+    grace ();
+    if not (all_done ()) then begin
+      (* force phase: cancel every in-flight synthesis (answered as
+         [cancelled]) and half-shutdown every live connection so idle
+         readers wake with EOF while responses in flight still get
+         written.  Repeat until every worker exits — a worker may
+         register a queued connection between waves.  If a worker is
+         still stuck after a second drain window (a peer too slow to
+         absorb even a response), escalate to a full shutdown. *)
+      Log.info (fun m -> m "drain deadline passed, cancelling in-flight work");
+      Atomic.set state.force_closing true;
+      let escalate_at =
+        Int64.add (Metrics.now_ns ())
+          (ms_to_ns (max 200 config.drain_ms))
+      in
+      let rec force () =
+        if not (all_done ()) then begin
+          cancel_live_tokens state;
+          shutdown_live_conns
+            ~how:
+              (if Metrics.now_ns () >= escalate_at then Unix.SHUTDOWN_ALL
+               else Unix.SHUTDOWN_RECEIVE)
+            ();
+          Unix.sleepf 0.005;
+          force ()
+        end
+      in
+      force ()
+    end;
+    List.iter Domain.join workers;
+    restore_signals ();
+    Memo.unregister state.results;
+    (try Unix.close wake_r with Unix.Unix_error _ -> ());
+    try Unix.close wake_w with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:drain (fun () ->
+      let rec accept_loop () =
+        (match config.max_requests with
+        | Some limit when Atomic.get state.requests >= limit -> trigger_drain ()
+        | _ -> ());
+        if not (Atomic.get state.stopping) then begin
+          (match Unix.select [ sock; wake_r ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | readable, _, _ ->
+            if List.mem sock readable then (
+              match Unix.accept sock with
+              | exception
+                  Unix.Unix_error
+                    ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                      | Unix.ECONNABORTED ),
+                      _,
+                      _ ) ->
+                ()
+              | fd, _ ->
+                Metrics.incr "serve.connections";
+                if not (Bqueue.try_push queue fd) then shed state fd));
+          accept_loop ()
+        end
       in
       accept_loop ());
   Log.info (fun m ->
-      m "served %d requests, shutting down" state.requests)
+      m "served %d requests, shutting down" (Atomic.get state.requests))
 
 (* ---------- client ---------- *)
 
@@ -552,7 +875,16 @@ module Client = struct
   type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
   let connect ?(retry_for = 0.0) path =
-    let deadline = Unix.gettimeofday () +. retry_for in
+    (* a daemon that sheds this connection closes it right after
+       answering; without this our request write would be process-fatal
+       SIGPIPE instead of a retryable error *)
+    ignore_sigpipe ();
+    (* monotonic deadline: a wall-clock step (NTP, suspend/resume) can
+       neither hang the retry loop nor skip the window *)
+    let deadline =
+      Int64.add (Metrics.now_ns ())
+        (Int64.of_float (retry_for *. 1_000_000_000.))
+    in
     let rec go () =
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       match Unix.connect fd (Unix.ADDR_UNIX path) with
@@ -560,7 +892,7 @@ module Client = struct
         { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
       | exception
           Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
-        when Unix.gettimeofday () < deadline ->
+        when Metrics.now_ns () < deadline ->
         (try Unix.close fd with Unix.Unix_error _ -> ());
         Unix.sleepf 0.02;
         go ()
@@ -586,4 +918,63 @@ module Client = struct
   let close t =
     (try close_out_noerr t.oc with _ -> ());
     try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let response_code response =
+    match Json.member "status" response with
+    | Some (Json.String "error") ->
+      (match Json.member "code" response with
+      | Some (Json.String c) -> Some c
+      | _ -> Some "internal")
+    | _ -> None
+
+  let retry_after_ms response =
+    match Json.member "retry_after_ms" response with
+    | Some (Json.Int ms) when ms >= 0 -> Some ms
+    | _ -> None
+
+  (* Exponential backoff with deterministic jitter: the daemon's
+     [retry_after_ms] hint (or 50 ms) doubled per attempt, capped at
+     2 s, plus up to 25% jitter derived from the monotonic clock so a
+     fleet of shed clients does not re-dogpile in lockstep. *)
+  let backoff_s ~attempt ~hint_ms =
+    let base = float_of_int (max 1 hint_ms) /. 1000.0 in
+    let exp = base *. (2.0 ** float_of_int attempt) in
+    let capped = Float.min exp 2.0 in
+    let jitter =
+      let noise = Int64.to_int (Int64.rem (Metrics.now_ns ()) 1000L) in
+      capped *. 0.25 *. (float_of_int noise /. 1000.0)
+    in
+    capped +. jitter
+
+  let request_with_retry ?(retries = 5) ?(connect_for = 5.0) path json =
+    let rec attempt n =
+      let outcome =
+        match connect ~retry_for:connect_for path with
+        | exception e -> Error e
+        | t ->
+          Fun.protect
+            ~finally:(fun () -> close t)
+            (fun () ->
+              match request t json with
+              | response -> Ok response
+              | exception e -> Error e)
+      in
+      match outcome with
+      | Ok response ->
+        (match response_code response with
+        | Some "overloaded" when n < retries ->
+          let hint_ms = Option.value (retry_after_ms response) ~default:50 in
+          Unix.sleepf (backoff_s ~attempt:n ~hint_ms);
+          attempt (n + 1)
+        | _ -> response)
+      | Error e when n < retries ->
+        (* daemon restarting or connection torn mid-request: back off and
+           reconnect (each attempt uses a fresh connection — the daemon
+           closes shed connections after answering) *)
+        ignore e;
+        Unix.sleepf (backoff_s ~attempt:n ~hint_ms:50);
+        attempt (n + 1)
+      | Error e -> raise e
+    in
+    attempt 0
 end

@@ -1,12 +1,41 @@
-(** Synthesis as a service: a long-running daemon on a Unix socket.
+(** Synthesis as a service: a concurrent, self-defending daemon on a
+    Unix socket.
 
     The wire protocol is newline-delimited JSON using the shared
     versioned envelope ({!Noc_exec.Json.document}): each request is one
     ["serve_request"] document on one line, answered by one
     ["serve_response"] line (field reference in docs/FORMAT.md).  A
     connection may issue any number of requests; malformed lines and
-    failing requests are answered with [{"status": "error", ...}] and
-    never terminate the daemon.
+    failing requests are answered with [{"status": "error", "code":
+    ...}] and never terminate the daemon.
+
+    {2 Concurrency and self-defense}
+
+    Accepted connections are pushed onto a bounded queue
+    ({!Noc_exec.Bqueue}) drained by a pool of worker domains, so [N]
+    connections are served in parallel (per-connection scratch memos
+    keep them isolated) and one slow cold synthesis no longer
+    head-of-line-blocks the socket.  When the queue is full the daemon
+    answers immediately with [code = "overloaded"] (carrying
+    [retry_after_ms]) and closes the connection instead of stalling —
+    {!Client.request_with_retry} honors the hint with exponential
+    backoff and jitter.
+
+    A request may carry [deadline_ms]: synthesis then runs under a
+    {!Noc_exec.Cancel} token with a monotonic deadline, checked at
+    candidate boundaries, and a request that overruns is answered with
+    [code = "timeout"] within roughly one candidate's evaluation time.
+
+    A [shutdown] request (or SIGTERM/SIGINT when
+    [config.handle_signals]) drains gracefully: the socket is closed
+    and unlinked first, queued connections are still served, in-flight
+    work gets [config.drain_ms] to finish, and whatever remains is then
+    cancelled (answered [code = "cancelled"]) before the daemon joins
+    its workers and returns.  Results persisted to the store are
+    written atomically throughout, so a drain never leaves a torn
+    entry.
+
+    {2 Caching}
 
     Cold [synth] requests run {!Noc_synthesis.Synth.run} — which fans
     candidate evaluation out across the {!Noc_exec.Pool} domain pool —
@@ -71,42 +100,69 @@ type config = {
   options : Noc_synthesis.Synth.Options.t;
       (** base options; request fields [seed] / [protect] override *)
   max_requests : int option;
-      (** stop after this many requests (tests / smoke runs); [None]
+      (** drain after this many requests (tests / smoke runs); [None]
           runs until a [shutdown] request *)
+  workers : int;
+      (** worker domains serving connections in parallel (default 4);
+          each cold synthesis additionally fans out across the
+          {!Noc_exec.Pool} — cap [options.domains] when running many
+          workers on few cores *)
+  queue_capacity : int;
+      (** accepted connections waiting for a worker (default 16);
+          beyond this, new connections are shed with [overloaded] *)
+  drain_ms : int;
+      (** graceful-drain budget (default 5000): how long a shutdown
+          waits for in-flight work before cancelling it *)
+  retry_after_ms : int;
+      (** backoff hint carried by [overloaded] responses (default 50) *)
+  handle_signals : bool;
+      (** install SIGTERM/SIGINT handlers that trigger a graceful drain
+          (default [false] — in-process daemons in tests and benches
+          must not take over the process's signal dispositions; the CLI
+          sets it) *)
 }
 
 val default_config : socket_path:string -> config
 (** [Config.default] synthesis config, default options, no store, no
-    request limit. *)
+    request limit, 4 workers, queue of 16, 5 s drain, 50 ms retry hint,
+    signals not handled. *)
 
 type state
-(** One daemon's mutable state: its store handle and request counters. *)
+(** One daemon's mutable state: store handle, result cache, request and
+    saturation counters, and the live-token registry a drain cancels. *)
 
 val create_state : config -> state
+(** Also sweeps orphaned store temp files ({!Noc_cache.Store.gc_tmp})
+    when a store is configured. *)
 
 val handle_line : state -> scratch:(string, (Noc_spec.Spec_io.bundle, string) result) Noc_cache.Memo.t -> string -> string * [ `Continue | `Stop ]
 (** Process one request line and render the response line (without the
     trailing newline).  Every exception a request can raise — parse
     errors, [Synth.No_feasible_design], [Kway.Partition_error],
-    [Placer.Invalid_plan], I/O failures — is converted to an error
-    response; this function never raises.  [scratch] is the
-    connection-scoped spec-parse memo (see {!run}).  [`Stop] is returned
-    for a [shutdown] request. *)
+    [Placer.Invalid_plan], deadline [Cancel.Cancelled], I/O failures —
+    is converted to an error response with a taxonomy [code]; this
+    function never raises.  [scratch] is the connection-scoped
+    spec-parse memo (see {!run}).  [`Stop] is returned for a [shutdown]
+    request.  Safe to call from several domains on one [state]. *)
 
 val error_response_of_exn : exn -> Json.t
 (** The error document a failing request is answered with — exposed so
     tests can pin that typed synthesis errors ([Kway.Partition_error],
     [Placer.Invalid_plan], [No_feasible_design], ...) are classified as
-    per-request diagnostics, not daemon-killing crashes. *)
+    per-request diagnostics with stable [code]s, not daemon-killing
+    crashes. *)
 
 val run : config -> unit
-(** Bind the socket (replacing a stale socket file), serve connections
-    sequentially until a [shutdown] request or [max_requests], then
-    close and unlink the socket.  Each connection gets a request-scoped
-    spec-parse memo table that is {!Noc_cache.Memo.unregister}ed when
-    the connection closes, so a long-lived daemon does not accumulate
-    scratch tables; the daemon's own result cache is unregistered the
-    same way on shutdown. *)
+(** Bind the socket (replacing a stale socket file), spawn the worker
+    pool, and serve until a [shutdown] request, [max_requests], or (when
+    [handle_signals]) SIGTERM/SIGINT — then drain as described above and
+    return after every worker has been joined.  Each connection gets a
+    request-scoped spec-parse memo table that is
+    {!Noc_cache.Memo.unregister}ed when the connection closes, so a
+    long-lived daemon does not accumulate scratch tables; the daemon's
+    own result cache is unregistered the same way on shutdown.  SIGPIPE
+    is set to ignore (idempotent, never restored) so peers disconnecting
+    mid-response surface as catchable write errors. *)
 
 (** Minimal blocking client, used by the CLI [request] subcommand, the
     serve bench and the tests. *)
@@ -116,7 +172,9 @@ module Client : sig
   val connect : ?retry_for:float -> string -> t
   (** Connect to the daemon's socket.  [retry_for] (seconds, default 0)
       keeps retrying while the socket does not exist yet or refuses —
-      for callers that just started the daemon. *)
+      for callers that just started the daemon.  The retry window is
+      measured on the monotonic clock, so wall-clock steps neither hang
+      nor truncate it. *)
 
   val request : t -> Json.t -> Json.t
   (** Send one request document, wait for the response line.
@@ -124,6 +182,20 @@ module Client : sig
 
   val request_line : t -> string -> string
   (** Raw variant (used to exercise malformed envelopes). *)
+
+  val request_with_retry :
+    ?retries:int -> ?connect_for:float -> string -> Json.t -> Json.t
+  (** [request_with_retry path json] opens a fresh connection per
+      attempt (the daemon closes shed connections) and retries — up to
+      [retries] times (default 5) — when the daemon answers
+      [overloaded] or the connection fails mid-request, sleeping the
+      response's [retry_after_ms] hint scaled by exponential backoff
+      with jitter (capped at 2 s).  Returns the final response
+      (possibly still [overloaded] once retries are exhausted).
+      [connect_for] is each attempt's {!connect} [retry_for] (default
+      5 s).
+      @raise Failure (or the underlying [Unix.Unix_error]) when the
+      last attempt fails outright. *)
 
   val close : t -> unit
 end

@@ -249,6 +249,176 @@ let test_handle_line_survives_bad_input () =
   checks "shutdown ok" "ok" (str "status" shutdown);
   checkb "shutdown stops" true (v = `Stop)
 
+(* ---------- deadlines ---------- *)
+
+let test_deadline_timeout () =
+  with_dir @@ fun dir ->
+  with_state dir @@ fun handle ->
+  (* a fresh seed guarantees a cold sweep (the process-wide eval memo may
+     be warm from earlier tests), so the 1 ms deadline must fire at a
+     candidate boundary *)
+  let slow_synth deadline =
+    request_line
+      ([
+         ("op", Json.String "synth");
+         ("benchmark", Json.String "d12");
+         ("seed", Json.Int 4242);
+       ]
+      @ deadline)
+  in
+  let t0 = Noc_exec.Metrics.counter_value "serve.timeouts" in
+  let timed_out, v =
+    parse_ok (handle (slow_synth [ ("deadline_ms", Json.Int 1) ]))
+  in
+  checkb "continues after timeout" true (v = `Continue);
+  checks "timeout status" "error" (str "status" timed_out);
+  checks "timeout code" "timeout" (str "code" timed_out);
+  (match Json.member "deadline_ms" timed_out with
+  | Some (Json.Int 1) -> ()
+  | _ -> Alcotest.fail "timeout response must echo deadline_ms");
+  checkb "timeout counted" true
+    (Noc_exec.Metrics.counter_value "serve.timeouts" - t0 >= 1);
+  (* the cancelled run left nothing behind: the same spec without a
+     deadline computes cleanly (a poisoned store/memo would answer warm
+     with a partial result) *)
+  let full, _ = parse_ok (handle (slow_synth [])) in
+  checks "full run after timeout" "ok" (str "status" full);
+  checks "full run is cold" "computed" (str "source" full);
+  checks "full run digest matches an unpressured local run"
+    (Serve.Codec.result_digest
+       (Synth.run
+          ~options:{ Synth.Options.default with Synth.Options.seed = 4242 }
+          config d12.Bench_case.soc d12.Bench_case.default_vi))
+    (str "result_digest" full);
+  (* malformed deadlines are bad requests, not crashes *)
+  let bad, _ =
+    parse_ok (handle (slow_synth [ ("deadline_ms", Json.Int 0) ]))
+  in
+  checks "zero deadline rejected" "bad_request" (str "code" bad)
+
+(* ---------- metrics saturation fields ---------- *)
+
+let test_metrics_saturation () =
+  with_dir @@ fun dir ->
+  with_state dir @@ fun handle ->
+  let metrics, _ = parse_ok (handle (request_line [ ("op", Json.String "metrics") ])) in
+  let int_field name =
+    match Json.member name metrics with
+    | Some (Json.Int i) -> i
+    | _ -> Alcotest.failf "metrics response is missing int field %S" name
+  in
+  checki "socketless queue depth" 0 (int_field "queue_depth");
+  (* the metrics request itself is executing, so in-flight counts it *)
+  checki "in-flight counts the live request" 1 (int_field "in_flight");
+  checkb "shed tally present" true (int_field "shed" >= 0);
+  checkb "timeout tally present" true (int_field "timeouts" >= 0);
+  checkb "cancel tally present" true (int_field "cancelled" >= 0)
+
+(* ---------- overload shedding ---------- *)
+
+let read_line_fd fd =
+  let buf = Buffer.create 256 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> Buffer.contents buf
+    | _ ->
+      if Bytes.get byte 0 = '\n' then Buffer.contents buf
+      else begin
+        Buffer.add_char buf (Bytes.get byte 0);
+        go ()
+      end
+  in
+  go ()
+
+let test_overload_shedding () =
+  with_dir @@ fun dir ->
+  let socket_path = Filename.concat dir "serve.sock" in
+  (* one worker, one queue slot: the third concurrent connection must be
+     shed deterministically *)
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.run
+          {
+            (Serve.default_config ~socket_path) with
+            Serve.workers = 1;
+            queue_capacity = 1;
+            retry_after_ms = 70;
+          })
+  in
+  let a = Serve.Client.connect ~retry_for:10.0 socket_path in
+  (* a served ping proves the single worker now owns connection A *)
+  checks "worker holds A" "ok"
+    (str "status" (Serve.Client.request a (envelope [ ("op", Json.String "ping") ])));
+  let b = Serve.Client.connect ~retry_for:10.0 socket_path in
+  (* give the accept loop time to queue B into the single slot *)
+  Unix.sleepf 0.2;
+  (* C: raw socket — the daemon answers overloaded before we send
+     anything, so read without writing *)
+  let c = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect c (Unix.ADDR_UNIX socket_path);
+  let shed_response =
+    match Json.of_string (read_line_fd c) with
+    | Ok json -> json
+    | Error msg -> Alcotest.failf "unparsable shed response: %s" msg
+  in
+  (try Unix.close c with Unix.Unix_error _ -> ());
+  checks "shed status" "error" (str "status" shed_response);
+  checks "shed code" "overloaded" (str "code" shed_response);
+  (match Json.member "retry_after_ms" shed_response with
+  | Some (Json.Int 70) -> ()
+  | _ -> Alcotest.fail "shed response must carry the retry_after_ms hint");
+  (* B never got served yet; close it so drain sees a clean EOF *)
+  Serve.Client.close b;
+  checks "shutdown" "ok"
+    (str "status"
+       (Serve.Client.request a (envelope [ ("op", Json.String "shutdown") ])));
+  Serve.Client.close a;
+  Domain.join daemon
+
+(* ---------- graceful drain cancels in-flight work ---------- *)
+
+let test_drain_cancels_in_flight () =
+  with_dir @@ fun dir ->
+  let socket_path = Filename.concat dir "serve.sock" in
+  (* zero grace: in-flight work is cancelled as soon as drain starts *)
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.run
+          {
+            (Serve.default_config ~socket_path) with
+            Serve.workers = 2;
+            drain_ms = 0;
+          })
+  in
+  let a = Serve.Client.connect ~retry_for:10.0 socket_path in
+  let b = Serve.Client.connect ~retry_for:10.0 socket_path in
+  (* A: a cold sweep (fresh seed) racing the drain below *)
+  let slow =
+    envelope
+      [
+        ("op", Json.String "synth");
+        ("benchmark", Json.String "d12");
+        ("seed", Json.Int 31337);
+      ]
+  in
+  let racer = Domain.spawn (fun () -> Serve.Client.request a slow) in
+  Unix.sleepf 0.05;
+  checks "shutdown accepted mid-flight" "ok"
+    (str "status"
+       (Serve.Client.request b (envelope [ ("op", Json.String "shutdown") ])));
+  Serve.Client.close b;
+  (* the racing request must be answered — finished if it won the race,
+     else a typed cancelled document; never a hang, never a crash *)
+  let response = Domain.join racer in
+  (match str "status" response with
+  | "ok" -> ()
+  | "error" -> checks "drain cancels with typed code" "cancelled" (str "code" response)
+  | s -> Alcotest.failf "unexpected status %S" s);
+  Serve.Client.close a;
+  (* the hard gate: the daemon drains and returns — join cannot hang *)
+  Domain.join daemon
+
 (* ---------- live socket session ---------- *)
 
 let test_socket_session () =
@@ -309,6 +479,14 @@ let () =
             test_handle_line_rerun;
           Alcotest.test_case "survives bad input" `Quick
             test_handle_line_survives_bad_input;
+          Alcotest.test_case "deadline answered as typed timeout" `Quick
+            test_deadline_timeout;
+          Alcotest.test_case "metrics saturation fields" `Quick
+            test_metrics_saturation;
+          Alcotest.test_case "overload shed as typed overloaded" `Quick
+            test_overload_shedding;
+          Alcotest.test_case "drain cancels in-flight work" `Quick
+            test_drain_cancels_in_flight;
           Alcotest.test_case "socket session with restart" `Quick
             test_socket_session;
         ] );

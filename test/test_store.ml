@@ -174,6 +174,71 @@ let test_incompatible_entry_skipped () =
     (Metrics.counter_value "store.incompatible" - i0);
   checki "foreign entry not counted by length" 0 (Store.length store)
 
+(* ---------- crash consistency ---------- *)
+
+(* A writer killed between opening its temp file and the rename — the
+   only non-atomic window — leaves a .wip*.tmp orphan and no entry.
+   Readers must see a clean miss (never a partial payload), and gc_tmp
+   must reclaim the orphan without touching real entries. *)
+let test_crash_mid_write () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store ~tag:"t" dir in
+  Store.add store "survivor" "real payload";
+  (* simulate the kill: a half-written temp file in an entry's shard
+     directory, exactly as [add] would have left it *)
+  let shard = Filename.dirname (List.hd (entry_files dir)) in
+  let tmp = Filename.temp_file ~temp_dir:shard ".wip" ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc "noc-store partial hea");
+  let m0 = Metrics.counter_value "store.misses" in
+  checkb "key of the dead writer reads as a clean miss" true
+    (Store.find store "victim-key" = None);
+  checki "counted as a plain miss" 1
+    (Metrics.counter_value "store.misses" - m0);
+  checkb "tmp orphan invisible to length" true (Store.length store = 1);
+  (* fresh orphans are left alone (a live writer may own them)... *)
+  checki "young tmp not swept" 0 (Store.gc_tmp store);
+  checkb "young tmp still on disk" true (Sys.file_exists tmp);
+  (* ...but an aged one is garbage-collected and counted *)
+  let old = Unix.gettimeofday () -. 3600.0 in
+  Unix.utimes tmp old old;
+  let g0 = Metrics.counter_value "store.tmp_gc" in
+  checki "aged orphan swept" 1 (Store.gc_tmp store);
+  checkb "orphan gone" false (Sys.file_exists tmp);
+  checki "sweep counted" 1 (Metrics.counter_value "store.tmp_gc" - g0);
+  checki "nothing left to sweep" 0 (Store.gc_tmp store);
+  checks "real entry untouched by gc" "real payload"
+    (Option.get (Store.find store "survivor"))
+
+(* A reader racing an eviction of the same key: whichever side wins,
+   the reader sees either the complete payload or a clean miss — never
+   a crash or a torn read. *)
+let test_read_during_evict () =
+  with_dir @@ fun dir ->
+  let store = Store.open_store dir in
+  let payload = String.make 4096 'p' in
+  let rounds = 200 in
+  let reader =
+    Domain.spawn (fun () ->
+        let hits = ref 0 and misses = ref 0 in
+        for _ = 1 to rounds do
+          match Store.find store "contested" with
+          | Some v ->
+            assert (v = payload);
+            incr hits
+          | None -> incr misses
+        done;
+        (!hits, !misses))
+  in
+  for _ = 1 to rounds do
+    Store.add store "contested" payload;
+    ignore (Store.remove store "contested")
+  done;
+  let hits, misses = Domain.join reader in
+  checki "reader observed every round" rounds (hits + misses);
+  (* after the dust settles the key reads as a clean miss *)
+  checkb "evicted key is a miss" true (Store.find store "contested" = None)
+
 (* ---------- concurrent access ---------- *)
 
 let test_concurrent_domains () =
@@ -229,6 +294,9 @@ let () =
             test_corrupt_entry_skipped;
           Alcotest.test_case "incompatible entries skipped" `Quick
             test_incompatible_entry_skipped;
+          Alcotest.test_case "crash mid-write reads clean, tmp GC'd" `Quick
+            test_crash_mid_write;
+          Alcotest.test_case "read racing evict" `Quick test_read_during_evict;
           Alcotest.test_case "concurrent 4-domain access" `Quick
             test_concurrent_domains;
         ] );
