@@ -18,6 +18,12 @@
      dune exec bench/main.exe -- delta     # incremental re-synthesis: rerun
                                            # vs fresh per delta kind on d36,
                                            # writes BENCH_delta.json
+     dune exec bench/main.exe -- scenario  # multi-scenario synthesis on
+                                           # d36: per-scenario feasibility,
+                                           # duty-weighted power vs union
+                                           # baseline, bit-identity across
+                                           # reps/jobs/permutations — gated,
+                                           # writes BENCH_scenario.json
      dune exec bench/main.exe -- serve     # synthesis daemon + persistent
                                            # store: repeat/near-repeat/cold
                                            # request mix over a real socket,
@@ -807,6 +813,189 @@ let delta () =
   close_out oc;
   Printf.printf "\nwrote BENCH_delta.json\n";
   if !gate_failed then exit 1
+
+(* ---------------- EXP-SCEN: multi-scenario synthesis ---------------- *)
+
+(* One topology across usage modes on d36 (writes BENCH_scenario.json).
+   Gates: (a) the selected point verifies in every scenario's shutdown
+   state, (b) its duty-weighted system power never exceeds the naive
+   union-spec baseline (the union sweep's best-power point judged on the
+   same metric), (c) the full scenarios_result is bit-identical across
+   repetitions, worker counts and scenario-list permutations, and (d) a
+   scenario-weight edit re-scores without re-synthesizing
+   (Synth.rerun_scenarios reuses the union sweep verbatim). *)
+let scenario_bench () =
+  let module J = Noc_synthesis.Report.Json in
+  let module Delta = Noc_spec.Delta in
+  section
+    "EXP-SCEN: multi-scenario synthesis on d36 (writes BENCH_scenario.json; \
+     all scenarios must verify, weighted power <= union baseline, \
+     bit-identical across reps/jobs/permutations)";
+  let case = Bench_case.find "d36" in
+  let bsoc = case.Bench_case.soc and vi = case.Bench_case.default_vi in
+  let scenarios = case.Bench_case.scenarios in
+  let eval_signature (e : Synth.scenario_eval) =
+    ( e.Synth.scenario.Scenario.name,
+      e.Synth.gated,
+      e.Synth.active_flows,
+      e.Synth.parked_flows,
+      Int64.bits_of_float e.Synth.power_mw,
+      Result.is_ok e.Synth.verified )
+  in
+  let signature (sr : Synth.scenarios_result) =
+    ( result_signature sr.Synth.union,
+      point_signature sr.Synth.best,
+      Int64.bits_of_float sr.Synth.weighted_power_mw,
+      Int64.bits_of_float sr.Synth.union_baseline_mw,
+      List.map eval_signature sr.Synth.evals )
+  in
+  let digest sr = Digest.to_hex (Noc_cache.Memo.digest (signature sr)) in
+  let run ~jobs ~scenarios =
+    Noc_cache.Memo.clear_all ();
+    let options =
+      { Synth.Options.default with Synth.Options.domains = Some jobs }
+    in
+    wall (fun () -> Synth.run_scenarios ~options config bsoc vi ~scenarios)
+  in
+  let runs =
+    List.map
+      (fun (label, jobs, scenarios) ->
+        let t, sr = run ~jobs ~scenarios in
+        Printf.printf "%-18s %8.3f s  digest %s\n%!" label t (digest sr);
+        (label, t, sr))
+      [
+        ("jobs=1 rep 1", 1, scenarios);
+        ("jobs=1 rep 2", 1, scenarios);
+        ("jobs=4", 4, scenarios);
+        ("jobs=1 reversed", 1, List.rev scenarios);
+      ]
+  in
+  let _, _, sr = List.hd runs in
+  let deterministic =
+    List.for_all (fun (_, _, r) -> digest r = digest sr) runs
+  in
+  let all_feasible =
+    List.for_all
+      (fun (e : Synth.scenario_eval) -> Result.is_ok e.Synth.verified)
+      sr.Synth.evals
+  in
+  let beats_baseline =
+    sr.Synth.weighted_power_mw <= sr.Synth.union_baseline_mw +. 1e-9
+  in
+  (* (d): halving one duty cycle is synthesis-clean — the union sweep
+     must be reused verbatim (physical equality), only the duty-weighted
+     scoring pass re-runs *)
+  let first = List.hd (Scenario.canonical scenarios) in
+  let edit =
+    [
+      Delta.Set_scenario_duty
+        {
+          scenario = first.Scenario.name;
+          duty = first.Scenario.duty *. 0.5;
+        };
+    ]
+  in
+  let rescores_before =
+    Noc_exec.Metrics.counter_value "synth.scenario_rescore"
+  in
+  let options = { Synth.Options.default with Synth.Options.domains = Some 1 } in
+  let t_rescore, (_bundle, sr_edit) =
+    wall (fun () ->
+        Synth.rerun_scenarios ~options ~prev:sr ~delta:edit config bsoc vi
+          ~scenarios)
+  in
+  let rescore_reuses_union =
+    Noc_exec.Metrics.counter_value "synth.scenario_rescore" > rescores_before
+    && sr_edit.Synth.union == sr.Synth.union
+  in
+  Printf.printf "%-18s %8.3f s  (duty edit: union sweep %s)\n%!" "rescore"
+    t_rescore
+    (if rescore_reuses_union then "reused" else "RECOMPUTED");
+  List.iter
+    (fun (e : Synth.scenario_eval) ->
+      Printf.printf
+        "  %-18s duty %4.2f  gated [%s]  %3d active / %3d parked  %8.1f mW  \
+         %s\n"
+        e.Synth.scenario.Scenario.name e.Synth.scenario.Scenario.duty
+        (String.concat "," (List.map string_of_int e.Synth.gated))
+        e.Synth.active_flows e.Synth.parked_flows e.Synth.power_mw
+        (if Result.is_ok e.Synth.verified then "verified" else "FAILED"))
+    sr.Synth.evals;
+  let saving =
+    if sr.Synth.union_baseline_mw > 0. then
+      100.
+      *. (sr.Synth.union_baseline_mw -. sr.Synth.weighted_power_mw)
+      /. sr.Synth.union_baseline_mw
+    else 0.
+  in
+  Printf.printf
+    "weighted %.1f mW, union baseline %.1f mW (%.2f%% better), %s, %s\n%!"
+    sr.Synth.weighted_power_mw sr.Synth.union_baseline_mw saving
+    (if all_feasible then "all scenarios verified"
+     else "SCENARIO VERIFICATION FAILED")
+    (if deterministic then "deterministic" else "NON-DETERMINISTIC");
+  let eval_json (e : Synth.scenario_eval) =
+    J.Obj
+      [
+        ("name", J.String e.Synth.scenario.Scenario.name);
+        ("duty", J.Float e.Synth.scenario.Scenario.duty);
+        ("gated_islands", J.List (List.map (fun i -> J.Int i) e.Synth.gated));
+        ("active_flows", J.Int e.Synth.active_flows);
+        ("parked_flows", J.Int e.Synth.parked_flows);
+        ("power_mw", J.Float e.Synth.power_mw);
+        ("feasible", J.Bool (Result.is_ok e.Synth.verified));
+      ]
+  in
+  let rows =
+    List.map
+      (fun (label, t, r) ->
+        J.Obj
+          [
+            ("label", J.String label);
+            ("wall_s", J.Float t);
+            ("digest", J.String (digest r));
+          ])
+      runs
+  in
+  let doc =
+    J.to_string
+      (J.document ~kind:"bench_scenario"
+         [
+           ("benchmark", J.String "d36");
+           ("scenarios", J.Int (List.length sr.Synth.evals));
+           ("scenario_digest", J.String (Scenario.digest scenarios));
+           ("weighted_power_mw", J.Float sr.Synth.weighted_power_mw);
+           ("union_baseline_mw", J.Float sr.Synth.union_baseline_mw);
+           ("saving_pct", J.Float saving);
+           ("all_feasible", J.Bool all_feasible);
+           ("beats_baseline", J.Bool beats_baseline);
+           ("deterministic", J.Bool deterministic);
+           ("rescore_reuses_union", J.Bool rescore_reuses_union);
+           ("rescore_s", J.Float t_rescore);
+           ("result_digest", J.String (digest sr));
+           ("evals", J.List (List.map eval_json sr.Synth.evals));
+           ("rows", J.List rows);
+         ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_scenario.json" in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_scenario.json\n";
+  let gate name ok =
+    if not ok then Printf.printf "FAIL: %s\n" name;
+    not ok
+  in
+  let failed =
+    [
+      gate "a scenario failed verification on the selected point" all_feasible;
+      gate "weighted power exceeds the union-spec baseline" beats_baseline;
+      gate "results differ across reps/jobs/permutations" deterministic;
+      gate "duty-cycle edit re-synthesized instead of re-scoring"
+        rescore_reuses_union;
+    ]
+  in
+  if List.exists Fun.id failed then exit 1
 
 (* ---------------- EXP-SERVE: synthesis as a service ---------------- *)
 
@@ -1664,6 +1853,7 @@ let all_experiments =
     ("recovery", recovery);
     ("sweep", sweep);
     ("delta", delta);
+    ("scenario", scenario_bench);
     ("serve", serve);
     ("chaos", chaos);
     ("faults", faults);

@@ -2,8 +2,9 @@
 
    Subcommands mirror the paper's experiments: [synth] runs Algorithm 1 on a
    benchmark, [rerun] re-synthesizes incrementally after a JSON delta
-   chain, [explore] sweeps island counts (Figs. 2/3), [baseline] reports
-   the shutdown-support overhead (§5), [leakage] the scenario savings,
+   chain, [scenarios] selects one topology across usage modes, [explore]
+   sweeps island counts (Figs. 2/3), [baseline] reports the
+   shutdown-support overhead (§5), [leakage] the scenario savings,
    [floorplan] the placement, and [simulate] drives the discrete-event
    model. *)
 
@@ -33,69 +34,6 @@ let setup_logs level jobs metrics =
           close_out oc
         end)
 
-let jobs_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "j"; "jobs" ]
-        ~env:(Cmd.Env.info "NOC_JOBS")
-        ~docv:"N"
-        ~doc:
-          "Evaluate candidate design points on $(docv) domains.  Results \
-           are byte-identical for any $(docv); 0 (the default) means 1 \
-           domain unless $(b,NOC_JOBS) is set.")
-
-let metrics_arg =
-  Arg.(
-    value & opt (some string) None
-    & info [ "metrics" ] ~docv:"FILE"
-        ~doc:
-          "On exit, dump every Noc_exec.Metrics counter and timer \
-           (including the $(b,cache.*) hit/miss counters) as a JSON \
-           document to $(docv); $(b,-) means stdout.")
-
-let logs_term =
-  Term.(const setup_logs $ Logs_cli.level () $ jobs_arg $ metrics_arg)
-
-let bench_arg =
-  let doc =
-    Printf.sprintf "Benchmark SoC to use: one of %s."
-      (String.concat ", " Bench_case.names)
-  in
-  Arg.(value & opt string "d26" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
-
-let seed_arg =
-  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
-
-let alpha_arg =
-  Arg.(
-    value
-    & opt float Config.default.Config.alpha
-    & info [ "alpha" ] ~docv:"A"
-        ~doc:"Definition-1 weight between bandwidth and latency (0..1).")
-
-let islands_arg =
-  Arg.(
-    value & opt int 0
-    & info [ "islands" ] ~docv:"K"
-        ~doc:
-          "Number of voltage islands; 0 keeps the benchmark's designer \
-           (logical) partitioning.")
-
-let comm_arg =
-  Arg.(
-    value & flag
-    & info [ "comm" ]
-        ~doc:
-          "Use communication-based partitioning instead of the logical one \
-           (requires $(b,--islands)).")
-
-let spec_arg =
-  let doc =
-    "Load the SoC (and optional VI assignment / scenarios) from a bundle \
-     file in the noc_synth textual format instead of a built-in benchmark."
-  in
-  Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
-
 let lookup_bench name =
   match Bench_case.find name with
   | case -> case
@@ -105,7 +43,7 @@ let lookup_bench name =
     exit 2
 
 (* A --spec file overrides the named benchmark. *)
-let resolve_case bench spec =
+let resolve_spec_case bench spec =
   match spec with
   | None -> lookup_bench bench
   | Some path ->
@@ -130,24 +68,193 @@ let resolve_case bench spec =
          always_on_cores = [];
        })
 
-let config_of alpha = { Config.default with Config.alpha }
+(* One vocabulary for the flags the subcommands share: every flag is
+   declared exactly once, with one docstring and one spelling, and
+   commands compose them — [target] bundles the spec-selection and
+   synthesis-options flags into a single Cmdliner term so a subcommand
+   that operates on "a benchmark, partitioned and synthesized somehow"
+   takes one argument instead of seven. *)
+module Flags = struct
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ]
+          ~env:(Cmd.Env.info "NOC_JOBS")
+          ~docv:"N"
+          ~doc:
+            "Evaluate candidate design points on $(docv) domains.  Results \
+             are byte-identical for any $(docv); 0 (the default) means 1 \
+             domain unless $(b,NOC_JOBS) is set.")
 
-let options_of ?(protect = false) seed =
-  { Synth.Options.default with Synth.Options.seed; protect }
+  let metrics =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "On exit, dump every Noc_exec.Metrics counter and timer \
+             (including the $(b,cache.*) hit/miss counters) as a JSON \
+             document to $(docv); $(b,-) means stdout.")
 
-let vi_of_options case ~islands ~comm ~seed =
-  if islands = 0 then case.Bench_case.default_vi
-  else if comm then
-    Noc_benchmarks.Partitions.communication_based ~seed ~islands
-      ~always_on_cores:case.Bench_case.always_on_cores case.Bench_case.soc
-  else if case.Bench_case.name = "d26" then
-    Noc_benchmarks.D26.logical_partition ~islands
-  else begin
-    Printf.eprintf
-      "logical partitionings at custom island counts exist only for d26; \
-       use --comm\n";
+  (* the one side-effecting term: every subcommand threads it first *)
+  let logs = Term.(const setup_logs $ Logs_cli.level () $ jobs $ metrics)
+
+  let bench =
+    let doc =
+      Printf.sprintf "Benchmark SoC to use: one of %s."
+        (String.concat ", " Bench_case.names)
+    in
+    Arg.(
+      value & opt string "d26" & info [ "b"; "benchmark" ] ~docv:"NAME" ~doc)
+
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+  let alpha =
+    Arg.(
+      value
+      & opt float Config.default.Config.alpha
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Definition-1 weight between bandwidth and latency (0..1).")
+
+  let islands =
+    Arg.(
+      value & opt int 0
+      & info [ "islands" ] ~docv:"K"
+          ~doc:
+            "Number of voltage islands; 0 keeps the benchmark's designer \
+             (logical) partitioning.")
+
+  let comm =
+    Arg.(
+      value & flag
+      & info [ "comm" ]
+          ~doc:
+            "Use communication-based partitioning instead of the logical \
+             one (requires $(b,--islands)).")
+
+  let spec =
+    let doc =
+      "Load the SoC (and optional VI assignment / scenarios) from a bundle \
+       file in the noc_synth textual format instead of a built-in benchmark."
+    in
+    Arg.(value & opt (some file) None & info [ "spec" ] ~docv:"FILE" ~doc)
+
+  let protect =
+    Arg.(
+      value & flag
+      & info [ "protect" ]
+          ~doc:
+            "Synthesize with link-disjoint backup routes \
+             ($(b,Synth.Options.protect)).")
+
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path the daemon listens on.")
+
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Ask the daemon to abandon the request after $(docv) \
+             milliseconds (answered with a $(b,timeout) error document).")
+
+  let retry =
+    Arg.(
+      value & opt float 5.0
+      & info [ "retry" ] ~docv:"SECONDS"
+          ~doc:
+            "Keep retrying the connection this long while the daemon is \
+             still starting.")
+
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times with exponential backoff and jitter \
+             when the daemon answers $(b,overloaded) (honoring its \
+             retry_after_ms hint) or the connection drops mid-request.")
+
+  let delta_file_spec =
+    let doc =
+      "JSON file with the spec edits to apply: a versioned \
+       $(b,spec_delta) envelope (see docs/FORMAT.md) whose $(b,deltas) \
+       list is applied in order."
+    in
+    Arg.(opt (some file) None & info [ "d"; "delta" ] ~docv:"FILE" ~doc)
+
+  let delta_file = Arg.required delta_file_spec
+  let delta_file_opt = Arg.value delta_file_spec
+
+  (* The shared "what to synthesize, and how" bundle. *)
+  type target = {
+    t_bench : string;
+    t_spec : string option;
+    t_islands : int;
+    t_comm : bool;
+    t_seed : int;
+    t_alpha : float;
+    t_protect : bool;
+  }
+
+  let target =
+    let make t_bench t_spec t_islands t_comm t_seed t_alpha t_protect =
+      { t_bench; t_spec; t_islands; t_comm; t_seed; t_alpha; t_protect }
+    in
+    Term.(
+      const make $ bench $ spec $ islands $ comm $ seed $ alpha $ protect)
+
+  let case t = resolve_spec_case t.t_bench t.t_spec
+  let config t = { Config.default with Config.alpha = t.t_alpha }
+
+  let options t =
+    {
+      Synth.Options.default with
+      Synth.Options.seed = t.t_seed;
+      protect = t.t_protect;
+    }
+
+  let vi t case =
+    if t.t_islands = 0 then case.Bench_case.default_vi
+    else if t.t_comm then
+      Noc_benchmarks.Partitions.communication_based ~seed:t.t_seed
+        ~islands:t.t_islands
+        ~always_on_cores:case.Bench_case.always_on_cores case.Bench_case.soc
+    else if case.Bench_case.name = "d26" then
+      Noc_benchmarks.D26.logical_partition ~islands:t.t_islands
+    else begin
+      Printf.eprintf
+        "logical partitionings at custom island counts exist only for d26; \
+         use --comm\n";
+      exit 2
+    end
+end
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg ->
+    Printf.eprintf "%s\n" msg;
     exit 2
-  end
+
+let pp_shutdown_safety vi best =
+  match Noc_synthesis.Shutdown.check_topology vi best.DP.topology with
+  | Ok () -> Format.printf "shutdown-safety invariant: OK@."
+  | Error violations ->
+    Format.printf "shutdown-safety VIOLATED (%d):@." (List.length violations);
+    List.iter
+      (fun v -> Format.printf "  %a@." Noc_synthesis.Shutdown.pp_violation v)
+      violations
 
 (* --- list --- *)
 
@@ -155,11 +262,12 @@ let list_cmd =
   let run () =
     List.iter
       (fun case ->
-        Printf.printf "%-6s %2d cores %3d flows  %d islands  %s\n"
+        Printf.printf "%-6s %2d cores %3d flows  %d islands  %d scenarios  %s\n"
           case.Bench_case.name
           (Noc_spec.Soc_spec.core_count case.Bench_case.soc)
           (List.length case.Bench_case.soc.Noc_spec.Soc_spec.flows)
           case.Bench_case.default_vi.Noc_spec.Vi.islands
+          (List.length case.Bench_case.scenarios)
           case.Bench_case.soc.Noc_spec.Soc_spec.name)
       Bench_case.all
   in
@@ -169,23 +277,18 @@ let list_cmd =
 
 (* --- synth --- *)
 
-let synth_run () bench spec islands comm seed alpha netlist dot =
-  let case = resolve_case bench spec in
-  let config = config_of alpha in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
+let synth_run () target netlist dot =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   Format.printf "%d candidates tried, %d feasible@."
     result.Synth.candidates_tried result.Synth.candidates_feasible;
   Format.printf "%a@." DP.pp_summary best;
-  (match Noc_synthesis.Shutdown.check_topology vi best.DP.topology with
-   | Ok () -> Format.printf "shutdown-safety invariant: OK@."
-   | Error violations ->
-     Format.printf "shutdown-safety VIOLATED (%d):@." (List.length violations);
-     List.iter
-       (fun v ->
-         Format.printf "  %a@." Noc_synthesis.Shutdown.pp_violation v)
-       violations);
+  pp_shutdown_safety vi best;
   if netlist then
     Format.printf "%a@." Noc_synthesis.Topology.pp_netlist best.DP.topology;
   if dot then
@@ -202,38 +305,23 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize a VI-aware NoC topology (Algorithm 1).")
-    Term.(
-      const synth_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg $ alpha_arg $ netlist $ dot)
+    Term.(const synth_run $ Flags.logs $ Flags.target $ netlist $ dot)
 
 (* --- rerun --- *)
 
-let rerun_run () bench spec islands comm seed alpha protect delta_file
-    save_spec =
-  let case = resolve_case bench spec in
-  let config = config_of alpha in
+let rerun_run () target delta_file save_spec =
+  let case = Flags.case target in
+  let config = Flags.config target in
   let soc = case.Bench_case.soc in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let text =
-    match
-      let ic = open_in_bin delta_file in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    with
-    | s -> s
-    | exception Sys_error msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 2
-  in
+  let vi = Flags.vi target case in
   let delta =
-    match Noc_spec.Delta.list_of_string text with
+    match Noc_spec.Delta.list_of_string (read_file delta_file) with
     | Ok deltas -> deltas
     | Error msg ->
       Printf.eprintf "%s: %s\n" delta_file msg;
       exit 2
   in
-  let options = options_of ~protect seed in
+  let options = Flags.options target in
   (* the base run both validates the spec and warms the memo tables the
      incremental rerun then reuses *)
   let prev = Synth.run ~options config soc vi in
@@ -256,13 +344,7 @@ let rerun_run () bench spec islands comm seed alpha protect delta_file
     result.Synth.candidates_tried result.Synth.candidates_feasible;
   let best = Synth.best_power result in
   Format.printf "rerun: %a@." DP.pp_summary best;
-  (match Noc_synthesis.Shutdown.check_topology vi' best.DP.topology with
-   | Ok () -> Format.printf "shutdown-safety invariant: OK@."
-   | Error violations ->
-     Format.printf "shutdown-safety VIOLATED (%d):@." (List.length violations);
-     List.iter
-       (fun v -> Format.printf "  %a@." Noc_synthesis.Shutdown.pp_violation v)
-       violations);
+  pp_shutdown_safety vi' best;
   match save_spec with
   | None -> ()
   | Some path ->
@@ -280,28 +362,12 @@ let rerun_run () bench spec islands comm seed alpha protect delta_file
       exit 1)
 
 let rerun_cmd =
-  let delta_file =
-    Arg.(
-      required
-      & opt (some file) None
-      & info [ "d"; "delta" ] ~docv:"FILE"
-          ~doc:
-            "JSON file with the spec edits to apply: a versioned \
-             $(b,spec_delta) envelope (see docs/FORMAT.md) whose \
-             $(b,deltas) list is applied in order.")
-  in
   let save_spec =
     Arg.(
       value
       & opt (some string) None
       & info [ "save-spec" ] ~docv:"FILE"
           ~doc:"Write the edited spec as a bundle file to $(docv).")
-  in
-  let protect =
-    Arg.(
-      value & flag
-      & info [ "protect" ]
-          ~doc:"Synthesize with link-disjoint backup routes, as in faultsim.")
   in
   Cmd.v
     (Cmd.info "rerun"
@@ -311,15 +377,135 @@ let rerun_cmd =
           ($(b,Synth.rerun)) — bit-identical to a fresh run on the edited \
           spec.")
     Term.(
-      const rerun_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg $ alpha_arg $ protect $ delta_file $ save_spec)
+      const rerun_run $ Flags.logs $ Flags.target
+      $ Flags.delta_file $ save_spec)
+
+(* --- scenarios --- *)
+
+let scenarios_run () target json_out =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let soc = case.Bench_case.soc in
+  let vi = Flags.vi target case in
+  let scenarios = case.Bench_case.scenarios in
+  if scenarios = [] then begin
+    Printf.eprintf "%s declares no usage scenarios\n" case.Bench_case.name;
+    exit 2
+  end;
+  let sr =
+    Synth.run_scenarios ~options:(Flags.options target) config soc vi
+      ~scenarios
+  in
+  Format.printf "union: %d candidates tried, %d feasible, %d kept@."
+    sr.Synth.union.Synth.candidates_tried
+    sr.Synth.union.Synth.candidates_feasible
+    (List.length sr.Synth.union.Synth.points);
+  Format.printf "selected: %a@." DP.pp_summary sr.Synth.best;
+  List.iter
+    (fun (e : Synth.scenario_eval) ->
+      Format.printf
+        "  %-16s duty %4.2f  gated [%s]  %3d active / %2d parked flows  \
+         %8.1f mW  %s@."
+        e.Synth.scenario.Noc_spec.Scenario.name
+        e.Synth.scenario.Noc_spec.Scenario.duty
+        (String.concat "," (List.map string_of_int e.Synth.gated))
+        e.Synth.active_flows e.Synth.parked_flows e.Synth.power_mw
+        (match e.Synth.verified with
+         | Ok () -> "verified"
+         | Error vs -> Printf.sprintf "FAILED (%d violations)" (List.length vs)))
+    sr.Synth.evals;
+  let saving =
+    if sr.Synth.union_baseline_mw > 0. then
+      100.
+      *. (sr.Synth.union_baseline_mw -. sr.Synth.weighted_power_mw)
+      /. sr.Synth.union_baseline_mw
+    else 0.
+  in
+  Format.printf
+    "duty-weighted power: %.1f mW  (union-spec baseline %.1f mW, %.2f%% \
+     better)@."
+    sr.Synth.weighted_power_mw sr.Synth.union_baseline_mw saving;
+  (* degraded contracts: each scenario's gating, replayed as a fault set
+     through the survivability analyzer, must only park flows (off by
+     design), never degrade live ones *)
+  let impacts =
+    Noc_fault.Scenario_impact.analyze config vi
+      sr.Synth.best.DP.topology ~clocks:sr.Synth.union.Synth.clocks
+      ~scenarios
+  in
+  Format.printf "%a@." Noc_fault.Scenario_impact.pp impacts;
+  let all_verified =
+    List.for_all
+      (fun (e : Synth.scenario_eval) -> Result.is_ok e.Synth.verified)
+      sr.Synth.evals
+  in
+  let clean = Noc_fault.Scenario_impact.all_clean impacts in
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let module J = Noc_exec.Json in
+    let eval_json (e : Synth.scenario_eval) =
+      J.Obj
+        [
+          ("name", J.String e.Synth.scenario.Noc_spec.Scenario.name);
+          ("duty", J.Float e.Synth.scenario.Noc_spec.Scenario.duty);
+          ( "gated_islands",
+            J.List (List.map (fun i -> J.Int i) e.Synth.gated) );
+          ("active_flows", J.Int e.Synth.active_flows);
+          ("parked_flows", J.Int e.Synth.parked_flows);
+          ("power_mw", J.Float e.Synth.power_mw);
+          ("feasible", J.Bool (Result.is_ok e.Synth.verified));
+        ]
+    in
+    let doc =
+      J.to_string
+        (J.document ~kind:"scenarios"
+           [
+             ("benchmark", J.String case.Bench_case.name);
+             ( "scenario_digest",
+               J.String (Noc_spec.Scenario.digest scenarios) );
+             ("weighted_power_mw", J.Float sr.Synth.weighted_power_mw);
+             ("union_baseline_mw", J.Float sr.Synth.union_baseline_mw);
+             ("all_feasible", J.Bool all_verified);
+             ("degraded_clean", J.Bool clean);
+             ("evals", J.List (List.map eval_json sr.Synth.evals));
+           ])
+      ^ "\n"
+    in
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Format.printf "wrote %s@." path);
+  if not (all_verified && clean) then begin
+    Format.printf
+      "FAIL: selected topology does not hold in every scenario@.";
+    exit 1
+  end
+
+let scenarios_cmd =
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the scenario report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "scenarios"
+       ~doc:
+         "Multi-scenario synthesis: route the union of all usage modes \
+          once, then pick the sweep point with the lowest \
+          duty-cycle-weighted system power that verifies in every \
+          scenario's shutdown state ($(b,Synth.run_scenarios)); exits 1 \
+          if any scenario fails verification or degrades a live flow.")
+    Term.(const scenarios_run $ Flags.logs $ Flags.target $ json_out)
 
 (* --- explore --- *)
 
 let explore_run () bench seed alpha =
   let case = lookup_bench bench in
-  let config = config_of alpha in
+  let config = { Config.default with Config.alpha } in
   let soc = case.Bench_case.soc in
+  let options = { Synth.Options.default with Synth.Options.seed } in
   let counts =
     if case.Bench_case.name = "d26" then Noc_benchmarks.D26.logical_island_counts
     else [ 1; 2; 3; 4; case.Bench_case.default_vi.Noc_spec.Vi.islands ]
@@ -329,7 +515,7 @@ let explore_run () bench seed alpha =
   List.iter
     (fun k ->
       let describe vi =
-        match Synth.run ~options:(options_of seed) config soc vi with
+        match Synth.run ~options config soc vi with
         | r ->
           let p = Synth.best_power r in
           Printf.sprintf "%7.1f / %5.2f" (Power.dynamic_mw p.DP.power)
@@ -357,16 +543,18 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Sweep island counts and print the Fig. 2 / Fig. 3 series.")
-    Term.(const explore_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+    Term.(
+      const explore_run $ Flags.logs $ Flags.bench $ Flags.seed $ Flags.alpha)
 
 (* --- baseline --- *)
 
 let baseline_run () bench seed alpha =
   let case = lookup_bench bench in
-  let config = config_of alpha in
+  let config = { Config.default with Config.alpha } in
   let soc = case.Bench_case.soc in
-  let vi_result = Synth.run ~options:(options_of seed) config soc case.Bench_case.default_vi in
-  let base_result = Noc_synthesis.Baseline.synthesize ~options:(options_of seed) config soc in
+  let options = { Synth.Options.default with Synth.Options.seed } in
+  let vi_result = Synth.run ~options config soc case.Bench_case.default_vi in
+  let base_result = Noc_synthesis.Baseline.synthesize ~options config soc in
   let comparison =
     Noc_synthesis.Baseline.compare_designs soc
       ~vi_point:(Synth.best_power vi_result)
@@ -380,18 +568,23 @@ let baseline_cmd =
        ~doc:
          "Compare against a VI-oblivious baseline: the paper's 3%-power / \
           0.5%-area overhead numbers.")
-    Term.(const baseline_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+    Term.(
+      const baseline_run $ Flags.logs $ Flags.bench $ Flags.seed
+      $ Flags.alpha)
 
 (* --- leakage --- *)
 
-let leakage_run () bench seed alpha =
-  let case = lookup_bench bench in
-  let config = config_of alpha in
-  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc case.Bench_case.default_vi in
+let leakage_run () target =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   let report =
-    Noc_synthesis.Shutdown.leakage_report config case.Bench_case.soc
-      case.Bench_case.default_vi best ~scenarios:case.Bench_case.scenarios
+    Noc_synthesis.Shutdown.leakage_report config case.Bench_case.soc vi best
+      ~scenarios:case.Bench_case.scenarios
   in
   Format.printf "%a@." Noc_synthesis.Shutdown.pp_report report
 
@@ -399,7 +592,7 @@ let leakage_cmd =
   Cmd.v
     (Cmd.info "leakage"
        ~doc:"Per-scenario leakage savings enabled by island shutdown.")
-    Term.(const leakage_run $ logs_term $ bench_arg $ seed_arg $ alpha_arg)
+    Term.(const leakage_run $ Flags.logs $ Flags.target)
 
 (* --- floorplan --- *)
 
@@ -429,7 +622,7 @@ let floorplan_run () bench seed =
 let floorplan_cmd =
   Cmd.v
     (Cmd.info "floorplan" ~doc:"Place the benchmark's cores (VI-contiguous).")
-    Term.(const floorplan_run $ logs_term $ bench_arg $ seed_arg)
+    Term.(const floorplan_run $ Flags.logs $ Flags.bench $ Flags.seed)
 
 (* --- simulate --- *)
 
@@ -438,7 +631,8 @@ let simulate_run () bench seed load gate poisson =
   let config = Config.default in
   let soc = case.Bench_case.soc in
   let vi = case.Bench_case.default_vi in
-  let result = Synth.run ~options:(options_of seed) config soc vi in
+  let options = { Synth.Options.default with Synth.Options.seed } in
+  let result = Synth.run ~options config soc vi in
   let best = Synth.best_power result in
   let report =
     if gate = [] then
@@ -469,17 +663,20 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Drive the synthesized NoC with the discrete-event simulator.")
     Term.(
-      const simulate_run $ logs_term $ bench_arg $ seed_arg $ load $ gate
-      $ poisson)
+      const simulate_run $ Flags.logs $ Flags.bench $ Flags.seed $ load
+      $ gate $ poisson)
 
 (* --- faultsim --- *)
 
-let faultsim_run () bench spec islands comm seed alpha protect campaign k
-    count json_out =
-  let case = resolve_case bench spec in
-  let config = config_of alpha in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~options:(options_of ~protect seed) config case.Bench_case.soc vi in
+let faultsim_run () target campaign k count json_out =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let seed = target.Flags.t_seed in
+  let protect = target.Flags.t_protect in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   let topo = best.DP.topology in
   let sets =
@@ -530,16 +727,6 @@ let faultsim_run () bench spec islands comm seed alpha protect campaign k
   end
 
 let faultsim_cmd =
-  let protect =
-    Arg.(
-      value & flag
-      & info [ "protect" ]
-          ~doc:
-            "Synthesize with link-disjoint backup routes \
-             ($(b,Synth.Options.protect)) and fail (exit 1) if any flow \
-             protection could have saved is still lost (flows whose own NI \
-             switch died are excluded).")
-  in
   let campaign =
     let parse =
       Arg.enum [ ("switch", `Switch); ("link", `Link); ("random", `Random) ]
@@ -575,20 +762,13 @@ let faultsim_cmd =
        ~doc:
          "Synthesize, then inject fault campaigns (dead switches / dead \
           links) and report how many flows survive via rip-up repair or \
-          backup routes.")
+          backup routes.  With $(b,--protect), fail (exit 1) if any flow \
+          protection could have saved is still lost.")
     Term.(
-      const faultsim_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg $ alpha_arg $ protect $ campaign $ k $ count
+      const faultsim_run $ Flags.logs $ Flags.target $ campaign $ k $ count
       $ json_out)
 
 (* --- serve / request --- *)
-
-let socket_arg =
-  Arg.(
-    required
-    & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH"
-        ~doc:"Unix-domain socket path the daemon listens on.")
 
 let serve_run () socket store max_requests workers queue drain_ms =
   (* The process-wide at_exit --metrics dump only fires when the daemon
@@ -666,43 +846,33 @@ let serve_cmd =
           overload is shed, deadlines cancel, shutdown drains (see \
           docs/FORMAT.md).")
     Term.(
-      const serve_run $ logs_term $ socket_arg $ store $ max_requests
+      const serve_run $ Flags.logs $ Flags.socket $ store $ max_requests
       $ workers $ queue $ drain_ms)
 
-let request_run () socket op bench spec islands comm seed alpha protect
-    delta_file retry deadline_ms retries =
+let request_run () socket op target delta_file retry deadline_ms retries =
   let module J = Noc_exec.Json in
   let fields = ref [] in
   let add key v = fields := (key, v) :: !fields in
   add "op" (J.String op);
-  (match spec with
-  | Some path ->
-    let ic = open_in_bin path in
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    add "spec" (J.String text)
-  | None -> if op = "synth" || op = "rerun" then add "benchmark" (J.String bench));
-  if islands > 0 then add "islands" (J.Int islands);
-  if comm then add "comm" (J.Bool true);
-  if seed <> 0 then add "seed" (J.Int seed);
-  if alpha <> Config.default.Config.alpha then add "alpha" (J.Float alpha);
-  if protect then add "protect" (J.Bool true);
+  let needs_spec = op = "synth" || op = "rerun" || op = "scenarios" in
+  (match target.Flags.t_spec with
+  | Some path -> add "spec" (J.String (read_file path))
+  | None ->
+    if needs_spec then add "benchmark" (J.String target.Flags.t_bench));
+  if target.Flags.t_islands > 0 then
+    add "islands" (J.Int target.Flags.t_islands);
+  if target.Flags.t_comm then add "comm" (J.Bool true);
+  if target.Flags.t_seed <> 0 then add "seed" (J.Int target.Flags.t_seed);
+  if target.Flags.t_alpha <> Config.default.Config.alpha then
+    add "alpha" (J.Float target.Flags.t_alpha);
+  if target.Flags.t_protect then add "protect" (J.Bool true);
   (match deadline_ms with
   | Some ms -> add "deadline_ms" (J.Int ms)
   | None -> ());
   (match delta_file with
   | None -> ()
   | Some path ->
-    let ic = open_in_bin path in
-    let text =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    (match Noc_spec.Delta.list_of_string text with
+    (match Noc_spec.Delta.list_of_string (read_file path) with
     | Error msg ->
       Printf.eprintf "%s: %s\n" path msg;
       exit 2
@@ -725,8 +895,8 @@ let request_cmd =
     let parse =
       Arg.enum
         [
-          ("synth", "synth"); ("rerun", "rerun"); ("metrics", "metrics");
-          ("ping", "ping"); ("shutdown", "shutdown");
+          ("synth", "synth"); ("rerun", "rerun"); ("scenarios", "scenarios");
+          ("metrics", "metrics"); ("ping", "ping"); ("shutdown", "shutdown");
         ]
     in
     Arg.(
@@ -734,46 +904,8 @@ let request_cmd =
       & info [ "op" ] ~docv:"OP"
           ~doc:
             "Request kind: $(b,synth), $(b,rerun) (needs $(b,--delta)), \
-             $(b,metrics), $(b,ping) or $(b,shutdown).")
-  in
-  let protect =
-    Arg.(
-      value & flag
-      & info [ "protect" ]
-          ~doc:"Ask for synthesis with link-disjoint backup routes.")
-  in
-  let delta_file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "d"; "delta" ] ~docv:"FILE"
-          ~doc:"Spec-delta JSON envelope to send with $(b,--op rerun).")
-  in
-  let retry =
-    Arg.(
-      value & opt float 5.0
-      & info [ "retry" ] ~docv:"SECONDS"
-          ~doc:
-            "Keep retrying the connection this long while the daemon is \
-             still starting.")
-  in
-  let deadline_ms =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "deadline-ms" ] ~docv:"MS"
-          ~doc:
-            "Ask the daemon to abandon the request after $(docv) \
-             milliseconds (answered with a $(b,timeout) error document).")
-  in
-  let retries =
-    Arg.(
-      value & opt int 5
-      & info [ "retries" ] ~docv:"N"
-          ~doc:
-            "Retry up to $(docv) times with exponential backoff and jitter \
-             when the daemon answers $(b,overloaded) (honoring its \
-             retry_after_ms hint) or the connection drops mid-request.")
+             $(b,scenarios) (multi-scenario selection over the spec's \
+             scenario set), $(b,metrics), $(b,ping) or $(b,shutdown).")
   in
   Cmd.v
     (Cmd.info "request"
@@ -781,17 +913,19 @@ let request_cmd =
          "Send one request to a running $(b,noc_synth serve) daemon and \
           print the response JSON (exit 1 on an error response).")
     Term.(
-      const request_run $ logs_term $ socket_arg $ op $ bench_arg $ spec_arg
-      $ islands_arg $ comm_arg $ seed_arg $ alpha_arg $ protect $ delta_file
-      $ retry $ deadline_ms $ retries)
+      const request_run $ Flags.logs $ Flags.socket $ op $ Flags.target
+      $ Flags.delta_file_opt $ Flags.retry $ Flags.deadline_ms
+      $ Flags.retries)
 
 (* --- report --- *)
 
-let report_run () bench spec islands comm seed =
-  let case = resolve_case bench spec in
-  let config = Config.default in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
+let report_run () target =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   let report = Noc_synthesis.Report.build case.Bench_case.soc vi best in
   Format.printf "%a@."
@@ -804,17 +938,17 @@ let report_cmd =
        ~doc:
          "Synthesize and print the implementation handoff report: every \
           switch, NI, converter and link with its parameters.")
-    Term.(
-      const report_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg)
+    Term.(const report_run $ Flags.logs $ Flags.target)
 
 (* --- verify --- *)
 
-let verify_run () bench spec islands comm seed alpha =
-  let case = resolve_case bench spec in
-  let config = config_of alpha in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
+let verify_run () target =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   let violations =
     Noc_synthesis.Verify.check config case.Bench_case.soc vi
@@ -830,17 +964,17 @@ let verify_cmd =
          "Synthesize, then re-derive and check every design rule (routes, \
           bandwidth accounting, ports, capacity, latency, timing, shutdown \
           safety) from scratch.")
-    Term.(
-      const verify_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg $ alpha_arg)
+    Term.(const verify_run $ Flags.logs $ Flags.target)
 
 (* --- export --- *)
 
-let export_run () bench spec islands comm seed out =
-  let case = resolve_case bench spec in
-  let config = Config.default in
-  let vi = vi_of_options case ~islands ~comm ~seed in
-  let result = Synth.run ~options:(options_of seed) config case.Bench_case.soc vi in
+let export_run () target out =
+  let case = Flags.case target in
+  let config = Flags.config target in
+  let vi = Flags.vi target case in
+  let result =
+    Synth.run ~options:(Flags.options target) config case.Bench_case.soc vi
+  in
   let best = Synth.best_power result in
   let svg_path = out ^ ".svg" in
   Noc_synthesis.Viz.save_design_svg ~path:svg_path case.Bench_case.soc vi
@@ -878,9 +1012,7 @@ let export_cmd =
        ~doc:
          "Synthesize and export the design: floorplan+NoC SVG, spec bundle, \
           Graphviz topology.")
-    Term.(
-      const export_run $ logs_term $ bench_arg $ spec_arg $ islands_arg
-      $ comm_arg $ seed_arg $ out)
+    Term.(const export_run $ Flags.logs $ Flags.target $ out)
 
 let main_cmd =
   Cmd.group
@@ -889,13 +1021,14 @@ let main_cmd =
          "Application-specific NoC topology synthesis with voltage-island \
           shutdown support (Seiculescu et al., DAC 2009).")
     [
-      list_cmd; synth_cmd; rerun_cmd; explore_cmd; baseline_cmd; leakage_cmd;
-      floorplan_cmd; simulate_cmd; verify_cmd; export_cmd; report_cmd;
-      faultsim_cmd; serve_cmd; request_cmd;
+      list_cmd; synth_cmd; rerun_cmd; scenarios_cmd; explore_cmd;
+      baseline_cmd; leakage_cmd; floorplan_cmd; simulate_cmd; verify_cmd;
+      export_cmd; report_cmd; faultsim_cmd; serve_cmd; request_cmd;
     ]
 
 (* Expected failures become a one-line diagnostic and exit 2; exit 1 stays
-   reserved for [verify]/[faultsim] finding genuine violations. *)
+   reserved for [verify]/[faultsim]/[scenarios] finding genuine
+   violations. *)
 let () =
   match Cmd.eval ~catch:false main_cmd with
   | code -> exit code

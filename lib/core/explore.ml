@@ -56,6 +56,11 @@ let rerun_island_sweep ?(options = Options.default) config soc ~prev ~delta =
           "Explore.rerun_island_sweep: island-level deltas do not apply \
            uniformly across sweep partitions (rerun the one partition with \
            Synth.rerun instead)"
+      | Noc_spec.Delta.Set_scenario_duty _ | Noc_spec.Delta.Set_scenario_cores _
+      | Noc_spec.Delta.Add_scenario _ | Noc_spec.Delta.Remove_scenario _ ->
+        invalid_arg
+          "Explore.rerun_island_sweep: scenario deltas edit the scenario \
+           set, not the spec (apply them with Synth.rerun_scenarios)"
       | Noc_spec.Delta.Set_flow_bandwidth _ | Noc_spec.Delta.Set_flow_latency _
       | Noc_spec.Delta.Add_flow _ | Noc_spec.Delta.Remove_flow _
       | Noc_spec.Delta.Set_core_freq _ -> ())
@@ -85,15 +90,47 @@ let rerun_island_sweep ?(options = Options.default) config soc ~prev ~delta =
       | exception Freq_assign.Infeasible _ -> None)
     prev
 
-let island_sweep_legacy ?(seed = 0) ?domains ?(verify = false) config soc
+(* ---------- multi-scenario partition sweep ---------- *)
+
+type scenario_sweep_point = {
+  sc_label : string;
+  sc_islands : int;
+  sc_vi : Vi.t;
+  sc_result : Synth.scenarios_result;
+}
+
+let scenario_sweep ?(options = Options.default) config soc ~scenarios
     ~partitions =
-  island_sweep
-    ~options:
-      {
-        Options.synth = { Synth.Options.default with seed; domains };
-        verify;
-      }
-    config soc ~partitions
+  Pool.parallel_filter_map ?domains:options.Options.synth.Synth.Options.domains
+    (fun (label, vi) ->
+      match
+        Synth.run_scenarios ~options:options.Options.synth config soc vi
+          ~scenarios
+      with
+      | result ->
+        Some
+          {
+            sc_label = label;
+            sc_islands = vi.Vi.islands;
+            sc_vi = vi;
+            sc_result = result;
+          }
+      | exception Synth.No_feasible_design _ -> None
+      | exception Freq_assign.Infeasible _ -> None)
+    partitions
+
+let best_scenario_sweep points =
+  match points with
+  | [] -> raise (Synth.No_feasible_design "empty scenario sweep")
+  | first :: rest ->
+    List.fold_left
+      (fun acc p ->
+        if
+          p.sc_result.Synth.weighted_power_mw
+          < acc.sc_result.Synth.weighted_power_mw
+        then p
+        else acc)
+      first rest
 
 let dominates a b =
   let pa = Power.total_mw a.Design_point.power
@@ -135,22 +172,10 @@ let pareto points =
     points
 
 let weighted_power config soc vi scenarios point =
-  let report = Shutdown.leakage_report config soc vi point ~scenarios in
-  let duty_total =
-    List.fold_left (fun a s -> a +. s.Noc_spec.Scenario.duty) 0.0 scenarios
-  in
-  let rest = Float.max 0.0 (1.0 -. duty_total) in
-  let full =
-    Noc_spec.Soc_spec.total_core_dynamic_mw soc
-    +. Noc_spec.Soc_spec.total_core_leakage_mw soc
-    +. Power.total_mw point.Design_point.power
-  in
-  List.fold_left
-    (fun acc row ->
-      acc
-      +. (row.Shutdown.scenario.Noc_spec.Scenario.duty
-          *. row.Shutdown.power_with_shutdown_mw))
-    (rest *. full) report.Shutdown.rows
+  (* one definition of the duty-weighted objective, shared with
+     [Synth.run_scenarios]: canonical fold order, residual duty at full
+     power *)
+  Shutdown.weighted_power_mw config soc vi point ~scenarios
 
 let best_scenario_weighted config soc vi ~scenarios result =
   match result.Synth.points with

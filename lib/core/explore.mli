@@ -64,17 +64,32 @@ val rerun_island_sweep :
     [Set_always_on]) — those are relative to one specific partition, not
     to a family of them. *)
 
-val island_sweep_legacy :
-  ?seed:int ->
-  ?domains:int ->
-  ?verify:bool ->
+(** One partition's outcome in a multi-scenario sweep. *)
+type scenario_sweep_point = {
+  sc_label : string;
+  sc_islands : int;
+  sc_vi : Noc_spec.Vi.t;
+  sc_result : Synth.scenarios_result;
+}
+
+val scenario_sweep :
+  ?options:Options.t ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
+  scenarios:Noc_spec.Scenario.t list ->
   partitions:(string * Noc_spec.Vi.t) list ->
-  sweep_point list
-  [@@ocaml.deprecated "use Explore.island_sweep ?options"]
-(** Pre-{!Options} interface; equivalent to [island_sweep ~options:{ synth
-    = { Synth.Options.default with seed; domains }; verify }]. *)
+  scenario_sweep_point list
+(** {!island_sweep} under the multi-scenario objective: one
+    {!Synth.run_scenarios} per named VI assignment, each selecting its
+    duty-weighted-power best point feasible in every scenario.
+    Partitions that are infeasible (no candidate routes the union flows,
+    or no point verifies in all scenarios) are skipped.  Output in
+    [partitions] order for any domain count. *)
+
+val best_scenario_sweep : scenario_sweep_point list -> scenario_sweep_point
+(** The sweep point with the lowest duty-weighted power (input order
+    breaks ties).
+    @raise Synth.No_feasible_design on an empty list. *)
 
 val dominates : Design_point.t -> Design_point.t -> bool
 (** [dominates a b]: [a] is at least as good as [b] on both (total NoC

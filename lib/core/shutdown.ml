@@ -134,6 +134,8 @@ type scenario_row = {
 type report = {
   rows : scenario_row list;
   weighted_savings_fraction : float;
+  weighted_power_mw : float;
+  full_power_mw : float;
 }
 
 let leakage_report config soc vi point ~scenarios =
@@ -198,10 +200,25 @@ let leakage_report config soc vi point ~scenarios =
     }
   in
   let rows = List.map row scenarios in
-  let duty_total = List.fold_left (fun a s -> a +. s.Scenario.duty) 0.0 scenarios in
+  (* The weighted folds run over the canonical (name-sorted) row order:
+     float addition is not associative, so folding in list order would
+     make the totals depend on scenario-list permutation. *)
+  let canonical_rows =
+    List.sort
+      (fun a b ->
+        String.compare a.scenario.Scenario.name b.scenario.Scenario.name)
+      rows
+  in
+  let duty_total =
+    List.fold_left
+      (fun a r -> a +. r.scenario.Scenario.duty)
+      0.0 canonical_rows
+  in
   let rest = Float.max 0.0 (1.0 -. duty_total) in
   let weighted f =
-    List.fold_left (fun acc r -> acc +. (r.scenario.Scenario.duty *. f r)) 0.0 rows
+    List.fold_left
+      (fun acc r -> acc +. (r.scenario.Scenario.duty *. f r))
+      0.0 canonical_rows
     +. (rest *. full_power)
   in
   let avg_without = weighted (fun r -> r.power_without_shutdown_mw) in
@@ -209,7 +226,15 @@ let leakage_report config soc vi point ~scenarios =
   let weighted_savings_fraction =
     if avg_without > 0.0 then (avg_without -. avg_with) /. avg_without else 0.0
   in
-  { rows; weighted_savings_fraction }
+  {
+    rows;
+    weighted_savings_fraction;
+    weighted_power_mw = avg_with;
+    full_power_mw = full_power;
+  }
+
+let weighted_power_mw config soc vi point ~scenarios =
+  (leakage_report config soc vi point ~scenarios).weighted_power_mw
 
 let pp_report ppf report =
   Format.fprintf ppf "@[<v>shutdown leakage analysis:";

@@ -43,6 +43,11 @@ type report = {
   rows : scenario_row list;
   weighted_savings_fraction : float;
       (** duty-weighted over scenarios (remaining duty = all-on operation) *)
+  weighted_power_mw : float;
+      (** duty-weighted system power with shutdown applied — the
+          multi-scenario synthesis objective *)
+  full_power_mw : float;
+      (** everything on: cores dynamic + leakage + NoC dynamic + leakage *)
 }
 
 val leakage_report :
@@ -52,8 +57,23 @@ val leakage_report :
   Design_point.t ->
   scenarios:Noc_spec.Scenario.t list ->
   report
-(** @raise Invalid_argument if duties are inconsistent
+(** [rows] preserve the given scenario order; all duty-weighted totals
+    fold over the canonical (name-sorted) order so a scenario-list
+    permutation yields bit-identical floats.
+    @raise Invalid_argument if duties are inconsistent
     ({!Noc_spec.Scenario.validate_duties}). *)
+
+val weighted_power_mw :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  Design_point.t ->
+  scenarios:Noc_spec.Scenario.t list ->
+  float
+(** [leakage_report ...].weighted_power_mw: the duty-cycle-weighted system
+    power of one design point across the scenario set, with gated islands'
+    leakage removed per scenario and the residual duty charged at full
+    power.  Permutation-invariant (canonical fold order). *)
 
 val island_noc_leakage_mw :
   Config.t -> Noc_spec.Vi.t -> Topology.t -> island:int -> float

@@ -516,13 +516,15 @@ let run ?(options = Options.default) config soc vi =
 
 (* ---------- incremental re-synthesis ---------- *)
 
-let invalidate ?(options = Options.default) ~prev ~delta config soc vi =
-  let o = options in
+(* Evict every cache entry a dirty set marks stale, keyed off the base
+   spec.  Shared by [rerun] (spec delta chains) and [rerun_scenarios]
+   (bundle chains, whose scenario-only edits arrive with a
+   synthesis-clean dirty set and evict nothing). *)
+let evict_dirty ~options:o ~prev config soc vi (dirty : Delta.dirty) =
   Config.validate config;
   if Array.length prev.clocks <> vi.Vi.islands then
     invalid_arg
       "Synth.rerun: prev has a different island count than the base spec";
-  let edited, dirty = Delta.dirty_chain (soc, vi) delta in
   if o.Options.cache then begin
     (* [prev] anchors the invalidation to the base spec: recomputing the
        base clocks (cache hits when warm) and comparing them against the
@@ -557,21 +559,17 @@ let invalidate ?(options = Options.default) ~prev ~delta config soc vi =
       let context = eval_context config soc vi o in
       ignore (Memo.remove_where eval_memo (fun (c, _, _) -> c = context))
     end
-  end;
+  end
+
+let invalidate ?(options = Options.default) ~prev ~delta config soc vi =
+  let edited, dirty = Delta.dirty_chain (soc, vi) delta in
+  evict_dirty ~options ~prev config soc vi dirty;
   edited
 
 let rerun ?(options = Options.default) ~prev ~delta config soc vi =
   Metrics.time "synth.rerun" @@ fun () ->
   let ((soc', vi') as edited) = invalidate ~options ~prev ~delta config soc vi in
   (edited, run ~options config soc' vi')
-
-let run_legacy ?(seed = 0) ?(anneal = true)
-    ?(assignment_strategy = Switch_alloc.Min_cut) ?(protect = false) ?domains
-    config soc vi =
-  run
-    ~options:
-      { Options.default with seed; anneal; assignment_strategy; protect; domains }
-    config soc vi
 
 let pick better result =
   match result.points with
@@ -597,3 +595,178 @@ let best_latency result =
         && Power.total_mw a.Design_point.power < Power.total_mw b.Design_point.power)
   in
   pick better result
+
+(* ---------- multi-scenario synthesis ---------- *)
+
+module Scenario = Noc_spec.Scenario
+
+type scenario_eval = {
+  scenario : Scenario.t;
+  gated : int list;
+  active_flows : int;
+  parked_flows : int;
+  power_mw : float;
+  verified : (unit, Verify.violation list) Stdlib.result;
+}
+
+type scenarios_result = {
+  union : result;
+  best : Design_point.t;
+  weighted_power_mw : float;
+  union_baseline_mw : float;
+  evals : scenario_eval list;
+}
+
+let validate_scenarios soc scenarios =
+  (match Scenario.validate_set scenarios with
+  | Ok () -> ()
+  | Error e ->
+    invalid_arg ("Synth.run_scenarios: " ^ Scenario.error_to_string e));
+  if scenarios = [] then
+    invalid_arg "Synth.run_scenarios: empty scenario set";
+  let cores = Soc_spec.core_count soc in
+  List.iter
+    (fun s ->
+      if Array.length s.Scenario.used_cores <> cores then
+        invalid_arg
+          (Printf.sprintf
+             "Synth.run_scenarios: scenario %s sized for %d cores, spec has %d"
+             s.Scenario.name
+             (Array.length s.Scenario.used_cores)
+             cores))
+    scenarios
+
+(* Full per-scenario verification of one design point: project the
+   topology onto the scenario's flow subset (un-route inactive flows,
+   dropping the links they alone paid for), prune backup routes of
+   inactive flows and backups broken by dropped links, and re-derive
+   every invariant against the projected spec.  The island clocks are
+   the full-spec ones — the hardware keeps running at the speed the
+   union traffic sized it for — so they are passed in rather than
+   re-derived from the subset. *)
+let verify_in_scenario config soc vi ~clocks point scenario =
+  let live = Scenario.flow_active scenario in
+  let live_flows = List.filter live soc.Soc_spec.flows in
+  let topo = Topology.copy point.Design_point.topology in
+  List.iter
+    (fun f -> if not (live f) then ignore (Topology.remove_flow topo f))
+    soc.Soc_spec.flows;
+  let hops_ok route =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (
+        match Topology.find_link topo ~src:a ~dst:b with
+        | Some _ -> go rest
+        | None -> false)
+      | [ _ ] | [] -> true
+    in
+    go route
+  in
+  topo.Topology.backup_routes <-
+    List.filter
+      (fun (f, route) -> live f && hops_ok route)
+      topo.Topology.backup_routes;
+  Topology.clear_journal topo;
+  let soc' = { soc with Soc_spec.flows = live_flows } in
+  Verify.check_all ~clocks config soc' vi topo
+
+let score_scenarios config soc vi ~scenarios union =
+  validate_scenarios soc scenarios;
+  let canon = Scenario.canonical scenarios in
+  let weighted point =
+    Shutdown.weighted_power_mw config soc vi point ~scenarios:canon
+  in
+  let survives_all point =
+    List.for_all
+      (fun s ->
+        Result.is_ok
+          (Shutdown.survives_gating vi point.Design_point.topology
+             ~gated:(Scenario.gated_islands s vi)))
+      canon
+  in
+  (* The cheap filter: the paper's shutdown-safety invariant holds by
+     construction on every sweep point, so this normally keeps the whole
+     sweep; it is the defense-in-depth gate that scenario selection never
+     picks a point some live flow of some scenario cannot survive. *)
+  let scored =
+    List.filter_map
+      (fun p -> if survives_all p then Some (p, weighted p) else None)
+      union.points
+  in
+  let evals_of point =
+    let report = Shutdown.leakage_report config soc vi point ~scenarios:canon in
+    List.map
+      (fun (r : Shutdown.scenario_row) ->
+        let s = r.Shutdown.scenario in
+        let active = List.length (Scenario.active_flows s soc.Soc_spec.flows) in
+        {
+          scenario = s;
+          gated = r.Shutdown.gated;
+          active_flows = active;
+          parked_flows = List.length soc.Soc_spec.flows - active;
+          power_mw = r.Shutdown.power_with_shutdown_mw;
+          verified = verify_in_scenario config soc vi ~clocks:union.clocks point s;
+        })
+      report.Shutdown.rows
+  in
+  (* Deterministic selection: duty-weighted-power argmin (sweep order
+     breaks ties), fully re-verified in every scenario; a winner that
+     fails any scenario's projected verification is excluded and the
+     next-best tried. *)
+  let rec select pool =
+    match pool with
+    | [] ->
+      raise
+        (No_feasible_design
+           (Printf.sprintf
+              "%s: no sweep point verifies in all %d scenarios"
+              soc.Soc_spec.name (List.length canon)))
+    | _ ->
+      let (best, best_w) =
+        match pool with
+        | first :: rest ->
+          List.fold_left
+            (fun ((_, aw) as acc) ((_, w) as cand) ->
+              if w < aw then cand else acc)
+            first rest
+        | [] -> assert false
+      in
+      let evals = evals_of best in
+      if List.for_all (fun e -> Result.is_ok e.verified) evals then
+        (best, best_w, evals)
+      else begin
+        Metrics.incr "synth.scenario_rejected";
+        Log.warn (fun m ->
+            m "scenario-best point fails projected verification; excluded");
+        select (List.filter (fun (p, _) -> p != best) pool)
+      end
+  in
+  let best, weighted_power_mw, evals = select scored in
+  let union_baseline_mw = weighted (best_power union) in
+  { union; best; weighted_power_mw; union_baseline_mw; evals }
+
+let run_scenarios ?(options = Options.default) config soc vi ~scenarios =
+  Metrics.time "synth.scenarios" @@ fun () ->
+  validate_scenarios soc scenarios;
+  let union = run ~options config soc vi in
+  score_scenarios config soc vi ~scenarios union
+
+let rerun_scenarios ?(options = Options.default) ~prev ~delta config soc vi
+    ~scenarios =
+  Metrics.time "synth.rerun_scenarios" @@ fun () ->
+  let ((soc', vi', scenarios') as edited), dirty =
+    Delta.dirty_chain_bundle (soc, vi, scenarios) delta
+  in
+  let union =
+    if Delta.synthesis_clean dirty then begin
+      (* Scenario-weight/membership edits (and always-on / core-frequency
+         toggles) leave the union sweep bit-identical: reuse it verbatim
+         and only re-run the duty-weighted scoring pass. *)
+      Metrics.incr "synth.scenario_rescore";
+      prev.union
+    end
+    else begin
+      evict_dirty ~options ~prev:prev.union config soc vi dirty;
+      run ~options config soc' vi'
+    end
+  in
+  (edited, score_scenarios config soc' vi' ~scenarios:scenarios' union)

@@ -132,21 +132,100 @@ val invalidate :
     [cache.partition.evictions], [cache.eval.evictions]) are the
     specification of "exactly the affected entries". *)
 
-val run_legacy :
-  ?seed:int ->
-  ?anneal:bool ->
-  ?assignment_strategy:Switch_alloc.strategy ->
-  ?protect:bool ->
-  ?domains:int ->
+(** {2 Multi-scenario synthesis}
+
+    One topology across usage modes (ROADMAP item 3): the union spec's
+    flows are routed once, and the sweep's feasible points are then
+    judged against a {!Noc_spec.Scenario} set — each scenario gating its
+    dead islands off — selecting by duty-cycle-weighted system power
+    instead of raw NoC power. *)
+
+(** One scenario's report on the selected design point. *)
+type scenario_eval = {
+  scenario : Noc_spec.Scenario.t;
+  gated : int list;  (** islands gated off in this scenario *)
+  active_flows : int;  (** flows with both endpoints used *)
+  parked_flows : int;
+      (** flows terminating in an unused core: off by design in this
+          scenario, not degradation *)
+  power_mw : float;
+      (** system power in this scenario with shutdown applied
+          ([Shutdown.leakage_report]'s [power_with_shutdown_mw]) *)
+  verified : (unit, Verify.violation list) Stdlib.result;
+      (** full {!Verify.check_all} of the topology projected onto this
+          scenario's flow subset (inactive flows un-routed, their
+          exclusive links dropped, stale backups pruned), against the
+          full-spec island clocks *)
+}
+
+type scenarios_result = {
+  union : result;  (** the underlying union-spec sweep *)
+  best : Design_point.t;
+      (** duty-weighted-power argmin over the sweep points feasible in
+          every scenario (sweep order breaks ties) *)
+  weighted_power_mw : float;  (** [best]'s duty-weighted system power *)
+  union_baseline_mw : float;
+      (** duty-weighted system power of the naive choice — the union
+          sweep's {!best_power} point.  [weighted_power_mw <=
+          union_baseline_mw] always: the argmin ranges over a set
+          containing that point (unless it fails scenario verification,
+          in which case it was never a valid baseline). *)
+  evals : scenario_eval list;  (** canonical (name-sorted) order *)
+}
+
+val run_scenarios :
+  ?options:Options.t ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
-  result
-  [@@ocaml.deprecated
-    "use Synth.run ?options — e.g. run ~options:{ Options.default with seed }"]
-(** Pre-{!Options} interface, kept for one release so downstream callers
-    migrate at leisure.  Equivalent to [run ~options:{ Options.default
-    with seed; anneal; assignment_strategy; protect; domains }]. *)
+  scenarios:Noc_spec.Scenario.t list ->
+  scenarios_result
+(** Multi-scenario synthesis: {!run} on the union spec, then scenario
+    scoring/selection ({!score_scenarios}).  Deterministic exactly like
+    {!run} — and additionally invariant under scenario-list permutation,
+    because every duty-weighted float fold runs in canonical
+    (name-sorted) scenario order.  Scenario membership and duty cycles
+    are deliberately absent from every synthesis memo key, so the union
+    sweep's caches stay warm across scenario edits.
+    @raise Invalid_argument on an invalid scenario set (typed
+    {!Noc_spec.Scenario.error} rendered in the message), an empty set,
+    or a scenario sized for a different core count.
+    @raise No_feasible_design if no candidate routes the union flows, or
+    no sweep point verifies in every scenario. *)
+
+val score_scenarios :
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  scenarios:Noc_spec.Scenario.t list ->
+  result ->
+  scenarios_result
+(** The pure scoring/selection half of {!run_scenarios}, applied to an
+    existing union sweep result (the serve daemon's warm path re-scores
+    a stored sweep under a new scenario set without re-synthesizing).
+    Selection: filter points surviving every scenario's gating
+    ({!Shutdown.survives_gating}), take the duty-weighted-power argmin,
+    fully re-verify it per scenario, and on any verification failure
+    exclude it and repeat. *)
+
+val rerun_scenarios :
+  ?options:Options.t ->
+  prev:scenarios_result ->
+  delta:Noc_spec.Delta.t list ->
+  Config.t ->
+  Noc_spec.Soc_spec.t ->
+  Noc_spec.Vi.t ->
+  scenarios:Noc_spec.Scenario.t list ->
+  (Noc_spec.Soc_spec.t * Noc_spec.Vi.t * Noc_spec.Scenario.t list)
+  * scenarios_result
+(** {!rerun} generalized to scenario bundles.  The delta chain may mix
+    spec edits and scenario edits ({!Noc_spec.Delta.apply_bundle}).  A
+    chain whose dirty set is synthesis-clean — scenario weight or
+    membership edits, always-on toggles, core frequency changes — reuses
+    [prev.union] verbatim and only re-runs the scoring pass (metric
+    [synth.scenario_rescore]); a synthesis-dirty chain evicts exactly
+    the stale cache entries and re-sweeps.  Bit-identical to a fresh
+    {!run_scenarios} on the edited bundle either way. *)
 
 val best_power : result -> Design_point.t
 (** Feasible point with the lowest total NoC power (the paper's headline

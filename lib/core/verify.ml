@@ -106,8 +106,12 @@ let check_bandwidth topo push =
              }))
     (Topology.links_list topo)
 
-let check_resources config soc vi topo push =
-  let clocks = Freq_assign.assign config soc vi in
+let check_resources ?clocks config soc vi topo push =
+  let clocks =
+    match clocks with
+    | Some clocks -> clocks
+    | None -> Freq_assign.assign config soc vi
+  in
   let inter = lazy (Freq_assign.intermediate_clock config clocks) in
   let clock_of sw =
     match topo.Topology.switches.(sw).Topology.location with
@@ -271,20 +275,20 @@ let check_backups ~require_backups config vi topo push =
       topo.Topology.routes
   end
 
-let check ?(require_backups = false) config soc vi topo =
+let check ?(require_backups = false) ?clocks config soc vi topo =
   Config.validate config;
   let violations = ref [] in
   let push v = violations := v :: !violations in
   check_routes soc topo push;
   check_bandwidth topo push;
-  check_resources config soc vi topo push;
+  check_resources ?clocks config soc vi topo push;
   check_latency topo push;
   check_shutdown vi topo push;
   check_backups ~require_backups config vi topo push;
   List.rev !violations
 
-let check_all ?require_backups config soc vi topo =
-  match check ?require_backups config soc vi topo with
+let check_all ?require_backups ?clocks config soc vi topo =
+  match check ?require_backups ?clocks config soc vi topo with
   | [] -> Ok ()
   | violations -> Error violations
 

@@ -34,6 +34,7 @@ type violation =
 
 val check :
   ?require_backups:bool ->
+  ?clocks:Freq_assign.island_clock array ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->
@@ -41,7 +42,11 @@ val check :
   violation list
 (** All violations, deterministically ordered.  An empty list means the
     design is clean.  Island clocks are re-derived from the spec via
-    {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}).
+    {!Freq_assign.assign} (and {!Freq_assign.intermediate_clock}) unless
+    [clocks] supplies them — pass the full-spec clocks when verifying a
+    topology against a {e projected} spec (a scenario's flow subset),
+    where re-deriving from the subset would under-clock islands the
+    hardware actually runs at full-spec speed.
 
     Committed backup routes are always re-checked against the primary
     rules they must share — real links, the flow's NI endpoints, the
@@ -53,6 +58,7 @@ val check :
 
 val check_all :
   ?require_backups:bool ->
+  ?clocks:Freq_assign.island_clock array ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Noc_spec.Vi.t ->

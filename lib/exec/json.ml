@@ -9,7 +9,7 @@ type t =
 
 and t_string = string
 
-let schema_version = 1
+let schema_version = 2
 
 let document ~kind fields =
   Obj (("schema", String kind) :: ("schema_version", Int schema_version) :: fields)

@@ -21,7 +21,10 @@ and t_string = string
 
 val schema_version : int
 (** Version of the shared report envelope, bumped on breaking changes to
-    any emitted schema.  Currently [1]. *)
+    any emitted schema.  Currently [2]: version 2 adds the scenario
+    request envelope (serve op ["scenarios"]) and the scenario delta
+    kinds; consumers accepting [v <= schema_version] keep reading
+    version-1 documents unchanged. *)
 
 val document : kind:string -> (string * t) list -> t
 (** [document ~kind fields] is [Obj] with the standard header prepended:

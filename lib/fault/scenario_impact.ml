@@ -1,0 +1,65 @@
+module Scenario = Noc_spec.Scenario
+module Vi = Noc_spec.Vi
+module Topology = Noc_synthesis.Topology
+
+type t = {
+  scenario : Scenario.t;
+  gated : int list;
+  faults : Fault_model.fault list;
+  outcome : Survivability.outcome;
+  parked : int;
+  degraded : int;
+}
+
+let faults_of_gated topo ~gated =
+  let gated_set = Hashtbl.create 8 in
+  List.iter (fun isl -> Hashtbl.replace gated_set isl ()) gated;
+  let dead = ref [] in
+  Array.iter
+    (fun sw ->
+      match sw.Topology.location with
+      | Topology.Intermediate -> ()
+      | Topology.Island isl ->
+        if Hashtbl.mem gated_set isl then
+          dead := Fault_model.Dead_switch sw.Topology.sw_id :: !dead)
+    topo.Topology.switches;
+  List.rev !dead
+
+let analyze ?options config vi topo ~clocks ~scenarios =
+  let canon = Scenario.canonical scenarios in
+  let per_scenario =
+    List.map (fun s -> (s, Scenario.gated_islands s vi)) canon
+  in
+  let fault_sets =
+    List.map (fun (_, gated) -> faults_of_gated topo ~gated) per_scenario
+  in
+  let outcomes = Survivability.run ?options config topo ~clocks fault_sets in
+  List.map2
+    (fun (scenario, gated) (outcome : Survivability.outcome) ->
+      {
+        scenario;
+        gated;
+        faults = outcome.Survivability.faults;
+        outcome;
+        parked = outcome.Survivability.endpoint_lost;
+        degraded = outcome.Survivability.lost - outcome.Survivability.endpoint_lost;
+      })
+    per_scenario outcomes
+
+let all_clean impacts = List.for_all (fun i -> i.degraded = 0) impacts
+
+let pp ppf impacts =
+  Format.fprintf ppf "@[<v>per-scenario shutdown impact:";
+  List.iter
+    (fun i ->
+      Format.fprintf ppf
+        "@,  %-16s gated [%a]  %d unaffected, %d rerouted, %d parked, %d \
+         degraded"
+        i.scenario.Scenario.name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        i.gated i.outcome.Survivability.unaffected
+        i.outcome.Survivability.repaired i.parked i.degraded)
+    impacts;
+  Format.fprintf ppf "@]"

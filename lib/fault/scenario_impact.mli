@@ -1,0 +1,50 @@
+(** Per-scenario degraded contracts via the survivability analyzer.
+
+    A usage scenario that gates a set of islands off is, from the NoC's
+    point of view, a fault set: every switch of every gated island is
+    dead.  Feeding those fault sets to {!Survivability.analyze} turns
+    the scenario into an explicit contract — which flows are {e parked}
+    (they terminate in a gated island: off by design, the analyzer's
+    [endpoint_lost]) and which, if any, are {e degraded} (lost between
+    two live islands — impossible on a topology that satisfies the
+    paper's shutdown-safety invariant, so a nonzero count is a red
+    flag, not a trade-off). *)
+
+type t = {
+  scenario : Noc_spec.Scenario.t;
+  gated : int list;  (** islands gated off in this scenario *)
+  faults : Fault_model.fault list;
+      (** the equivalent fault set: one [Dead_switch] per switch of a
+          gated island *)
+  outcome : Survivability.outcome;
+      (** the full analyzer verdict (per-flow outcomes, repaired
+          survivor topology) *)
+  parked : int;
+      (** flows off by design: lost only because their own endpoint
+          island is gated *)
+  degraded : int;
+      (** flows between live islands the gating actually broke; [0] on
+          any shutdown-safe topology *)
+}
+
+val faults_of_gated :
+  Noc_synthesis.Topology.t -> gated:int list -> Fault_model.fault list
+(** Every switch located in a gated island, as a [Dead_switch] list in
+    increasing switch-id order. *)
+
+val analyze :
+  ?options:Survivability.Options.t ->
+  Noc_synthesis.Config.t ->
+  Noc_spec.Vi.t ->
+  Noc_synthesis.Topology.t ->
+  clocks:Noc_synthesis.Freq_assign.island_clock array ->
+  scenarios:Noc_spec.Scenario.t list ->
+  t list
+(** One impact report per scenario, in canonical (name-sorted) order,
+    parallelized like a fault campaign ({!Survivability.run}).  Pure
+    with respect to [topo]. *)
+
+val all_clean : t list -> bool
+(** No scenario degrades any live flow. *)
+
+val pp : Format.formatter -> t list -> unit

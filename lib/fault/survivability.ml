@@ -162,9 +162,6 @@ let run ?(options = Options.default) config topo ~clocks fault_sets =
     (analyze config topo ~clocks)
     fault_sets
 
-let run_legacy ?domains config topo ~clocks fault_sets =
-  run ~options:{ Options.domains } config topo ~clocks fault_sets
-
 type summary = {
   fault_sets : int;
   total_unaffected : int;

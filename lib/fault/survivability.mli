@@ -73,17 +73,6 @@ val run :
     [options.domains] ({!Noc_exec.Pool.parallel_map} semantics:
     order-preserving, byte-identical results for any domain count). *)
 
-val run_legacy :
-  ?domains:int ->
-  Noc_synthesis.Config.t ->
-  Noc_synthesis.Topology.t ->
-  clocks:Noc_synthesis.Freq_assign.island_clock array ->
-  Fault_model.fault list list ->
-  outcome list
-  [@@ocaml.deprecated "use Survivability.run ?options"]
-(** Pre-{!Options} interface; equivalent to
-    [run ~options:{ Options.domains }]. *)
-
 type summary = {
   fault_sets : int;
   total_unaffected : int;

@@ -10,6 +10,7 @@ module DP = Noc_synthesis.Design_point
 module Power = Noc_models.Power
 module Delta = Noc_spec.Delta
 module Spec_io = Noc_spec.Spec_io
+module Scenario = Noc_spec.Scenario
 module Vi = Noc_spec.Vi
 module Soc_spec = Noc_spec.Soc_spec
 module Bench_case = Noc_benchmarks.Bench_case
@@ -234,7 +235,23 @@ let resolve_case ~scratch request =
         "logical partitionings at custom island counts exist only for d26; \
          set \"comm\": true"
   in
-  (case.Bench_case.soc, vi)
+  (case.Bench_case.soc, vi, case.Bench_case.scenarios)
+
+(* The scenario set a scenario request runs under: an explicit
+   ["scenarios"] list in the request wins; otherwise the spec's (or
+   benchmark's) declared set. *)
+let request_scenarios ~cores ~default request =
+  match field "scenarios" request with
+  | None -> default
+  | Some (Json.List items) ->
+    List.mapi
+      (fun i item ->
+        match Scenario.of_json ~cores item with
+        | Ok s -> s
+        | Error e ->
+          bad_request "scenarios[%d]: %s" i (Scenario.error_to_string e))
+      items
+  | Some _ -> bad_request "field \"scenarios\" must be a list"
 
 let request_options (base : Synth.Options.t) request =
   {
@@ -263,6 +280,17 @@ let request_key config (o : Synth.Options.t) soc vi =
          o.Synth.Options.assignment_strategy,
          o.Synth.Options.protect,
          o.Synth.Options.prune ))
+
+(* A scenario request's key extends the union key with the scenario-set
+   digest (Scenario.digest: canonical order, exact duty bits).  The
+   stored artifact is the scenario-independent union sweep, so the
+   scenario key is an alias of the plain key — but keying on the digest
+   means a repeat of the same (spec, scenario set) pair warm-hits in one
+   lookup, and a scenario edit naturally misses to the plain-key alias
+   path instead of evicting anything. *)
+let scenario_request_key config (o : Synth.Options.t) soc vi scenarios =
+  Digest.to_hex
+    (Memo.digest (request_key config o soc vi, Scenario.digest scenarios))
 
 (* ---------- responses ---------- *)
 
@@ -436,7 +464,7 @@ let answer_spec state ~config ~options soc vi =
     (key, "computed", r)
 
 let op_synth state ~scratch request =
-  let soc, vi = resolve_case ~scratch request in
+  let soc, vi, _scenarios = resolve_case ~scratch request in
   let options = request_options state.config.options request in
   let config = request_config state.config.synth_config request in
   with_cancellation state request (fun token ->
@@ -457,8 +485,13 @@ let deltas_of request =
   | None -> bad_request "rerun request needs a \"deltas\" field"
 
 let op_rerun state ~scratch request =
-  let soc, vi = resolve_case ~scratch request in
+  let soc, vi, _scenarios = resolve_case ~scratch request in
   let delta = deltas_of request in
+  if List.exists Delta.is_scenario_delta delta then
+    bad_request
+      "scenario deltas edit the scenario set, not the spec; apply them \
+       client-side and resend the edited set to op \"scenarios\" (the union \
+       sweep stays cached)";
   let options = request_options state.config.options request in
   let config = request_config state.config.synth_config request in
   with_cancellation state request @@ fun token ->
@@ -519,6 +552,84 @@ let op_rerun state ~scratch request =
       respond (result_fields ~key:edited_key ~source:"computed" r)
   end
 
+(* ---------- the scenarios op (schema_version 2) ---------- *)
+
+let scenario_eval_json (e : Synth.scenario_eval) =
+  Json.Obj
+    [
+      ("name", Json.String e.Synth.scenario.Scenario.name);
+      ("duty", Json.Float e.Synth.scenario.Scenario.duty);
+      ( "gated_islands",
+        Json.List (List.map (fun i -> Json.Int i) e.Synth.gated) );
+      ("active_flows", Json.Int e.Synth.active_flows);
+      ("parked_flows", Json.Int e.Synth.parked_flows);
+      ("power_mw", Json.Float e.Synth.power_mw);
+      ("feasible", Json.Bool (Result.is_ok e.Synth.verified));
+    ]
+
+(* Multi-scenario synthesis as a service.  The expensive artifact — the
+   union sweep — is exactly what op [synth] computes and stores, so the
+   cache ladder has three rungs: the scenario-digest key (a repeat of
+   this very request), the plain union key (same spec, different or
+   first scenario set — aliased under the scenario key on the way out),
+   and the cold path.  Scoring/selection (Synth.score_scenarios) is pure
+   and re-runs on every answer: per-scenario verification of one point,
+   milliseconds against the sweep's seconds, and never stored. *)
+let op_scenarios state ~scratch request =
+  let soc, vi, default_scenarios = resolve_case ~scratch request in
+  let scenarios =
+    request_scenarios ~cores:(Soc_spec.core_count soc)
+      ~default:default_scenarios request
+  in
+  if scenarios = [] then
+    bad_request
+      "scenario request needs a \"scenarios\" list (or a \"spec\"/benchmark \
+       that declares scenarios)";
+  let options = request_options state.config.options request in
+  let config = request_config state.config.synth_config request in
+  with_cancellation state request @@ fun token ->
+  let options = { options with Synth.Options.cancel = token } in
+  let union_key = request_key config options soc vi in
+  let key = scenario_request_key config options soc vi scenarios in
+  let source, union =
+    match cached state key with
+    | Some (source, r) ->
+      count_answer source;
+      (source, r)
+    | None ->
+      (match cached state union_key with
+      | Some (source, r) ->
+        Metrics.incr "serve.alias_answers";
+        count_answer source;
+        store_add state key r;
+        remember state key r;
+        (source, r)
+      | None ->
+        count_answer "computed";
+        let r = Synth.run ~options config soc vi in
+        store_add state union_key r;
+        remember state union_key r;
+        store_add state key r;
+        remember state key r;
+        ("computed", r))
+  in
+  let sr = Synth.score_scenarios config soc vi ~scenarios union in
+  respond
+    (result_fields ~key ~source union
+    @ [
+        ("scenario_digest", Json.String (Scenario.digest scenarios));
+        ("scenarios", Json.Int (List.length sr.Synth.evals));
+        ( "all_feasible",
+          Json.Bool
+            (List.for_all
+               (fun (e : Synth.scenario_eval) -> Result.is_ok e.Synth.verified)
+               sr.Synth.evals) );
+        ("best_scenario_point", point_json sr.Synth.best);
+        ("weighted_power_mw", Json.Float sr.Synth.weighted_power_mw);
+        ("union_baseline_mw", Json.Float sr.Synth.union_baseline_mw);
+        ("evals", Json.List (List.map scenario_eval_json sr.Synth.evals));
+      ])
+
 let op_metrics state =
   let metrics =
     match Json.of_string (Metrics.to_json ()) with
@@ -566,6 +677,7 @@ let handle_request state ~scratch request =
       | Some "metrics" -> (op_metrics state, `Continue)
       | Some "synth" -> (op_synth state ~scratch request, `Continue)
       | Some "rerun" -> (op_rerun state ~scratch request, `Continue)
+      | Some "scenarios" -> (op_scenarios state ~scratch request, `Continue)
       | Some "shutdown" ->
         ( respond
             [ ("status", Json.String "ok"); ("stopping", Json.Bool true) ],

@@ -58,7 +58,28 @@
     verbatim under the edited spec's key, and a dirty chain evicts
     exactly the superseded base entry from the store, evicts the stale
     in-memory memo entries via {!Noc_synthesis.Synth.rerun}, and
-    re-synthesizes incrementally. *)
+    re-synthesizes incrementally.  Scenario deltas are rejected with a
+    pointer to [scenarios]: they edit the scenario set, not the spec.
+
+    {2 Scenario requests (schema_version 2)}
+
+    A [scenarios] request (envelope version 2, docs/FORMAT.md) runs
+    multi-scenario selection: the union sweep is computed (or served
+    warm) exactly as for [synth], then scored with
+    {!Noc_synthesis.Synth.score_scenarios} against the request's
+    scenario set — an explicit ["scenarios"] list of
+    [{"name", "duty", "used_cores"}] objects, or the spec's/benchmark's
+    declared set.  The store keys scenario answers on the request key
+    extended with {!Noc_spec.Scenario.digest}, aliasing the
+    scenario-independent union artifact under the scenario key: a
+    repeat of the same (spec, scenario set) hits in one lookup, and a
+    scenario-set edit falls back to the plain union key without
+    recomputing or evicting anything.  The response adds the selection
+    verdict to the usual sweep fields: [best_scenario_point],
+    [weighted_power_mw], [union_baseline_mw], [scenario_digest],
+    [all_feasible] and one [evals] entry per scenario (canonical
+    name-sorted order) with its gated islands, active/parked flow
+    counts, system power and per-scenario verification verdict. *)
 
 module Json = Noc_exec.Json
 

@@ -8,6 +8,10 @@ type t =
   | Move_core of { core : int; island : int }
   | Set_always_on of { island : int; always_on : bool }
   | Set_core_freq of { core : int; freq_mhz : float }
+  | Set_scenario_duty of { scenario : string; duty : float }
+  | Set_scenario_cores of { scenario : string; used : int list }
+  | Add_scenario of { name : string; duty : float; used : int list }
+  | Remove_scenario of { scenario : string }
 
 let pp ppf = function
   | Set_flow_bandwidth { src; dst; bandwidth_mbps } ->
@@ -24,6 +28,30 @@ let pp ppf = function
       (if always_on then "always-on" else "shutdownable")
   | Set_core_freq { core; freq_mhz } ->
     Format.fprintf ppf "core %d freq := %g MHz" core freq_mhz
+  | Set_scenario_duty { scenario; duty } ->
+    Format.fprintf ppf "scenario %s duty := %g" scenario duty
+  | Set_scenario_cores { scenario; used } ->
+    Format.fprintf ppf "scenario %s cores := %a" scenario
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      used
+  | Add_scenario { name; duty; used } ->
+    Format.fprintf ppf "add scenario %s (duty %g) cores %a" name duty
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      used
+  | Remove_scenario { scenario } ->
+    Format.fprintf ppf "remove scenario %s" scenario
+
+let is_scenario_delta = function
+  | Set_scenario_duty _ | Set_scenario_cores _ | Add_scenario _
+  | Remove_scenario _ ->
+    true
+  | Set_flow_bandwidth _ | Set_flow_latency _ | Add_flow _ | Remove_flow _
+  | Move_core _ | Set_always_on _ | Set_core_freq _ ->
+    false
 
 (* ---------- application ---------- *)
 
@@ -117,8 +145,85 @@ let apply (soc, vi) delta =
         soc.Soc_spec.cores
     in
     (with_cores soc cores, vi)
+  | (Set_scenario_duty _ | Set_scenario_cores _ | Add_scenario _
+    | Remove_scenario _) as d ->
+    invalid "Delta.apply: %s edits the scenario set; use apply_bundle"
+      (Format.asprintf "%a" pp d)
 
 let apply_all base deltas = List.fold_left apply base deltas
+
+(* Scenario edits operate on the (soc, vi, scenarios) bundle: the SoC
+   fixes the core count a scenario's used-core list is validated against,
+   and the whole edited set is re-validated (duplicate names, duty sum)
+   after each delta, so a chain can never produce an invalid set. *)
+let apply_bundle (soc, vi, scenarios) delta =
+  let cores = Soc_spec.core_count soc in
+  let fail what e =
+    invalid "Delta.apply_bundle: %s: %s" what (Scenario.error_to_string e)
+  in
+  let find_scenario name what =
+    if
+      not
+        (List.exists (fun s -> String.equal s.Scenario.name name) scenarios)
+    then invalid "Delta.apply_bundle: %s: no scenario %S in set" what name
+  in
+  let checked ~name ~used ~duty what =
+    match Scenario.make_checked ~name ~used ~cores ~duty with
+    | Ok s -> s
+    | Error e -> fail what e
+  in
+  let validated scenarios' what =
+    match Scenario.validate_set scenarios' with
+    | Ok () -> scenarios'
+    | Error e -> fail what e
+  in
+  match delta with
+  | Set_scenario_duty { scenario; duty } ->
+    find_scenario scenario "set_scenario_duty";
+    let scenarios' =
+      List.map
+        (fun s ->
+          if String.equal s.Scenario.name scenario then
+            checked ~name:s.Scenario.name ~used:(Scenario.used_list s) ~duty
+              "set_scenario_duty"
+          else s)
+        scenarios
+    in
+    (soc, vi, validated scenarios' "set_scenario_duty")
+  | Set_scenario_cores { scenario; used } ->
+    find_scenario scenario "set_scenario_cores";
+    let scenarios' =
+      List.map
+        (fun s ->
+          if String.equal s.Scenario.name scenario then
+            checked ~name:s.Scenario.name ~used ~duty:s.Scenario.duty
+              "set_scenario_cores"
+          else s)
+        scenarios
+    in
+    (soc, vi, validated scenarios' "set_scenario_cores")
+  | Add_scenario { name; duty; used } ->
+    if List.exists (fun s -> String.equal s.Scenario.name name) scenarios then
+      invalid "Delta.apply_bundle: add_scenario: scenario %S already in set"
+        name;
+    (* appended at the end: deterministic, and scenario-list order never
+       affects results (all weighted folds are canonical) *)
+    let scenarios' = scenarios @ [ checked ~name ~used ~duty "add_scenario" ] in
+    (soc, vi, validated scenarios' "add_scenario")
+  | Remove_scenario { scenario } ->
+    find_scenario scenario "remove_scenario";
+    let scenarios' =
+      List.filter
+        (fun s -> not (String.equal s.Scenario.name scenario))
+        scenarios
+    in
+    (soc, vi, scenarios')
+  | Set_flow_bandwidth _ | Set_flow_latency _ | Add_flow _ | Remove_flow _
+  | Move_core _ | Set_always_on _ | Set_core_freq _ ->
+    let soc', vi' = apply (soc, vi) delta in
+    (soc', vi', scenarios)
+
+let apply_bundle_all base deltas = List.fold_left apply_bundle base deltas
 
 (* ---------- dirty sets ---------- *)
 
@@ -128,6 +233,7 @@ type dirty = {
   all_partitions : bool;
   plan : bool;
   evals : bool;
+  scenarios : bool;
 }
 
 let clean =
@@ -137,6 +243,7 @@ let clean =
     all_partitions = false;
     plan = false;
     evals = false;
+    scenarios = false;
   }
 
 let union a b =
@@ -147,7 +254,10 @@ let union a b =
     all_partitions = a.all_partitions || b.all_partitions;
     plan = a.plan || b.plan;
     evals = a.evals || b.evals;
+    scenarios = a.scenarios || b.scenarios;
   }
+
+let synthesis_clean d = { d with scenarios = false } = clean
 
 (* Definition-1 edge weights normalize by the global flow extrema, so a
    flow edit that moves max_bw or min_lat re-weights every island's VCG,
@@ -176,6 +286,7 @@ let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
   match delta with
   | Set_flow_bandwidth { src; dst; _ } ->
     {
+      clean with
       clock_islands = endpoint_islands src dst;
       partition_islands = intra src dst;
       all_partitions = globals_changed soc soc';
@@ -186,14 +297,14 @@ let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
     (* latency never enters clocking (hottest-bandwidth only) or the
        floorplan (bandwidth-weighted wirelength only) *)
     {
-      clock_islands = [];
+      clean with
       partition_islands = intra src dst;
       all_partitions = globals_changed soc soc';
-      plan = false;
       evals = true;
     }
   | Add_flow f ->
     {
+      clean with
       clock_islands = endpoint_islands f.Flow.src f.Flow.dst;
       partition_islands = intra f.Flow.src f.Flow.dst;
       all_partitions = globals_changed soc soc';
@@ -202,6 +313,7 @@ let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
     }
   | Remove_flow { src; dst } ->
     {
+      clean with
       clock_islands = endpoint_islands src dst;
       partition_islands = intra src dst;
       all_partitions = globals_changed soc soc';
@@ -211,9 +323,9 @@ let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
   | Move_core { core; island } ->
     let islands = List.sort_uniq compare [ vi.Vi.of_core.(core); island ] in
     {
+      clean with
       clock_islands = islands;
       partition_islands = islands;
-      all_partitions = false;
       plan = true;
       evals = true;
     }
@@ -224,6 +336,13 @@ let dirty_between ~before:(soc, vi) ~after:(soc', _vi') delta =
        The whole synthesis pipeline stays clean — which is what makes
        these edits ~free to re-run. *)
     clean
+  | Set_scenario_duty _ | Set_scenario_cores _ | Add_scenario _
+  | Remove_scenario _ ->
+    (* scenario membership and weights are deliberately outside every
+       synthesis projection digest (see [Synth.eval_context]): editing
+       them leaves the union sweep bit-identical and only the
+       duty-weighted scoring pass must re-run *)
+    { clean with scenarios = true }
 
 let dirty_chain base deltas =
   List.fold_left
@@ -233,6 +352,18 @@ let dirty_chain base deltas =
     (base, clean) deltas
 
 let dirty_of base delta = snd (dirty_chain base [ delta ])
+
+let dirty_between_bundle ~before:(soc, vi, _) ~after:(soc', vi', _) delta =
+  if is_scenario_delta delta then { clean with scenarios = true }
+  else dirty_between ~before:(soc, vi) ~after:(soc', vi') delta
+
+let dirty_chain_bundle base deltas =
+  List.fold_left
+    (fun (state, acc) delta ->
+      let state' = apply_bundle state delta in
+      ( state',
+        union acc (dirty_between_bundle ~before:state ~after:state' delta) ))
+    (base, clean) deltas
 
 (* ---------- JSON ---------- *)
 
@@ -273,6 +404,24 @@ let to_json delta =
   | Set_core_freq { core; freq_mhz } ->
     obj "set_core_freq"
       [ ("core", Json.Int core); ("freq_mhz", Json.Float freq_mhz) ]
+  | Set_scenario_duty { scenario; duty } ->
+    obj "set_scenario_duty"
+      [ ("scenario", Json.String scenario); ("duty", Json.Float duty) ]
+  | Set_scenario_cores { scenario; used } ->
+    obj "set_scenario_cores"
+      [
+        ("scenario", Json.String scenario);
+        ("used_cores", Json.List (List.map (fun c -> Json.Int c) used));
+      ]
+  | Add_scenario { name; duty; used } ->
+    obj "add_scenario"
+      [
+        ("name", Json.String name);
+        ("duty", Json.Float duty);
+        ("used_cores", Json.List (List.map (fun c -> Json.Int c) used));
+      ]
+  | Remove_scenario { scenario } ->
+    obj "remove_scenario" [ ("scenario", Json.String scenario) ]
 
 let list_to_string deltas =
   Json.to_string
@@ -298,6 +447,25 @@ let get_bool json field =
   match Json.member field json with
   | Some (Json.Bool b) -> Ok b
   | Some _ -> Error (Printf.sprintf "field %S must be a boolean" field)
+  | None -> Error (Printf.sprintf "missing field %S" field)
+
+let get_string json field =
+  match Json.member field json with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" field)
+  | None -> Error (Printf.sprintf "missing field %S" field)
+
+let get_int_list json field =
+  match Json.member field json with
+  | Some (Json.List items) ->
+    let rec ints acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Int i :: rest -> ints (i :: acc) rest
+      | _ ->
+        Error (Printf.sprintf "field %S must be a list of integers" field)
+    in
+    ints [] items
+  | Some _ -> Error (Printf.sprintf "field %S must be a list of integers" field)
   | None -> Error (Printf.sprintf "missing field %S" field)
 
 let of_json json =
@@ -339,6 +507,22 @@ let of_json json =
       let* core = get_int json "core" in
       let* freq_mhz = get_float json "freq_mhz" in
       Ok (Set_core_freq { core; freq_mhz })
+    | "set_scenario_duty" ->
+      let* scenario = get_string json "scenario" in
+      let* duty = get_float json "duty" in
+      Ok (Set_scenario_duty { scenario; duty })
+    | "set_scenario_cores" ->
+      let* scenario = get_string json "scenario" in
+      let* used = get_int_list json "used_cores" in
+      Ok (Set_scenario_cores { scenario; used })
+    | "add_scenario" ->
+      let* name = get_string json "name" in
+      let* duty = get_float json "duty" in
+      let* used = get_int_list json "used_cores" in
+      Ok (Add_scenario { name; duty; used })
+    | "remove_scenario" ->
+      let* scenario = get_string json "scenario" in
+      Ok (Remove_scenario { scenario })
     | other -> Error (Printf.sprintf "unknown delta kind %S" other))
   | Some _ -> Error "delta field \"kind\" must be a string"
 
@@ -353,11 +537,12 @@ let list_of_string text =
   in
   let* () =
     match Json.member "schema_version" json with
-    | Some (Json.Int v) when v = Json.schema_version -> Ok ()
+    | Some (Json.Int v) when v >= 1 && v <= Json.schema_version -> Ok ()
     | Some (Json.Int v) ->
       Error
-        (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
-           v Json.schema_version)
+        (Printf.sprintf
+           "unsupported schema_version %d (this build reads 1..%d)" v
+           Json.schema_version)
     | _ -> Error "missing or non-integer schema_version"
   in
   match Json.member "deltas" json with

@@ -24,6 +24,17 @@ type t =
   | Set_always_on of { island : int; always_on : bool }
       (** [always_on = true] clears the island's [Vi.shutdownable] bit *)
   | Set_core_freq of { core : int; freq_mhz : float }
+  | Set_scenario_duty of { scenario : string; duty : float }
+      (** revise a scenario's duty-cycle weight (scenario named by its
+          unique name) *)
+  | Set_scenario_cores of { scenario : string; used : int list }
+      (** replace a scenario's used-core set *)
+  | Add_scenario of { name : string; duty : float; used : int list }
+  | Remove_scenario of { scenario : string }
+
+val is_scenario_delta : t -> bool
+(** Does this delta edit the scenario set (and therefore require
+    {!apply_bundle})? *)
 
 val apply : Soc_spec.t * Vi.t -> t -> Soc_spec.t * Vi.t
 (** Apply one edit, re-validating through [Soc_spec.make] / [Vi.make] /
@@ -32,11 +43,29 @@ val apply : Soc_spec.t * Vi.t -> t -> Soc_spec.t * Vi.t
     edit point is deterministic).
     @raise Invalid_argument on an edit that does not type-check against
     the spec: unknown core/flow/island, duplicate flow, non-positive
-    bandwidth, a move that would empty an island, ... *)
+    bandwidth, a move that would empty an island, ... — or on a scenario
+    delta, which needs the scenario list ({!apply_bundle}). *)
 
 val apply_all : Soc_spec.t * Vi.t -> t list -> Soc_spec.t * Vi.t
 (** Left fold of {!apply}: each delta sees the spec produced by the
     previous one. *)
+
+val apply_bundle :
+  Soc_spec.t * Vi.t * Scenario.t list ->
+  t ->
+  Soc_spec.t * Vi.t * Scenario.t list
+(** {!apply} generalized to the full bundle: spec deltas pass the
+    scenario list through untouched; scenario deltas edit it, validating
+    each edited scenario against the SoC's core count
+    ({!Scenario.make_checked}) and the whole edited set
+    ({!Scenario.validate_set}).  [Add_scenario] appends at the end (list
+    order never affects results: weighted folds are canonical).
+    @raise Invalid_argument on an edit that does not validate. *)
+
+val apply_bundle_all :
+  Soc_spec.t * Vi.t * Scenario.t list ->
+  t list ->
+  Soc_spec.t * Vi.t * Scenario.t list
 
 (** Which cached sub-problems a delta (chain) invalidates, by cache
     family.  Island indices refer to the base spec — they are stable
@@ -56,6 +85,11 @@ type dirty = {
   evals : bool;
       (** per-candidate evaluation results are stale (any flow or
           island-membership edit) *)
+  scenarios : bool;
+      (** the scenario set changed: duty-weighted scoring must re-run,
+          but every synthesis cache stays warm (no synthesis projection
+          reads scenarios — the basis of [Synth.rerun_scenarios]'s
+          re-score-without-re-synthesis fast path) *)
 }
 
 val clean : dirty
@@ -65,6 +99,10 @@ val clean : dirty
 
 val union : dirty -> dirty -> dirty
 
+val synthesis_clean : dirty -> bool
+(** Is the dirty set clean apart from (possibly) {!field-scenarios}?
+    When true, a previous union sweep result is reusable verbatim. *)
+
 val dirty_of : Soc_spec.t * Vi.t -> t -> dirty
 (** Dirty set of a single delta against the given spec.
     @raise Invalid_argument if the delta does not apply. *)
@@ -73,6 +111,15 @@ val dirty_chain : Soc_spec.t * Vi.t -> t list -> (Soc_spec.t * Vi.t) * dirty
 (** Apply a whole chain and union the per-delta dirty sets (each
     computed against the intermediate spec it applies to).  Returns the
     edited spec and the chain's total dirty set relative to the base.
+    @raise Invalid_argument on the first delta that does not apply. *)
+
+val dirty_chain_bundle :
+  Soc_spec.t * Vi.t * Scenario.t list ->
+  t list ->
+  (Soc_spec.t * Vi.t * Scenario.t list) * dirty
+(** {!dirty_chain} over the full bundle via {!apply_bundle}: scenario
+    deltas contribute [{clean with scenarios = true}] (they invalidate
+    no synthesis cache), spec deltas their usual dirty sets.
     @raise Invalid_argument on the first delta that does not apply. *)
 
 val pp : Format.formatter -> t -> unit

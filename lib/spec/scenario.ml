@@ -1,23 +1,75 @@
+module Json = Noc_exec.Json
+
 type t = {
   name : string;
   used_cores : bool array;
   duty : float;
 }
 
-let make ~name ~used ~cores ~duty =
-  if cores < 1 then invalid_arg "Scenario.make: cores < 1";
-  if duty < 0.0 || duty > 1.0 then invalid_arg "Scenario.make: duty not in [0,1]";
-  if used = [] then invalid_arg "Scenario.make: no used core";
+type error =
+  | Negative_duty of { scenario : string; duty : float }
+  | Duty_above_one of { scenario : string; duty : float }
+  | Duty_sum_above_one of { total : float }
+  | Duplicate_name of { scenario : string }
+  | No_used_cores of { scenario : string }
+  | Bad_core of { scenario : string; core : int }
+  | Duplicate_core of { scenario : string; core : int }
+  | Malformed of { context : string; message : string }
+
+let error_to_string = function
+  | Negative_duty { scenario; duty } ->
+      Printf.sprintf "scenario %s: negative duty cycle %g" scenario duty
+  | Duty_above_one { scenario; duty } ->
+      Printf.sprintf "scenario %s: duty cycle %g > 1" scenario duty
+  | Duty_sum_above_one { total } ->
+      Printf.sprintf "scenario set: duty cycles sum to %g > 1" total
+  | Duplicate_name { scenario } ->
+      Printf.sprintf "scenario set: duplicate scenario name %s" scenario
+  | No_used_cores { scenario } ->
+      Printf.sprintf "scenario %s: no used core" scenario
+  | Bad_core { scenario; core } ->
+      Printf.sprintf "scenario %s: core %d out of range" scenario core
+  | Duplicate_core { scenario; core } ->
+      Printf.sprintf "scenario %s: core %d listed twice" scenario core
+  | Malformed { context; message } ->
+      Printf.sprintf "scenario %s: %s" context message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let make_checked ~name ~used ~cores ~duty =
+  let ( let* ) = Result.bind in
+  let* () = if cores < 1 then Error (Malformed { context = name; message = "core count < 1" }) else Ok () in
+  let* () = if duty < 0.0 then Error (Negative_duty { scenario = name; duty }) else Ok () in
+  let* () = if duty > 1.0 then Error (Duty_above_one { scenario = name; duty }) else Ok () in
+  let* () = if used = [] then Error (No_used_cores { scenario = name }) else Ok () in
   let used_cores = Array.make cores false in
-  List.iter
-    (fun c ->
-      if c < 0 || c >= cores then
-        invalid_arg (Printf.sprintf "Scenario.make: core %d out of range" c);
-      if used_cores.(c) then
-        invalid_arg (Printf.sprintf "Scenario.make: core %d listed twice" c);
-      used_cores.(c) <- true)
-    used;
-  { name; used_cores; duty }
+  let rec fill = function
+    | [] -> Ok { name; used_cores; duty }
+    | c :: rest ->
+        if c < 0 || c >= cores then Error (Bad_core { scenario = name; core = c })
+        else if used_cores.(c) then Error (Duplicate_core { scenario = name; core = c })
+        else begin
+          used_cores.(c) <- true;
+          fill rest
+        end
+  in
+  fill used
+
+let make ~name ~used ~cores ~duty =
+  match make_checked ~name ~used ~cores ~duty with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Scenario.make: " ^ error_to_string e)
+
+let used_list t =
+  let used = ref [] in
+  Array.iteri (fun c u -> if u then used := c :: !used) t.used_cores;
+  List.rev !used
+
+let equal a b =
+  String.equal a.name b.name
+  && a.duty = b.duty
+  && Array.length a.used_cores = Array.length b.used_cores
+  && Array.for_all2 ( = ) a.used_cores b.used_cores
 
 let island_active t vi isl =
   if isl < 0 || isl >= vi.Vi.islands then
@@ -42,18 +94,127 @@ let gated_islands t vi =
   in
   collect (vi.Vi.islands - 1) []
 
+let live_islands t vi =
+  let gated = gated_islands t vi in
+  let live = Array.make vi.Vi.islands true in
+  List.iter (fun isl -> live.(isl) <- false) gated;
+  live
+
+let flow_active t (f : Flow.t) =
+  let n = Array.length t.used_cores in
+  if f.Flow.src < 0 || f.Flow.src >= n || f.Flow.dst < 0 || f.Flow.dst >= n
+  then invalid_arg "Scenario.flow_active: flow endpoint out of range";
+  t.used_cores.(f.Flow.src) && t.used_cores.(f.Flow.dst)
+
+let active_flows t flows = List.filter (flow_active t) flows
+
+let validate_set scenarios =
+  let ( let* ) = Result.bind in
+  let* () =
+    let sorted =
+      List.sort compare (List.map (fun s -> s.name) scenarios)
+    in
+    let rec dup = function
+      | a :: (b :: _ as rest) ->
+          if String.equal a b then Error (Duplicate_name { scenario = a })
+          else dup rest
+      | _ -> Ok ()
+    in
+    dup sorted
+  in
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        if s.duty < 0.0 then
+          Error (Negative_duty { scenario = s.name; duty = s.duty })
+        else if s.duty > 1.0 then
+          Error (Duty_above_one { scenario = s.name; duty = s.duty })
+        else Ok ())
+      (Ok ()) scenarios
+  in
+  let total = List.fold_left (fun acc s -> acc +. s.duty) 0.0 scenarios in
+  if total > 1.0 +. 1e-9 then Error (Duty_sum_above_one { total }) else Ok ()
+
 let validate_duties scenarios =
   let total = List.fold_left (fun acc s -> acc +. s.duty) 0.0 scenarios in
   if total > 1.0 +. 1e-9 then
     invalid_arg
       (Printf.sprintf "Scenario.validate_duties: duties sum to %g > 1" total)
 
+let canonical scenarios =
+  List.sort (fun a b -> String.compare a.name b.name) scenarios
+
+(* Canonical textual rendering: stable across processes (unlike
+   [Marshal]-based digests) and insensitive to scenario-list order once
+   the list is [canonical]ized.  Floats are rendered in hex notation so
+   the digest captures the exact bits that enter the weighted-power
+   fold. *)
+let render_canonical scenarios =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf s.name;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf (Printf.sprintf "%h" s.duty);
+      Buffer.add_char buf '\x00';
+      Array.iter
+        (fun u -> Buffer.add_char buf (if u then '1' else '0'))
+        s.used_cores;
+      Buffer.add_char buf '\n')
+    (canonical scenarios);
+  Buffer.contents buf
+
+let digest scenarios = Digest.to_hex (Digest.string (render_canonical scenarios))
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      ("duty", Json.Float t.duty);
+      ( "used_cores",
+        Json.List (List.map (fun c -> Json.Int c) (used_list t)) );
+    ]
+
+let of_json ~cores json =
+  let malformed message = Error (Malformed { context = "<json>"; message }) in
+  match json with
+  | Json.Obj fields -> (
+      let member k = List.assoc_opt k fields in
+      match (member "name", member "duty", member "used_cores") with
+      | Some (Json.String name), Some duty_json, Some (Json.List used_json) -> (
+          let duty =
+            match duty_json with
+            | Json.Float f -> Some f
+            | Json.Int i -> Some (float_of_int i)
+            | _ -> None
+          in
+          match duty with
+          | None ->
+              Error
+                (Malformed { context = name; message = "duty is not a number" })
+          | Some duty -> (
+              let rec ints acc = function
+                | [] -> Ok (List.rev acc)
+                | Json.Int c :: rest -> ints (c :: acc) rest
+                | _ ->
+                    Error
+                      (Malformed
+                         {
+                           context = name;
+                           message = "used_cores contains a non-integer";
+                         })
+              in
+              match ints [] used_json with
+              | Error _ as e -> e
+              | Ok used -> make_checked ~name ~used ~cores ~duty))
+      | _ -> malformed "expected name (string), duty (number), used_cores (list)")
+  | _ -> malformed "expected an object"
+
 let pp ppf t =
-  let used = ref [] in
-  Array.iteri (fun c u -> if u then used := c :: !used) t.used_cores;
   Format.fprintf ppf "scenario %s (duty %.0f%%): cores %a" t.name
     (100.0 *. t.duty)
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
        Format.pp_print_int)
-    (List.rev !used)
+    (used_list t)

@@ -1,10 +1,16 @@
-(** Usage scenarios for the shutdown analysis.
+(** Usage scenarios: first-class synthesis inputs.
 
     A scenario names the set of cores an application mode actually uses and
     the fraction of time the SoC spends in that mode.  An island can be
     gated in a scenario iff it is marked shutdownable and none of its cores
     is used — this is where the leakage savings the paper motivates (§1, §5:
-    "even 25% or more reduction in overall system power") come from. *)
+    "even 25% or more reduction in overall system power") come from.
+
+    A scenario set induces, for each scenario, a flow subset
+    ({!active_flows}: flows whose both endpoints are used) and a live-island
+    mask ({!live_islands}), which multi-scenario synthesis
+    ({!Noc_synthesis.Synth.run_scenarios}) uses to check feasibility of the
+    one shared topology in every mode and to weight power by duty cycle. *)
 
 type t = {
   name : string;
@@ -12,20 +18,79 @@ type t = {
   duty : float;             (** fraction of time in this mode, [0..1] *)
 }
 
+(** Typed validation errors for scenarios and scenario sets. *)
+type error =
+  | Negative_duty of { scenario : string; duty : float }
+  | Duty_above_one of { scenario : string; duty : float }
+  | Duty_sum_above_one of { total : float }
+      (** the set's duty cycles are non-normalizable: they sum past 1 *)
+  | Duplicate_name of { scenario : string }
+  | No_used_cores of { scenario : string }
+  | Bad_core of { scenario : string; core : int }
+  | Duplicate_core of { scenario : string; core : int }
+  | Malformed of { context : string; message : string }
+      (** structural problem (bad JSON shape, core count < 1) *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+val make_checked :
+  name:string -> used:int list -> cores:int -> duty:float -> (t, error) result
+(** [used] lists the core ids active in this mode; [cores] is the SoC's
+    core count.  Returns a typed [error] instead of raising. *)
+
 val make : name:string -> used:int list -> cores:int -> duty:float -> t
-(** [used] lists the core ids active in this mode.
+(** Raising wrapper over {!make_checked}.
     @raise Invalid_argument on out-of-range ids, duplicates, empty [used]
     or duty outside [0,1]. *)
+
+val used_list : t -> int list
+(** Used core ids in increasing order. *)
+
+val equal : t -> t -> bool
 
 val island_active : t -> Vi.t -> int -> bool
 (** Is some used core inside the island? *)
 
 val gated_islands : t -> Vi.t -> int list
 (** Islands that can be shut down in this scenario: shutdownable and with no
-    used core. *)
+    used core.  Increasing order. *)
+
+val live_islands : t -> Vi.t -> bool array
+(** Per-island liveness mask: [false] exactly for {!gated_islands}. *)
+
+val flow_active : t -> Flow.t -> bool
+(** Both endpoints used in this scenario?
+    @raise Invalid_argument if an endpoint is outside the scenario's core
+    range. *)
+
+val active_flows : t -> Flow.t list -> Flow.t list
+(** The scenario's flow subset: flows with both endpoints used, in input
+    order. *)
+
+val validate_set : t list -> (unit, error) result
+(** Whole-set validation: unique names, every duty in [0,1], duties summing
+    to at most 1 (+ small epsilon).  A slack below 1 is allowed: the
+    remainder is full-power operation. *)
 
 val validate_duties : t list -> unit
-(** @raise Invalid_argument if duties sum to more than 1 (+ small epsilon).
-    A slack below 1 is allowed: the remainder is full-power operation. *)
+(** Raising sum-only check (legacy callers).
+    @raise Invalid_argument if duties sum to more than 1 (+ small epsilon). *)
+
+val canonical : t list -> t list
+(** Scenario set in canonical order (sorted by name).  All duty-weighted
+    folds run over the canonical order so that scenario-list permutations
+    yield bit-identical floating-point results. *)
+
+val digest : t list -> string
+(** Hex digest of the canonical rendering (names, exact duty bits, used-core
+    masks).  Stable across processes and insensitive to list order; keys
+    the serve daemon's content-addressed store for scenario requests. *)
+
+val to_json : t -> Noc_exec.Json.t
+(** [{"name": ..., "duty": ..., "used_cores": [...]}]. *)
+
+val of_json : cores:int -> Noc_exec.Json.t -> (t, error) result
+(** Decode and validate one scenario against an SoC with [cores] cores. *)
 
 val pp : Format.formatter -> t -> unit
