@@ -15,6 +15,11 @@
      dune exec bench/main.exe -- sweep     # memoized sweep engine: cache
                                            # on/off wall time + identity on
                                            # d36/d48, writes BENCH_sweep.json
+     dune exec bench/main.exe -- scale     # flat A* core vs reference
+                                           # Dijkstra: d48 speedup (gated
+                                           # >= 2x) + identity, d128 pair,
+                                           # d256 flat-only wall clock,
+                                           # writes BENCH_scale.json
      dune exec bench/main.exe -- delta     # incremental re-synthesis: rerun
                                            # vs fresh per delta kind on d36,
                                            # writes BENCH_delta.json
@@ -652,6 +657,149 @@ let sweep () =
   Printf.printf "\nwrote BENCH_sweep.json\n";
   if !gate_failed then begin
     Printf.printf "FAIL: cached d36 sequential sweep slower than uncached\n";
+    exit 1
+  end
+
+(* ---------------- EXP-SCALE: flat A* core vs reference ---------------- *)
+
+(* The flat SoA + A* routing core against the reference Dijkstra path it
+   replaced, on whole synthesis sweeps.  Reference states keep the
+   pre-refactor per-candidate allocation pattern ([Path_alloc.make_state]
+   pools scratch only for the flat engine), so the reference column is
+   the pre-optimization baseline, not a co-optimized twin.  Gates:
+
+   - every rep of every engine must be bit-identical to every other rep
+     of either engine on the same benchmark (full [result_signature]);
+   - the d48 speedup — median of per-pair flat/reference ratios, each
+     pair run back to back so clock drift cancels — must be >= 2x.
+
+   d128 runs identity-checked pairs for the wall-clock record; d256 is
+   flat-only (the reference engine needs minutes there, which is the
+   sweep the flat core exists to open up).  Candidates/s and minor
+   words/candidate come from [Synth.result.candidates_tried] and the
+   [synth.run.minor_words] metrics counter — sequential runs, so the Gc
+   deltas are attributable. *)
+let scale () =
+  section
+    "EXP-SCALE: flat A* routing core vs reference Dijkstra (writes \
+     BENCH_scale.json; identity gated; d48 speedup gated >= 2x)";
+  let module J = Noc_synthesis.Report.Json in
+  let gate_failed = ref false in
+  let rows = ref [] in
+  let options engine =
+    {
+      Synth.Options.default with
+      Synth.Options.routing = engine;
+      domains = Some 1;
+    }
+  in
+  let one engine case =
+    (* cold process-wide tables per rep: measure the engine, not leftovers *)
+    Noc_cache.Memo.clear_all ();
+    let w0 = Noc_exec.Metrics.counter_value "synth.run.minor_words" in
+    let t, r =
+      wall (fun () ->
+          Synth.run ~options:(options engine) config case.Bench_case.soc
+            case.Bench_case.default_vi)
+    in
+    let dw = Noc_exec.Metrics.counter_value "synth.run.minor_words" - w0 in
+    (t, r, dw)
+  in
+  let median xs =
+    let sorted = List.sort compare xs in
+    List.nth sorted (List.length sorted / 2)
+  in
+  Printf.printf "%-6s %9s %9s %8s %11s %12s %12s  %s\n" "bench" "flat s"
+    "ref s" "speedup" "flat cand/s" "flat w/cand" "ref w/cand" "identical";
+  let row name ~flat_s ~ref_s ~speedup ~cands ~flat_w ~ref_w ~identical =
+    let per_cand w = float_of_int w /. float_of_int (max cands 1) in
+    let opt f = function None -> J.Null | Some v -> f v in
+    Printf.printf "%-6s %9.3f %9s %8s %11.0f %12.0f %12s  %s\n%!" name flat_s
+      (match ref_s with Some t -> Printf.sprintf "%.3f" t | None -> "-")
+      (match speedup with Some s -> Printf.sprintf "%.2fx" s | None -> "-")
+      (float_of_int cands /. flat_s)
+      (per_cand flat_w)
+      (match ref_w with
+      | Some w -> Printf.sprintf "%.0f" (per_cand w)
+      | None -> "-")
+      (match identical with
+      | Some true -> "identical"
+      | Some false -> "MISMATCH"
+      | None -> "flat only");
+    rows :=
+      J.Obj
+        [
+          ("benchmark", J.String name);
+          ("flat_s", J.Float flat_s);
+          ("reference_s", opt (fun t -> J.Float t) ref_s);
+          ("speedup_median", opt (fun s -> J.Float s) speedup);
+          ("candidates", J.Int cands);
+          ("flat_candidates_per_s", J.Float (float_of_int cands /. flat_s));
+          ("flat_minor_words_per_candidate", J.Float (per_cand flat_w));
+          ( "reference_minor_words_per_candidate",
+            opt (fun w -> J.Float (per_cand w)) ref_w );
+          ("identical", opt (fun b -> J.Bool b) identical);
+        ]
+      :: !rows
+  in
+  let pair_case name ~min_pairs ~max_pairs ~budget_s ~gate_speedup =
+    let case = Bench_case.find name in
+    (* warm-up so first-touch allocation effects hit neither engine *)
+    ignore (one Noc_synthesis.Path_alloc.Flat case);
+    let best_f = ref infinity and best_r = ref infinity in
+    let w_f = ref 0 and w_r = ref 0 in
+    let sig_f = ref None and sig_r = ref None in
+    let cands = ref 0 in
+    let ratios = ref [] in
+    let keep best words stored (t, r, dw) =
+      if t < !best then best := t;
+      words := dw;
+      cands := r.Synth.candidates_tried;
+      match !stored with
+      | None -> stored := Some (result_signature r)
+      | Some prev ->
+        (* every rep must agree with the first, whatever the engine *)
+        assert (prev = result_signature r)
+    in
+    let spent = ref 0.0 and pairs = ref 0 in
+    while !pairs < min_pairs || (!pairs < max_pairs && !spent < budget_s) do
+      let ((tf, _, _) as f) = one Noc_synthesis.Path_alloc.Flat case in
+      let ((tr, _, _) as r) = one Noc_synthesis.Path_alloc.Reference case in
+      keep best_f w_f sig_f f;
+      keep best_r w_r sig_r r;
+      ratios := (tr /. tf) :: !ratios;
+      spent := !spent +. tf +. tr;
+      incr pairs
+    done;
+    let identical = !sig_f = !sig_r in
+    let speedup = median !ratios in
+    row name ~flat_s:!best_f ~ref_s:(Some !best_r) ~speedup:(Some speedup)
+      ~cands:!cands ~flat_w:!w_f ~ref_w:(Some !w_r)
+      ~identical:(Some identical);
+    if not identical then gate_failed := true;
+    if gate_speedup && speedup < 2.0 then begin
+      Printf.printf "FAIL: %s flat speedup %.2fx < 2x\n" name speedup;
+      gate_failed := true
+    end
+  in
+  pair_case "d48" ~min_pairs:5 ~max_pairs:20 ~budget_s:8.0 ~gate_speedup:true;
+  pair_case "d128" ~min_pairs:2 ~max_pairs:3 ~budget_s:10.0
+    ~gate_speedup:false;
+  (* d256: the sweep the reference engine can't afford — flat only *)
+  let d256 = Bench_case.find "d256" in
+  let t, r, dw = one Noc_synthesis.Path_alloc.Flat d256 in
+  row "d256" ~flat_s:t ~ref_s:None ~speedup:None
+    ~cands:r.Synth.candidates_tried ~flat_w:dw ~ref_w:None ~identical:None;
+  let doc =
+    J.to_string (J.document ~kind:"bench_scale" [ ("rows", J.List (List.rev !rows)) ])
+    ^ "\n"
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_scale.json\n";
+  if !gate_failed then begin
+    Printf.printf "FAIL: EXP-SCALE gate (identity or d48 speedup)\n";
     exit 1
   end
 
@@ -1852,6 +2000,7 @@ let all_experiments =
     ("speedup", speedup);
     ("recovery", recovery);
     ("sweep", sweep);
+    ("scale", scale);
     ("delta", delta);
     ("scenario", scenario_bench);
     ("serve", serve);

@@ -52,8 +52,26 @@ let all =
     };
   ]
 
-let names = List.map (fun c -> c.name) all
+let scale =
+  [
+    {
+      name = "d128";
+      soc = D128.soc;
+      default_vi = D128.default_vi;
+      scenarios = D128.scenarios;
+      always_on_cores = D128.always_on_cores;
+    };
+    {
+      name = "d256";
+      soc = D256.soc;
+      default_vi = D256.default_vi;
+      scenarios = D256.scenarios;
+      always_on_cores = D256.always_on_cores;
+    };
+  ]
+
+let names = List.map (fun c -> c.name) (all @ scale)
 
 let find name =
   let wanted = String.lowercase_ascii name in
-  List.find (fun c -> c.name = wanted) all
+  List.find (fun c -> c.name = wanted) (all @ scale)

@@ -10,10 +10,18 @@ type t = {
 }
 
 val all : t list
-(** d12, d16, d20, d26, d36, d48 — increasing size. *)
+(** The paper's benchmarks: d12, d16, d20, d26, d36, d48 — increasing
+    size.  Everything that sweeps "all benchmarks" (tests, the bench
+    harness's per-benchmark experiments) iterates this list. *)
+
+val scale : t list
+(** The generated scale cases: d128, d256 ({!D128}, {!D256}).  Kept out
+    of {!all} so exhaustive per-benchmark loops stay affordable; the
+    EXP-SCALE bench and {!find} reach them explicitly. *)
 
 val find : string -> t
-(** Lookup by name ("d26", case-insensitive).
+(** Lookup by name ("d26", case-insensitive) across {!all} and {!scale}.
     @raise Not_found for unknown names. *)
 
 val names : string list
+(** Names of {!all} then {!scale}. *)

@@ -1,0 +1,37 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+
+let cores = 128
+let islands = 10
+let seed = 1128
+
+(* Deliberately roomier latency budgets than the hand-written benchmarks:
+   the random island map puts tight flows across island boundaries, and a
+   scale case must stay routable (a direct island-to-island hop already
+   costs 9 cycles). *)
+let profile =
+  {
+    Synth_gen.cores;
+    hub_fraction = 0.1;
+    pipeline_count = 8;
+    max_bw_mbps = 1600.0;
+    tight_latency = 20;
+  }
+
+let soc = { (Synth_gen.generate ~seed profile) with Soc_spec.name = "D128-scale" }
+let default_vi = Synth_gen.random_vi ~seed ~islands soc
+
+let cores_of pred =
+  List.filter (fun c -> pred default_vi.Vi.of_core.(c)) (List.init cores Fun.id)
+
+let always_on_cores = cores_of (fun isl -> isl = 0)
+
+let scenarios =
+  [
+    Scenario.make ~name:"peak" ~used:(List.init cores Fun.id) ~cores ~duty:0.2;
+    Scenario.make ~name:"typical"
+      ~used:(cores_of (fun isl -> isl <= islands / 2))
+      ~cores ~duty:0.5;
+    Scenario.make ~name:"standby" ~used:always_on_cores ~cores ~duty:0.2;
+  ]

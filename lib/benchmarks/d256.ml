@@ -1,0 +1,39 @@
+module Soc_spec = Noc_spec.Soc_spec
+module Vi = Noc_spec.Vi
+module Scenario = Noc_spec.Scenario
+
+let cores = 256
+let islands = 12
+let seed = 1256
+
+(* See d128.ml for why the latency budgets are roomier than the paper
+   benchmarks'.  The hub fraction is also higher than d128's: with few
+   hubs each one fans out to clients in nearly every island, and its
+   switch runs out of ports no matter how many switches the sweep
+   grants — the spec, not the sweep, must keep per-hub fan-out at a
+   buildable arity. *)
+let profile =
+  {
+    Synth_gen.cores;
+    hub_fraction = 0.15;
+    pipeline_count = 12;
+    max_bw_mbps = 1400.0;
+    tight_latency = 24;
+  }
+
+let soc = { (Synth_gen.generate ~seed profile) with Soc_spec.name = "D256-scale" }
+let default_vi = Synth_gen.random_vi ~seed ~islands soc
+
+let cores_of pred =
+  List.filter (fun c -> pred default_vi.Vi.of_core.(c)) (List.init cores Fun.id)
+
+let always_on_cores = cores_of (fun isl -> isl = 0)
+
+let scenarios =
+  [
+    Scenario.make ~name:"peak" ~used:(List.init cores Fun.id) ~cores ~duty:0.2;
+    Scenario.make ~name:"typical"
+      ~used:(cores_of (fun isl -> isl <= islands / 2))
+      ~cores ~duty:0.5;
+    Scenario.make ~name:"standby" ~used:always_on_cores ~cores ~duty:0.2;
+  ]

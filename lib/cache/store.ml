@@ -6,7 +6,10 @@ type t = {
   lock : Mutex.t;
 }
 
-let format_version = 1
+(* 2: synthesis options grew the routing-engine field (flat A* core);
+   request digests over options are not comparable with version-1
+   entries, so the namespace retires them wholesale. *)
+let format_version = 2
 
 let namespace ?(tag = "") () =
   Printf.sprintf "%d/ocaml-%s/%s" format_version Sys.ocaml_version tag

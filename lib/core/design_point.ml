@@ -233,7 +233,7 @@ let evaluate config soc topo ~clocks =
     worst_latency_slack = worst_slack;
     switch_count = direct;
     indirect_count = indirect;
-    link_count = Hashtbl.length topo.Topology.links;
+    link_count = Topology.link_count topo;
     crossing_count = !crossing_count;
     total_wire_mm = Topology.total_link_length_mm topo;
     timing_clean = !timing_clean;

@@ -6,6 +6,7 @@ module Switch_model = Noc_models.Switch_model
 module Link_model = Noc_models.Link_model
 module Sync_model = Noc_models.Sync_model
 module Dijkstra = Noc_graph.Dijkstra
+module Astar = Noc_graph.Astar
 module Geometry = Noc_floorplan.Geometry
 module Metrics = Noc_exec.Metrics
 
@@ -43,6 +44,20 @@ let mask_union a b =
     dead_link = (fun u v -> a.dead_link u v || b.dead_link u v);
   }
 
+(* Which routing engine expands the search.  Both produce bit-identical
+   topologies, routes and stats; [Reference] is the plain per-search
+   Dijkstra kept as the identity baseline (and the honest "before" side
+   of the EXP-SCALE bench), [Flat] is the arena-reused A* over the flat
+   adjacency with the hop-cost floor heuristic and the allocation-free
+   hop kernel. *)
+type engine = Reference | Flat
+
+(* Scratch cell for the flat engine's hop kernel.  An all-float record is
+   stored flat (fields unboxed), so writing results here costs no
+   allocation — unlike the (power, latency) tuple the reference kernel
+   returns per edge evaluation. *)
+type hop_out = { mutable out_power : float; mutable out_latency : float }
+
 (* The hop-energy memo, laid out for the Dijkstra inner loop: directly
    indexed slots — no hashing, no allocation — holding the
    flow-independent cost factors, each tagged with the inputs it was
@@ -56,13 +71,79 @@ let mask_union a b =
    under one tag would throw away the expensive wire model on every port
    drift. *)
 type hop_cache = {
-  wire_tag : int array;       (* stages, or -1 cold — per (is_new, u, v) *)
+  wire_tag : int array;
+      (* (memo_epoch lsl 16) lor stages, or -1 cold — per (is_new, u, v).
+         Pipeline stages are a handful of registers on a die-scale wire,
+         far below 2^16, so the epoch field never aliases. *)
   wire_energy : float array;  (* energy_pj of the wire part of the hop *)
   wire_standing : float array; (* standing mW of opening the link *)
   wire_latency : float array; (* hop latency in cycles, as Dijkstra uses it *)
-  sw_tag : int array;         (* packed ports, or -1 cold — per (is_new, v) *)
+  sw_tag : int array;
+      (* (memo_epoch lsl 20) lor packed ports, or -1 cold — per (is_new, v);
+         the port packing is 20 bits by construction *)
   sw_energy : float array;    (* energy_pj of traversing switch v *)
 }
+
+(* Per-domain pool for the O(n²) memo arrays above.  A sweep calls
+   [route_all] once per candidate, and a fresh [make_state] used to push
+   five major-heap arrays per call — at d48 the resulting GC pressure
+   (marking + sweeping) cost more than the routing itself.  [route_all]
+   states are strictly scoped to one call on one domain, so they borrow
+   the domain's scratch instead: reuse just bumps [sc_epoch], which every
+   memo tag carries — all stored entries go stale in O(1), with no
+   per-candidate refill at all (value arrays are tag-gated and need no
+   reset).  The A* search arena rides along for the same reason: one
+   live search per domain.  Sessions outlive their creating call and may
+   overlap arbitrarily, so they never pool. *)
+type scratch = {
+  mutable sc_cap : int; (* node count the arrays are sized for *)
+  mutable sc_epoch : int;
+      (* current borrower's epoch, baked into every memo tag
+         ([state.memo_epoch]); bumping it on reuse invalidates all stored
+         entries in O(1) — no O(n²) refill per candidate *)
+  mutable sc_wire_tag : int array;
+  mutable sc_wire_energy : float array;
+  mutable sc_wire_standing : float array;
+  mutable sc_wire_latency : float array;
+  mutable sc_sw_tag : int array;
+  mutable sc_sw_energy : float array;
+  mutable sc_new_stages : int array;
+  sc_arena : Astar.arena;
+      (* the domain's reusable search arena — internally epoch-stamped,
+         so hand-off between borrowers needs no reset either *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sc_cap = 0;
+        sc_epoch = 0;
+        sc_wire_tag = [||];
+        sc_wire_energy = [||];
+        sc_wire_standing = [||];
+        sc_wire_latency = [||];
+        sc_sw_tag = [||];
+        sc_sw_energy = [||];
+        sc_new_stages = [||];
+        sc_arena = Astar.create ();
+      })
+
+let borrow_scratch n =
+  let sc = Domain.DLS.get scratch_key in
+  (* epoch 0 is reserved for unpooled states, whose arrays start -1-filled *)
+  sc.sc_epoch <- sc.sc_epoch + 1;
+  if n > sc.sc_cap then begin
+    let cap = max n (2 * sc.sc_cap) in
+    sc.sc_cap <- cap;
+    sc.sc_wire_tag <- Array.make (2 * cap * cap) (-1);
+    sc.sc_wire_energy <- Array.make (2 * cap * cap) 0.0;
+    sc.sc_wire_standing <- Array.make (2 * cap * cap) 0.0;
+    sc.sc_wire_latency <- Array.make (2 * cap * cap) 0.0;
+    sc.sc_sw_tag <- Array.make (2 * cap) (-1);
+    sc.sc_sw_energy <- Array.make (2 * cap) 0.0;
+    sc.sc_new_stages <- Array.make (cap * cap) (-1)
+  end;
+  sc
 
 (* Mutable routing state: port counters are maintained incrementally because
    recounting them from the link table inside Dijkstra would be
@@ -83,9 +164,15 @@ type state = {
          tag-validated against the evolving (stages, ports) inputs — see
          [hop_power_latency].  Local to this state (one domain), no lock. *)
   new_stages : int array option;
-      (* pipeline stages of a prospective u->v link ([-1] cold) — pure in
+      (* pipeline stages of a prospective u->v link, encoded
+         [(memo_epoch lsl 16) lor stages] ([-1] cold) — pure in
          the fixed geometry and u's clock, so one manhattan/stage model
          evaluation per pair instead of one per Dijkstra probe. *)
+  memo_epoch : int;
+      (* epoch baked into this state's [hop_cache]/[new_stages] tags: a
+         pooled state inherits the scratch arrays without clearing them,
+         and the fresh epoch makes every stale entry miss.  0 for
+         unpooled states (whose arrays start cold-filled). *)
   allowed_memo : (int, int array) Hashtbl.t option;
       (* ascending switch ids admissible for an (si, di) flow — a pure
          function of the fixed switch locations.  Fault masks are checked
@@ -93,9 +180,22 @@ type state = {
          a mask change ([route_backup]) stay correct. *)
   hop_hits : int ref;   (* flushed to Metrics in batch: the global counter *)
   hop_misses : int ref; (* mutex must not be taken per Dijkstra edge *)
+  engine : engine;
+  arena : Astar.arena;
+      (* the flat engine's reusable search arena (dist/pred/heap scratch);
+         shared by design with the functional-update copies
+         [route_backup_with] makes — one domain, one search at a time *)
+  hop_out : hop_out;  (* the flat engine's hop kernel scratch cell *)
+  island : int array;
+      (* per switch: its island id, or -1 for the intermediate VI.  Switch
+         locations are fixed for the lifetime of a topology, so the flat
+         expansion reads this flat copy instead of chasing
+         [switches.(s).location] per probe (no cross-module inlining
+         without flambda). *)
 }
 
-let make_state ?(mask = no_mask) ?(cache = true) config topo ~clocks =
+let make_state ?(mask = no_mask) ?(cache = true) ?(engine = Flat)
+    ?(pooled = false) config topo ~clocks =
   let n = Array.length topo.Topology.switches in
   let inter = lazy (Freq_assign.intermediate_clock config clocks) in
   let arity_of sw =
@@ -113,6 +213,14 @@ let make_state ?(mask = no_mask) ?(cache = true) config topo ~clocks =
       (fun sw -> sw.Topology.location = Topology.Intermediate)
       topo.Topology.switches
   in
+  (* The scratch pool serves the flat hot path.  The reference engine is
+     the identity oracle and the benchmark baseline: it keeps the
+     pre-refactor allocation pattern (fresh memo arrays per state, raw
+     epoch-0 tags) so what EXP-SCALE reports as "reference" is the
+     unoptimized path, and so the oracle stays trivially auditable. *)
+  let pooled_sc =
+    if cache && pooled && engine = Flat then Some (borrow_scratch n) else None
+  in
   {
     topo;
     mask;
@@ -124,21 +232,49 @@ let make_state ?(mask = no_mask) ?(cache = true) config topo ~clocks =
     out_to_inter = Array.make n false;
     in_from_inter = Array.make n false;
     hop_cache =
-      (if cache then
+      (match pooled_sc with
+       | Some sc ->
          Some
            {
-             wire_tag = Array.make (2 * n * n) (-1);
-             wire_energy = Array.make (2 * n * n) 0.0;
-             wire_standing = Array.make (2 * n * n) 0.0;
-             wire_latency = Array.make (2 * n * n) 0.0;
-             sw_tag = Array.make (2 * n) (-1);
-             sw_energy = Array.make (2 * n) 0.0;
+             wire_tag = sc.sc_wire_tag;
+             wire_energy = sc.sc_wire_energy;
+             wire_standing = sc.sc_wire_standing;
+             wire_latency = sc.sc_wire_latency;
+             sw_tag = sc.sc_sw_tag;
+             sw_energy = sc.sc_sw_energy;
            }
-       else None);
-    new_stages = (if cache then Some (Array.make (n * n) (-1)) else None);
+       | None ->
+         if cache then
+           Some
+             {
+               wire_tag = Array.make (2 * n * n) (-1);
+               wire_energy = Array.make (2 * n * n) 0.0;
+               wire_standing = Array.make (2 * n * n) 0.0;
+               wire_latency = Array.make (2 * n * n) 0.0;
+               sw_tag = Array.make (2 * n) (-1);
+               sw_energy = Array.make (2 * n) 0.0;
+             }
+         else None);
+    new_stages =
+      (match pooled_sc with
+       | Some sc -> Some sc.sc_new_stages
+       | None -> if cache then Some (Array.make (n * n) (-1)) else None);
+    memo_epoch =
+      (match pooled_sc with Some sc -> sc.sc_epoch | None -> 0);
     allowed_memo = (if cache then Some (Hashtbl.create 16) else None);
     hop_hits = ref 0;
     hop_misses = ref 0;
+    engine;
+    arena =
+      (match pooled_sc with Some sc -> sc.sc_arena | None -> Astar.create ());
+    hop_out = { out_power = 0.0; out_latency = 0.0 };
+    island =
+      Array.map
+        (fun sw ->
+          match sw.Topology.location with
+          | Topology.Island isl -> isl
+          | Topology.Intermediate -> -1)
+        topo.Topology.switches;
   }
 
 let flush_hop_metrics state =
@@ -333,8 +469,10 @@ let hop_power_latency config state flow ~is_new ~stages u v =
         let n = Array.length state.topo.Topology.switches in
         let widx = ((((if is_new then 1 else 0) * n) + u) * n) + v in
         let sidx = (if is_new then n else 0) + v in
+        let wire_etag = (state.memo_epoch lsl 16) lor stages in
+        let sw_etag = (state.memo_epoch lsl 20) lor sw_tag in
         let e_wire, standing, latency =
-          if hc.wire_tag.(widx) = stages then begin
+          if hc.wire_tag.(widx) = wire_etag then begin
             incr state.hop_hits;
             ( hc.wire_energy.(widx),
               hc.wire_standing.(widx),
@@ -349,7 +487,7 @@ let hop_power_latency config state flow ~is_new ~stages u v =
             let latency =
               float_of_int (hop_latency_cycles ~crossing ~stages)
             in
-            hc.wire_tag.(widx) <- stages;
+            hc.wire_tag.(widx) <- wire_etag;
             hc.wire_energy.(widx) <- e_wire;
             hc.wire_standing.(widx) <- standing;
             hc.wire_latency.(widx) <- latency;
@@ -357,10 +495,10 @@ let hop_power_latency config state flow ~is_new ~stages u v =
           end
         in
         let e_switch =
-          if hc.sw_tag.(sidx) = sw_tag then hc.sw_energy.(sidx)
+          if hc.sw_tag.(sidx) = sw_etag then hc.sw_energy.(sidx)
           else begin
             let e = hop_switch_energy_pj config state ~is_new v in
-            hc.sw_tag.(sidx) <- sw_tag;
+            hc.sw_tag.(sidx) <- sw_etag;
             hc.sw_energy.(sidx) <- e;
             e
           end
@@ -440,10 +578,13 @@ let new_link_stages config state u v =
   | Some arr ->
     let idx = (u * Array.length state.topo.Topology.switches) + v in
     let cached = arr.(idx) in
-    if cached >= 0 then cached
+    (* entries are [(memo_epoch lsl 16) lor stages]; an epoch mismatch is a
+       stale (or cold, for epoch 0 with -1 fill) slot *)
+    if cached asr 16 = state.memo_epoch && cached >= 0 then cached land 0xFFFF
     else begin
       let fresh = compute () in
-      arr.(idx) <- fresh;
+      if fresh land 0xFFFF = fresh then
+        arr.(idx) <- (state.memo_epoch lsl 16) lor fresh;
       fresh
     end
 
@@ -517,6 +658,368 @@ let successors_iter config state flow ~si ~di ~beta ~p_norm ~allowed u relax =
       if node_allowed state ~si ~di v then consider v
     done
 
+(* ---------- the flat engine's hot path ---------- *)
+
+(* The flat engine's hop kernel: the same memo slots and the same float
+   recomposition order — [e_switch +. e_wire], then
+   [power_mw_of_energy ... +. standing] — as [hop_power_latency], so
+   every cost is bit-identical; but the flit rate is hoisted to one
+   computation per search and the results land in the state's scratch
+   cell instead of a fresh tuple.  Keep the two kernels in lockstep —
+   and note that [successors_iter_flat] and [target_floor] unfold this
+   kernel's all-hit fast path inline (same tags, same recomposition), so
+   a change here must be mirrored there too. *)
+let hop_direct_flat config state ~rate ~is_new ~stages u v out =
+  let energy_pj, standing =
+    hop_energy_standing config state ~is_new ~stages u v
+  in
+  let crossing = Topology.is_crossing state.topo u v in
+  out.out_power <-
+    Units.power_mw_of_energy ~energy_pj ~events_per_second:rate +. standing;
+  out.out_latency <- float_of_int (hop_latency_cycles ~crossing ~stages)
+
+let hop_power_latency_flat config state ~rate ~is_new ~stages u v out =
+  match state.hop_cache with
+  | None -> hop_direct_flat config state ~rate ~is_new ~stages u v out
+  | Some hc ->
+    let sw_tag = switch_tag_of state v in
+    if sw_tag < 0 then hop_direct_flat config state ~rate ~is_new ~stages u v out
+    else begin
+      let n = Array.length state.topo.Topology.switches in
+      let widx = ((((if is_new then 1 else 0) * n) + u) * n) + v in
+      let sidx = (if is_new then n else 0) + v in
+      let wire_etag = (state.memo_epoch lsl 16) lor stages in
+      let sw_etag = (state.memo_epoch lsl 20) lor sw_tag in
+      if hc.wire_tag.(widx) = wire_etag then incr state.hop_hits
+      else begin
+        incr state.hop_misses;
+        let e_wire, standing =
+          hop_wire_energy_standing config state ~is_new ~stages u v
+        in
+        let crossing = Topology.is_crossing state.topo u v in
+        hc.wire_tag.(widx) <- wire_etag;
+        hc.wire_energy.(widx) <- e_wire;
+        hc.wire_standing.(widx) <- standing;
+        hc.wire_latency.(widx) <-
+          float_of_int (hop_latency_cycles ~crossing ~stages)
+      end;
+      if hc.sw_tag.(sidx) <> sw_etag then begin
+        hc.sw_tag.(sidx) <- sw_etag;
+        hc.sw_energy.(sidx) <- hop_switch_energy_pj config state ~is_new v
+      end;
+      (* same association as [hop_energy_standing]: switch part first *)
+      let energy_pj = hc.sw_energy.(sidx) +. hc.wire_energy.(widx) in
+      out.out_power <-
+        Units.power_mw_of_energy ~energy_pj ~events_per_second:rate
+        +. hc.wire_standing.(widx);
+      out.out_latency <- hc.wire_latency.(widx)
+    end
+
+(* Flat-engine expansion: the same admissible edges, in the same
+   descending order, at bit-identical costs as [successors_iter] — with
+   the per-edge allocations gone.  The link probe returns the stored
+   option cell of the flat adjacency, the (is_new, stages) candidate
+   tuple is replaced by direct control flow, and the hop kernel writes
+   into the scratch cell.
+
+   The compiler builds without flambda, so the small per-probe helpers
+   ([is_intermediate], [out_reserve]/[in_reserve], [may_open],
+   [link_capacity], [Units.power_mw_of_energy], [Float.max]) cost a call
+   each here — profiling puts them at ~20% of a sweep.  They are
+   therefore inlined by hand below, per-[u] invariants hoisted out of the
+   per-candidate probes, with every float expression kept in the exact
+   shape the helpers use.  Any admissibility or cost change here must be
+   mirrored in [successors_iter] and [target_floor]. *)
+let successors_iter_flat config state flow ~si ~di ~beta ~p_norm ~allowed =
+  let topo = state.topo in
+  let links = topo.Topology.links in
+  let n = Array.length topo.Topology.switches in
+  let lat_norm = float_of_int flow.Flow.max_latency_cycles in
+  let bw = flow.Flow.bandwidth_mbps in
+  let rate = Units.flits_per_second ~bw_mbps:bw ~flit_bits:topo.Topology.flit_bits in
+  let out = state.hop_out in
+  let hc_opt = state.hop_cache in
+  (* [no_mask]'s probes are constant [false]; skip the two indirect calls
+     per candidate on the (overwhelmingly common) unmasked states *)
+  let unmasked = state.mask == no_mask in
+  let dead_switch = state.mask.dead_switch and dead_link = state.mask.dead_link in
+  let island = state.island in
+  let in_ports = state.in_ports and out_ports = state.out_ports in
+  let capacity = state.capacity and max_arity = state.max_arity in
+  let in_from_inter = state.in_from_inter in
+  let has_indirect = state.has_indirect in
+  let new_stages = state.new_stages in
+  (* epoch-encoded tag bases ([hop_cache] / [new_stages] docs) *)
+  let epoch = state.memo_epoch in
+  let wire_ebase = epoch lsl 16 and sw_ebase = epoch lsl 20 in
+  (* [relax_hop] carries its full parameter list so it is a flow-level
+     value: no closure is re-allocated per expanded node.  Everything up
+     to the [fun u relax ->] below likewise runs once per search — the
+     engine fully applies only the returned expansion per settled node. *)
+  let relax_hop u v ~is_new ~stages relax =
+    (* the all-hit fast path of [hop_power_latency_flat], unfolded — any
+       cold or stale tag falls through to the full kernel, which keeps
+       the memo and the hit/miss counters exactly as before *)
+    (match hc_opt with
+     | Some hc ->
+       let in_v = in_ports.(v) and out_v = out_ports.(v) in
+       if in_v >= 0 && in_v < 1024 && out_v >= 0 && out_v < 1024 then begin
+         let sw_etag = sw_ebase lor ((in_v lsl 10) lor out_v) in
+         let widx = ((((if is_new then 1 else 0) * n) + u) * n) + v in
+         let sidx = (if is_new then n else 0) + v in
+         if hc.wire_tag.(widx) = wire_ebase lor stages then begin
+           (* the wire part hit; refresh the (cheap, port-drifting)
+              switch part in place exactly as the kernel would *)
+           if hc.sw_tag.(sidx) <> sw_etag then begin
+             hc.sw_tag.(sidx) <- sw_etag;
+             hc.sw_energy.(sidx) <- hop_switch_energy_pj config state ~is_new v
+           end;
+           incr state.hop_hits;
+           (* [hop_energy_standing]'s association, then
+              [Units.power_mw_of_energy ... +. standing] *)
+           let energy_pj = hc.sw_energy.(sidx) +. hc.wire_energy.(widx) in
+           out.out_power <-
+             (energy_pj *. rate *. 1e-9) +. hc.wire_standing.(widx);
+           out.out_latency <- hc.wire_latency.(widx)
+         end
+         else hop_power_latency_flat config state ~rate ~is_new ~stages u v out
+       end
+       else hop_power_latency_flat config state ~rate ~is_new ~stages u v out
+     | None -> hop_power_latency_flat config state ~rate ~is_new ~stages u v out);
+    let cost =
+      (beta *. (out.out_power /. p_norm))
+      +. ((1.0 -. beta) *. (out.out_latency /. lat_norm))
+    in
+    (* [Float.max 1e-9 cost] for a non-NaN [cost] *)
+    relax v (if cost > 1e-9 then cost else 1e-9)
+  in
+  fun u relax ->
+    (* invariants of the expanded node [u], hoisted out of the probes *)
+    let row_u = Noc_graph.Flat.out_row links u in
+    let isl_u = island.(u) in
+    let cap_u = capacity.(u) in
+    let max_ar_u = max_arity.(u) in
+    let out_ports_u1 = out_ports.(u) + 1 in
+    let out_res_u =
+      (* [out_reserve state u], unfolded *)
+      if has_indirect && isl_u >= 0 && not state.out_to_inter.(u) then 1 else 0
+    in
+    let consider v =
+      if
+        v <> u
+        && (unmasked || ((not (dead_switch v)) && not (dead_link u v)))
+      then begin
+        match (match row_u with None -> None | Some row -> row.(v)) with
+        | Some link ->
+          (* [link_capacity state u v], unfolded: both are positive finite *)
+          let cap_v = capacity.(v) in
+          let cap = if cap_u <= cap_v then cap_u else cap_v in
+          if link.Topology.bw_mbps +. bw <= cap +. 1e-9 then
+            relax_hop u v ~is_new:false ~stages:link.Topology.stages relax
+        | None ->
+          let isl_v = island.(v) in
+          let out_cap = max_ar_u - (if isl_v < 0 then 0 else out_res_u) in
+          if out_ports_u1 <= out_cap then begin
+            (* [may_open state ~si ~di u v], unfolded over the island ids *)
+            let may =
+              if isl_u >= 0 then
+                if isl_v < 0 then isl_u = si
+                else isl_u = isl_v || (isl_u = si && isl_v = di)
+              else isl_v < 0 || isl_v = di
+            in
+            if may then begin
+              let in_cap =
+                max_arity.(v)
+                - (if isl_u >= 0 && has_indirect && isl_v >= 0
+                      && not in_from_inter.(v)
+                   then 1
+                   else 0)
+              in
+              if in_ports.(v) + 1 <= in_cap then begin
+                let cap_v = capacity.(v) in
+                let cap = if cap_u <= cap_v then cap_u else cap_v in
+                if bw <= cap +. 1e-9 then begin
+                  (* warm probe of the [new_link_stages] memo, unfolded:
+                     an entry is live iff its high bits carry this epoch *)
+                  let stages =
+                    match new_stages with
+                    | Some arr ->
+                      let c = arr.((u * n) + v) in
+                      if c asr 16 = epoch && c >= 0 then c land 0xFFFF
+                      else new_link_stages config state u v
+                    | None -> new_link_stages config state u v
+                  in
+                  relax_hop u v ~is_new:true ~stages relax
+                end
+              end
+            end
+          end
+      end
+    in
+    match allowed with
+    | Some nodes ->
+      for i = Array.length nodes - 1 downto 0 do
+        consider nodes.(i)
+      done
+    | None ->
+      for v = n - 1 downto 0 do
+        let a = island.(v) in
+        if a < 0 || a = si || a = di then consider v
+      done
+
+(* The A* heuristic's constant: the exact float minimum relax cost over
+   the admissible edges entering [target], computed with the very same
+   kernel, admissibility tests and cost expression as the expansion.
+   During one search the routing state is immutable, so this set — and
+   each edge's cost — is fixed; h(v) = floor for v <> target and
+   h(target) = 0 is therefore consistent, and with the heap's (f, g, id)
+   ordering A* pops non-target nodes in exactly Dijkstra's (g, id) order
+   (see docs/ALGORITHM.md for the identity argument).  [infinity] when no
+   edge can enter the target: every f is then infinite, the g tie-key
+   alone orders the pops exactly as Dijkstra would, and the search proves
+   unreachability the same way. *)
+let target_floor config state flow ~si ~di ~beta ~p_norm ~allowed ~target =
+  let topo = state.topo in
+  let links = topo.Topology.links in
+  let n = Array.length topo.Topology.switches in
+  let lat_norm = float_of_int flow.Flow.max_latency_cycles in
+  let bw = flow.Flow.bandwidth_mbps in
+  let rate = Units.flits_per_second ~bw_mbps:bw ~flit_bits:topo.Topology.flit_bits in
+  let out = state.hop_out in
+  let hc_opt = state.hop_cache in
+  let unmasked = state.mask == no_mask in
+  let dead_switch = state.mask.dead_switch and dead_link = state.mask.dead_link in
+  let island = state.island in
+  let in_ports = state.in_ports and out_ports = state.out_ports in
+  let capacity = state.capacity and max_arity = state.max_arity in
+  let out_to_inter = state.out_to_inter in
+  let has_indirect = state.has_indirect in
+  let new_stages = state.new_stages in
+  let epoch = state.memo_epoch in
+  let wire_ebase = epoch lsl 16 and sw_ebase = epoch lsl 20 in
+  (* invariants of the fixed [target] endpoint, hoisted out of the scan;
+     the per-probe helpers are unfolded exactly as in
+     [successors_iter_flat] — keep the three sites in lockstep *)
+  let isl_t = island.(target) in
+  let cap_t = capacity.(target) in
+  let in_ports_t1 = in_ports.(target) + 1 in
+  let in_res_t =
+    (* [in_reserve state target], unfolded *)
+    if has_indirect && isl_t >= 0 && not state.in_from_inter.(target) then 1
+    else 0
+  in
+  let best = ref infinity in
+  let score u ~is_new ~stages =
+    (* all-hit fast path of [hop_power_latency_flat] with v = [target] *)
+    (match hc_opt with
+     | Some hc ->
+       let in_v = in_ports.(target) and out_v = out_ports.(target) in
+       if in_v >= 0 && in_v < 1024 && out_v >= 0 && out_v < 1024 then begin
+         let sw_etag = sw_ebase lor ((in_v lsl 10) lor out_v) in
+         let widx = ((((if is_new then 1 else 0) * n) + u) * n) + target in
+         let sidx = (if is_new then n else 0) + target in
+         if hc.wire_tag.(widx) = wire_ebase lor stages then begin
+           if hc.sw_tag.(sidx) <> sw_etag then begin
+             hc.sw_tag.(sidx) <- sw_etag;
+             hc.sw_energy.(sidx) <-
+               hop_switch_energy_pj config state ~is_new target
+           end;
+           incr state.hop_hits;
+           let energy_pj = hc.sw_energy.(sidx) +. hc.wire_energy.(widx) in
+           out.out_power <-
+             (energy_pj *. rate *. 1e-9) +. hc.wire_standing.(widx);
+           out.out_latency <- hc.wire_latency.(widx)
+         end
+         else
+           hop_power_latency_flat config state ~rate ~is_new ~stages u target
+             out
+       end
+       else
+         hop_power_latency_flat config state ~rate ~is_new ~stages u target out
+     | None ->
+       hop_power_latency_flat config state ~rate ~is_new ~stages u target out);
+    let cost =
+      (beta *. (out.out_power /. p_norm))
+      +. ((1.0 -. beta) *. (out.out_latency /. lat_norm))
+    in
+    let w = if cost > 1e-9 then cost else 1e-9 in
+    if w < !best then best := w
+  in
+  let consider u =
+    if
+      u <> target
+      && (unmasked || ((not (dead_switch u)) && not (dead_link u target)))
+    then begin
+      match Noc_graph.Flat.get links u target with
+      | Some link ->
+        let cap_u = capacity.(u) in
+        let cap = if cap_u <= cap_t then cap_u else cap_t in
+        if link.Topology.bw_mbps +. bw <= cap +. 1e-9 then
+          score u ~is_new:false ~stages:link.Topology.stages
+      | None ->
+        let isl_u = island.(u) in
+        let out_cap =
+          max_arity.(u)
+          - (if isl_t < 0 then 0
+             else if has_indirect && isl_u >= 0 && not out_to_inter.(u) then 1
+             else 0)
+        in
+        if out_ports.(u) + 1 <= out_cap then begin
+          let may =
+            if isl_u >= 0 then
+              if isl_t < 0 then isl_u = si
+              else isl_u = isl_t || (isl_u = si && isl_t = di)
+            else isl_t < 0 || isl_t = di
+          in
+          if may && in_ports_t1 <= (max_arity.(target) - (if isl_u < 0 then 0 else in_res_t))
+          then begin
+            let cap_u = capacity.(u) in
+            let cap = if cap_u <= cap_t then cap_u else cap_t in
+            if bw <= cap +. 1e-9 then begin
+              let stages =
+                match new_stages with
+                | Some arr ->
+                  let c = arr.((u * n) + target) in
+                  if c asr 16 = epoch && c >= 0 then c land 0xFFFF
+                  else new_link_stages config state u target
+                | None -> new_link_stages config state u target
+              in
+              score u ~is_new:true ~stages
+            end
+          end
+        end
+    end
+  in
+  (match allowed with
+  | Some nodes -> Array.iter consider nodes
+  | None ->
+    for u = 0 to n - 1 do
+      let a = island.(u) in
+      if a < 0 || a = si || a = di then consider u
+    done);
+  !best
+
+(* One search, dispatched on the state's engine.  Both sides expand the
+   same edges at the same costs; the flat side adds the floor heuristic
+   and reuses the arena. *)
+let shortest_path config state flow ~si ~di ~beta ~p_norm ~allowed ~source
+    ~target =
+  let n = Array.length state.topo.Topology.switches in
+  match state.engine with
+  | Reference ->
+    Dijkstra.run_to_iter ~n
+      ~successors_iter:
+        (successors_iter config state flow ~si ~di ~beta ~p_norm ~allowed)
+      ~source ~target
+  | Flat ->
+    let floor =
+      target_floor config state flow ~si ~di ~beta ~p_norm ~allowed ~target
+    in
+    Astar.run_to_const state.arena ~n
+      ~successors_iter:
+        (successors_iter_flat config state flow ~si ~di ~beta ~p_norm ~allowed)
+      ~floor ~source ~target
+
 let open_missing config state route =
   let topo = state.topo in
   let rec go = function
@@ -572,11 +1075,7 @@ let route_flow config state flow =
     (* one memo lookup per flow, not one per node expansion *)
     let allowed = allowed_nodes state ~si:!si ~di:!di in
     let attempt beta =
-      Dijkstra.run_to_iter
-        ~n:(Array.length topo.Topology.switches)
-        ~successors_iter:
-          (successors_iter config state flow ~si:!si ~di:!di ~beta ~p_norm
-             ~allowed)
+      shortest_path config state flow ~si:!si ~di:!di ~beta ~p_norm ~allowed
         ~source:ss ~target:ds
     in
     let try_route beta =
@@ -794,31 +1293,60 @@ let islands_of_flow state flow =
   | Topology.Island a, Topology.Island b -> (a, b)
   | _ -> assert false (* cores never attach to indirect switches *)
 
-let route_all ?(priority = []) ?cache config soc topo ~clocks =
+let by_bandwidth a b =
+  match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
+  | 0 ->
+    (match Int.compare a.Flow.src b.Flow.src with
+     | 0 -> Int.compare a.Flow.dst b.Flow.dst
+     | c -> c)
+  | c -> c
+
+(* One-entry, per-domain memo of [List.sort by_bandwidth soc.flows]: the
+   flow list is the same physical value for every candidate of a sweep
+   and the comparator is pure, so the sweep sorts it once instead of once
+   per candidate.  Keyed by physical identity — a different (even equal)
+   list just recomputes. *)
+let sorted_flows_key :
+    (Flow.t list * Flow.t list) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let sorted_by_bandwidth flows =
+  let cell = Domain.DLS.get sorted_flows_key in
+  match !cell with
+  | Some (key, sorted) when key == flows -> sorted
+  | _ ->
+    let sorted = List.sort by_bandwidth flows in
+    cell := Some (flows, sorted);
+    sorted
+
+let route_all ?(priority = []) ?cache ?engine config soc topo ~clocks =
   Metrics.time "path_alloc.route_all" @@ fun () ->
-  let state = make_state ?cache config topo ~clocks in
+  let state = make_state ?cache ?engine ~pooled:true config topo ~clocks in
   let pristine = save state in
   let flows_of priority =
-    (* position in the priority list, or max_int for unlisted flows *)
-    let rank_tbl = Hashtbl.create (List.length priority * 2 + 1) in
-    List.iteri
-      (fun i key ->
-        if not (Hashtbl.mem rank_tbl key) then Hashtbl.add rank_tbl key i)
-      priority;
-    let rank f =
-      match Hashtbl.find_opt rank_tbl (f.Flow.src, f.Flow.dst) with
-      | Some i -> i
-      | None -> max_int
-    in
-    let by_priority_then_bandwidth a b =
-      match compare (rank a) (rank b) with
-      | 0 ->
-        (match compare b.Flow.bandwidth_mbps a.Flow.bandwidth_mbps with
-         | 0 -> compare (a.Flow.src, a.Flow.dst) (b.Flow.src, b.Flow.dst)
-         | c -> c)
-      | c -> c
-    in
-    List.sort by_priority_then_bandwidth soc.Soc_spec.flows
+    match priority with
+    | [] ->
+      (* every rank ties at max_int — skip the per-comparison hashing
+         (and its key-tuple allocation) the ranked path pays *)
+      sorted_by_bandwidth soc.Soc_spec.flows
+    | _ ->
+      (* position in the priority list, or max_int for unlisted flows *)
+      let rank_tbl = Hashtbl.create (List.length priority * 2 + 1) in
+      List.iteri
+        (fun i key ->
+          if not (Hashtbl.mem rank_tbl key) then Hashtbl.add rank_tbl key i)
+        priority;
+      let rank f =
+        match Hashtbl.find_opt rank_tbl (f.Flow.src, f.Flow.dst) with
+        | Some i -> i
+        | None -> max_int
+      in
+      let by_priority_then_bandwidth a b =
+        match compare (rank a) (rank b) with
+        | 0 -> by_bandwidth a b
+        | c -> c
+      in
+      List.sort by_priority_then_bandwidth soc.Soc_spec.flows
   in
   (* One pass over the flows.  A failure first tries in-place recovery
      (rip up the cheapest conflicting committed flows, route the failed
@@ -881,8 +1409,11 @@ type session = {
   s_state : state;
 }
 
-let session ?mask ?cache config topo ~clocks =
-  { s_config = config; s_state = make_state ?mask ?cache config topo ~clocks }
+let session ?mask ?cache ?engine config topo ~clocks =
+  {
+    s_config = config;
+    s_state = make_state ?mask ?cache ?engine config topo ~clocks;
+  }
 
 let discard { s_state = state; _ } flow =
   match Topology.remove_flow state.topo flow with
@@ -919,11 +1450,8 @@ let route_backup_with config state flow ~si ~di ~ss ~ds mask =
   let p_norm = reference_hop_power_mw config topo flow in
   let allowed = allowed_nodes masked ~si ~di in
   let attempt beta =
-    Dijkstra.run_to_iter
-      ~n:(Array.length topo.Topology.switches)
-      ~successors_iter:
-        (successors_iter config masked flow ~si ~di ~beta ~p_norm ~allowed)
-      ~source:ss ~target:ds
+    shortest_path config masked flow ~si ~di ~beta ~p_norm ~allowed ~source:ss
+      ~target:ds
   in
   (* Backups only carry traffic after a fault, in degraded mode; they get
      a slacked latency budget where primaries must meet the deadline. *)

@@ -26,6 +26,21 @@ type error = {
   reason : [ `No_path | `Latency of int (** cycles over budget *) ];
 }
 
+type engine =
+  | Reference
+      (** per-search Dijkstra over the topology's link table with freshly
+          allocated scratch — the pre-flat-core path, kept as the
+          bit-identity baseline and the honest "before" side of the
+          EXP-SCALE bench *)
+  | Flat
+      (** arena-reused A* over the flat adjacency: the admissible
+          hop-cost floor into the target as heuristic, decrease-key heap,
+          allocation-free hop kernel.  The default. *)
+(** Which engine expands the per-flow shortest-path search.  Both produce
+    bit-identical topologies, routes and stats (see docs/ALGORITHM.md,
+    "The flat core and A*"); [Flat] is several times faster and
+    allocation-free in the inner loop. *)
+
 type stats = {
   ripups : int;    (** committed flows ripped up by successful recoveries *)
   reroutes : int;  (** ripped-up flows re-committed (equal to [ripups]) *)
@@ -42,6 +57,7 @@ type stats = {
 val route_all :
   ?priority:(int * int) list ->
   ?cache:bool ->
+  ?engine:engine ->
   Config.t ->
   Noc_spec.Soc_spec.t ->
   Topology.t ->
@@ -61,7 +77,10 @@ val route_all :
     hop cost per allocation — the synthesis hot spot.  Cached and uncached
     runs are bit-identical (see ALGORITHM.md, "Memoization soundness");
     hits/misses are reported in {!Noc_exec.Metrics} as
-    [cache.hop_energy.hits] / [cache.hop_energy.misses]. *)
+    [cache.hop_energy.hits] / [cache.hop_energy.misses].
+
+    [engine] (default [Flat]) selects the search engine; results are
+    bit-identical either way. *)
 
 val pp_error : Format.formatter -> error -> unit
 
@@ -92,6 +111,7 @@ type session
 val session :
   ?mask:mask ->
   ?cache:bool ->
+  ?engine:engine ->
   Config.t ->
   Topology.t ->
   clocks:Freq_assign.island_clock array ->
@@ -99,8 +119,8 @@ val session :
 (** Recounts ports and capacities from the topology as it stands.  Links
     already dropped by a fault should be removed (rip up their flows)
     before the session is created so the counters match the survivor
-    fabric; the mask then prevents reopening them.  [cache] is as in
-    {!route_all}. *)
+    fabric; the mask then prevents reopening them.  [cache] and [engine]
+    are as in {!route_all}. *)
 
 val discard : session -> Noc_spec.Flow.t -> bool
 (** Rip up the committed route of the flow (see {!Topology.remove_flow})

@@ -40,6 +40,7 @@ module Options = struct
     domains : int option;
     cache : bool;
     prune : bool;
+    routing : Path_alloc.engine;
     cancel : Noc_exec.Cancel.t;
   }
 
@@ -52,6 +53,7 @@ module Options = struct
       domains = None;
       cache = true;
       prune = false;
+      routing = Path_alloc.Flat;
       cancel = Noc_exec.Cancel.never;
     }
 end
@@ -129,8 +131,9 @@ let plan_key soc vi ~seed ~anneal =
    spec order, widths and flags, the island map, and the options that
    change the built topology or the acceptance test.  Deliberately
    absent: [soc.name], core names/frequencies/powers, [Vi.shutdownable],
-   scenarios, and [Options.domains]/[cache]/[prune] (all three leave
-   every candidate's outcome unchanged — see synth.mli). *)
+   scenarios, and [Options.domains]/[cache]/[prune]/[routing] (all four
+   leave every candidate's outcome unchanged — the two routing engines
+   are bit-identical; see synth.mli). *)
 let eval_context config soc vi (o : Options.t) =
   Memo.digest
     ( config,
@@ -272,6 +275,7 @@ let avg_latency_lb soc vi =
 
 let run ?(options = Options.default) config soc vi =
   let o = options in
+  Metrics.count_allocation "synth.run" @@ fun () ->
   Metrics.time "synth.run" @@ fun () ->
   Config.validate config;
   Cancel.check o.Options.cancel;
@@ -341,7 +345,10 @@ let run ?(options = Options.default) config soc vi =
         ~strategy:o.Options.assignment_strategy ?partition config soc vi
         ~plan ~clocks ~vcgs ~switch_counts ~indirect_count
     in
-    match Path_alloc.route_all ~cache:o.Options.cache config soc topo ~clocks with
+    match
+      Path_alloc.route_all ~cache:o.Options.cache ~engine:o.Options.routing
+        config soc topo ~clocks
+    with
     | Ok stats ->
       let recovered =
         stats.Path_alloc.ripups > 0 || stats.Path_alloc.restarts > 0
@@ -354,7 +361,8 @@ let run ?(options = Options.default) config soc vi =
         (not o.Options.protect)
         ||
         let session =
-          Path_alloc.session ~cache:o.Options.cache config topo ~clocks
+          Path_alloc.session ~cache:o.Options.cache
+            ~engine:o.Options.routing config topo ~clocks
         in
         let by_bandwidth a b =
           match

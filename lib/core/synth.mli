@@ -56,6 +56,14 @@ module Options : sig
             {!best_power}, {!best_latency} and strict Pareto front — but
             [result.points] may omit the dominated points, so exhaustive
             sweeps (the default) keep this off *)
+    routing : Path_alloc.engine;
+        (** which search engine {!Path_alloc} uses for per-flow shortest
+            paths: the arena-reused A* over the flat adjacency
+            ({!Path_alloc.Flat}, the default) or the per-search Dijkstra
+            baseline ({!Path_alloc.Reference}).  The two are bit-identical
+            (docs/ALGORITHM.md, "The flat core and A*"), so like
+            [domains]/[cache]/[prune] the choice is excluded from every
+            memo key; [Flat] is several times faster. *)
     cancel : Noc_exec.Cancel.t;
         (** cooperative cancellation token, checked once at the start of
             {!run} and once per candidate at the sweep boundary.  When it
@@ -72,7 +80,7 @@ module Options : sig
   val default : t
   (** [{ seed = 0; anneal = true; assignment_strategy = Min_cut;
         protect = false; domains = None; cache = true; prune = false;
-        cancel = Cancel.never }] *)
+        routing = Path_alloc.Flat; cancel = Cancel.never }] *)
 end
 
 val run :

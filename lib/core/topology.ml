@@ -1,5 +1,6 @@
 module Flow = Noc_spec.Flow
 module Geometry = Noc_floorplan.Geometry
+module Flat = Noc_graph.Flat
 
 type location = Island of int | Intermediate
 
@@ -37,7 +38,7 @@ type t = {
   islands : int;
   switches : switch array;
   core_switch : int array;
-  links : (int, link) Hashtbl.t;  (* keyed by [link_key] *)
+  links : link Flat.t;  (* dense (src, dst)-indexed adjacency *)
   mutable routes : (Flow.t * int list) list;
   mutable backup_routes : (Flow.t * int list) list;
   flit_bits : int;
@@ -46,11 +47,16 @@ type t = {
 
 type checkpoint = edit list
 
-(* The link table is keyed by the packed (src, dst) pair so the Dijkstra
-   inner loop's admissibility probes neither allocate a tuple nor run the
-   polymorphic hash; [create] bounds the switch count to keep the packing
-   injective. *)
+(* The link container is the flat structure-of-arrays adjacency from
+   [Noc_graph.Flat]: a probe in the Dijkstra/A* inner loop is two array
+   loads returning the stored option (no tuple, no hash, no [Some]
+   boxing), and the per-switch port-arity checks read O(1) degree
+   counters instead of folding over every link.  Journal entries still
+   carry the packed (src, dst) key — [create] bounds the switch count to
+   keep the packing injective. *)
 let link_key ~src ~dst = (src lsl 20) lor dst
+let key_src key = key lsr 20
+let key_dst key = key land 0xFFFFF
 
 let location_equal a b =
   match (a, b) with
@@ -87,7 +93,7 @@ let create ~islands ~switches ~core_switch ~flit_bits =
     islands;
     switches;
     core_switch = Array.copy core_switch;
-    links = Hashtbl.create 64;
+    links = Flat.create (Array.length switches);
     routes = [];
     backup_routes = [];
     flit_bits;
@@ -98,11 +104,8 @@ let checkpoint t = t.journal
 
 let rollback t cp =
   let undo = function
-    | Link_added key -> Hashtbl.remove t.links key
-    | Link_removed link ->
-      Hashtbl.replace t.links
-        (link_key ~src:link.link_src ~dst:link.link_dst)
-        link
+    | Link_added key -> Flat.remove t.links (key_src key) (key_dst key)
+    | Link_removed link -> Flat.set t.links link.link_src link.link_dst link
     | Bw_set (link, bw) -> link.bw_mbps <- bw
     | Routes_set routes -> t.routes <- routes
     | Backups_set backups -> t.backup_routes <- backups
@@ -138,8 +141,7 @@ let add_link ?(stages = 0) t ~src ~dst ~length_mm =
   if src = dst then invalid_arg "Topology.add_link: self link";
   if length_mm < 0.0 then invalid_arg "Topology.add_link: negative length";
   if stages < 0 then invalid_arg "Topology.add_link: negative stages";
-  if Hashtbl.mem t.links (link_key ~src ~dst) then
-    invalid_arg "Topology.add_link: link exists";
+  if Flat.mem t.links src dst then invalid_arg "Topology.add_link: link exists";
   let link =
     {
       link_src = src;
@@ -150,20 +152,19 @@ let add_link ?(stages = 0) t ~src ~dst ~length_mm =
       stages;
     }
   in
-  Hashtbl.replace t.links (link_key ~src ~dst) link;
+  Flat.set t.links src dst link;
   t.journal <- Link_added (link_key ~src ~dst) :: t.journal;
   link
 
 let find_link t ~src ~dst =
   check_switch t src "find_link";
   check_switch t dst "find_link";
-  Hashtbl.find_opt t.links (link_key ~src ~dst)
+  Flat.get t.links src dst
 
-let links_list t =
-  let all = Hashtbl.fold (fun _ l acc -> l :: acc) t.links [] in
-  List.sort
-    (fun a b -> compare (a.link_src, a.link_dst) (b.link_src, b.link_dst))
-    all
+let link_count t = Flat.edge_count t.links
+
+(* [Flat.fold] already visits edges in ascending (src, dst) order. *)
+let links_list t = List.rev (Flat.fold (fun _ _ l acc -> l :: acc) t.links [])
 
 let commit_flow t flow ~route =
   (match route with
@@ -216,7 +217,7 @@ let remove_flow t flow =
            link.bw_mbps <- link.bw_mbps -. flow.Flow.bandwidth_mbps;
            if Float.abs link.bw_mbps <= zero_bw_mbps then begin
              link.bw_mbps <- 0.0;
-             Hashtbl.remove t.links (link_key ~src:a ~dst:b);
+             Flat.remove t.links a b;
              t.journal <- Link_removed link :: t.journal;
              dropped := link :: !dropped
            end
@@ -248,7 +249,7 @@ let commit_backup t flow ~route =
     invalid_arg "Topology.commit_backup: route does not end at destination switch";
   let rec check = function
     | a :: (b :: _ as rest) ->
-      if not (Hashtbl.mem t.links (link_key ~src:a ~dst:b)) then
+      if not (Flat.mem t.links a b) then
         invalid_arg
           (Printf.sprintf "Topology.commit_backup: missing link %d->%d" a b);
       check rest
@@ -269,10 +270,9 @@ let backup_route t flow =
    bandwidth mutates independently), the journal starts empty.  Switches
    and route entries are immutable and shared. *)
 let copy t =
-  let links = Hashtbl.create (Hashtbl.length t.links) in
-  Hashtbl.iter
-    (fun key l ->
-      Hashtbl.replace links key
+  let links =
+    Flat.copy
+      ~f:(fun l ->
         {
           link_src = l.link_src;
           link_dst = l.link_dst;
@@ -281,7 +281,8 @@ let copy t =
           crossing = l.crossing;
           stages = l.stages;
         })
-    t.links;
+      t.links
+  in
   {
     islands = t.islands;
     switches = t.switches;
@@ -305,21 +306,11 @@ let ni_ports t sw = List.length (attached_cores t sw)
 
 let in_ports t sw =
   check_switch t sw "in_ports";
-  let incoming =
-    Hashtbl.fold
-      (fun _ l acc -> if l.link_dst = sw then acc + 1 else acc)
-      t.links 0
-  in
-  ni_ports t sw + incoming
+  ni_ports t sw + Flat.in_degree t.links sw
 
 let out_ports t sw =
   check_switch t sw "out_ports";
-  let outgoing =
-    Hashtbl.fold
-      (fun _ l acc -> if l.link_src = sw then acc + 1 else acc)
-      t.links 0
-  in
-  ni_ports t sw + outgoing
+  ni_ports t sw + Flat.out_degree t.links sw
 
 let arity t sw = max (in_ports t sw) (out_ports t sw)
 
@@ -349,7 +340,7 @@ let route_latency_cycles t route =
        yet counts as unpipelined *)
     let rec stage_sum = function
       | a :: (b :: _ as rest) ->
-        (match Hashtbl.find_opt t.links (link_key ~src:a ~dst:b) with
+        (match Flat.get t.links a b with
          | Some link -> link.stages
          | None -> 0)
         + stage_sum rest
@@ -385,7 +376,7 @@ let max_latency_violation t =
     None t.routes
 
 let total_link_length_mm t =
-  Hashtbl.fold (fun _ l acc -> acc +. l.length_mm) t.links 0.0
+  Flat.fold (fun _ _ l acc -> acc +. l.length_mm) t.links 0.0
 
 let location_name = function
   | Island i -> Printf.sprintf "VI%d" i
@@ -394,7 +385,7 @@ let location_name = function
 let pp_netlist ppf t =
   Format.fprintf ppf "@[<v>topology: %d switches, %d links, %d routed flows"
     (Array.length t.switches)
-    (Hashtbl.length t.links)
+    (Flat.edge_count t.links)
     (List.length t.routes);
   let locations =
     List.init t.islands (fun i -> Island i)

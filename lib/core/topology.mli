@@ -41,8 +41,8 @@ type t = {
   islands : int;  (** VI count, excluding the intermediate island *)
   switches : switch array;
   core_switch : int array;
-  links : (int, link) Hashtbl.t;
-      (** keyed by the packed (src, dst) pair; use {!find_link} /
+  links : link Noc_graph.Flat.t;
+      (** dense (src, dst)-indexed flat adjacency; use {!find_link} /
           {!links_list} rather than probing directly *)
   mutable routes : (Noc_spec.Flow.t * int list) list;
   mutable backup_routes : (Noc_spec.Flow.t * int list) list;
@@ -78,6 +78,10 @@ val add_link : ?stages:int -> t -> src:int -> dst:int -> length_mm:float -> link
     is negative. *)
 
 val find_link : t -> src:int -> dst:int -> link option
+
+val link_count : t -> int
+(** Number of inter-switch links.  O(1). *)
+
 val links_list : t -> link list
 (** Sorted by (src, dst); deterministic. *)
 

@@ -30,6 +30,18 @@ let time name f =
   let t0 = now_ns () in
   Fun.protect ~finally:(fun () -> add_ns name (Int64.sub (now_ns ()) t0)) f
 
+let count_allocation name f =
+  let s0 = Gc.quick_stat () in
+  Fun.protect
+    ~finally:(fun () ->
+      let s1 = Gc.quick_stat () in
+      (* words, truncated: both stats are exact integer-valued floats *)
+      incr ~by:(int_of_float (s1.Gc.minor_words -. s0.Gc.minor_words))
+        (name ^ ".minor_words");
+      incr ~by:(int_of_float (s1.Gc.major_words -. s0.Gc.major_words))
+        (name ^ ".major_words"))
+    f
+
 let timer_ns name =
   locked (fun () ->
       match Hashtbl.find_opt timers_tbl name with

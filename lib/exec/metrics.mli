@@ -19,6 +19,15 @@ val add_ns : string -> int64 -> unit
 val incr : ?by:int -> string -> unit
 (** Bump counter [name] (default [by:1]). *)
 
+val count_allocation : string -> (unit -> 'a) -> 'a
+(** [count_allocation name f] runs [f ()] and adds the words it
+    allocated (per [Gc.quick_stat]) to counters [name ^ ".minor_words"]
+    and [name ^ ".major_words"] — even when [f] raises.  OCaml 5 GC
+    statistics are {e domain-local}: allocation by worker domains spawned
+    inside [f] (e.g. {!Pool.parallel_map} with [jobs > 1]) is invisible
+    to the calling domain's counters, so measure allocation rates with
+    [--jobs 1], where the pool runs everything in the calling domain. *)
+
 val counter_value : string -> int
 (** Current value of counter [name] ([0] if never bumped). *)
 

@@ -9,35 +9,37 @@ let check n source =
    variants bail out as soon as the target is settled.  The expansion is a
    push iterator — [successors_iter u relax] calls [relax v w] per edge —
    so the synthesis hot path relaxes edges without materializing a list
-   per expansion. *)
+   per expansion.
+
+   The frontier is a {!Heap.Indexed} decrease-key heap ordered by
+   (dist, 0, id): equal-distance pops happen in ascending node id, never
+   in heap-internal order.  This is the determinism contract the flat A*
+   engine ({!Astar}) reproduces bit-for-bit with its constant heuristic —
+   keep the two relaxation guards in sync. *)
 let search_iter ~n ~successors_iter ~source ~stop =
   check n source;
   let dist = Array.make n infinity in
   let pred = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Heap.create ~capacity:(max 16 n) () in
+  let heap = Heap.Indexed.create n in
   dist.(source) <- 0.0;
-  Heap.push heap 0.0 source;
+  Heap.Indexed.insert heap source ~key:0.0 ~tie:0.0;
   let rec loop () =
-    match Heap.pop_min heap with
-    | None -> ()
-    | Some (d, u) ->
-      if settled.(u) then loop ()
-      else begin
-        settled.(u) <- true;
-        if not (stop u) then begin
-          successors_iter u (fun v w ->
-              if v >= 0 && v < n && Float.is_finite w && w >= 0.0 then begin
-                let candidate = d +. w in
-                if candidate < dist.(v) then begin
-                  dist.(v) <- candidate;
-                  pred.(v) <- u;
-                  Heap.push heap candidate v
-                end
-              end);
-          loop ()
-        end
+    let u = Heap.Indexed.pop_min heap in
+    if u >= 0 then begin
+      if not (stop u) then begin
+        let d = dist.(u) in
+        successors_iter u (fun v w ->
+            if v >= 0 && v < n && Float.is_finite w && w >= 0.0 then begin
+              let candidate = d +. w in
+              if candidate < dist.(v) then begin
+                dist.(v) <- candidate;
+                pred.(v) <- u;
+                Heap.Indexed.insert_or_decrease heap v ~key:candidate ~tie:0.0
+              end
+            end);
+        loop ()
       end
+    end
   in
   loop ();
   { dist; pred }
@@ -67,9 +69,7 @@ let path_to result target =
 let run_to_iter ~n ~successors_iter ~source ~target =
   if target < 0 || target >= n then
     invalid_arg "Dijkstra.run_to: target out of range";
-  let result =
-    search_iter ~n ~successors_iter ~source ~stop:(fun u -> u = target)
-  in
+  let result = search_iter ~n ~successors_iter ~source ~stop:(fun u -> u = target) in
   match path_to result target with
   | None -> None
   | Some path -> Some (result.dist.(target), path)

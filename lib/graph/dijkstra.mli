@@ -40,3 +40,4 @@ val run_to_iter :
 val path_to : result -> int -> int list option
 (** Reconstruct the path from the source to a node from a {!result};
     [None] if unreachable. *)
+

@@ -115,7 +115,7 @@ let run ?(config = default_config) ?failover net ~vi ~injections =
          injections)
   in
   let state = Random.State.make [| config.seed; 0x51AB |] in
-  let heap : event Heap.t = Heap.create ~capacity:1024 () in
+  let heap : event Heap.t = Heap.create ~dummy:(Inject 0) ~capacity:1024 () in
   let port_busy = Array.make (max 1 net.Network.port_count) neg_infinity in
   Array.iteri
     (fun i fs ->

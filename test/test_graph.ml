@@ -4,6 +4,8 @@ module Heap = Noc_graph.Heap
 module Digraph = Noc_graph.Digraph
 module Ugraph = Noc_graph.Ugraph
 module Dijkstra = Noc_graph.Dijkstra
+module Astar = Noc_graph.Astar
+module Flat = Noc_graph.Flat
 module Traversal = Noc_graph.Traversal
 
 let check = Alcotest.check
@@ -22,7 +24,7 @@ let heap_pop_all h =
   go []
 
 let test_heap_basic () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   checkb "fresh heap empty" true (Heap.is_empty h);
   Heap.push h 3.0 "c";
   Heap.push h 1.0 "a";
@@ -38,7 +40,7 @@ let test_heap_basic () =
   checkb "drained" true (Heap.is_empty h)
 
 let test_heap_clear () =
-  let h = Heap.create ~capacity:2 () in
+  let h = Heap.create ~dummy:(-1) ~capacity:2 () in
   for i = 0 to 40 do
     Heap.push h (float_of_int (40 - i)) i
   done;
@@ -48,7 +50,7 @@ let test_heap_clear () =
   check Alcotest.(option (pair (float 0.0) int)) "pop empty" None (Heap.pop_min h)
 
 let test_heap_duplicate_keys () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   List.iter (fun v -> Heap.push h 1.0 v) [ 1; 2; 3 ];
   Heap.push h 0.5 0;
   let keys = List.map fst (heap_pop_all h) in
@@ -58,10 +60,200 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops in key order" ~count:200
     QCheck.(list float)
     (fun keys ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) () in
       List.iteri (fun i k -> Heap.push h k i) keys;
       let popped = List.map fst (heap_pop_all h) in
       List.sort compare keys = popped)
+
+(* ---------- Indexed heap (decrease-key) ---------- *)
+
+let indexed_pop_all h =
+  let rec go acc =
+    match Heap.Indexed.pop_min h with
+    | -1 -> List.rev acc
+    | id -> go (id :: acc)
+  in
+  go []
+
+let test_indexed_basic () =
+  let h = Heap.Indexed.create 8 in
+  checkb "fresh empty" true (Heap.Indexed.is_empty h);
+  checki "pop empty" (-1) (Heap.Indexed.pop_min h);
+  Heap.Indexed.insert h 3 ~key:3.0 ~tie:0.0;
+  Heap.Indexed.insert h 1 ~key:1.0 ~tie:0.0;
+  Heap.Indexed.insert h 5 ~key:2.0 ~tie:0.0;
+  checki "length" 3 (Heap.Indexed.length h);
+  checkb "mem" true (Heap.Indexed.mem h 5);
+  checkb "not mem" false (Heap.Indexed.mem h 0);
+  check Alcotest.(list int) "key order" [ 1; 5; 3 ] (indexed_pop_all h);
+  checkb "popped not mem" false (Heap.Indexed.mem h 1)
+
+let test_indexed_decrease () =
+  let h = Heap.Indexed.create 4 in
+  Heap.Indexed.insert h 0 ~key:10.0 ~tie:0.0;
+  Heap.Indexed.insert h 1 ~key:5.0 ~tie:0.0;
+  Heap.Indexed.insert h 2 ~key:7.0 ~tie:0.0;
+  Heap.Indexed.decrease h 2 ~key:1.0 ~tie:0.0;
+  checki "decreased pops first" 2 (Heap.Indexed.pop_min h);
+  (* insert_or_decrease never worsens a member's key *)
+  Heap.Indexed.insert_or_decrease h 1 ~key:99.0 ~tie:0.0;
+  checki "no increase" 1 (Heap.Indexed.pop_min h);
+  Heap.Indexed.insert_or_decrease h 3 ~key:0.5 ~tie:0.0;
+  checki "inserted" 3 (Heap.Indexed.pop_min h);
+  checki "last" 0 (Heap.Indexed.pop_min h);
+  checkb "drained" true (Heap.Indexed.is_empty h)
+
+let test_indexed_tie_order () =
+  (* Equal keys: the tie field decides, then the id — never heap
+     internals.  Insert in a scrambled order to stress it. *)
+  let h = Heap.Indexed.create 8 in
+  Heap.Indexed.insert h 6 ~key:1.0 ~tie:2.0;
+  Heap.Indexed.insert h 3 ~key:1.0 ~tie:1.0;
+  Heap.Indexed.insert h 7 ~key:1.0 ~tie:1.0;
+  Heap.Indexed.insert h 2 ~key:1.0 ~tie:2.0;
+  Heap.Indexed.insert h 5 ~key:0.5 ~tie:9.0;
+  check Alcotest.(list int) "lexicographic (key, tie, id)" [ 5; 3; 7; 2; 6 ]
+    (indexed_pop_all h)
+
+let test_indexed_clear () =
+  let h = Heap.Indexed.create 16 in
+  for i = 0 to 15 do
+    Heap.Indexed.insert h i ~key:(float_of_int (15 - i)) ~tie:0.0
+  done;
+  ignore (Heap.Indexed.pop_min h);
+  Heap.Indexed.clear h;
+  checkb "cleared" true (Heap.Indexed.is_empty h);
+  checkb "membership reset" false (Heap.Indexed.mem h 3);
+  (* reusable after clear *)
+  Heap.Indexed.insert h 3 ~key:1.0 ~tie:0.0;
+  checki "reinsert" 3 (Heap.Indexed.pop_min h)
+
+let prop_indexed_sorted =
+  QCheck.Test.make ~name:"indexed heap pops ids in (key, id) order" ~count:200
+    QCheck.(list (int_bound 50))
+    (fun raw ->
+      let keys = List.sort_uniq compare raw in
+      let h = Heap.Indexed.create 64 in
+      List.iter
+        (fun i -> Heap.Indexed.insert h i ~key:(float_of_int (i mod 7)) ~tie:0.0)
+        keys;
+      let popped = indexed_pop_all h in
+      let expected =
+        List.sort
+          (fun a b -> compare (a mod 7, a) (b mod 7, b))
+          keys
+      in
+      popped = expected)
+
+(* ---------- Flat adjacency ---------- *)
+
+let test_flat_basic () =
+  let g : int Flat.t = Flat.create 4 in
+  checki "nodes" 4 (Flat.node_count g);
+  checki "no edges" 0 (Flat.edge_count g);
+  check Alcotest.(option int) "absent" None (Flat.get g 0 1);
+  Flat.set g 0 1 10;
+  Flat.set g 1 2 20;
+  Flat.set g 0 1 11;
+  checki "replace keeps count" 2 (Flat.edge_count g);
+  check Alcotest.(option int) "replaced" (Some 11) (Flat.get g 0 1);
+  checkb "mem" true (Flat.mem g 1 2);
+  checkb "directed" false (Flat.mem g 2 1);
+  checki "out degree" 1 (Flat.out_degree g 0);
+  checki "in degree" 1 (Flat.in_degree g 1);
+  checki "in degree 2" 1 (Flat.in_degree g 2);
+  Flat.remove g 0 1;
+  checki "removed" 1 (Flat.edge_count g);
+  checki "out degree after remove" 0 (Flat.out_degree g 0);
+  checki "in degree after remove" 0 (Flat.in_degree g 1);
+  Flat.remove g 0 1 (* no-op *);
+  checki "still one" 1 (Flat.edge_count g)
+
+let test_flat_iter_order () =
+  let g : unit Flat.t = Flat.create 3 in
+  Flat.set g 2 0 ();
+  Flat.set g 0 2 ();
+  Flat.set g 0 1 ();
+  let seen = ref [] in
+  Flat.iter (fun u v () -> seen := (u, v) :: !seen) g;
+  check
+    Alcotest.(list (pair int int))
+    "ascending (src, dst)"
+    [ (0, 1); (0, 2); (2, 0) ]
+    (List.rev !seen)
+
+let test_flat_copy_independent () =
+  let g : int ref Flat.t = Flat.create 3 in
+  Flat.set g 0 1 (ref 5);
+  let c = Flat.copy ~f:(fun r -> ref !r) g in
+  (match Flat.get c 0 1 with
+  | Some r -> r := 99
+  | None -> Alcotest.fail "copy lost edge");
+  (match Flat.get g 0 1 with
+  | Some r -> checki "original untouched" 5 !r
+  | None -> Alcotest.fail "original lost edge");
+  Flat.remove c 0 1;
+  checkb "original keeps edge" true (Flat.mem g 0 1)
+
+let test_flat_bounds () =
+  let g : unit Flat.t = Flat.create 2 in
+  let expect_oob f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected out-of-range failure"
+  in
+  expect_oob (fun () -> Flat.set g 0 2 ());
+  expect_oob (fun () -> Flat.set g (-1) 0 ());
+  expect_oob (fun () -> Flat.remove g 2 0);
+  expect_oob (fun () -> ignore (Flat.create (-1)))
+
+let prop_flat_matches_digraph =
+  QCheck.Test.make
+    ~name:"flat mirrors a digraph under random set/remove" ~count:100
+    QCheck.(pair (int_bound 1000) (int_range 2 10))
+    (fun (seed, n) ->
+      let state = Random.State.make [| seed |] in
+      let g = Digraph.create n in
+      let fl : float Flat.t = Flat.create n in
+      for _ = 1 to 60 do
+        let u = Random.State.int state n and v = Random.State.int state n in
+        if u <> v then
+          if Random.State.bool state then begin
+            let w = Random.State.float state 10.0 in
+            Digraph.add_edge g u v w;
+            Flat.set fl u v w
+          end
+          else begin
+            Digraph.remove_edge g u v;
+            Flat.remove fl u v
+          end
+      done;
+      let flat_edges = Flat.fold (fun u v w acc -> (u, v, w) :: acc) fl [] in
+      Digraph.edges g = List.rev flat_edges
+      && Digraph.edge_count g = Flat.edge_count fl
+      && Array.to_list (Array.init n (Digraph.out_degree g))
+         = Array.to_list (Array.init n (Flat.out_degree fl))
+      && Array.to_list (Array.init n (Digraph.in_degree g))
+         = Array.to_list (Array.init n (Flat.in_degree fl)))
+
+(* ---------- CSR ---------- *)
+
+let test_csr_basic () =
+  let csr =
+    Flat.Csr.of_edges ~n:4 [ (2, 0, 3.0); (0, 1, 1.0); (0, 2, 2.0) ]
+  in
+  checki "nodes" 4 (Flat.Csr.node_count csr);
+  checki "edges" 3 (Flat.Csr.edge_count csr);
+  let row u =
+    let acc = ref [] in
+    Flat.Csr.iter_succ csr u (fun v w -> acc := (v, w) :: !acc);
+    List.rev !acc
+  in
+  check
+    Alcotest.(list (pair int (float 0.0)))
+    "row 0 sorted" [ (1, 1.0); (2, 2.0) ] (row 0);
+  check Alcotest.(list (pair int (float 0.0))) "row 2" [ (0, 3.0) ] (row 2);
+  check Alcotest.(list (pair int (float 0.0))) "empty row" [] (row 3)
 
 (* ---------- Digraph ---------- *)
 
@@ -259,6 +451,106 @@ let prop_dijkstra_relaxed =
       done;
       !relaxed && !agreement)
 
+(* ---------- A* ---------- *)
+
+let test_astar_diamond () =
+  let g = diamond () in
+  let arena = Astar.create () in
+  let succ u relax = List.iter (fun (v, w) -> relax v w) (Digraph.succ g u) in
+  match
+    Astar.run_to_iter arena ~n:4 ~successors_iter:succ
+      ~heuristic:(fun _ -> 0.0) ~source:0 ~target:3
+  with
+  | Some (cost, path) ->
+    checkf "cost" 3.0 cost;
+    check Alcotest.(list int) "path" [ 0; 2; 3 ] path
+  | None -> Alcotest.fail "expected path"
+
+let test_astar_unreachable () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1 1.0;
+  let arena = Astar.create () in
+  let succ u relax = List.iter (fun (v, w) -> relax v w) (Digraph.succ g u) in
+  check
+    Alcotest.(option (pair (float 0.0) (list int)))
+    "unreachable" None
+    (Astar.run_to_iter arena ~n:3 ~successors_iter:succ
+       ~heuristic:(fun _ -> infinity) ~source:0 ~target:2)
+
+let test_astar_same_node () =
+  let arena = Astar.create () in
+  check
+    Alcotest.(option (pair (float 0.0) (list int)))
+    "source = target"
+    (Some (0.0, [ 1 ]))
+    (Astar.run_to_iter arena ~n:3
+       ~successors_iter:(fun _ _ -> ())
+       ~heuristic:(fun _ -> 0.0)
+       ~source:1 ~target:1)
+
+let test_astar_ignores_bad_edges () =
+  let successors_iter u relax =
+    match u with
+    | 0 ->
+      relax 1 (-5.0);
+      relax 1 nan;
+      relax 2 1.0
+    | 2 -> relax 1 1.0
+    | _ -> ()
+  in
+  let arena = Astar.create () in
+  match
+    Astar.run_to_iter arena ~n:3 ~successors_iter
+      ~heuristic:(fun _ -> 0.0) ~source:0 ~target:1
+  with
+  | Some (cost, path) ->
+    checkf "bad edges skipped" 2.0 cost;
+    check Alcotest.(list int) "path avoids bad edge" [ 0; 2; 1 ] path
+  | None -> Alcotest.fail "expected path"
+
+(* The production heuristic shape: h(v) = c for v <> target, h(target) = 0,
+   where c is the exact min weight over edges entering the target
+   (infinity when the target has no incoming edge).  Admissible and
+   consistent by construction. *)
+let floor_heuristic csr target =
+  let c = ref infinity in
+  let n = Flat.Csr.node_count csr in
+  for u = 0 to n - 1 do
+    Flat.Csr.iter_succ csr u (fun v w -> if v = target then c := min !c w)
+  done;
+  let c = !c in
+  fun v -> if v = target then 0.0 else c
+
+let prop_astar_matches_dijkstra =
+  QCheck.Test.make
+    ~name:
+      "A* (zero and floor heuristics, arena reused) is bit-identical to \
+       Dijkstra on random graphs"
+    ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 2 16))
+    (fun (seed, n) ->
+      let g = random_digraph seed n 0.35 in
+      let csr = Flat.Csr.of_edges ~n (Digraph.edges g) in
+      let succ u relax = Flat.Csr.iter_succ csr u relax in
+      let arena = Astar.create () in
+      let ok = ref true in
+      for target = 0 to n - 1 do
+        let reference =
+          Dijkstra.run_to_iter ~n ~successors_iter:succ ~source:0 ~target
+        in
+        let zero =
+          Astar.run_to_iter arena ~n ~successors_iter:succ
+            ~heuristic:(fun _ -> 0.0) ~source:0 ~target
+        in
+        let floored =
+          Astar.run_to_iter arena ~n ~successors_iter:succ
+            ~heuristic:(floor_heuristic csr target) ~source:0 ~target
+        in
+        (* Bit-identity, not tolerance: same float cost, same path. *)
+        if zero <> reference || floored <> reference then ok := false
+      done;
+      !ok)
+
 (* ---------- Traversal ---------- *)
 
 let test_components () =
@@ -294,6 +586,25 @@ let () =
           Alcotest.test_case "duplicate keys" `Quick test_heap_duplicate_keys;
           qt prop_heap_sorted;
         ] );
+      ( "indexed-heap",
+        [
+          Alcotest.test_case "basic order" `Quick test_indexed_basic;
+          Alcotest.test_case "decrease-key" `Quick test_indexed_decrease;
+          Alcotest.test_case "deterministic ties" `Quick test_indexed_tie_order;
+          Alcotest.test_case "clear and reuse" `Quick test_indexed_clear;
+          qt prop_indexed_sorted;
+        ] );
+      ( "flat",
+        [
+          Alcotest.test_case "edges and degrees" `Quick test_flat_basic;
+          Alcotest.test_case "deterministic iteration" `Quick
+            test_flat_iter_order;
+          Alcotest.test_case "copy does not alias" `Quick
+            test_flat_copy_independent;
+          Alcotest.test_case "bounds checking" `Quick test_flat_bounds;
+          qt prop_flat_matches_digraph;
+          Alcotest.test_case "csr layout" `Quick test_csr_basic;
+        ] );
       ( "digraph",
         [
           Alcotest.test_case "edges and degrees" `Quick test_digraph_basic;
@@ -318,6 +629,15 @@ let () =
           Alcotest.test_case "invalid edges ignored" `Quick
             test_dijkstra_ignores_bad_edges;
           qt prop_dijkstra_relaxed;
+        ] );
+      ( "astar",
+        [
+          Alcotest.test_case "diamond" `Quick test_astar_diamond;
+          Alcotest.test_case "unreachable" `Quick test_astar_unreachable;
+          Alcotest.test_case "source equals target" `Quick test_astar_same_node;
+          Alcotest.test_case "invalid edges ignored" `Quick
+            test_astar_ignores_bad_edges;
+          qt prop_astar_matches_dijkstra;
         ] );
       ( "traversal",
         [
